@@ -1,0 +1,42 @@
+//! End-to-end benchmark: one keyword query through the whole pipeline
+//! (candidate generation → optimization → graft → ATC execution), per
+//! sharing configuration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use qsys::{run_workload, SharingMode};
+use qsys_bench::{gus_engine, Scale};
+use qsys_workload::gus::{self, GusConfig};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let _ = Scale::Small;
+    let mut cfg = GusConfig::small(41);
+    cfg.min_rows = 400;
+    cfg.max_rows = 1_200;
+    cfg.user_queries = 4;
+    let workload = gus::generate(&cfg);
+    // Pre-materialize tables so the benchmark measures the engine, not the
+    // generator.
+    let warm = run_workload(&workload, &gus_engine(SharingMode::AtcFull, 5), None);
+    assert!(warm.is_ok());
+
+    let mut group = c.benchmark_group("end_to_end_4uq");
+    group.sample_size(10);
+    for mode in [SharingMode::AtcCq, SharingMode::AtcUq, SharingMode::AtcFull] {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &mode,
+            |b, mode| {
+                b.iter_batched(
+                    || gus_engine(mode.clone(), 5),
+                    |engine| black_box(run_workload(&workload, &engine, None).unwrap()),
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

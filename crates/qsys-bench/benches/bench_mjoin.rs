@@ -1,0 +1,115 @@
+//! Micro-benchmark: m-join insert/probe throughput, fixed vs adaptive
+//! probe ordering (the ablation DESIGN.md calls out for the STeM eddy's
+//! runtime adaptivity).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qsys::exec::access::{AccessModule, StoredModule};
+use qsys::exec::mjoin::{JoinPred, MJoin, MJoinInput};
+use qsys::source::Sources;
+use qsys::types::{BaseTuple, CostProfile, Epoch, RelId, SimClock, Tuple, Value};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn stored_input(rel: u32) -> MJoinInput {
+    MJoinInput {
+        rels: vec![RelId::new(rel)],
+        module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+        epoch_cap: None,
+        store_arrivals: true,
+        selection: None,
+    }
+}
+
+fn pred(l: u32, lc: usize, r: u32, rc: usize) -> JoinPred {
+    JoinPred {
+        left_rel: RelId::new(l),
+        left_col: lc,
+        right_rel: RelId::new(r),
+        right_col: rc,
+    }
+}
+
+fn tuples(rel: u32, n: u64, keys: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::single(Arc::new(BaseTuple::new(
+                RelId::new(rel),
+                i,
+                vec![Value::Int((i as i64) % keys), Value::Int((i as i64 * 7) % keys)],
+                1.0 - i as f64 / (n + 1) as f64,
+            )))
+        })
+        .collect()
+}
+
+fn bench_mjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mjoin");
+    group.sample_size(20);
+
+    // Three-way join: R0(probe col0→R1, col1→R2).
+    group.bench_function("three_way_insert_1k", |b| {
+        let t0 = tuples(0, 400, 32);
+        let t1 = tuples(1, 300, 32);
+        let t2 = tuples(2, 300, 32);
+        b.iter_batched(
+            || {
+                MJoin::new(
+                    vec![stored_input(0), stored_input(1), stored_input(2)],
+                    vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
+                )
+            },
+            |mut mj| {
+                let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
+                let mut out = 0usize;
+                for t in &t1 {
+                    out += mj.insert(1, t.clone(), Epoch(0), &sources).len();
+                }
+                for t in &t2 {
+                    out += mj.insert(2, t.clone(), Epoch(0), &sources).len();
+                }
+                for t in &t0 {
+                    out += mj.insert(0, t.clone(), Epoch(0), &sources).len();
+                }
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Adaptivity payoff: one dead-end input (zero matches). The adaptive
+    // sequence probes it first and prunes everything.
+    group.bench_function("adaptive_dead_end", |b| {
+        let t0 = tuples(0, 500, 16);
+        let t1 = tuples(1, 500, 16);
+        b.iter_batched(
+            || {
+                let mut mj = MJoin::new(
+                    vec![stored_input(0), stored_input(1), stored_input(2)],
+                    vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
+                );
+                let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
+                // R2 stays empty; warm up R1.
+                for t in &t1 {
+                    mj.insert(1, t.clone(), Epoch(0), &sources);
+                }
+                mj
+            },
+            |mut mj| {
+                let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
+                let mut out = 0usize;
+                for t in &t0 {
+                    out += mj.insert(0, t.clone(), Epoch(0), &sources).len();
+                }
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mjoin);
+criterion_main!(benches);

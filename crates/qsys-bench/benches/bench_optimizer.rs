@@ -1,0 +1,44 @@
+//! Micro-benchmark: BestPlan search scaling in the number of push-down
+//! candidates — the wall-clock companion of Figure 11's exponential curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsys::generate_user_queries;
+use qsys::opt::cost::NoReuse;
+use qsys::opt::{HeuristicConfig, Optimizer, OptimizerConfig};
+use qsys::SharingMode;
+use qsys_bench::{gus_engine, gus_workload, Scale};
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let workload = gus_workload(41, Scale::Small);
+    let engine = gus_engine(SharingMode::AtcFull, 5);
+    let (uqs, _) = generate_user_queries(&workload, &engine).expect("generates");
+    let batch: Vec<_> = uqs
+        .iter()
+        .take(5)
+        .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+        .collect();
+
+    let mut group = c.benchmark_group("bestplan");
+    group.sample_size(10);
+    for cap in [0usize, 2, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("candidates", cap), &cap, |b, &cap| {
+            let config = OptimizerConfig {
+                k: 50,
+                heuristics: HeuristicConfig {
+                    max_candidates: cap,
+                    min_sharing: 1,
+                    low_cardinality: f64::MAX,
+                    ..HeuristicConfig::default()
+                },
+                ..OptimizerConfig::default()
+            };
+            let optimizer = Optimizer::new(&workload.catalog, config);
+            b.iter(|| black_box(optimizer.optimize(&batch, &NoReuse, None)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmark: rank-merge accept/maintain cycle — the operator on the
+//! ATC's critical path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qsys::exec::rank_merge::{CqRegistration, RankMerge, StreamingInput};
+use qsys::exec::NodeId;
+use qsys::query::ScoreFn;
+use qsys::types::{BaseTuple, CqId, RelId, Tuple, UqId, UserId};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn reg(cq: u32, node: u32) -> CqRegistration {
+    CqRegistration {
+        cq: CqId::new(cq),
+        reports_as: CqId::new(cq),
+        score_fn: ScoreFn::discover(UserId::new(0), 2),
+        streaming: vec![StreamingInput {
+            node: NodeId(node),
+            rels: vec![RelId::new(0)],
+            max_bound: 1.0,
+        }],
+        probed: vec![],
+    }
+}
+
+fn tup(id: u64, score: f64) -> Tuple {
+    Tuple::single(Arc::new(BaseTuple::new(RelId::new(0), id, vec![], score)))
+}
+
+fn bench_rank_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_merge");
+    group.sample_size(30);
+
+    group.bench_function("accept_maintain_k50_1k_tuples", |b| {
+        b.iter_batched(
+            || {
+                let mut rm = RankMerge::new(UqId::new(0), UserId::new(0), 50);
+                for i in 0..4 {
+                    rm.register(reg(i, i));
+                }
+                rm
+            },
+            |mut rm| {
+                let mut bounds = HashMap::new();
+                for node in 0..4 {
+                    bounds.insert(NodeId(node), 1.0);
+                }
+                for i in 0..1000u64 {
+                    let slot = (i % 4) as usize;
+                    let score = 1.0 - (i as f64) / 1100.0;
+                    rm.accept(slot, tup(i, score));
+                    if i % 16 == 0 {
+                        for node in 0..4u32 {
+                            bounds.insert(NodeId(node), 1.0 - (i as f64) / 1000.0);
+                        }
+                        rm.maintain(&bounds, i);
+                    }
+                }
+                for node in 0..4u32 {
+                    bounds.insert(NodeId(node), 0.0);
+                }
+                rm.maintain(&bounds, 2000);
+                black_box(rm.results().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("choose_read_16cqs", |b| {
+        let mut rm = RankMerge::new(UqId::new(0), UserId::new(0), 50);
+        let mut bounds = HashMap::new();
+        for i in 0..16 {
+            rm.register(reg(i, i));
+            bounds.insert(NodeId(i), 1.0 - i as f64 / 40.0);
+        }
+        rm.maintain(&bounds, 0);
+        b.iter(|| black_box(rm.choose_read(&bounds)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_merge);
+criterion_main!(benches);

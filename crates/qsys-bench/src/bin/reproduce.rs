@@ -1,0 +1,114 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p qsys-bench --bin reproduce -- all
+//! cargo run --release -p qsys-bench --bin reproduce -- fig7 --seeds 4
+//! cargo run --release -p qsys-bench --bin reproduce -- table4 --scale paper
+//! ```
+//!
+//! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
+//! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
+
+use qsys_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match flag_value(&args, "--scale").as_deref() {
+        Some("paper") => Scale::Paper,
+        _ => Scale::Small,
+    };
+    let n_seeds: usize = flag_value(&args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    // The paper used 4 synthetic instances; seeds play that role.
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 41 + i * 7).collect();
+
+    println!(
+        "# scale: {scale:?} | instance seeds: {seeds:?} | virtual-clock results\n"
+    );
+    let t0 = std::time::Instant::now();
+    match what {
+        "table4" => print_table4(&table4(&seeds, scale)),
+        "fig7" => print_fig7(&fig7_runs(&seeds, scale, None)),
+        "fig8" => print_fig8(&fig7_runs(&seeds, scale, None)),
+        "fig9" => {
+            let (s, b) = fig9(&seeds, scale);
+            print_fig9(&s, &b);
+        }
+        "fig10" => print_fig10(&fig10(&seeds, scale)),
+        "fig11" => print_fig11(&fig11(seeds[0], scale)),
+        "fig12" => print_fig12(&fig12(&seeds, scale)),
+        "ablation-atc" => {
+            println!("Ablation: ATC scheduling policy (mean response, virtual s)");
+            for (label, mean) in ablation_atc(seeds[0], scale) {
+                println!("{label:>16}: {mean:.3}");
+            }
+        }
+        "ablation-recovery" => {
+            let (warm, cold) = ablation_recovery(seeds[0], scale);
+            println!("Ablation: RecoverState vs re-execution (stream reads for a repeated query)");
+            println!("  warm (recovered): {warm}");
+            println!("  cold (fresh)    : {cold}");
+        }
+        "ablation-eviction" => {
+            println!("Ablation: memory budget / eviction pressure (stream reads, 10 UQs)");
+            for (label, reads) in ablation_eviction(seeds[0], scale) {
+                println!("{label:>12}: {reads}");
+            }
+        }
+        "ablation-probe-cache" => {
+            println!("Ablation: probe-cache sharing (ATC-FULL, 10 UQs)");
+            for (label, probes, mean) in ablation_probe_cache(seeds[0], scale) {
+                println!("{label:>8}: {probes} remote probes, mean response {mean:.3}s");
+            }
+        }
+        "all" => {
+            print_table4(&table4(&seeds, scale));
+            println!();
+            let runs = fig7_runs(&seeds, scale, None);
+            print_fig7(&runs);
+            println!();
+            print_fig8(&runs);
+            println!();
+            let (s, b) = fig9(&seeds, scale);
+            print_fig9(&s, &b);
+            println!();
+            print_fig10(&fig10(&seeds, scale));
+            println!();
+            print_fig11(&fig11(seeds[0], scale));
+            println!();
+            print_fig12(&fig12(&seeds, scale));
+            println!();
+            println!("Ablation: ATC scheduling policy (mean response, virtual s)");
+            for (label, mean) in ablation_atc(seeds[0], scale) {
+                println!("{label:>16}: {mean:.3}");
+            }
+            println!();
+            let (warm, cold) = ablation_recovery(seeds[0], scale);
+            println!("Ablation: RecoverState — repeated query stream reads: warm {warm} vs cold {cold}");
+            println!();
+            println!("Ablation: memory budget (stream reads, 10 UQs)");
+            for (label, reads) in ablation_eviction(seeds[0], scale) {
+                println!("{label:>12}: {reads}");
+            }
+            println!();
+            println!("Ablation: probe-cache sharing (ATC-FULL, 10 UQs)");
+            for (label, probes, mean) in ablation_probe_cache(seeds[0], scale) {
+                println!("{label:>8}: {probes} remote probes, mean response {mean:.3}s");
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("choose: all table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[done in {:.1}s wall time]", t0.elapsed().as_secs_f64());
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,554 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (Section 7), plus the ablations DESIGN.md calls out.
+//!
+//! Each `table4` / `fig7` / … function runs the experiment and returns
+//! printable data; the `reproduce` binary is a thin argument parser over
+//! them. All numbers are *simulated* (virtual-clock) quantities — see
+//! DESIGN.md's substitution notes; the claims under reproduction are about
+//! relative behaviour between configurations, not absolute seconds.
+
+use qsys::{run_workload, EngineConfig, RunReport, SharingMode};
+use qsys::opt::cluster::ClusterConfig;
+use qsys::opt::{HeuristicConfig, Optimizer, OptimizerConfig};
+use qsys::opt::cost::NoReuse;
+use qsys::query::CandidateConfig;
+use qsys::types::SimClock;
+use qsys_workload::gus::{self, GusConfig};
+use qsys_workload::pfam::{self, PfamConfig};
+use qsys_workload::Workload;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale rows (full schema, reduced cardinalities).
+    Small,
+    /// The paper's cardinalities (20k–100k rows/relation) — slow.
+    Paper,
+}
+
+/// The four configurations of Section 7.1, in the paper's order.
+pub fn all_modes() -> Vec<SharingMode> {
+    vec![
+        SharingMode::AtcCq,
+        SharingMode::AtcUq,
+        SharingMode::AtcFull,
+        SharingMode::AtcCl(ClusterConfig::default()),
+    ]
+}
+
+/// GUS workload for one instance seed.
+pub fn gus_workload(seed: u64, scale: Scale) -> Workload {
+    let cfg = match scale {
+        Scale::Small => GusConfig::small(seed),
+        Scale::Paper => GusConfig::paper(seed),
+    };
+    gus::generate(&cfg)
+}
+
+/// Pfam workload for one seed.
+pub fn pfam_workload(seed: u64, scale: Scale) -> Workload {
+    let cfg = match scale {
+        Scale::Small => PfamConfig::small(seed),
+        Scale::Paper => PfamConfig::paper(seed),
+    };
+    pfam::generate(&cfg)
+}
+
+/// The engine configuration used by the synthetic experiments: k = 50,
+/// batches of 5, ≤ 20 CQs per user query — Section 7's setup.
+pub fn gus_engine(mode: SharingMode, batch_size: usize) -> EngineConfig {
+    EngineConfig {
+        k: 50,
+        batch_size,
+        sharing: mode,
+        candidate: CandidateConfig {
+            max_cqs: 20,
+            max_atoms: 6,
+            matches_per_keyword: 3,
+            ..CandidateConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The engine configuration for the Pfam experiments: "each user query
+/// here resulted in 4 conjunctive queries" (Section 7.5).
+pub fn pfam_engine(mode: SharingMode) -> EngineConfig {
+    EngineConfig {
+        k: 50,
+        batch_size: 5,
+        sharing: mode,
+        candidate: CandidateConfig {
+            max_cqs: 4,
+            max_atoms: 6,
+            matches_per_keyword: 2,
+            ..CandidateConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: average number of conjunctive queries executed per user query.
+// ---------------------------------------------------------------------------
+
+/// Average CQs executed to return top-50, per UQ, across instance seeds.
+pub fn table4(seeds: &[u64], scale: Scale) -> Vec<f64> {
+    let mut sums: Vec<f64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    for &seed in seeds {
+        let w = gus_workload(seed, scale);
+        let report =
+            run_workload(&w, &gus_engine(SharingMode::AtcFull, 5), None).expect("runs");
+        for u in &report.per_uq {
+            let i = u.uq.index();
+            if sums.len() <= i {
+                sums.resize(i + 1, 0.0);
+                counts.resize(i + 1, 0);
+            }
+            sums[i] += u.cqs_executed as f64;
+            counts[i] += 1;
+        }
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(s, c)| if *c == 0 { 0.0 } else { s / *c as f64 })
+        .collect()
+}
+
+/// Pretty-print Table 4.
+pub fn print_table4(avgs: &[f64]) {
+    println!("Table 4: average # conjunctive queries executed per user query (top-50)");
+    print!("UQ     ");
+    for i in 0..avgs.len() {
+        print!(" {:>6}", i + 1);
+    }
+    println!();
+    print!("Queries");
+    for v in avgs {
+        print!(" {v:>6.2}");
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 & 8: per-UQ running times and execution-time breakdown.
+// ---------------------------------------------------------------------------
+
+/// One configuration's outcome over the GUS workload, averaged over seeds.
+pub struct ConfigRun {
+    /// Configuration label.
+    pub label: String,
+    /// Per-UQ mean response times (seconds).
+    pub per_uq_secs: Vec<f64>,
+    /// Mean normalized (stream, probe, join) execution fractions.
+    pub fractions: (f64, f64, f64),
+    /// Total tuples consumed (summed over seeds).
+    pub tuples_consumed: u64,
+    /// Raw reports (one per seed).
+    pub reports: Vec<RunReport>,
+}
+
+/// Run the GUS workload under every configuration.
+pub fn fig7_runs(seeds: &[u64], scale: Scale, limit: Option<usize>) -> Vec<ConfigRun> {
+    all_modes()
+        .into_iter()
+        .map(|mode| {
+            let label = mode.label().to_string();
+            let mut reports = Vec::new();
+            for &seed in seeds {
+                let w = gus_workload(seed, scale);
+                reports.push(
+                    run_workload(&w, &gus_engine(mode.clone(), 5), limit).expect("runs"),
+                );
+            }
+            summarize(label, reports)
+        })
+        .collect()
+}
+
+fn summarize(label: String, reports: Vec<RunReport>) -> ConfigRun {
+    let n_uq = reports.iter().map(|r| r.per_uq.len()).max().unwrap_or(0);
+    let mut per_uq_secs = vec![0.0; n_uq];
+    let mut counts = vec![0u32; n_uq];
+    let mut fractions = (0.0, 0.0, 0.0);
+    let mut tuples = 0;
+    for r in &reports {
+        for u in &r.per_uq {
+            let i = u.uq.index();
+            if i < n_uq {
+                per_uq_secs[i] += u.response_us as f64 / 1e6;
+                counts[i] += 1;
+            }
+        }
+        let f = r.breakdown.exec_fractions();
+        fractions.0 += f.0;
+        fractions.1 += f.1;
+        fractions.2 += f.2;
+        tuples += r.tuples_consumed;
+    }
+    for (v, c) in per_uq_secs.iter_mut().zip(counts.iter()) {
+        if *c > 0 {
+            *v /= *c as f64;
+        }
+    }
+    let n = reports.len().max(1) as f64;
+    ConfigRun {
+        label,
+        per_uq_secs,
+        fractions: (fractions.0 / n, fractions.1 / n, fractions.2 / n),
+        tuples_consumed: tuples,
+        reports,
+    }
+}
+
+/// Print Figure 7 (running time per UQ, per configuration).
+pub fn print_fig7(runs: &[ConfigRun]) {
+    println!("Figure 7: running times (virtual s) to return top-50 per user query");
+    print!("{:>4}", "UQ");
+    for r in runs {
+        print!(" {:>9}", r.label);
+    }
+    println!();
+    let n = runs.iter().map(|r| r.per_uq_secs.len()).max().unwrap_or(0);
+    for i in 0..n {
+        print!("{:>4}", i + 1);
+        for r in runs {
+            match r.per_uq_secs.get(i) {
+                Some(v) => print!(" {v:>9.3}"),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("mean");
+    for r in runs {
+        let m: f64 = r.per_uq_secs.iter().sum::<f64>() / r.per_uq_secs.len().max(1) as f64;
+        print!(" {m:>9.3}");
+    }
+    println!();
+}
+
+/// Print Figure 8 (normalized execution-time breakdown).
+pub fn print_fig8(runs: &[ConfigRun]) {
+    println!("Figure 8: breakdown of execution time (fractions of total)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>10}",
+        "config", "stream read", "random access", "join"
+    );
+    for r in runs {
+        println!(
+            "{:>10} {:>12.3} {:>14.3} {:>10.3}",
+            r.label, r.fractions.0, r.fractions.1, r.fractions.2
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: SINGLE-OPT (batch = 1) vs BATCH-OPT (batch = 5), ATC-CL.
+// ---------------------------------------------------------------------------
+
+/// One arm of the Figure 9 comparison.
+pub struct Fig9Arm {
+    /// Per-UQ response times (s).
+    pub per_uq_secs: Vec<f64>,
+    /// Total execution time for the whole workload (s, summed over lanes).
+    pub total_exec_secs: f64,
+    /// Total input tuples consumed.
+    pub tuples_consumed: u64,
+}
+
+/// SINGLE-OPT (batch = 1) vs BATCH-OPT (batch = 5), both under ATC-CL.
+pub fn fig9(seeds: &[u64], scale: Scale) -> (Fig9Arm, Fig9Arm) {
+    let mode = || SharingMode::AtcCl(ClusterConfig::default());
+    let run = |batch: usize| {
+        let mut reports = Vec::new();
+        for &seed in seeds {
+            let w = gus_workload(seed, scale);
+            reports.push(run_workload(&w, &gus_engine(mode(), batch), None).expect("runs"));
+        }
+        let total_exec_secs = reports
+            .iter()
+            .map(|r| r.breakdown.exec_us() as f64 / 1e6)
+            .sum::<f64>()
+            / reports.len().max(1) as f64;
+        let summary = summarize(format!("batch={batch}"), reports);
+        Fig9Arm {
+            per_uq_secs: summary.per_uq_secs,
+            total_exec_secs,
+            tuples_consumed: summary.tuples_consumed,
+        }
+    };
+    (run(1), run(5))
+}
+
+/// Print Figure 9.
+pub fn print_fig9(single: &Fig9Arm, batch: &Fig9Arm) {
+    println!("Figure 9: individually (SINGLE-OPT) vs batch-optimized (BATCH-OPT) queries");
+    println!("{:>4} {:>12} {:>12}", "UQ", "SINGLE-OPT", "BATCH-OPT");
+    let (s, b) = (&single.per_uq_secs, &batch.per_uq_secs);
+    for i in 0..s.len().max(b.len()) {
+        println!(
+            "{:>4} {:>12.3} {:>12.3}",
+            i + 1,
+            s.get(i).copied().unwrap_or(f64::NAN),
+            b.get(i).copied().unwrap_or(f64::NAN)
+        );
+    }
+    let ms: f64 = s.iter().sum::<f64>() / s.len().max(1) as f64;
+    let mb: f64 = b.iter().sum::<f64>() / b.len().max(1) as f64;
+    println!("mean {ms:>11.3} {mb:>12.3}");
+    println!(
+        "workload total exec time (s): SINGLE-OPT {:.1} vs BATCH-OPT {:.1}",
+        single.total_exec_secs, batch.total_exec_secs
+    );
+    println!(
+        "tuples consumed:              SINGLE-OPT {} vs BATCH-OPT {}",
+        single.tuples_consumed, batch.tuples_consumed
+    );
+    println!(
+        "(per-UQ latency under batching includes co-batched queries' work — \
+         the sharing gain shows in workload totals)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: total work (tuples consumed), 5 UQs vs 15 UQs.
+// ---------------------------------------------------------------------------
+
+/// Per configuration: `(label, tuples after 5 UQs, tuples after 15 UQs)`.
+pub fn fig10(seeds: &[u64], scale: Scale) -> Vec<(String, u64, u64)> {
+    all_modes()
+        .into_iter()
+        .map(|mode| {
+            let label = mode.label().to_string();
+            let mut five = 0;
+            let mut fifteen = 0;
+            for &seed in seeds {
+                let w = gus_workload(seed, scale);
+                five += run_workload(&w, &gus_engine(mode.clone(), 5), Some(5))
+                    .expect("runs")
+                    .tuples_consumed;
+                fifteen += run_workload(&w, &gus_engine(mode.clone(), 5), None)
+                    .expect("runs")
+                    .tuples_consumed;
+            }
+            (label, five, fifteen)
+        })
+        .collect()
+}
+
+/// Print Figure 10.
+pub fn print_fig10(rows: &[(String, u64, u64)]) {
+    println!("Figure 10: total work done (input tuples consumed), 5 vs 15 UQs");
+    println!("{:>10} {:>12} {:>12} {:>8}", "config", "5-UQ", "15-UQ", "ratio");
+    for (label, five, fifteen) in rows {
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.2}",
+            label,
+            five,
+            fifteen,
+            *fifteen as f64 / (*five).max(1) as f64
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: optimization time vs number of candidate inputs.
+// ---------------------------------------------------------------------------
+
+/// Sweep the candidate cap over one batch of 5 user queries; returns
+/// `(candidates, explored states, virtual µs, wall µs)` per point.
+pub fn fig11(seed: u64, scale: Scale) -> Vec<(usize, usize, u64, u128)> {
+    let w = gus_workload(seed, scale);
+    let engine = gus_engine(SharingMode::AtcFull, 5);
+    let (uqs, _) = qsys::generate_user_queries(&w, &engine).expect("generates");
+    let batch: Vec<_> = uqs
+        .iter()
+        .take(5)
+        .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+        .collect();
+    let mut out = Vec::new();
+    for cap in 0..=14 {
+        let config = OptimizerConfig {
+            k: 50,
+            heuristics: HeuristicConfig {
+                max_candidates: cap,
+                min_sharing: 1,
+                low_cardinality: f64::MAX, // admit everything up to the cap
+                ..HeuristicConfig::default()
+            },
+            ..OptimizerConfig::default()
+        };
+        let optimizer = Optimizer::new(&w.catalog, config);
+        let clock = SimClock::new();
+        let wall = std::time::Instant::now();
+        let (_, stats) = optimizer.optimize(&batch, &NoReuse, Some(&clock));
+        let wall_us = wall.elapsed().as_micros();
+        out.push((
+            stats.candidates,
+            stats.explored,
+            clock.breakdown().optimize_us,
+            wall_us,
+        ));
+    }
+    out.sort();
+    out.dedup_by_key(|p| p.0);
+    out
+}
+
+/// Print Figure 11.
+pub fn print_fig11(points: &[(usize, usize, u64, u128)]) {
+    println!("Figure 11: optimization times vs candidate inputs (one batch of 5 UQs)");
+    println!(
+        "{:>11} {:>10} {:>12} {:>10}",
+        "candidates", "explored", "virtual(ms)", "wall(ms)"
+    );
+    for (cands, explored, virt, wall) in points {
+        println!(
+            "{:>11} {:>10} {:>12.2} {:>10.2}",
+            cands,
+            explored,
+            *virt as f64 / 1e3,
+            *wall as f64 / 1e3
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: the Pfam/InterPro workload.
+// ---------------------------------------------------------------------------
+
+/// Per-configuration runs over the Pfam workload. The clustering
+/// thresholds are tightened (`T_m` = 2) so the denser per-UQ relation
+/// references of the 9-relation schema can still split into multiple plan
+/// graphs, as the paper's manual clustering did (3 graphs).
+pub fn fig12(seeds: &[u64], scale: Scale) -> Vec<ConfigRun> {
+    let modes = vec![
+        SharingMode::AtcCq,
+        SharingMode::AtcUq,
+        SharingMode::AtcFull,
+        SharingMode::AtcCl(ClusterConfig { t_m: 3, t_c: 0.4 }),
+    ];
+    modes
+        .into_iter()
+        .map(|mode| {
+            let label = mode.label().to_string();
+            let mut reports = Vec::new();
+            for &seed in seeds {
+                let w = pfam_workload(seed, scale);
+                reports.push(run_workload(&w, &pfam_engine(mode.clone()), None).expect("runs"));
+            }
+            summarize(label, reports)
+        })
+        .collect()
+}
+
+/// Print Figure 12.
+pub fn print_fig12(runs: &[ConfigRun]) {
+    println!("Figure 12: execution times over the Pfam/InterPro dataset (virtual s)");
+    print!("{:>4}", "UQ");
+    for r in runs {
+        print!(" {:>9}", r.label);
+    }
+    println!("  (lanes used by ATC-CL: {})",
+        runs.last().map(|r| r.reports[0].lanes).unwrap_or(1));
+    let n = runs.iter().map(|r| r.per_uq_secs.len()).max().unwrap_or(0);
+    for i in 0..n {
+        print!("{:>4}", i + 1);
+        for r in runs {
+            match r.per_uq_secs.get(i) {
+                Some(v) => print!(" {v:>9.3}"),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("mean");
+    for r in runs {
+        let m: f64 = r.per_uq_secs.iter().sum::<f64>() / r.per_uq_secs.len().max(1) as f64;
+        print!(" {m:>9.3}");
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+// ---------------------------------------------------------------------------
+
+/// ATC scheduling ablation: round-robin vs greedy-threshold mean response.
+pub fn ablation_atc(seed: u64, scale: Scale) -> Vec<(String, f64)> {
+    use qsys::exec::SchedulingPolicy;
+    [SchedulingPolicy::RoundRobin, SchedulingPolicy::GreedyThreshold]
+        .into_iter()
+        .map(|policy| {
+            let w = gus_workload(seed, scale);
+            let mut engine = gus_engine(SharingMode::AtcFull, 5);
+            engine.scheduling = policy;
+            let r = run_workload(&w, &engine, Some(8)).expect("runs");
+            (format!("{policy:?}"), r.mean_response_us() / 1e6)
+        })
+        .collect()
+}
+
+/// Recovery ablation: answering a repeated query warm (RecoverState) vs
+/// cold (fresh engine). Returns (warm stream reads, cold stream reads).
+pub fn ablation_recovery(seed: u64, scale: Scale) -> (u64, u64) {
+    let w = gus_workload(seed, scale);
+    let engine = gus_engine(SharingMode::AtcFull, 1);
+    // Warm: run UQ0 twice by duplicating the first query.
+    let mut twice = gus_workload(seed, scale);
+    let first = twice.queries[0].clone();
+    twice.queries = vec![first.clone(), first.clone()];
+    let warm = run_workload(&twice, &engine, None).expect("runs");
+    // Cold: the query once, fresh.
+    let mut once = w;
+    once.queries = vec![first];
+    let cold = run_workload(&once, &engine, None).expect("runs");
+    let warm_second = warm.tuples_streamed.saturating_sub(cold.tuples_streamed);
+    (warm_second, cold.tuples_streamed)
+}
+
+/// Probe-cache-sharing ablation: total probes and mean response under
+/// ATC-FULL with shared vs private probe caches. Sharing probe results is
+/// the load-bearing half of "we cache tuples from random probes" (§7.1);
+/// without it, a stream fanning out to N consumers re-probes every key N
+/// times (see DESIGN.md decision 6).
+pub fn ablation_probe_cache(seed: u64, scale: Scale) -> Vec<(String, u64, f64)> {
+    [true, false]
+        .into_iter()
+        .map(|share| {
+            let w = gus_workload(seed, scale);
+            let mut engine = gus_engine(SharingMode::AtcFull, 5);
+            engine.share_probe_caches = share;
+            let r = run_workload(&w, &engine, Some(10)).expect("runs");
+            let label = if share { "shared" } else { "private" };
+            (label.to_string(), r.probes, r.mean_response_us() / 1e6)
+        })
+        .collect()
+}
+
+/// Eviction-policy ablation: total stream reads for a 10-query session
+/// under a constrained memory budget, per policy. (The paper found LRU
+/// with size tie-break best; differences are modest, Section 6.3.)
+pub fn ablation_eviction(seed: u64, scale: Scale) -> Vec<(String, u64)> {
+    // The eviction policy lives inside the QS manager; the engine facade
+    // always uses the default. We approximate the comparison by varying
+    // the budget: unlimited vs tight (forcing eviction) — the interesting
+    // signal is how much reuse a tight budget destroys.
+    [usize::MAX, 1 << 22, 1 << 16]
+        .into_iter()
+        .map(|budget| {
+            let w = gus_workload(seed, scale);
+            let mut engine = gus_engine(SharingMode::AtcFull, 5);
+            engine.memory_budget = budget;
+            let r = run_workload(&w, &engine, Some(10)).expect("runs");
+            let label = if budget == usize::MAX {
+                "unlimited".to_string()
+            } else {
+                format!("{} MiB", budget >> 20)
+            };
+            (label, r.tuples_streamed)
+        })
+        .collect()
+}

@@ -1,0 +1,327 @@
+//! Access modules: the per-input state of an m-join.
+//!
+//! Following the STeM design [24] and the paper's Section 4.1, each m-join
+//! input has an *access module* against which other inputs' tuples are
+//! probed:
+//!
+//! - for a **streaming** input it is a hash table over the input's tuples
+//!   ([`StoredModule`]), maintained in arrival order and partitioned by
+//!   epoch — exactly the structure Section 6.2 requires so `RecoverState`
+//!   can replay "the set of tuples in the order they were received from the
+//!   input stream" without duplicates (the paper embeds a linked list in the
+//!   hash table; an arrival-ordered arena with hash indexes over positions
+//!   is the idiomatic Rust equivalent with the same traversal guarantees);
+//! - for a **random access** source it is a wrapper that probes the remote
+//!   site by join key ([`RemoteModule`]), caching results so repeat probes
+//!   are free ("given that we cache tuples from random probes, we can
+//!   expect the rate of probing to decrease over time", Section 7.1).
+
+use qsys_source::Sources;
+use qsys_types::{Epoch, RelId, SimClock, TimeCategory, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A probe key: which (relation, column) the lookup addresses.
+pub type ProbeKey = (RelId, usize);
+
+/// Hash-table access module for a streaming input.
+#[derive(Debug, Default)]
+pub struct StoredModule {
+    /// Tuples in arrival order (the paper's embedded linked list).
+    entries: Vec<(Tuple, Epoch)>,
+    /// Hash indexes: probe key → value → positions into `entries`.
+    indexes: HashMap<ProbeKey, HashMap<Value, Vec<u32>>>,
+}
+
+impl StoredModule {
+    /// Empty module with the given probe keys registered.
+    pub fn new(probe_keys: impl IntoIterator<Item = ProbeKey>) -> StoredModule {
+        let mut m = StoredModule::default();
+        for k in probe_keys {
+            m.indexes.entry(k).or_default();
+        }
+        m
+    }
+
+    /// Register an additional probe key, indexing existing entries
+    /// (needed when grafting adds a consumer that joins on a new column).
+    pub fn add_probe_key(&mut self, key: ProbeKey) {
+        if self.indexes.contains_key(&key) {
+            return;
+        }
+        let mut index: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (pos, (tuple, _)) in self.entries.iter().enumerate() {
+            if let Some(v) = key_value(tuple, key) {
+                index.entry(v.clone()).or_default().push(pos as u32);
+            }
+        }
+        self.indexes.insert(key, index);
+    }
+
+    /// Insert a tuple (stamped with the current epoch), maintaining all
+    /// indexes. Charges one hash operation per index to the clock.
+    pub fn insert(&mut self, tuple: Tuple, epoch: Epoch, clock: &SimClock) {
+        let pos = self.entries.len() as u32;
+        let cost = self.indexes.len().max(1) as u64;
+        clock.charge(TimeCategory::Join, 2 * cost);
+        for (key, index) in &mut self.indexes {
+            if let Some(v) = key_value(&tuple, *key) {
+                index.entry(v.clone()).or_default().push(pos);
+            }
+        }
+        self.entries.push((tuple, epoch));
+    }
+
+    /// Probe for matches of `value` under `key`. When `before` is set, only
+    /// tuples inserted in an earlier epoch are returned (RecoverState's
+    /// pre-epoch view). Results come back in arrival order.
+    pub fn probe(
+        &self,
+        key: ProbeKey,
+        value: &Value,
+        before: Option<Epoch>,
+        clock: &SimClock,
+    ) -> Vec<Tuple> {
+        clock.charge(TimeCategory::Join, 2);
+        let Some(index) = self.indexes.get(&key) else {
+            return Vec::new();
+        };
+        let Some(positions) = index.get(value) else {
+            return Vec::new();
+        };
+        positions
+            .iter()
+            .map(|&p| &self.entries[p as usize])
+            .filter(|(_, e)| before.is_none_or(|b| *e < b))
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// All tuples inserted before `epoch`, in arrival order — the
+    /// "linked list ... recorded before epoch e" of Algorithm 2.
+    pub fn entries_before(&self, epoch: Epoch) -> Vec<Tuple> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| *e < epoch)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the module is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes (for the QS manager's memory budget).
+    pub fn approx_bytes(&self) -> usize {
+        // Tuple = Arc'd parts; count the handle plus per-index entries.
+        self.entries.len() * 64 + self.indexes.len() * self.entries.len() * 24
+    }
+}
+
+/// Wrapper for probing a remote random-access source, with a probe cache.
+#[derive(Debug)]
+pub struct RemoteModule {
+    /// The remote relation.
+    rel: RelId,
+    /// Cache: (column, key value) → base rows, wrapped as tuples.
+    cache: HashMap<(usize, Value), Arc<[Tuple]>>,
+    /// Probes answered from cache (Figure 8 commentary: probe rate decays).
+    cache_hits: u64,
+    /// Probes that went to the network.
+    remote_probes: u64,
+}
+
+impl RemoteModule {
+    /// New module for a remote relation.
+    pub fn new(rel: RelId) -> RemoteModule {
+        RemoteModule {
+            rel,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            remote_probes: 0,
+        }
+    }
+
+    /// The relation this module probes.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Probe the remote source for rows whose `column` equals `value`.
+    /// First hit goes over the (simulated) network via `sources`; repeats
+    /// are served from the cache for the cost of a hash lookup.
+    pub fn probe(&mut self, column: usize, value: &Value, sources: &Sources) -> Arc<[Tuple]> {
+        let key = (column, value.clone());
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            sources.clock().charge(TimeCategory::Join, 2);
+            return Arc::clone(hit);
+        }
+        self.remote_probes += 1;
+        let rows = sources.probe(self.rel, column, value);
+        let tuples: Arc<[Tuple]> = rows.into_iter().map(Tuple::single).collect();
+        self.cache.insert(key, Arc::clone(&tuples));
+        tuples
+    }
+
+    /// Probes served from cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Probes that actually hit the network so far.
+    pub fn remote_probes(&self) -> u64 {
+        self.remote_probes
+    }
+
+    /// Approximate resident bytes of the cache.
+    pub fn approx_bytes(&self) -> usize {
+        self.cache
+            .values()
+            .map(|v| 48 + v.len() * 32)
+            .sum::<usize>()
+    }
+}
+
+/// Either kind of access module.
+#[derive(Debug)]
+pub enum AccessModule {
+    /// Hash table over a streaming input's tuples.
+    Stored(StoredModule),
+    /// Probe wrapper over a remote random-access source.
+    Remote(RemoteModule),
+}
+
+impl AccessModule {
+    /// The stored module, if this is one.
+    pub fn as_stored(&self) -> Option<&StoredModule> {
+        match self {
+            AccessModule::Stored(s) => Some(s),
+            AccessModule::Remote(_) => None,
+        }
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            AccessModule::Stored(s) => s.approx_bytes(),
+            AccessModule::Remote(r) => r.approx_bytes(),
+        }
+    }
+}
+
+fn key_value(tuple: &Tuple, key: ProbeKey) -> Option<&Value> {
+    tuple.value_of(key.0, key.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_source::Table;
+    use qsys_types::{BaseTuple, CostProfile};
+
+    fn tup(rel: u32, id: u64, key: i64, score: f64) -> Tuple {
+        Tuple::single(Arc::new(BaseTuple::new(
+            RelId::new(rel),
+            id,
+            vec![Value::Int(key)],
+            score,
+        )))
+    }
+
+    #[test]
+    fn stored_insert_and_probe() {
+        let clock = SimClock::new();
+        let key = (RelId::new(0), 0);
+        let mut m = StoredModule::new([key]);
+        m.insert(tup(0, 1, 5, 0.9), Epoch(0), &clock);
+        m.insert(tup(0, 2, 7, 0.8), Epoch(0), &clock);
+        m.insert(tup(0, 3, 5, 0.7), Epoch(0), &clock);
+        let hits = m.probe(key, &Value::Int(5), None, &clock);
+        assert_eq!(hits.len(), 2);
+        // Arrival order preserved.
+        assert_eq!(hits[0].parts()[0].row_id, 1);
+        assert_eq!(hits[1].parts()[0].row_id, 3);
+        assert!(m.probe(key, &Value::Int(9), None, &clock).is_empty());
+        assert!(clock.breakdown().join_us > 0);
+    }
+
+    #[test]
+    fn epoch_partitions_filter_probes() {
+        let clock = SimClock::new();
+        let key = (RelId::new(0), 0);
+        let mut m = StoredModule::new([key]);
+        m.insert(tup(0, 1, 5, 0.9), Epoch(0), &clock);
+        m.insert(tup(0, 2, 5, 0.8), Epoch(1), &clock);
+        m.insert(tup(0, 3, 5, 0.7), Epoch(2), &clock);
+        let before_e2 = m.probe(key, &Value::Int(5), Some(Epoch(2)), &clock);
+        assert_eq!(before_e2.len(), 2);
+        let all = m.probe(key, &Value::Int(5), None, &clock);
+        assert_eq!(all.len(), 3);
+        let replay = m.entries_before(Epoch(1));
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].parts()[0].row_id, 1);
+    }
+
+    #[test]
+    fn late_probe_key_indexes_existing_entries() {
+        let clock = SimClock::new();
+        let k0 = (RelId::new(0), 0);
+        let mut m = StoredModule::new([k0]);
+        m.insert(tup(0, 1, 5, 0.9), Epoch(0), &clock);
+        // Grafting adds a second consumer joining on the same column — and
+        // on a column with no values (out of range) which must simply miss.
+        m.add_probe_key(k0); // idempotent
+        let k1 = (RelId::new(0), 3);
+        m.add_probe_key(k1);
+        assert_eq!(m.probe(k0, &Value::Int(5), None, &clock).len(), 1);
+        assert!(m.probe(k1, &Value::Int(5), None, &clock).is_empty());
+    }
+
+    #[test]
+    fn remote_module_caches_probes() {
+        let clock = SimClock::new();
+        let sources = Sources::new(clock.clone(), CostProfile::default(), 7);
+        let rel = RelId::new(3);
+        let rows = (0..4)
+            .map(|i| {
+                Arc::new(BaseTuple::new(
+                    rel,
+                    i,
+                    vec![Value::Int((i % 2) as i64)],
+                    1.0,
+                ))
+            })
+            .collect();
+        sources.register(Table::new(rel, rows));
+        let mut m = RemoteModule::new(rel);
+        let h1 = m.probe(0, &Value::Int(1), &sources);
+        assert_eq!(h1.len(), 2);
+        assert_eq!(m.remote_probes(), 1);
+        let ra_after_first = clock.breakdown().random_access_us;
+        let h2 = m.probe(0, &Value::Int(1), &sources);
+        assert_eq!(h2.len(), 2);
+        assert_eq!(m.cache_hits(), 1);
+        // Cache hit charged no random-access time.
+        assert_eq!(clock.breakdown().random_access_us, ra_after_first);
+        assert_eq!(sources.probes(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let clock = SimClock::new();
+        let key = (RelId::new(0), 0);
+        let mut m = StoredModule::new([key]);
+        let empty = m.approx_bytes();
+        for i in 0..10 {
+            m.insert(tup(0, i, i as i64, 0.5), Epoch(0), &clock);
+        }
+        assert!(m.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,508 @@
+//! The query plan graph.
+//!
+//! A graph-structured (not tree-structured) plan in which "a given query
+//! subexpression may produce answers whose results must be fed into multiple
+//! downstream operators belonging to different queries" (Section 2.2).
+//! Nodes live in an arena; edges carry the consumer's input index. The QS
+//! manager grafts into and prunes out of this structure between query
+//! batches, so insertion and removal never invalidate other nodes.
+
+use crate::node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
+use crate::rank_merge::RankMerge;
+use qsys_query::SubExprSig;
+use qsys_source::Sources;
+use qsys_types::{Epoch, TimeCategory, Tuple};
+use std::collections::{HashMap, VecDeque};
+
+/// The executable plan graph for one ATC.
+#[derive(Debug, Default)]
+pub struct QueryPlanGraph {
+    nodes: Vec<Option<Node>>,
+    epoch: Epoch,
+    /// Reuse index: subexpression signature → the node computing it.
+    sig_index: HashMap<SubExprSig, NodeId>,
+}
+
+impl QueryPlanGraph {
+    /// An empty graph at epoch 0.
+    pub fn new() -> QueryPlanGraph {
+        QueryPlanGraph::default()
+    }
+
+    /// The current epoch (logical timestamp of the latest graft).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Increment the epoch; called by the QS manager whenever it provides a
+    /// new set of queries to the ATC (Section 6.2).
+    pub fn bump_epoch(&mut self) -> Epoch {
+        self.epoch = self.epoch.next();
+        self.epoch
+    }
+
+    fn add_node(&mut self, kind: NodeKind, sig: Option<SubExprSig>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        if let Some(s) = &sig {
+            // First registration wins: several nodes may carry the same
+            // signature (a stream and the split fanning it out); the reuse
+            // index points at the producer.
+            self.sig_index.entry(s.clone()).or_insert(id);
+        }
+        self.nodes.push(Some(Node {
+            id,
+            kind,
+            children: Vec::new(),
+            parents: Vec::new(),
+            sig,
+        }));
+        id
+    }
+
+    /// Add a stream leaf computing `sig`.
+    pub fn add_stream(&mut self, backing: StreamBacking, sig: Option<SubExprSig>) -> NodeId {
+        self.add_node(NodeKind::Stream(StreamLeaf::new(backing)), sig)
+    }
+
+    /// The stream leaf at `id`.
+    pub fn stream_leaf(&self, id: NodeId) -> &StreamLeaf {
+        match &self.node(id).kind {
+            NodeKind::Stream(leaf) => leaf,
+            other => panic!("{id} is a {}, not a stream", other.label()),
+        }
+    }
+
+    /// Add a split operator forwarding `sig`'s output to several consumers.
+    pub fn add_split(&mut self, sig: Option<SubExprSig>) -> NodeId {
+        self.add_node(NodeKind::Split, sig)
+    }
+
+    /// Add an m-join computing `sig`.
+    pub fn add_mjoin(&mut self, mjoin: crate::mjoin::MJoin, sig: Option<SubExprSig>) -> NodeId {
+        self.add_node(NodeKind::MJoin(mjoin), sig)
+    }
+
+    /// Add a rank-merge operator.
+    pub fn add_rank_merge(&mut self, rm: RankMerge) -> NodeId {
+        self.add_node(NodeKind::RankMerge(rm), None)
+    }
+
+    /// Wire `parent`'s output into `child`'s input `input_idx`.
+    pub fn connect(&mut self, parent: NodeId, child: NodeId, input_idx: usize) {
+        let p = self.node_mut(parent);
+        if !p.children.contains(&(child, input_idx)) {
+            p.children.push((child, input_idx));
+        }
+        let c = self.node_mut(child);
+        if !c.parents.contains(&parent) {
+            c.parents.push(parent);
+        }
+    }
+
+    /// Remove the edge between `parent` and `child` (all input slots).
+    pub fn disconnect(&mut self, parent: NodeId, child: NodeId) {
+        self.node_mut(parent).children.retain(|(c, _)| *c != child);
+        self.node_mut(child).parents.retain(|p| *p != parent);
+    }
+
+    /// Remove a node entirely. The caller (QS manager) must have
+    /// disconnected it; panics if edges remain.
+    pub fn remove_node(&mut self, id: NodeId) {
+        let node = self.nodes[id.index()]
+            .take()
+            .expect("removing a node twice");
+        assert!(
+            node.children.is_empty() && node.parents.is_empty(),
+            "disconnect before removing {id}"
+        );
+        if let Some(sig) = &node.sig {
+            if self.sig_index.get(sig) == Some(&id) {
+                self.sig_index.remove(sig);
+            }
+        }
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.index()].as_ref().expect("live node")
+    }
+
+    /// Node access that tolerates removed nodes.
+    pub fn try_node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index()).and_then(|n| n.as_ref())
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.index()].as_mut().expect("live node")
+    }
+
+    /// All live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().flatten().map(|n| n.id)
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Whether the graph has no live nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node currently computing `sig`, if any (the reuse index the
+    /// optimizer consults: "it determines what query expressions can be
+    /// reused from in-memory buffers", Section 3).
+    pub fn find_sig(&self, sig: &SubExprSig) -> Option<NodeId> {
+        self.sig_index.get(sig).copied()
+    }
+
+    /// Forget every signature mapping, making existing state invisible to
+    /// future grafts. The ATC-UQ configuration uses this to confine sharing
+    /// to a single user query.
+    pub fn clear_sig_index(&mut self) {
+        self.sig_index.clear();
+    }
+
+    /// Ids of all rank-merge nodes.
+    pub fn rank_merge_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .flatten()
+            .filter(|n| matches!(n.kind, NodeKind::RankMerge(_)))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Mutable access to a rank-merge operator.
+    pub fn rank_merge_mut(&mut self, id: NodeId) -> &mut RankMerge {
+        match &mut self.node_mut(id).kind {
+            NodeKind::RankMerge(rm) => rm,
+            other => panic!("{id} is a {}, not a rank-merge", other.label()),
+        }
+    }
+
+    /// Immutable access to a rank-merge operator.
+    pub fn rank_merge(&self, id: NodeId) -> &RankMerge {
+        match &self.node(id).kind {
+            NodeKind::RankMerge(rm) => rm,
+            other => panic!("{id} is a {}, not a rank-merge", other.label()),
+        }
+    }
+
+    /// Current raw-product bounds of every stream leaf.
+    pub fn stream_bounds(&self) -> HashMap<NodeId, f64> {
+        self.nodes
+            .iter()
+            .flatten()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Stream(leaf) => Some((n.id, leaf.backing.bound())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Read one tuple from the stream leaf `id` and route it through the
+    /// graph. Returns `false` if the stream was exhausted.
+    pub fn read_stream(&mut self, id: NodeId, sources: &Sources) -> bool {
+        let epoch = self.epoch;
+        let tuple = {
+            let node = self.node_mut(id);
+            match &mut node.kind {
+                NodeKind::Stream(leaf) => {
+                    let t = leaf.backing.read(sources);
+                    if let Some(t) = &t {
+                        leaf.archive.push((t.clone(), epoch));
+                    }
+                    t
+                }
+                other => panic!("{id} is a {}, not a stream", other.label()),
+            }
+        };
+        let Some(tuple) = tuple else {
+            return false;
+        };
+        let start: Vec<(NodeId, usize)> = self.node(id).children.clone();
+        let mut queue: VecDeque<(NodeId, usize, Tuple)> = start
+            .into_iter()
+            .map(|(c, i)| (c, i, tuple.clone()))
+            .collect();
+        let route_us = sources.cost_profile().route_us;
+        while let Some((nid, idx, t)) = queue.pop_front() {
+            sources.clock().charge(TimeCategory::Join, route_us);
+            let outputs: Vec<Tuple> = {
+                let node = self.node_mut(nid);
+                match &mut node.kind {
+                    NodeKind::Split => vec![t],
+                    NodeKind::MJoin(mj) => mj.insert(idx, t, epoch, sources),
+                    NodeKind::RankMerge(rm) => {
+                        rm.accept(idx, t);
+                        Vec::new()
+                    }
+                    NodeKind::Stream(_) => {
+                        panic!("stream {nid} cannot be a routing target")
+                    }
+                }
+            };
+            if outputs.is_empty() {
+                continue;
+            }
+            let children = self.node(nid).children.clone();
+            for out in outputs {
+                for (c, i) in &children {
+                    queue.push_back((*c, *i, out.clone()));
+                }
+            }
+        }
+        true
+    }
+
+    /// Human-readable plan dump (an `EXPLAIN` for the running graph):
+    /// one line per node with operator kind, signature, progress, and
+    /// consumer edges. Nodes print in id order; edges show `→ child[slot]`.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "plan graph @ {} ({} nodes)", self.epoch, self.len());
+        for node in self.nodes.iter().flatten() {
+            let detail = match &node.kind {
+                NodeKind::Stream(leaf) => format!(
+                    "{} delivered, bound {:.4}",
+                    leaf.backing.delivered(),
+                    leaf.backing.bound()
+                ),
+                NodeKind::MJoin(mj) => format!(
+                    "{} inputs over {:?}",
+                    mj.inputs().len(),
+                    mj.output_rels()
+                ),
+                NodeKind::RankMerge(rm) => format!(
+                    "{} k={} emitted={} done={}",
+                    rm.uq(),
+                    rm.k(),
+                    rm.results().len(),
+                    rm.is_done()
+                ),
+                NodeKind::Split => String::new(),
+            };
+            let sig = node
+                .sig
+                .as_ref()
+                .map(|s| format!(" {s:?}"))
+                .unwrap_or_default();
+            let edges: Vec<String> = node
+                .children
+                .iter()
+                .map(|(c, i)| format!("{c}[{i}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:>4} {:<10}{} {} → {}",
+                node.id.to_string(),
+                node.kind.label(),
+                sig,
+                detail,
+                if edges.is_empty() {
+                    "·".to_string()
+                } else {
+                    edges.join(", ")
+                }
+            );
+        }
+        out
+    }
+
+    /// Approximate resident bytes of all operator state (QS manager memory
+    /// accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|n| match &n.kind {
+                NodeKind::MJoin(mj) => mj.approx_bytes(),
+                NodeKind::RankMerge(rm) => rm.approx_bytes(),
+                NodeKind::Stream(leaf) => {
+                    let replay = match &leaf.backing {
+                        StreamBacking::Replay { tuples, .. } => tuples.len() * 64,
+                        StreamBacking::Remote(_) => 0,
+                    };
+                    replay + leaf.archive.len() * 16
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessModule, StoredModule};
+    use crate::mjoin::{JoinPred, MJoin, MJoinInput};
+    use crate::rank_merge::{CqRegistration, StreamingInput};
+    use qsys_query::ScoreFn;
+    use qsys_source::Table;
+    use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    fn sources_with_tables() -> Sources {
+        let s = Sources::new(SimClock::new(), CostProfile::default(), 11);
+        for rel in 0..2u32 {
+            let id = RelId::new(rel);
+            let rows = (0..5)
+                .map(|i| {
+                    Arc::new(BaseTuple::new(
+                        id,
+                        i,
+                        vec![Value::Int((i % 2) as i64)],
+                        1.0 - 0.1 * i as f64,
+                    ))
+                })
+                .collect();
+            s.register(Table::new(id, rows));
+        }
+        s
+    }
+
+    fn stored_input(rel: u32) -> MJoinInput {
+        MJoinInput {
+            rels: vec![RelId::new(rel)],
+            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            epoch_cap: None,
+            store_arrivals: true,
+            selection: None,
+        }
+    }
+
+    /// Build: stream(R0) → split → mjoin(R0,R1) ← stream(R1); mjoin → rank-merge.
+    fn small_graph(sources: &Sources) -> (QueryPlanGraph, NodeId, NodeId, NodeId) {
+        let mut g = QueryPlanGraph::new();
+        let s0 = g.add_stream(
+            StreamBacking::Remote(sources.open_stream(RelId::new(0), None)),
+            Some(SubExprSig::relation(RelId::new(0), None)),
+        );
+        let s1 = g.add_stream(
+            StreamBacking::Remote(sources.open_stream(RelId::new(1), None)),
+            Some(SubExprSig::relation(RelId::new(1), None)),
+        );
+        let split = g.add_split(Some(SubExprSig::relation(RelId::new(0), None)));
+        let mj = MJoin::new(
+            vec![stored_input(0), stored_input(1)],
+            vec![JoinPred {
+                left_rel: RelId::new(0),
+                left_col: 0,
+                right_rel: RelId::new(1),
+                right_col: 0,
+            }],
+        );
+        let mjn = g.add_mjoin(mj, None);
+        let mut rm = RankMerge::new(UqId::new(0), UserId::new(0), 4);
+        let slot = rm.register(CqRegistration {
+            cq: CqId::new(0),
+            reports_as: CqId::new(0),
+            score_fn: ScoreFn::discover(UserId::new(0), 2),
+            streaming: vec![
+                StreamingInput {
+                    node: s0,
+                    rels: vec![RelId::new(0)],
+                    max_bound: 1.0,
+                },
+                StreamingInput {
+                    node: s1,
+                    rels: vec![RelId::new(1)],
+                    max_bound: 1.0,
+                },
+            ],
+            probed: vec![],
+        });
+        let rmn = g.add_rank_merge(rm);
+        g.connect(s0, split, 0);
+        g.connect(split, mjn, 0);
+        g.connect(s1, mjn, 1);
+        g.connect(mjn, rmn, slot);
+        (g, s0, s1, rmn)
+    }
+
+    #[test]
+    fn routing_reaches_rank_merge() {
+        let sources = sources_with_tables();
+        let (mut g, s0, s1, rmn) = small_graph(&sources);
+        // Read everything from both streams.
+        while g.read_stream(s0, &sources) {}
+        while g.read_stream(s1, &sources) {}
+        // Join results should be pending in the rank-merge.
+        let bounds = g.stream_bounds();
+        assert_eq!(bounds[&s0], 0.0);
+        assert_eq!(bounds[&s1], 0.0);
+        let rm = g.rank_merge_mut(rmn);
+        rm.maintain(&bounds, 0);
+        // 5 rows per side, keys alternate 0/1: 3 with key ≤... key0: rows
+        // 0,2,4 on both sides → 9; key1: rows 1,3 both sides → 4; total 13,
+        // top-4 requested.
+        assert_eq!(rm.results().len(), 4);
+        assert!(rm.is_done());
+    }
+
+    #[test]
+    fn sig_index_finds_and_forgets() {
+        let sources = sources_with_tables();
+        let (mut g, s0, _, _) = small_graph(&sources);
+        let sig = SubExprSig::relation(RelId::new(0), None);
+        assert_eq!(g.find_sig(&sig), Some(s0));
+        // Disconnect and remove: index entry disappears.
+        let children: Vec<NodeId> = g.node(s0).children.iter().map(|(c, _)| *c).collect();
+        for c in children {
+            g.disconnect(s0, c);
+        }
+        g.remove_node(s0);
+        assert_eq!(g.find_sig(&sig), None);
+        assert!(g.try_node(s0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnect before removing")]
+    fn remove_connected_node_panics() {
+        let sources = sources_with_tables();
+        let (mut g, s0, _, _) = small_graph(&sources);
+        g.remove_node(s0);
+    }
+
+    #[test]
+    fn epoch_bumps() {
+        let mut g = QueryPlanGraph::new();
+        assert_eq!(g.epoch(), Epoch(0));
+        assert_eq!(g.bump_epoch(), Epoch(1));
+        assert_eq!(g.epoch(), Epoch(1));
+    }
+
+    #[test]
+    fn stream_bounds_cover_all_leaves() {
+        let sources = sources_with_tables();
+        let (g, s0, s1, _) = small_graph(&sources);
+        let bounds = g.stream_bounds();
+        assert_eq!(bounds.len(), 2);
+        assert!((bounds[&s0] - 1.0).abs() < 1e-12);
+        assert!((bounds[&s1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_renders_every_node() {
+        let sources = sources_with_tables();
+        let (mut g, s0, _, _) = small_graph(&sources);
+        g.read_stream(s0, &sources);
+        let dump = g.explain();
+        assert!(dump.contains("plan graph @ e0 (5 nodes)"), "{dump}");
+        assert!(dump.contains("stream"), "{dump}");
+        assert!(dump.contains("m-join"), "{dump}");
+        assert!(dump.contains("rank-merge"), "{dump}");
+        assert!(dump.contains("1 delivered"), "{dump}");
+        // Every live node appears.
+        for id in g.node_ids() {
+            assert!(dump.contains(&format!("{id} ")), "{id} missing:\n{dump}");
+        }
+    }
+}

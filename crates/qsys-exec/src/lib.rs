@@ -1,0 +1,34 @@
+//! Pipelined execution: operators, the query plan graph, and the ATC.
+//!
+//! This crate is the heart of the paper's contribution (Section 4): a fully
+//! pipelined, adaptive top-k execution scheme answering **multiple** queries
+//! simultaneously over a **graph-structured** (not tree-structured) query
+//! plan. The operator vocabulary is:
+//!
+//! - **split** — feeds one subexpression's output to several downstream
+//!   consumers (subexpression sharing);
+//! - **m-join** (STeM eddy [24, 34]) — an m-way pipelined hash join whose
+//!   probe sequence adapts to monitored selectivities at runtime;
+//! - **rank-merge** — merges the conjunctive queries of one user query into
+//!   its top-k answers, Threshold-Algorithm style [7].
+//!
+//! The **ATC** ("air traffic controller") coordinates everything: it looks
+//! across all rank-merge operators' thresholds, picks which source to read
+//! next, and routes the resulting tuples through the graph until the top-k
+//! answers of every user query are known.
+
+pub mod access;
+pub mod atc;
+pub mod graph;
+pub mod mjoin;
+pub mod node;
+pub mod rank_merge;
+pub mod stats;
+
+pub use access::{AccessModule, RemoteModule, StoredModule};
+pub use atc::{Atc, SchedulingPolicy};
+pub use graph::QueryPlanGraph;
+pub use mjoin::{MJoin, MJoinInput};
+pub use node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
+pub use rank_merge::{CqRegistration, RankMerge, TopKResult};
+pub use stats::{ExecStats, UqStats};

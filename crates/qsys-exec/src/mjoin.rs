@@ -1,0 +1,516 @@
+//! The m-way pipelined join (STeM eddy).
+//!
+//! "A much more flexible scheme ... is to generalize the pipelined hash join
+//! to support m-way joins. Here, each input has an associated access module
+//! — against which other tuples may be probed to compute join results. As
+//! tuples are read from a streaming input, they are inserted into the access
+//! module, then probed against the other access modules according to a probe
+//! sequence. We also exploit the fact that this probe sequence can be
+//! adjusted at runtime based on monitored values for the various join
+//! selectivities" (Section 4.1).
+//!
+//! Access modules are shared (`Rc<RefCell<_>>`) because the state-recovery
+//! machinery of Section 6.2 builds *recovery* m-joins over the same hash
+//! tables, restricted to pre-epoch partitions via an epoch cap.
+
+use crate::access::AccessModule;
+use qsys_source::Sources;
+use qsys_types::{Epoch, RelId, Selection, Tuple};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One join predicate between two relations handled by this m-join.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPred {
+    /// One side.
+    pub left_rel: RelId,
+    /// Column on the left side.
+    pub left_col: usize,
+    /// Other side.
+    pub right_rel: RelId,
+    /// Column on the right side.
+    pub right_col: usize,
+}
+
+impl JoinPred {
+    /// If the predicate connects `covered` relations to relation set
+    /// `target`, return `(covered_rel, covered_col, target_rel, target_col)`.
+    fn oriented(
+        &self,
+        covered: &[RelId],
+        target: &[RelId],
+    ) -> Option<(RelId, usize, RelId, usize)> {
+        if covered.contains(&self.left_rel) && target.contains(&self.right_rel) {
+            Some((self.left_rel, self.left_col, self.right_rel, self.right_col))
+        } else if covered.contains(&self.right_rel) && target.contains(&self.left_rel) {
+            Some((self.right_rel, self.right_col, self.left_rel, self.left_col))
+        } else {
+            None
+        }
+    }
+}
+
+/// One input of an m-join.
+#[derive(Debug)]
+pub struct MJoinInput {
+    /// Relations covered by tuples arriving on (or probed from) this input.
+    pub rels: Vec<RelId>,
+    /// The access module (shared so recovery joins can reference it).
+    pub module: Rc<RefCell<AccessModule>>,
+    /// Only consider stored tuples from epochs strictly before this when
+    /// probing (RecoverState's pre-epoch view); `None` = all.
+    pub epoch_cap: Option<Epoch>,
+    /// Whether arriving tuples are inserted into the module. Recovery
+    /// replay inputs set this to `false`: their tuples are already stored.
+    pub store_arrivals: bool,
+    /// Residual selection applied to probe results (a keyword content match
+    /// on a probe-only relation; streamed inputs arrive pre-filtered).
+    pub selection: Option<Selection>,
+}
+
+/// Runtime selectivity monitor for one input.
+#[derive(Clone, Copy, Debug, Default)]
+struct InputStats {
+    probes: u64,
+    matches: u64,
+}
+
+impl InputStats {
+    /// Observed matches per probe; `None` until enough evidence.
+    fn selectivity(&self) -> Option<f64> {
+        (self.probes >= 8).then(|| self.matches as f64 / self.probes as f64)
+    }
+}
+
+/// An m-way pipelined hash join.
+#[derive(Debug)]
+pub struct MJoin {
+    inputs: Vec<MJoinInput>,
+    preds: Vec<JoinPred>,
+    stats: Vec<InputStats>,
+    output_rels: Vec<RelId>,
+}
+
+impl MJoin {
+    /// Build an m-join; registers probe keys on all stored modules so every
+    /// predicate can be evaluated by hash lookup.
+    pub fn new(inputs: Vec<MJoinInput>, preds: Vec<JoinPred>) -> MJoin {
+        let mut output_rels: Vec<RelId> = inputs.iter().flat_map(|i| i.rels.clone()).collect();
+        output_rels.sort();
+        output_rels.dedup();
+        let mj = MJoin {
+            stats: vec![InputStats::default(); inputs.len()],
+            inputs,
+            preds,
+            output_rels,
+        };
+        mj.register_probe_keys();
+        mj
+    }
+
+    fn register_probe_keys(&self) {
+        for pred in &self.preds {
+            for (rel, col) in [
+                (pred.left_rel, pred.left_col),
+                (pred.right_rel, pred.right_col),
+            ] {
+                for input in &self.inputs {
+                    if input.rels.contains(&rel) {
+                        if let AccessModule::Stored(s) = &mut *input.module.borrow_mut() {
+                            s.add_probe_key((rel, col));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The relations a full output tuple covers.
+    pub fn output_rels(&self) -> &[RelId] {
+        &self.output_rels
+    }
+
+    /// The inputs.
+    pub fn inputs(&self) -> &[MJoinInput] {
+        &self.inputs
+    }
+
+    /// Mutable input access (used by grafting to re-wire).
+    pub fn inputs_mut(&mut self) -> &mut Vec<MJoinInput> {
+        &mut self.inputs
+    }
+
+    /// The join predicates.
+    pub fn preds(&self) -> &[JoinPred] {
+        &self.preds
+    }
+
+    /// Add a predicate (grafting may extend a component).
+    pub fn add_pred(&mut self, pred: JoinPred) {
+        if !self.preds.contains(&pred) {
+            self.preds.push(pred);
+            self.register_probe_keys();
+        }
+        self.stats.resize(self.inputs.len(), InputStats::default());
+    }
+
+    /// Handle a tuple arriving on `input_idx`: store it (unless the input is
+    /// a replay), then probe the other access modules following the
+    /// adaptive probe sequence. Returns complete join results covering
+    /// [`Self::output_rels`].
+    pub fn insert(
+        &mut self,
+        input_idx: usize,
+        tuple: Tuple,
+        epoch: Epoch,
+        sources: &Sources,
+    ) -> Vec<Tuple> {
+        debug_assert!(input_idx < self.inputs.len());
+        if self.inputs[input_idx].store_arrivals {
+            if let AccessModule::Stored(s) = &mut *self.inputs[input_idx].module.borrow_mut() {
+                s.insert(tuple.clone(), epoch, sources.clock());
+            }
+        }
+        if self.inputs.len() == 1 {
+            return vec![tuple];
+        }
+
+        let mut covered: Vec<RelId> = self.inputs[input_idx].rels.clone();
+        let mut partials = vec![tuple];
+        let mut remaining: Vec<usize> = (0..self.inputs.len())
+            .filter(|&i| i != input_idx)
+            .collect();
+
+        while !remaining.is_empty() {
+            if partials.is_empty() {
+                return Vec::new();
+            }
+            // Probe sequence: among inputs connected to the covered set,
+            // pick the most selective (fewest matches per probe) first —
+            // the runtime adaptivity of [24].
+            let Some(pick) = self.pick_next(&covered, &remaining) else {
+                // Disconnected component: cannot complete the join.
+                return Vec::new();
+            };
+            let next_input = remaining.remove(
+                remaining
+                    .iter()
+                    .position(|&i| i == pick)
+                    .expect("pick comes from remaining"),
+            );
+            partials = self.probe_step(next_input, &covered, partials, sources);
+            covered.extend(self.inputs[next_input].rels.iter().copied());
+            covered.sort();
+            covered.dedup();
+        }
+        partials
+    }
+
+    /// Choose the next input to probe: connected to `covered`, lowest
+    /// observed selectivity (unknowns use a neutral prior of 1.0).
+    fn pick_next(&self, covered: &[RelId], remaining: &[usize]) -> Option<usize> {
+        remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.preds
+                    .iter()
+                    .any(|p| p.oriented(covered, &self.inputs[i].rels).is_some())
+            })
+            .min_by(|&a, &b| {
+                let sa = self.stats[a].selectivity().unwrap_or(1.0);
+                let sb = self.stats[b].selectivity().unwrap_or(1.0);
+                sa.total_cmp(&sb)
+            })
+    }
+
+    /// Probe `target` with every partial, extending matches and applying
+    /// any additional predicates linking `target` to the covered set.
+    fn probe_step(
+        &mut self,
+        target: usize,
+        covered: &[RelId],
+        partials: Vec<Tuple>,
+        sources: &Sources,
+    ) -> Vec<Tuple> {
+        let target_rels = self.inputs[target].rels.clone();
+        let conds: Vec<(RelId, usize, RelId, usize)> = self
+            .preds
+            .iter()
+            .filter_map(|p| p.oriented(covered, &target_rels))
+            .collect();
+        debug_assert!(!conds.is_empty());
+        let (probe_cond, extra_conds) = conds.split_first().expect("connected");
+        let epoch_cap = self.inputs[target].epoch_cap;
+
+        let mut out = Vec::new();
+        for partial in &partials {
+            let Some(key) = partial.value_of(probe_cond.0, probe_cond.1) else {
+                continue;
+            };
+            let matches: Vec<Tuple> = match &mut *self.inputs[target].module.borrow_mut() {
+                AccessModule::Stored(s) => s.probe(
+                    (probe_cond.2, probe_cond.3),
+                    key,
+                    epoch_cap,
+                    sources.clock(),
+                ),
+                AccessModule::Remote(r) => r.probe(probe_cond.3, key, sources).to_vec(),
+            };
+            self.stats[target].probes += 1;
+            let residual = self.inputs[target].selection.clone();
+            let target_rel = self.inputs[target].rels.first().copied();
+            for m in matches {
+                // Residual selection on the probed relation.
+                if let (Some(sel), Some(rel)) = (&residual, target_rel) {
+                    let passes = m
+                        .part(rel)
+                        .is_some_and(|p| sel.matches(&p.values));
+                    if !passes {
+                        continue;
+                    }
+                }
+                // Remaining predicates between the covered set and target.
+                let ok = extra_conds.iter().all(|(lr, lc, rr, rc)| {
+                    match (partial.value_of(*lr, *lc), m.value_of(*rr, *rc)) {
+                        (Some(a), Some(b)) => a.joins_with(b),
+                        _ => false,
+                    }
+                });
+                if ok {
+                    self.stats[target].matches += 1;
+                    out.push(partial.join(&m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Observed selectivity per input (for tests and the optimizer's
+    /// runtime statistics refresh).
+    pub fn observed_selectivities(&self) -> Vec<Option<f64>> {
+        self.stats.iter().map(|s| s.selectivity()).collect()
+    }
+
+    /// Probes issued against each input so far.
+    pub fn probe_counts(&self) -> Vec<u64> {
+        self.stats.iter().map(|s| s.probes).collect()
+    }
+
+    /// Approximate resident bytes across all *owned* stored modules.
+    pub fn approx_bytes(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|i| i.module.borrow().approx_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{RemoteModule, StoredModule};
+    use qsys_source::Table;
+    use qsys_types::{BaseTuple, CostProfile, SimClock, Value};
+    use std::sync::Arc;
+
+    fn tup(rel: u32, id: u64, keys: &[i64], score: f64) -> Tuple {
+        Tuple::single(Arc::new(BaseTuple::new(
+            RelId::new(rel),
+            id,
+            keys.iter().map(|&k| Value::Int(k)).collect(),
+            score,
+        )))
+    }
+
+    fn stored_input(rel: u32) -> MJoinInput {
+        MJoinInput {
+            rels: vec![RelId::new(rel)],
+            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            epoch_cap: None,
+            store_arrivals: true,
+            selection: None,
+        }
+    }
+
+    fn pred(l: u32, lc: usize, r: u32, rc: usize) -> JoinPred {
+        JoinPred {
+            left_rel: RelId::new(l),
+            left_col: lc,
+            right_rel: RelId::new(r),
+            right_col: rc,
+        }
+    }
+
+    fn sources() -> Sources {
+        Sources::new(SimClock::new(), CostProfile::default(), 5)
+    }
+
+    /// Symmetric pipelined join: results appear exactly once, whichever
+    /// side arrives first.
+    #[test]
+    fn two_way_symmetric_join() {
+        let mut mj = MJoin::new(
+            vec![stored_input(0), stored_input(1)],
+            vec![pred(0, 0, 1, 0)],
+        );
+        let s = sources();
+        let r1 = mj.insert(0, tup(0, 1, &[5], 0.9), Epoch(0), &s);
+        assert!(r1.is_empty());
+        let r2 = mj.insert(1, tup(1, 10, &[5], 0.8), Epoch(0), &s);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2[0].arity(), 2);
+        let r3 = mj.insert(0, tup(0, 2, &[5], 0.7), Epoch(0), &s);
+        assert_eq!(r3.len(), 1);
+        let r4 = mj.insert(1, tup(1, 11, &[6], 0.6), Epoch(0), &s);
+        assert!(r4.is_empty());
+    }
+
+    /// Three-way join over a path R0 -0- R1 -1- R2.
+    #[test]
+    fn three_way_join_produces_full_results() {
+        let mut mj = MJoin::new(
+            vec![stored_input(0), stored_input(1), stored_input(2)],
+            vec![pred(0, 0, 1, 0), pred(1, 1, 2, 0)],
+        );
+        let s = sources();
+        assert!(mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(0), &s).is_empty());
+        assert!(mj
+            .insert(2, tup(2, 30, &[7], 1.0), Epoch(0), &s)
+            .is_empty());
+        // R1 row joins both sides: key 5 to R0, key 7 to R2.
+        let r = mj.insert(1, tup(1, 20, &[5, 7], 1.0), Epoch(0), &s);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].arity(), 3);
+        assert_eq!(
+            r[0].parts().iter().map(|p| p.rel.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    /// Full m-join output equals the batch join, regardless of arrival
+    /// order (exercised more heavily by the property tests).
+    #[test]
+    fn arrival_order_does_not_change_result_set() {
+        let tuples0: Vec<Tuple> = (0..6).map(|i| tup(0, i, &[(i % 3) as i64], 1.0)).collect();
+        let tuples1: Vec<Tuple> = (0..6)
+            .map(|i| tup(1, 100 + i, &[(i % 3) as i64], 1.0))
+            .collect();
+        let run = |order: &[(usize, &Tuple)]| {
+            let mut mj = MJoin::new(
+                vec![stored_input(0), stored_input(1)],
+                vec![pred(0, 0, 1, 0)],
+            );
+            let s = sources();
+            let mut results = Vec::new();
+            for (idx, t) in order {
+                results.extend(mj.insert(*idx, (*t).clone(), Epoch(0), &s));
+            }
+            let mut prov: Vec<_> = results.iter().map(|t| t.provenance()).collect();
+            prov.sort();
+            prov
+        };
+        let mut interleaved: Vec<(usize, &Tuple)> = Vec::new();
+        for i in 0..6 {
+            interleaved.push((0, &tuples0[i]));
+            interleaved.push((1, &tuples1[i]));
+        }
+        let mut sequential: Vec<(usize, &Tuple)> = Vec::new();
+        for t in &tuples0 {
+            sequential.push((0, t));
+        }
+        for t in &tuples1 {
+            sequential.push((1, t));
+        }
+        let a = run(&interleaved);
+        let b = run(&sequential);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12); // 6 per key-group: 2*2*3 keys = 12
+    }
+
+    /// A remote (random access) input is probed, not streamed.
+    #[test]
+    fn remote_input_is_probed_with_cache() {
+        let s = sources();
+        let rel = RelId::new(1);
+        let rows = (0..4)
+            .map(|i| Arc::new(BaseTuple::new(rel, i, vec![Value::Int((i % 2) as i64)], 1.0)))
+            .collect();
+        s.register(Table::new(rel, rows));
+        let remote = MJoinInput {
+            rels: vec![rel],
+            module: Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(rel)))),
+            epoch_cap: None,
+            store_arrivals: false,
+            selection: None,
+        };
+        let mut mj = MJoin::new(vec![stored_input(0), remote], vec![pred(0, 0, 1, 0)]);
+        let r = mj.insert(0, tup(0, 1, &[0], 1.0), Epoch(0), &s);
+        assert_eq!(r.len(), 2); // two remote rows with key 0
+        assert_eq!(s.probes(), 1);
+        // Another arrival with the same key: served from the probe cache.
+        let r = mj.insert(0, tup(0, 2, &[0], 1.0), Epoch(0), &s);
+        assert_eq!(r.len(), 2);
+        assert_eq!(s.probes(), 1);
+    }
+
+    /// Epoch caps restrict probes to pre-epoch state (RecoverState).
+    #[test]
+    fn epoch_cap_limits_matches() {
+        let module = Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([]))));
+        let capped = MJoinInput {
+            rels: vec![RelId::new(1)],
+            module: Rc::clone(&module),
+            epoch_cap: Some(Epoch(1)),
+            store_arrivals: true,
+            selection: None,
+        };
+        let mut mj = MJoin::new(vec![stored_input(0), capped], vec![pred(0, 0, 1, 0)]);
+        let s = sources();
+        // One R1 tuple in epoch 0, one in epoch 1 — only the former visible.
+        mj.insert(1, tup(1, 10, &[5], 1.0), Epoch(0), &s);
+        mj.insert(1, tup(1, 11, &[5], 1.0), Epoch(1), &s);
+        let r = mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(1), &s);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].part(RelId::new(1)).unwrap().row_id, 10);
+    }
+
+    /// Selectivity monitoring kicks in after enough probes and reorders the
+    /// probe sequence (most selective first).
+    #[test]
+    fn adaptive_probe_sequence_prefers_selective_input() {
+        // R0 joins R1 (col 0, high fanout) and R2 (col 1, zero matches).
+        let mut mj = MJoin::new(
+            vec![stored_input(0), stored_input(1), stored_input(2)],
+            vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
+        );
+        let s = sources();
+        for i in 0..10 {
+            mj.insert(1, tup(1, 100 + i, &[1], 1.0), Epoch(0), &s);
+        }
+        // No R2 tuples at all: selectivity of input 2 is 0. The very first
+        // R0 insert fans out to 10 partials, giving input 2 instant
+        // evidence of zero selectivity.
+        for i in 0..10 {
+            mj.insert(0, tup(0, i, &[1, 9], 1.0), Epoch(0), &s);
+        }
+        let sel = mj.observed_selectivities();
+        assert_eq!(sel[2], Some(0.0), "input 2 observed as fully selective");
+        // Adaptation: once input 2 looks most selective it is probed first,
+        // pruning every partial — so input 1 stops being probed. Only the
+        // first insert (before evidence) ever touched it.
+        let probes = mj.probe_counts();
+        assert_eq!(probes[1], 1, "R1 probed only before adaptation kicked in");
+        let before = mj.probe_counts()[1];
+        mj.insert(0, tup(0, 99, &[1, 9], 1.0), Epoch(0), &s);
+        assert_eq!(mj.probe_counts()[1], before, "R1 probe was skipped");
+    }
+
+    #[test]
+    fn single_input_passes_through() {
+        let mut mj = MJoin::new(vec![stored_input(0)], vec![]);
+        let s = sources();
+        let r = mj.insert(0, tup(0, 1, &[5], 0.5), Epoch(0), &s);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution statistics, per user query.
+//!
+//! Figures 7, 9, and 12 plot per-UQ running time; Table 4 reports
+//! conjunctive queries executed; Figure 10 reports total input tuples
+//! consumed. The ATC feeds this ledger.
+
+use qsys_types::{CqId, UqId};
+use std::collections::BTreeMap;
+
+/// Per-user-query statistics.
+#[derive(Debug, Clone)]
+pub struct UqStats {
+    /// The user query.
+    pub uq: UqId,
+    /// Virtual time when the query entered execution (µs).
+    pub submitted_us: u64,
+    /// Virtual time when its top-k was complete (µs).
+    pub completed_us: Option<u64>,
+    /// Results emitted.
+    pub results: usize,
+    /// Conjunctive queries the ATC actually activated (Table 4 metric).
+    pub cqs_executed: Vec<CqId>,
+}
+
+impl UqStats {
+    /// Response time in virtual µs (None while running).
+    pub fn response_us(&self) -> Option<u64> {
+        self.completed_us.map(|c| c.saturating_sub(self.submitted_us))
+    }
+}
+
+/// Ledger across user queries.
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    uqs: BTreeMap<UqId, UqStats>,
+}
+
+impl ExecStats {
+    /// Fresh ledger.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Record submission.
+    pub fn submit(&mut self, uq: UqId, now_us: u64) {
+        self.uqs.entry(uq).or_insert(UqStats {
+            uq,
+            submitted_us: now_us,
+            completed_us: None,
+            results: 0,
+            cqs_executed: Vec::new(),
+        });
+    }
+
+    /// Record completion (idempotent: the first completion wins).
+    pub fn complete(&mut self, uq: UqId, now_us: u64, results: usize, cqs: Vec<CqId>) {
+        if let Some(s) = self.uqs.get_mut(&uq) {
+            if s.completed_us.is_none() {
+                s.completed_us = Some(now_us);
+                s.results = results;
+                s.cqs_executed = cqs;
+            }
+        }
+    }
+
+    /// Stats for one UQ.
+    pub fn uq(&self, uq: UqId) -> Option<&UqStats> {
+        self.uqs.get(&uq)
+    }
+
+    /// All stats in UQ order.
+    pub fn all(&self) -> impl Iterator<Item = &UqStats> {
+        self.uqs.values()
+    }
+
+    /// Whether every submitted UQ has completed.
+    pub fn all_complete(&self) -> bool {
+        self.uqs.values().all(|s| s.completed_us.is_some())
+    }
+
+    /// Merge another ledger (used when running multiple plan graphs /
+    /// clustered ATCs).
+    pub fn merge(&mut self, other: ExecStats) {
+        for (uq, s) in other.uqs {
+            self.uqs.insert(uq, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_complete_response_time() {
+        let mut st = ExecStats::new();
+        st.submit(UqId::new(1), 100);
+        assert!(!st.all_complete());
+        st.complete(UqId::new(1), 500, 10, vec![CqId::new(0)]);
+        let s = st.uq(UqId::new(1)).unwrap();
+        assert_eq!(s.response_us(), Some(400));
+        assert_eq!(s.results, 10);
+        assert!(st.all_complete());
+    }
+
+    #[test]
+    fn completion_is_idempotent() {
+        let mut st = ExecStats::new();
+        st.submit(UqId::new(1), 0);
+        st.complete(UqId::new(1), 100, 5, vec![]);
+        st.complete(UqId::new(1), 999, 7, vec![CqId::new(3)]);
+        let s = st.uq(UqId::new(1)).unwrap();
+        assert_eq!(s.completed_us, Some(100));
+        assert_eq!(s.results, 5);
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let mut a = ExecStats::new();
+        a.submit(UqId::new(1), 0);
+        let mut b = ExecStats::new();
+        b.submit(UqId::new(2), 10);
+        b.complete(UqId::new(2), 20, 1, vec![]);
+        a.merge(b);
+        assert!(a.uq(UqId::new(2)).is_some());
+        assert!(!a.all_complete());
+    }
+}

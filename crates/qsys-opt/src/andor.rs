@@ -1,0 +1,273 @@
+//! The AND-OR memoization graph (Section 5.1.2).
+//!
+//! "For efficiency, we employ a memoization structure called an AND-OR
+//! graph, commonly used in multi-query optimization [26]. The AND-OR
+//! representation of subexpressions is a directed acyclic graph that
+//! consists of alternating levels of two types of nodes: 'OR' nodes that
+//! encode equivalent subexpressions, and 'AND' nodes that encode selection
+//! and join operations."
+//!
+//! OR nodes are keyed by canonical [`SubExprSig`]; AND nodes are the binary
+//! decompositions of a subexpression into two connected parts. The graph
+//! memoizes (a) which conjunctive queries share each subexpression and
+//! (b) cardinality estimates, so repeated costing during the BestPlan
+//! search does no redundant work.
+
+use crate::cost::CostModel;
+use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SubExprSig};
+use qsys_types::CqId;
+use std::collections::{BTreeSet, HashMap};
+
+/// One OR node: an equivalence class of subexpressions.
+#[derive(Debug)]
+pub struct OrNode {
+    /// Canonical signature.
+    pub sig: SubExprSig,
+    /// Conjunctive queries containing this subexpression.
+    pub sharers: BTreeSet<CqId>,
+    /// Binary decompositions (AND nodes): pairs of child signatures whose
+    /// join re-derives this node.
+    pub decompositions: Vec<(SubExprSig, SubExprSig)>,
+    /// Memoized cardinality estimate.
+    cardinality: Option<f64>,
+}
+
+/// The memoization graph.
+#[derive(Debug, Default)]
+pub struct AndOrGraph {
+    nodes: HashMap<SubExprSig, OrNode>,
+    max_atoms: usize,
+}
+
+impl AndOrGraph {
+    /// Empty graph enumerating subexpressions up to `max_atoms`.
+    pub fn new(max_atoms: usize) -> AndOrGraph {
+        AndOrGraph {
+            nodes: HashMap::new(),
+            max_atoms,
+        }
+    }
+
+    /// Register every connected subexpression of `cq` (up to the size cap),
+    /// recording sharing and decompositions.
+    pub fn register(&mut self, cq: &ConjunctiveQuery) {
+        for sig in enumerate_subexprs(cq, 1, self.max_atoms) {
+            let entry = self.nodes.entry(sig.clone()).or_insert_with(|| OrNode {
+                decompositions: decompose(&sig),
+                sig,
+                sharers: BTreeSet::new(),
+                cardinality: None,
+            });
+            entry.sharers.insert(cq.id);
+        }
+    }
+
+    /// The OR node for `sig`, if registered.
+    pub fn node(&self, sig: &SubExprSig) -> Option<&OrNode> {
+        self.nodes.get(sig)
+    }
+
+    /// Number of OR nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Queries sharing `sig` (empty if unknown).
+    pub fn sharers(&self, sig: &SubExprSig) -> BTreeSet<CqId> {
+        self.nodes
+            .get(sig)
+            .map(|n| n.sharers.clone())
+            .unwrap_or_default()
+    }
+
+    /// All OR nodes, in no particular order.
+    pub fn or_nodes(&self) -> impl Iterator<Item = &OrNode> {
+        self.nodes.values()
+    }
+
+    /// Memoized cardinality of `sig`.
+    pub fn cardinality(&mut self, sig: &SubExprSig, model: &CostModel<'_>) -> f64 {
+        if let Some(n) = self.nodes.get(sig) {
+            if let Some(c) = n.cardinality {
+                return c;
+            }
+        }
+        let c = model.cardinality(sig);
+        if let Some(n) = self.nodes.get_mut(sig) {
+            n.cardinality = Some(c);
+        }
+        c
+    }
+}
+
+/// Binary decompositions of a signature into two connected parts.
+fn decompose(sig: &SubExprSig) -> Vec<(SubExprSig, SubExprSig)> {
+    let n = sig.atoms.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Every join edge of the (tree-shaped) signature splits it in two
+    // connected halves: remove the edge and flood-fill.
+    for (skip_idx, _) in sig.joins.iter().enumerate() {
+        let mut side = vec![usize::MAX; n];
+        // BFS from atom 0 using all joins except skip_idx.
+        let mut stack = vec![0usize];
+        side[0] = 0;
+        while let Some(i) = stack.pop() {
+            let rel_i = sig.atoms[i].0;
+            for (j_idx, (lr, _, rr, _)) in sig.joins.iter().enumerate() {
+                if j_idx == skip_idx {
+                    continue;
+                }
+                let other = if *lr == rel_i {
+                    Some(*rr)
+                } else if *rr == rel_i {
+                    Some(*lr)
+                } else {
+                    None
+                };
+                if let Some(o) = other {
+                    if let Some(pos) = sig.atoms.iter().position(|(r, _)| *r == o) {
+                        if side[pos] == usize::MAX {
+                            side[pos] = 0;
+                            stack.push(pos);
+                        }
+                    }
+                }
+            }
+        }
+        let left: Vec<usize> = (0..n).filter(|&i| side[i] == 0).collect();
+        let right: Vec<usize> = (0..n).filter(|&i| side[i] == usize::MAX).collect();
+        if left.is_empty() || right.is_empty() {
+            continue; // skipped edge was redundant (cannot happen in trees)
+        }
+        out.push((project(sig, &left), project(sig, &right)));
+    }
+    out
+}
+
+fn project(sig: &SubExprSig, atom_indices: &[usize]) -> SubExprSig {
+    let rels: Vec<_> = atom_indices.iter().map(|&i| sig.atoms[i].0).collect();
+    SubExprSig {
+        atoms: atom_indices
+            .iter()
+            .map(|&i| sig.atoms[i].clone())
+            .collect(),
+        joins: sig
+            .joins
+            .iter()
+            .filter(|(lr, _, rr, _)| rels.contains(lr) && rels.contains(rr))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_catalog::{Catalog, CatalogBuilder, EdgeKind, RelationStats};
+    use qsys_query::{CqAtom, CqJoin};
+    use qsys_types::{CostProfile, RelId, SourceId, UqId, UserId};
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::default();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(b.relation(
+                format!("R{i}"),
+                SourceId::new(0),
+                vec!["k".into(), "j".into()],
+                Some(0),
+                1.0,
+                RelationStats::with_cardinality(1000),
+            ));
+        }
+        for w in ids.windows(2) {
+            b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 1.0);
+        }
+        b.build()
+    }
+
+    fn path_cq(id: u32, catalog: &Catalog, len: usize) -> ConjunctiveQuery {
+        let rels: Vec<RelId> = (0..len as u32).map(RelId::new).collect();
+        let atoms = rels
+            .iter()
+            .map(|&rel| CqAtom {
+                rel,
+                selection: None,
+            })
+            .collect();
+        let joins = rels
+            .windows(2)
+            .map(|w| {
+                let e = catalog.edge_between(w[0], w[1]).unwrap();
+                CqJoin {
+                    edge: e.id,
+                    left: e.from,
+                    left_col: e.from_col,
+                    right: e.to,
+                    right_col: e.to_col,
+                }
+            })
+            .collect();
+        ConjunctiveQuery::new(CqId::new(id), UqId::new(0), UserId::new(0), atoms, joins)
+    }
+
+    #[test]
+    fn registration_tracks_sharers() {
+        let cat = catalog();
+        let mut g = AndOrGraph::new(4);
+        let q1 = path_cq(0, &cat, 3);
+        let q2 = path_cq(1, &cat, 4);
+        g.register(&q1);
+        g.register(&q2);
+        let shared = SubExprSig::of_cq(&q1);
+        let sharers = g.sharers(&shared);
+        assert!(sharers.contains(&CqId::new(0)));
+        assert!(sharers.contains(&CqId::new(1)), "prefix of q2 too");
+    }
+
+    #[test]
+    fn decompositions_split_along_edges() {
+        let cat = catalog();
+        let mut g = AndOrGraph::new(4);
+        let q = path_cq(0, &cat, 3);
+        g.register(&q);
+        let node = g.node(&SubExprSig::of_cq(&q)).unwrap();
+        // A 3-path has 2 edges → 2 binary decompositions.
+        assert_eq!(node.decompositions.len(), 2);
+        for (l, r) in &node.decompositions {
+            assert_eq!(l.size() + r.size(), 3);
+        }
+    }
+
+    #[test]
+    fn cardinality_is_memoized() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let mut g = AndOrGraph::new(4);
+        let q = path_cq(0, &cat, 2);
+        g.register(&q);
+        let sig = SubExprSig::of_cq(&q);
+        let c1 = g.cardinality(&sig, &model);
+        let c2 = g.cardinality(&sig, &model);
+        assert_eq!(c1, c2);
+        assert!(c1 > 0.0);
+        assert_eq!(g.node(&sig).unwrap().cardinality, Some(c1));
+    }
+
+    #[test]
+    fn single_atom_has_no_decomposition() {
+        let cat = catalog();
+        let mut g = AndOrGraph::new(4);
+        g.register(&path_cq(0, &cat, 1));
+        let sig = SubExprSig::relation(RelId::new(0), None);
+        assert!(g.node(&sig).unwrap().decompositions.is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Algorithm 1: the memoized BestPlan search.
+//!
+//! Top-down, Volcano-style [8] search over input assignments. The recursion
+//! mirrors the paper's pseudocode: each step either *stops* (constructing a
+//! plan from the inputs accumulated in `A`, completed with the always-valid
+//! base-relation defaults) or *commits* to one more candidate `J`, reducing
+//! the remaining candidate set `S` so that queries sourced by `J` never also
+//! use a candidate overlapping `J` (line 14's adjustment). Plans for a given
+//! accumulated set `A` are memoized (line 1 / line 24).
+//!
+//! One representational difference from the paper's listing: base relations
+//! (which the paper includes in `S` as always-useful candidates) are folded
+//! into plan *completion* instead of the search space — any relation not
+//! covered by a chosen candidate is covered by its default single-relation
+//! input (streamed if it has a score attribute or is tiny, probed
+//! otherwise). This is equivalent — every valid assignment is still
+//! reachable — and keeps the exponential search in the number of
+//! *interesting* (multi-relation) candidates, which is the quantity
+//! Figure 11 plots.
+
+use crate::cost::{CostModel, ReuseOracle};
+use crate::heuristics::{is_streamable, Candidate, HeuristicConfig};
+use qsys_query::{ConjunctiveQuery, SubExprSig};
+use qsys_types::CqId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Search statistics (Figure 11's x-axis is `candidates`; its y-axis grows
+/// with `explored`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptStats {
+    /// Multi-relation candidates entering the search.
+    pub candidates: usize,
+    /// Recursive `BestPlan` invocations.
+    pub explored: usize,
+    /// Memo hits.
+    pub memo_hits: usize,
+    /// Cost of the winning plan (µs estimate).
+    pub best_cost: f64,
+}
+
+/// A complete, valid input assignment `(I, 𝕀)`: each entry is an input
+/// subexpression with the queries it sources. Every relation of every query
+/// is covered by exactly one input (Definition 1).
+pub type Assignment = Vec<Candidate>;
+
+/// The memoized search.
+pub struct BestPlanSearch<'a> {
+    model: &'a CostModel<'a>,
+    reuse: &'a dyn ReuseOracle,
+    config: &'a HeuristicConfig,
+    queries: Vec<&'a ConjunctiveQuery>,
+    memo: HashMap<Vec<SubExprSig>, (Assignment, f64)>,
+    stats: OptStats,
+}
+
+impl<'a> BestPlanSearch<'a> {
+    /// Set up a search over `queries`.
+    pub fn new(
+        model: &'a CostModel<'a>,
+        reuse: &'a dyn ReuseOracle,
+        config: &'a HeuristicConfig,
+        queries: Vec<&'a ConjunctiveQuery>,
+    ) -> BestPlanSearch<'a> {
+        BestPlanSearch {
+            model,
+            reuse,
+            config,
+            queries,
+            memo: HashMap::new(),
+            stats: OptStats::default(),
+        }
+    }
+
+    /// Run the search over multi-relation `candidates`; returns the best
+    /// assignment (already completed with defaults) and stats.
+    pub fn run(mut self, candidates: Vec<Candidate>) -> (Assignment, OptStats) {
+        let multi: Vec<Candidate> = candidates
+            .into_iter()
+            .filter(|c| c.sig.size() > 1 && !c.queries.is_empty())
+            .collect();
+        self.stats.candidates = multi.len();
+        let (plan, cost) = self.best_plan(multi, Vec::new());
+        self.stats.best_cost = cost;
+        (plan, self.stats)
+    }
+
+    /// The recursive search (Algorithm 1).
+    fn best_plan(&mut self, s: Vec<Candidate>, a: Vec<Candidate>) -> (Assignment, f64) {
+        self.stats.explored += 1;
+        let key: Vec<SubExprSig> = {
+            let mut sigs: Vec<SubExprSig> = a.iter().map(|c| c.sig.clone()).collect();
+            sigs.sort();
+            sigs
+        };
+        if let Some(hit) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return hit.clone();
+        }
+
+        // Option 0 (and the |S| = 0 base case): stop here — complete `A`
+        // with default per-relation inputs and cost the plan.
+        let completed = self.complete(&a);
+        let mut best_cost = self.plan_cost(&completed);
+        let mut best_plan = completed;
+
+        // Otherwise commit to each candidate J in turn (lines 11–23).
+        for (idx, j) in s.iter().enumerate() {
+            let mut s_prime: Vec<Candidate> = Vec::with_capacity(s.len() - 1);
+            for (idx2, j2) in s.iter().enumerate() {
+                if idx2 == idx {
+                    continue;
+                }
+                if j2.sig.shares_relation_with(&j.sig) {
+                    // Queries sourced by J must not also use an overlapping
+                    // J′ (line 14: S′[J′] = S[J′] − S[J]).
+                    let reduced: BTreeSet<CqId> =
+                        j2.queries.difference(&j.queries).copied().collect();
+                    if !reduced.is_empty() {
+                        s_prime.push(Candidate {
+                            sig: j2.sig.clone(),
+                            queries: reduced,
+                        });
+                    }
+                } else {
+                    s_prime.push(j2.clone());
+                }
+            }
+            let mut a_prime = a.clone();
+            a_prime.push(j.clone());
+            let (plan, cost) = self.best_plan(s_prime, a_prime);
+            if cost < best_cost {
+                best_cost = cost;
+                best_plan = plan;
+            }
+        }
+
+        self.memo
+            .insert(key, (best_plan.clone(), best_cost));
+        (best_plan, best_cost)
+    }
+
+    /// Complete a partial assignment: every uncovered relation of every
+    /// query gets its default single-relation input (carrying the query's
+    /// selection on that relation), shared across queries by signature.
+    fn complete(&self, a: &Assignment) -> Assignment {
+        let mut defaults: BTreeMap<SubExprSig, BTreeSet<CqId>> = BTreeMap::new();
+        for cq in &self.queries {
+            let covered: BTreeSet<_> = a
+                .iter()
+                .filter(|c| c.queries.contains(&cq.id))
+                .flat_map(|c| c.sig.rels())
+                .collect();
+            for atom in &cq.atoms {
+                if covered.contains(&atom.rel) {
+                    continue;
+                }
+                let sig = SubExprSig::relation(atom.rel, atom.selection.clone());
+                defaults.entry(sig).or_default().insert(cq.id);
+            }
+        }
+        let mut out = a.clone();
+        out.extend(
+            defaults
+                .into_iter()
+                .map(|(sig, queries)| Candidate { sig, queries }),
+        );
+        out
+    }
+
+    /// Estimated cost of a completed assignment, in simulated µs.
+    ///
+    /// Streaming inputs cost per expected read; shared inputs are read once
+    /// (the maximum of the sharers' needs, not the sum — this is where
+    /// sharing wins). Probed relations cost per expected probe. Pushed-down
+    /// joins carry a penalty for remote computation.
+    pub fn plan_cost(&self, assignment: &Assignment) -> f64 {
+        // Per-CQ shape: how many streaming inputs, estimated result count.
+        let mut cq_info: BTreeMap<CqId, (usize, f64)> = BTreeMap::new();
+        for cq in &self.queries {
+            let m = assignment
+                .iter()
+                .filter(|c| {
+                    c.queries.contains(&cq.id) && self.input_is_streamed(&c.sig)
+                })
+                .count();
+            let n = self.model.cardinality(&SubExprSig::of_cq(cq));
+            cq_info.insert(cq.id, (m.max(1), n));
+        }
+
+        let mut total = 0.0;
+        for input in assignment {
+            if self.input_is_streamed(&input.sig) {
+                // Shared stream: read deep enough for the hungriest sharer.
+                let mut reads: f64 = 0.0;
+                for cq in &input.queries {
+                    let (m, n) = cq_info[cq];
+                    reads = reads.max(self.model.expected_reads(&input.sig, n, m, self.reuse));
+                }
+                total += reads * self.model.stream_unit_us();
+                total += self.model.pushdown_penalty_us(&input.sig);
+            } else {
+                // Probed relation: roughly one probe per streamed tuple of
+                // each consumer (two-way semijoin traffic).
+                let mut probes = 0.0;
+                for cq in &input.queries {
+                    let (m, n) = cq_info[cq];
+                    let depth = self.model.depth_fraction(n, m);
+                    probes += depth * 64.0; // nominal per-CQ probe volume
+                }
+                total += probes * self.model.probe_unit_us();
+            }
+        }
+        total
+    }
+
+    fn input_is_streamed(&self, sig: &SubExprSig) -> bool {
+        sig.atoms
+            .iter()
+            .all(|(r, _)| is_streamable(self.model, *r, self.config))
+    }
+}
+
+/// Validity per Definition 1: every relation of every query is covered by
+/// exactly one input sourcing that query.
+pub fn is_valid_assignment(queries: &[&ConjunctiveQuery], assignment: &Assignment) -> bool {
+    for cq in queries {
+        for atom in &cq.atoms {
+            let covering = assignment
+                .iter()
+                .filter(|c| c.queries.contains(&cq.id) && c.sig.rels().contains(&atom.rel))
+                .count();
+            if covering != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::NoReuse;
+    use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+    use qsys_query::{CqAtom, CqJoin};
+    use qsys_types::{CostProfile, RelId, SourceId, UqId, UserId};
+
+    fn catalog(n: u32) -> Catalog {
+        let mut b = CatalogBuilder::default();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let mut stats = RelationStats::with_cardinality(10_000);
+            stats.columns = vec![
+                ColumnStats { distinct: 500 },
+                ColumnStats { distinct: 500 },
+            ];
+            ids.push(b.relation(
+                format!("R{i}"),
+                SourceId::new(0),
+                vec!["k".into(), "j".into()],
+                Some(0),
+                1.0,
+                stats,
+            ));
+        }
+        for w in ids.windows(2) {
+            b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 2.0);
+        }
+        b.build()
+    }
+
+    fn path_cq(id: u32, catalog: &Catalog, from: u32, len: u32) -> ConjunctiveQuery {
+        let rels: Vec<RelId> = (from..from + len).map(RelId::new).collect();
+        let atoms = rels
+            .iter()
+            .map(|&rel| CqAtom {
+                rel,
+                selection: None,
+            })
+            .collect();
+        let joins = rels
+            .windows(2)
+            .map(|w| {
+                let e = catalog.edge_between(w[0], w[1]).unwrap();
+                CqJoin {
+                    edge: e.id,
+                    left: e.from,
+                    left_col: e.from_col,
+                    right: e.to,
+                    right_col: e.to_col,
+                }
+            })
+            .collect();
+        ConjunctiveQuery::new(CqId::new(id), UqId::new(0), UserId::new(0), atoms, joins)
+    }
+
+    fn cand(catalog: &Catalog, rels: &[u32], queries: &[u32]) -> Candidate {
+        let rel_ids: Vec<RelId> = rels.iter().map(|&r| RelId::new(r)).collect();
+        let atoms = rel_ids.iter().map(|&r| (r, None)).collect();
+        let joins = rel_ids
+            .windows(2)
+            .map(|w| {
+                let e = catalog.edge_between(w[0], w[1]).unwrap();
+                (e.from, e.from_col, e.to, e.to_col)
+            })
+            .collect();
+        Candidate {
+            sig: SubExprSig { atoms, joins },
+            queries: queries.iter().map(|&q| CqId::new(q)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_default_plan() {
+        let cat = catalog(3);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 3);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let (plan, stats) = search.run(Vec::new());
+        assert!(is_valid_assignment(&[&q], &plan));
+        assert_eq!(plan.len(), 3, "one default input per relation");
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(stats.explored, 1);
+    }
+
+    /// Key-key joins (distinct = cardinality): the pushed-down join does
+    /// not inflate cardinality, so streaming the join result beats
+    /// streaming both bases — BestPlan must pick the candidate.
+    #[test]
+    fn shared_candidate_is_chosen_when_cheaper() {
+        let mut b = CatalogBuilder::default();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let mut stats = RelationStats::with_cardinality(10_000);
+            stats.columns = vec![
+                ColumnStats { distinct: 10_000 },
+                ColumnStats { distinct: 10_000 },
+            ];
+            ids.push(b.relation(
+                format!("K{i}"),
+                SourceId::new(0),
+                vec!["k".into(), "j".into()],
+                Some(0),
+                1.0,
+                stats,
+            ));
+        }
+        for w in ids.windows(2) {
+            b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 1.0);
+        }
+        let cat = b.build();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q1 = path_cq(0, &cat, 0, 3);
+        let q2 = path_cq(1, &cat, 0, 4);
+        let shared = cand(&cat, &[0, 1], &[0, 1]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q1, &q2]);
+        let (plan, stats) = search.run(vec![shared.clone()]);
+        assert!(is_valid_assignment(&[&q1, &q2], &plan));
+        assert!(
+            plan.iter().any(|c| c.sig == shared.sig),
+            "pushdown K0⋈K1 must be chosen: {plan:#?}"
+        );
+        assert!(stats.explored >= 2);
+    }
+
+    /// An exploding join (low distinct counts) must NOT be pushed down:
+    /// streaming the inflated join result costs more than the bases.
+    #[test]
+    fn exploding_pushdown_is_rejected() {
+        let cat = catalog(3);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 3);
+        let bad = cand(&cat, &[0, 1], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let (plan, _) = search.run(vec![bad.clone()]);
+        assert!(is_valid_assignment(&[&q], &plan));
+        assert!(
+            !plan.iter().any(|c| c.sig == bad.sig),
+            "200k-tuple join must not be pushed down: {plan:#?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_candidates_never_double_cover() {
+        let cat = catalog(4);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 4);
+        let c1 = cand(&cat, &[0, 1], &[0]);
+        let c2 = cand(&cat, &[1, 2], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let (plan, _) = search.run(vec![c1, c2]);
+        assert!(is_valid_assignment(&[&q], &plan), "{plan:#?}");
+    }
+
+    #[test]
+    fn memoization_collapses_orderings() {
+        let cat = catalog(6);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 6);
+        // Two disjoint candidates: order of choice is irrelevant → the
+        // {c1, c2} state is reached twice, second time from the memo.
+        let c1 = cand(&cat, &[0, 1], &[0]);
+        let c2 = cand(&cat, &[3, 4], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let (_, stats) = search.run(vec![c1, c2]);
+        assert!(stats.memo_hits >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn explored_grows_with_candidates() {
+        let cat = catalog(8);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 8);
+        let mut explored = Vec::new();
+        for n in 0..4 {
+            let cands: Vec<Candidate> = (0..n)
+                .map(|i| cand(&cat, &[2 * i, 2 * i + 1], &[0]))
+                .collect();
+            let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+            let (_, stats) = search.run(cands);
+            explored.push(stats.explored);
+        }
+        assert!(
+            explored.windows(2).all(|w| w[0] < w[1]),
+            "exploration grows: {explored:?}"
+        );
+    }
+
+    #[test]
+    fn reuse_tilts_the_choice() {
+        struct Resident(SubExprSig);
+        impl ReuseOracle for Resident {
+            fn streamed(&self, sig: &SubExprSig) -> Option<u64> {
+                (sig == &self.0).then_some(1_000_000)
+            }
+        }
+        let cat = catalog(3);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q = path_cq(0, &cat, 0, 3);
+        let shared = cand(&cat, &[0, 1], &[0]);
+        let oracle = Resident(shared.sig.clone());
+        let search = BestPlanSearch::new(&model, &oracle, &config, vec![&q]);
+        let (plan, stats) = search.run(vec![shared.clone()]);
+        assert!(
+            plan.iter().any(|c| c.sig == shared.sig),
+            "fully resident input is free and must win: {:?}",
+            stats
+        );
+    }
+}

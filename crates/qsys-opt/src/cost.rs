@@ -1,0 +1,252 @@
+//! Cost estimation for top-k plans.
+//!
+//! Costs follow the paper's model: "the costing of plans is based on the
+//! number of tuples to be read from the source" (Section 6.1), adjusted for
+//! (a) top-k depth — ranking queries read only prefixes of their inputs
+//! (the depth-estimation idea of Ilyas et al. [16], which Section 8 says
+//! the paper leverages) — and (b) reuse — tuples already resident in the
+//! plan graph's hash tables are free (Section 6.1, "updated cost
+//! estimates").
+
+use qsys_catalog::Catalog;
+use qsys_query::SubExprSig;
+use qsys_types::{CostProfile, RelId, Selection};
+
+/// Answers "how much of this subexpression has already been read?" —
+/// implemented by the QS manager over the live plan graph. The optimizer
+/// subtracts already-streamed tuples from a candidate input's cost and asks
+/// for the input to be pinned.
+pub trait ReuseOracle {
+    /// Number of tuples already streamed into in-memory state for `sig`,
+    /// or `None` when the subexpression is not resident.
+    fn streamed(&self, sig: &SubExprSig) -> Option<u64>;
+
+    /// Ask the state manager to protect `sig` from eviction while planning
+    /// and execution proceed (Section 6.1: "prevents J from being evicted,
+    /// by requesting that the QS Manager 'pin' J down").
+    fn pin(&self, _sig: &SubExprSig) {}
+}
+
+/// The trivial oracle: nothing is resident.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoReuse;
+
+impl ReuseOracle for NoReuse {
+    fn streamed(&self, _sig: &SubExprSig) -> Option<u64> {
+        None
+    }
+}
+
+/// Cardinality and cost estimation against catalog statistics.
+pub struct CostModel<'a> {
+    catalog: &'a Catalog,
+    profile: CostProfile,
+    /// Results requested per user query.
+    k: usize,
+}
+
+impl<'a> CostModel<'a> {
+    /// Build a model.
+    pub fn new(catalog: &'a Catalog, profile: CostProfile, k: usize) -> CostModel<'a> {
+        CostModel {
+            catalog,
+            profile,
+            k,
+        }
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Selectivity of an equality selection: `1 / distinct(column)`.
+    pub fn selection_selectivity(&self, rel: RelId, sel: &Selection) -> f64 {
+        let distinct = self.catalog.relation(rel).stats.distinct(sel.column);
+        1.0 / distinct as f64
+    }
+
+    /// Estimated result cardinality of a subexpression: base cardinalities,
+    /// scaled by selection selectivities and standard equi-join selectivity
+    /// `1 / max(d_left, d_right)`.
+    pub fn cardinality(&self, sig: &SubExprSig) -> f64 {
+        let mut card = 1.0f64;
+        for (rel, sel) in &sig.atoms {
+            let stats = &self.catalog.relation(*rel).stats;
+            let mut c = stats.cardinality as f64;
+            if let Some(s) = sel {
+                c *= self.selection_selectivity(*rel, s);
+            }
+            card *= c.max(1e-9);
+        }
+        for (lr, lc, rr, rc) in &sig.joins {
+            let dl = self.catalog.relation(*lr).stats.distinct(*lc) as f64;
+            let dr = self.catalog.relation(*rr).stats.distinct(*rc) as f64;
+            card /= dl.max(dr).max(1.0);
+        }
+        card.max(0.0)
+    }
+
+    /// Fraction of each of `m` streaming inputs a top-k execution is
+    /// expected to read, for a CQ estimated to produce `result_card`
+    /// results: under independence, reading fraction `f` of every input
+    /// yields `f^m · result_card` results, so `f = (k / N)^(1/m)`.
+    pub fn depth_fraction(&self, result_card: f64, m_streams: usize) -> f64 {
+        if result_card <= 0.0 {
+            return 1.0; // must exhaust to prove emptiness
+        }
+        let ratio = self.k as f64 / result_card;
+        if ratio >= 1.0 {
+            return 1.0;
+        }
+        ratio.powf(1.0 / m_streams.max(1) as f64)
+    }
+
+    /// Expected tuples streamed from input `sig` on behalf of a CQ that has
+    /// `m_streams` streaming inputs and `result_card` estimated results,
+    /// minus tuples already resident (reuse).
+    pub fn expected_reads(
+        &self,
+        sig: &SubExprSig,
+        result_card: f64,
+        m_streams: usize,
+        reuse: &dyn ReuseOracle,
+    ) -> f64 {
+        let card = self.cardinality(sig);
+        let depth = self.depth_fraction(result_card, m_streams);
+        let need = card * depth;
+        let already = reuse.streamed(sig).unwrap_or(0) as f64;
+        (need - already).max(0.0)
+    }
+
+    /// Per-tuple streaming cost in µs (base + mean network delay).
+    pub fn stream_unit_us(&self) -> f64 {
+        (self.profile.stream_tuple_us + self.profile.mean_network_delay_us) as f64
+    }
+
+    /// Per-probe cost in µs (base + mean network delay).
+    pub fn probe_unit_us(&self) -> f64 {
+        (self.profile.probe_us + self.profile.mean_network_delay_us) as f64
+    }
+
+    /// Penalty for asking the remote source to compute a pushed-down join:
+    /// proportional to the intermediate work (`Σ` pairwise cardinalities).
+    /// Cheap relative to streaming, but biases against exploding joins.
+    pub fn pushdown_penalty_us(&self, sig: &SubExprSig) -> f64 {
+        if sig.atoms.len() <= 1 {
+            return 0.0;
+        }
+        self.cardinality(sig) * 0.5
+    }
+
+    /// Requested k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_catalog::{CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+    use qsys_types::{SourceId, Value};
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::default();
+        let mut stats_a = RelationStats::with_cardinality(1000);
+        stats_a.columns = vec![ColumnStats { distinct: 100 }];
+        let a = b.relation(
+            "A",
+            SourceId::new(0),
+            vec!["k".into()],
+            Some(0),
+            1.0,
+            stats_a,
+        );
+        let mut stats_b = RelationStats::with_cardinality(500);
+        stats_b.columns = vec![ColumnStats { distinct: 50 }];
+        let bb = b.relation(
+            "B",
+            SourceId::new(0),
+            vec!["k".into()],
+            None,
+            1.0,
+            stats_b,
+        );
+        b.edge(a, 0, bb, 0, EdgeKind::ForeignKey, 1.0, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn base_cardinality_with_selection() {
+        let c = catalog();
+        let model = CostModel::new(&c, CostProfile::default(), 50);
+        let rel = c.relation_by_name("A").unwrap().id;
+        let plain = SubExprSig::relation(rel, None);
+        assert!((model.cardinality(&plain) - 1000.0).abs() < 1e-9);
+        let selected = SubExprSig::relation(rel, Some(Selection::eq(0, Value::Int(1))));
+        assert!((model.cardinality(&selected) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_cardinality_uses_distinct_counts() {
+        let c = catalog();
+        let model = CostModel::new(&c, CostProfile::default(), 50);
+        let a = c.relation_by_name("A").unwrap().id;
+        let bb = c.relation_by_name("B").unwrap().id;
+        let sig = SubExprSig {
+            atoms: vec![(a, None), (bb, None)],
+            joins: vec![(a, 0, bb, 0)],
+        };
+        // 1000 * 500 / max(100, 50) = 5000.
+        assert!((model.cardinality(&sig) - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_fraction_shrinks_with_abundance() {
+        let c = catalog();
+        let model = CostModel::new(&c, CostProfile::default(), 50);
+        assert_eq!(model.depth_fraction(10.0, 2), 1.0); // fewer results than k
+        let f = model.depth_fraction(5000.0, 2);
+        assert!((f - (50.0f64 / 5000.0).sqrt()).abs() < 1e-12);
+        assert!(model.depth_fraction(5000.0, 1) < f);
+    }
+
+    #[test]
+    fn reuse_discounts_reads() {
+        struct Oracle;
+        impl ReuseOracle for Oracle {
+            fn streamed(&self, _sig: &SubExprSig) -> Option<u64> {
+                Some(400)
+            }
+        }
+        let c = catalog();
+        let model = CostModel::new(&c, CostProfile::default(), 50);
+        let rel = c.relation_by_name("A").unwrap().id;
+        let sig = SubExprSig::relation(rel, None);
+        let fresh = model.expected_reads(&sig, 100_000.0, 1, &NoReuse);
+        let reused = model.expected_reads(&sig, 100_000.0, 1, &Oracle);
+        assert!(reused < fresh);
+        // Fully covered: free.
+        let covered = model.expected_reads(&sig, 1e12, 1, &Oracle);
+        let _ = covered; // depth may exceed 400; just assert ordering holds
+        assert!((fresh - reused - 400.0).abs() < 1e-6 || reused == 0.0);
+    }
+
+    #[test]
+    fn pushdown_penalty_only_for_joins() {
+        let c = catalog();
+        let model = CostModel::new(&c, CostProfile::default(), 50);
+        let a = c.relation_by_name("A").unwrap().id;
+        let bb = c.relation_by_name("B").unwrap().id;
+        assert_eq!(
+            model.pushdown_penalty_us(&SubExprSig::relation(a, None)),
+            0.0
+        );
+        let sig = SubExprSig {
+            atoms: vec![(a, None), (bb, None)],
+            joins: vec![(a, 0, bb, 0)],
+        };
+        assert!(model.pushdown_penalty_us(&sig) > 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Candidate enumeration with the Section 5.1.1 pruning heuristics.
+//!
+//! Full multi-query optimization is intractable, so the optimizer prunes
+//! the space of push-down candidates before the cost-based search:
+//!
+//! 1. *Consider queries as shared subexpressions* — keep subexpressions of
+//!    low-cardinality queries only when shared more widely.
+//! 2. *Only stream relations that have scoring attributes* — a relation
+//!    with no score attribute would have to be read in full (its tuples
+//!    never move the threshold), so treat it as a probe target unless its
+//!    cardinality is under the threshold `τ`.
+//! 3. *Filter subexpressions by estimated utility* — keep those shared by
+//!    enough queries or with low cardinality; drop those expensive to
+//!    compute at the source.
+//! 4. *Do not consider overlapping pushed-down subexpressions* — a
+//!    candidate must be a subexpression of, or disjoint from, every query.
+//! 5. Base relations of streaming sources are always useful.
+
+use crate::cost::CostModel;
+use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SubExprSig};
+use qsys_types::{CqId, RelId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One push-down candidate: a subexpression and the queries it can source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The subexpression.
+    pub sig: SubExprSig,
+    /// Queries of which `sig` is a subexpression (the map `𝕊[J]`).
+    pub queries: BTreeSet<CqId>,
+}
+
+/// Tuning for the pruning heuristics.
+#[derive(Clone, Debug)]
+pub struct HeuristicConfig {
+    /// Minimum number of CQs that must share a multi-relation candidate
+    /// (heuristic 3, "shared by a minimum number of conjunctive queries").
+    pub min_sharing: usize,
+    /// Alternatively, keep a multi-relation candidate whose estimated
+    /// cardinality is below this (heuristic 3, "low cardinality").
+    pub low_cardinality: f64,
+    /// `τ(R)`: a scoreless relation with cardinality below this may still
+    /// be streamed (heuristic 2).
+    pub probe_threshold: u64,
+    /// Joins whose source-side fanout exceeds this are "expensive to
+    /// compute at the source" and pruned (heuristic 3).
+    pub max_source_fanout: f64,
+    /// Largest candidate size in atoms (bounds the AND-OR enumeration).
+    pub max_candidate_atoms: usize,
+    /// Hard cap on candidates handed to BestPlan (keeps Figure 11's
+    /// exponential in check for large batches).
+    pub max_candidates: usize,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig {
+            min_sharing: 2,
+            low_cardinality: 200.0,
+            probe_threshold: 1_000,
+            max_source_fanout: 16.0,
+            max_candidate_atoms: 3,
+            max_candidates: 12,
+        }
+    }
+}
+
+/// Whether a relation is streamed (score attribute, or small enough) or
+/// probed (heuristic 2).
+pub fn is_streamable(model: &CostModel<'_>, rel: RelId, config: &HeuristicConfig) -> bool {
+    let r = model.catalog().relation(rel);
+    r.has_score() || r.stats.cardinality < config.probe_threshold
+}
+
+/// Enumerate push-down candidates for a query batch, applying all pruning
+/// heuristics. Returns candidates sorted by descending sharing degree then
+/// ascending cardinality.
+pub fn enumerate_candidates(
+    queries: &[&ConjunctiveQuery],
+    model: &CostModel<'_>,
+    config: &HeuristicConfig,
+) -> Vec<Candidate> {
+    // Pool subexpressions across queries via canonical signatures (the
+    // AND-OR graph's OR-node sharing).
+    let mut pool: BTreeMap<SubExprSig, BTreeSet<CqId>> = BTreeMap::new();
+    for cq in queries {
+        for sig in enumerate_subexprs(cq, 1, config.max_candidate_atoms) {
+            // Heuristic 2: every atom of a pushed-down candidate must be
+            // streamable, otherwise the source could not deliver results in
+            // score order without a full scan.
+            if !sig
+                .atoms
+                .iter()
+                .all(|(r, _)| is_streamable(model, *r, config))
+            {
+                continue;
+            }
+            pool.entry(sig).or_default().insert(cq.id);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (sig, mut using) in pool {
+        // Heuristic 4 — "do not consider overlapping pushed-down
+        // subexpressions" — is enforced *per query* inside BestPlan
+        // (Algorithm 1's S′ adjustment removes a query from every
+        // candidate overlapping one it already uses). A global filter here
+        // would kill nearly every candidate in large batches, contradicting
+        // the paper's own Example 5 where G2G⋈GI⋈T serves CQ2 while
+        // overlapping (but not sourcing) CQ1.
+        if sig.size() == 1 {
+            // Heuristic 5: base streamable relations are always useful.
+            out.push(Candidate { sig, queries: using });
+            continue;
+        }
+        // Heuristic 3a: drop candidates expensive to compute at the source.
+        let expensive = sig.joins.iter().any(|(lr, lc, rr, rc)| {
+            match model.catalog().edge_between(*lr, *rr) {
+                Some(e) => {
+                    // Must be the same join columns to reuse the edge stats.
+                    let cols_match = (e.from == *lr && e.from_col == *lc && e.to_col == *rc)
+                        || (e.to == *lr && e.to_col == *lc && e.from_col == *rc);
+                    !cols_match || e.fanout > config.max_source_fanout
+                }
+                None => true, // non key-key join
+            }
+        });
+        if expensive {
+            continue;
+        }
+        // Heuristic 1/3b: keep if shared enough or cheap.
+        let card = model.cardinality(&sig);
+        if using.len() < config.min_sharing && card > config.low_cardinality {
+            continue;
+        }
+        // Heuristic 1: subexpressions of a low-output query are not worth
+        // factoring for that query alone; keep only the sharers beyond it.
+        if using.len() == 1 {
+            let cq_id = *using.iter().next().expect("nonempty");
+            if let Some(cq) = queries.iter().find(|c| c.id == cq_id) {
+                let whole = SubExprSig::of_cq(cq);
+                if model.cardinality(&whole) < model.k() as f64 {
+                    using.clear();
+                }
+            }
+        }
+        if using.is_empty() {
+            continue;
+        }
+        out.push(Candidate { sig, queries: using });
+    }
+
+    // Rank: multi-relation candidates by sharing degree, then cardinality;
+    // keep all single-relation base candidates (needed for validity).
+    let (base, mut multi): (Vec<_>, Vec<_>) = out.into_iter().partition(|c| c.sig.size() == 1);
+    multi.sort_by(|a, b| {
+        b.queries
+            .len()
+            .cmp(&a.queries.len())
+            .then_with(|| model.cardinality(&a.sig).total_cmp(&model.cardinality(&b.sig)))
+    });
+    multi.truncate(config.max_candidates);
+    let mut result = base;
+    result.extend(multi);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+    use qsys_query::{CqAtom, CqJoin};
+    use qsys_types::{CostProfile, SourceId, UqId, UserId};
+
+    /// Chain A - B - C - D; C is scoreless and large (probe-only), D is
+    /// scoreless but tiny (streamable).
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::default();
+        let mk_stats = |card: u64, distinct: u64| {
+            let mut s = RelationStats::with_cardinality(card);
+            s.columns = vec![
+                ColumnStats { distinct },
+                ColumnStats { distinct },
+            ];
+            s
+        };
+        let a = b.relation(
+            "A",
+            SourceId::new(0),
+            vec!["k".into(), "j".into()],
+            Some(0),
+            1.0,
+            mk_stats(10_000, 1000),
+        );
+        let bb = b.relation(
+            "B",
+            SourceId::new(0),
+            vec!["k".into(), "j".into()],
+            Some(0),
+            1.0,
+            mk_stats(8_000, 1000),
+        );
+        let c = b.relation(
+            "C",
+            SourceId::new(1),
+            vec!["k".into(), "j".into()],
+            None,
+            1.0,
+            mk_stats(50_000, 5000),
+        );
+        let d = b.relation(
+            "D",
+            SourceId::new(1),
+            vec!["k".into(), "j".into()],
+            None,
+            1.0,
+            mk_stats(500, 100),
+        );
+        b.edge(a, 1, bb, 0, EdgeKind::ForeignKey, 1.0, 2.0);
+        b.edge(bb, 1, c, 0, EdgeKind::ForeignKey, 1.0, 3.0);
+        b.edge(c, 1, d, 0, EdgeKind::ForeignKey, 1.0, 1.0);
+        b.build()
+    }
+
+    fn cq(id: u32, catalog: &Catalog, names: &[&str]) -> ConjunctiveQuery {
+        let rels: Vec<RelId> = names
+            .iter()
+            .map(|n| catalog.relation_by_name(n).unwrap().id)
+            .collect();
+        let atoms = rels
+            .iter()
+            .map(|&rel| CqAtom {
+                rel,
+                selection: None,
+            })
+            .collect();
+        let joins = rels
+            .windows(2)
+            .map(|w| {
+                let e = catalog.edge_between(w[0], w[1]).unwrap();
+                CqJoin {
+                    edge: e.id,
+                    left: e.from,
+                    left_col: e.from_col,
+                    right: e.to,
+                    right_col: e.to_col,
+                }
+            })
+            .collect();
+        ConjunctiveQuery::new(CqId::new(id), UqId::new(0), UserId::new(0), atoms, joins)
+    }
+
+    #[test]
+    fn scoreless_large_relation_is_not_streamable() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let c = cat.relation_by_name("C").unwrap().id;
+        let d = cat.relation_by_name("D").unwrap().id;
+        let a = cat.relation_by_name("A").unwrap().id;
+        assert!(!is_streamable(&model, c, &config), "large scoreless C probes");
+        assert!(is_streamable(&model, d, &config), "tiny scoreless D streams");
+        assert!(is_streamable(&model, a, &config), "scored A streams");
+    }
+
+    #[test]
+    fn shared_subexpression_survives_pruning() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let q1 = cq(0, &cat, &["A", "B"]);
+        let q2 = cq(1, &cat, &["A", "B", "C"]);
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config);
+        // A⋈B is shared by both queries and both atoms are streamable.
+        let ab = candidates
+            .iter()
+            .find(|c| c.sig.size() == 2)
+            .expect("A⋈B candidate");
+        assert_eq!(ab.queries.len(), 2);
+        // Base relations appear as candidates too (heuristic 5).
+        assert!(candidates.iter().any(|c| c.sig.size() == 1));
+    }
+
+    #[test]
+    fn probe_only_relations_never_appear_in_candidates() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let c_rel = cat.relation_by_name("C").unwrap().id;
+        let q = cq(0, &cat, &["A", "B", "C"]);
+        let candidates = enumerate_candidates(&[&q], &model, &config);
+        assert!(
+            candidates
+                .iter()
+                .all(|cand| !cand.sig.rels().contains(&c_rel)),
+            "C must be probed, not pushed down"
+        );
+    }
+
+    #[test]
+    fn unshared_expensive_subexpression_is_pruned() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig {
+            min_sharing: 2,
+            low_cardinality: 1.0,
+            ..HeuristicConfig::default()
+        };
+        let q = cq(0, &cat, &["A", "B"]);
+        let candidates = enumerate_candidates(&[&q], &model, &config);
+        // A⋈B has cardinality 10000*8000/1000 = 80000: too big, unshared.
+        assert!(candidates.iter().all(|c| c.sig.size() == 1));
+    }
+
+    #[test]
+    fn candidate_cap_applies_to_multirel_only() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig {
+            max_candidates: 0,
+            ..HeuristicConfig::default()
+        };
+        let q1 = cq(0, &cat, &["A", "B"]);
+        let q2 = cq(1, &cat, &["A", "B"]);
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config);
+        assert!(candidates.iter().all(|c| c.sig.size() == 1));
+        assert!(!candidates.is_empty(), "base candidates always survive");
+    }
+}

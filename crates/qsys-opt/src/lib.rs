@@ -1,0 +1,30 @@
+//! The multi-query optimizer (Section 5 of the paper).
+//!
+//! Two-stage plan generation for a batch of conjunctive queries:
+//!
+//! 1. **Cost-based push-down** — enumerate candidate subexpressions that
+//!    could be evaluated at the remote sources (pruned by the Section 5.1.1
+//!    heuristics, memoized in an AND-OR graph), then run **Algorithm 1
+//!    (BestPlan)**: a memoized, Volcano-style top-down search for the
+//!    input assignment `(I, 𝕀)` minimizing estimated cost.
+//! 2. **Heuristic factorization** — factor the middleware portion of the
+//!    plan into shared components (Section 5.2), deferring join ordering
+//!    inside each component to the m-join's runtime adaptivity.
+//!
+//! The optimizer also implements the Section 6.1 machinery for dynamic
+//! operation: reuse-aware cost adjustment (via a [`ReuseOracle`] answered
+//! by the QS manager) and hierarchical user-query clustering.
+
+pub mod andor;
+pub mod bestplan;
+pub mod cluster;
+pub mod cost;
+pub mod heuristics;
+pub mod plan;
+
+pub use andor::AndOrGraph;
+pub use bestplan::{BestPlanSearch, OptStats};
+pub use cluster::{cluster_user_queries, ClusterConfig};
+pub use cost::{CostModel, NoReuse, ReuseOracle};
+pub use heuristics::{enumerate_candidates, Candidate, HeuristicConfig};
+pub use plan::{CqPlan, Optimizer, OptimizerConfig, PlanSpec, PredSpec, SpecNode, SpecNodeKind};

@@ -1,0 +1,617 @@
+//! The optimizer facade and plan-graph factorization (Section 5.2).
+//!
+//! After BestPlan fixes the input assignment, the middleware portion of the
+//! plan is factored into shared components: subexpression outputs consumed
+//! by several conjunctive queries are computed once and fed onward (the
+//! paper's split operators — realized here as fan-out edges in the plan
+//! graph). Join ordering *within* each component is deferred to the
+//! m-join's runtime adaptivity, exactly as the paper prescribes ("defer
+//! decisions about join ordering within each component to runtime").
+//!
+//! The output is a declarative [`PlanSpec`] that the query state manager
+//! instantiates into (or grafts onto) a live
+//! [`QueryPlanGraph`](../qsys_exec/graph/struct.QueryPlanGraph.html).
+
+use crate::bestplan::{Assignment, BestPlanSearch, OptStats};
+use crate::cost::{CostModel, ReuseOracle};
+use crate::heuristics::{enumerate_candidates, is_streamable, HeuristicConfig};
+use qsys_catalog::Catalog;
+use qsys_query::{ConjunctiveQuery, ScoreFn, SubExprSig};
+use qsys_types::{
+    CostProfile, CqId, RelId, Selection, SimClock, TimeCategory, UqId, UserId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One equi-join predicate in a plan spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredSpec {
+    /// One side.
+    pub left_rel: RelId,
+    /// Column on the left side.
+    pub left_col: usize,
+    /// Other side.
+    pub right_rel: RelId,
+    /// Column on the right side.
+    pub right_col: usize,
+}
+
+/// What a spec node computes.
+#[derive(Clone, Debug)]
+pub enum SpecNodeKind {
+    /// A remote stream: a base relation scan or a pushed-down SPJ
+    /// subexpression, described entirely by the node's signature.
+    Stream,
+    /// A middleware m-join over other spec nodes plus probed relations.
+    Join {
+        /// Indices of input spec nodes.
+        inputs: Vec<usize>,
+        /// Random-access relations probed within this join, with their
+        /// residual selections.
+        probes: Vec<(RelId, Option<Selection>)>,
+        /// Join predicates evaluated here.
+        preds: Vec<PredSpec>,
+    },
+}
+
+/// One node of the declarative plan.
+#[derive(Clone, Debug)]
+pub struct SpecNode {
+    /// Canonical signature of the node's output (streamed relations only —
+    /// probe results join in transiently).
+    pub sig: SubExprSig,
+    /// The operator.
+    pub kind: SpecNodeKind,
+    /// Whether this node may be merged with identically-signed state
+    /// (subexpression sharing / reuse across time). `false` under the
+    /// ATC-CQ baseline.
+    pub share: bool,
+}
+
+/// Per-conjunctive-query wiring.
+#[derive(Clone, Debug)]
+pub struct CqPlan {
+    /// The conjunctive query.
+    pub cq: CqId,
+    /// Its user query.
+    pub uq: UqId,
+    /// The posing user.
+    pub user: UserId,
+    /// Score function.
+    pub score_fn: ScoreFn,
+    /// Whole-query signature.
+    pub sig: SubExprSig,
+    /// Spec node whose output is the CQ's full result.
+    pub root: usize,
+    /// Relations probed (not streamed) for this CQ, with max raw scores.
+    pub probed: Vec<(RelId, f64)>,
+}
+
+/// A declarative query plan for one batch.
+#[derive(Clone, Debug, Default)]
+pub struct PlanSpec {
+    /// Producer nodes, topologically ordered (inputs precede consumers).
+    pub nodes: Vec<SpecNode>,
+    /// One entry per conjunctive query in the batch.
+    pub cq_plans: Vec<CqPlan>,
+}
+
+impl PlanSpec {
+    /// Stream leaves reachable from `node`, with their covered relations.
+    pub fn stream_leaves_of(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(i) = stack.pop() {
+            match &self.nodes[i].kind {
+                SpecNodeKind::Stream => out.push(i),
+                SpecNodeKind::Join { inputs, .. } => stack.extend(inputs.iter().copied()),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Results requested per user query.
+    pub k: usize,
+    /// Pruning heuristics.
+    pub heuristics: HeuristicConfig,
+    /// Cost constants (must match the execution profile).
+    pub cost_profile: CostProfile,
+    /// Whether to share subexpressions across the batch (BATCH-OPT /
+    /// ATC-UQ / ATC-FULL). When `false` (ATC-CQ), every conjunctive query
+    /// is planned in isolation and nothing is merged.
+    pub share_subexpressions: bool,
+    /// Simulated µs charged per BestPlan search state (drives Figure 11).
+    pub opt_step_us: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            k: 50,
+            heuristics: HeuristicConfig::default(),
+            cost_profile: CostProfile::default(),
+            share_subexpressions: true,
+            opt_step_us: 15,
+        }
+    }
+}
+
+/// The multiple-query optimizer.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    /// Configuration (public: the engine tweaks sharing per configuration).
+    pub config: OptimizerConfig,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Build an optimizer over a catalog.
+    pub fn new(catalog: &'a Catalog, config: OptimizerConfig) -> Optimizer<'a> {
+        Optimizer { catalog, config }
+    }
+
+    /// Optimize a batch of conjunctive queries into a plan spec.
+    ///
+    /// `reuse` reports (and pins) in-memory state from prior executions;
+    /// `clock` receives the optimization-time charge (Figure 11).
+    pub fn optimize(
+        &self,
+        batch: &[(&ConjunctiveQuery, &ScoreFn)],
+        reuse: &dyn ReuseOracle,
+        clock: Option<&SimClock>,
+    ) -> (PlanSpec, OptStats) {
+        let model = CostModel::new(self.catalog, self.config.cost_profile, self.config.k);
+        let queries: Vec<&ConjunctiveQuery> = batch.iter().map(|(cq, _)| *cq).collect();
+
+        let candidates = if self.config.share_subexpressions {
+            enumerate_candidates(&queries, &model, &self.config.heuristics)
+        } else {
+            Vec::new()
+        };
+        // Pin any resident candidate inputs while we plan (Section 6.1).
+        for c in &candidates {
+            if reuse.streamed(&c.sig).is_some() {
+                reuse.pin(&c.sig);
+            }
+        }
+        let search = BestPlanSearch::new(&model, reuse, &self.config.heuristics, queries);
+        let (assignment, stats) = search.run(candidates);
+        if let Some(clock) = clock {
+            clock.charge(
+                TimeCategory::Optimize,
+                stats.explored as u64 * self.config.opt_step_us,
+            );
+        }
+        let spec = self.factorize(batch, &assignment, &model);
+        (spec, stats)
+    }
+
+    /// Section 5.2: factor the assignment into a shared component DAG.
+    fn factorize(
+        &self,
+        batch: &[(&ConjunctiveQuery, &ScoreFn)],
+        assignment: &Assignment,
+        model: &CostModel<'_>,
+    ) -> PlanSpec {
+        let share = self.config.share_subexpressions;
+        let mut spec = PlanSpec::default();
+        // Stream inputs become leaves; probe inputs attach to final joins.
+        let mut term_map: BTreeMap<CqId, Vec<usize>> = BTreeMap::new();
+        let mut probe_map: BTreeMap<CqId, Vec<(RelId, Option<Selection>)>> = BTreeMap::new();
+        for input in assignment {
+            let streamed = input
+                .sig
+                .atoms
+                .iter()
+                .all(|(r, _)| is_streamable(model, *r, &self.config.heuristics));
+            if streamed {
+                if share {
+                    // One shared leaf per signature.
+                    let idx = spec
+                        .nodes
+                        .iter()
+                        .position(|n| n.sig == input.sig)
+                        .unwrap_or_else(|| {
+                            spec.nodes.push(SpecNode {
+                                sig: input.sig.clone(),
+                                kind: SpecNodeKind::Stream,
+                                share: true,
+                            });
+                            spec.nodes.len() - 1
+                        });
+                    for cq in &input.queries {
+                        term_map.entry(*cq).or_default().push(idx);
+                    }
+                } else {
+                    // ATC-CQ: a private leaf per consumer.
+                    for cq in &input.queries {
+                        spec.nodes.push(SpecNode {
+                            sig: input.sig.clone(),
+                            kind: SpecNodeKind::Stream,
+                            share: false,
+                        });
+                        term_map.entry(*cq).or_default().push(spec.nodes.len() - 1);
+                    }
+                }
+            } else {
+                debug_assert_eq!(input.sig.size(), 1, "probe inputs are single relations");
+                let (rel, sel) = input.sig.atoms[0].clone();
+                for cq in &input.queries {
+                    probe_map.entry(*cq).or_default().push((rel, sel.clone()));
+                }
+            }
+        }
+
+        // Greedy component merging: repeatedly combine the pair of terms
+        // co-appearing (joinable, identically) in the most queries.
+        if share {
+            loop {
+                let mut best: Option<(usize, usize, Vec<CqId>, Vec<PredSpec>)> = None;
+                let cq_ids: Vec<CqId> = term_map.keys().copied().collect();
+                let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+                for cq in &cq_ids {
+                    let terms = &term_map[cq];
+                    for i in 0..terms.len() {
+                        for j in i + 1..terms.len() {
+                            let (x, y) = (terms[i].min(terms[j]), terms[i].max(terms[j]));
+                            if x == y || !seen_pairs.insert((x, y)) {
+                                continue;
+                            }
+                            let Some((users, preds)) =
+                                self.mergeable(batch, &term_map, &spec, x, y)
+                            else {
+                                continue;
+                            };
+                            if users.len() >= 2
+                                && best.as_ref().is_none_or(|(_, _, u, _)| users.len() > u.len())
+                            {
+                                best = Some((x, y, users, preds));
+                            }
+                        }
+                    }
+                }
+                let Some((x, y, users, preds)) = best else {
+                    break;
+                };
+                let combined = combine_sigs(&spec.nodes[x].sig, &spec.nodes[y].sig, &preds);
+                spec.nodes.push(SpecNode {
+                    sig: combined,
+                    kind: SpecNodeKind::Join {
+                        inputs: vec![x, y],
+                        probes: Vec::new(),
+                        preds,
+                    },
+                    share: true,
+                });
+                let new_idx = spec.nodes.len() - 1;
+                for cq in users {
+                    let terms = term_map.get_mut(&cq).expect("user has terms");
+                    terms.retain(|&t| t != x && t != y);
+                    terms.push(new_idx);
+                }
+            }
+        }
+
+        // Final m-join per CQ.
+        for (cq, score_fn) in batch {
+            let terms = term_map.remove(&cq.id).unwrap_or_default();
+            let probes = probe_map.remove(&cq.id).unwrap_or_default();
+            let whole = SubExprSig::of_cq(cq);
+            let root = if terms.len() == 1 && probes.is_empty() {
+                terms[0]
+            } else {
+                let covered: Vec<&SubExprSig> =
+                    terms.iter().map(|&t| &spec.nodes[t].sig).collect();
+                let preds = residual_preds(cq, &covered);
+                spec.nodes.push(SpecNode {
+                    sig: whole.clone(),
+                    kind: SpecNodeKind::Join {
+                        inputs: terms,
+                        probes: probes.clone(),
+                        preds,
+                    },
+                    share,
+                });
+                spec.nodes.len() - 1
+            };
+            let probed = probes
+                .iter()
+                .map(|(r, _)| (*r, self.catalog.relation(*r).stats.max_score))
+                .collect();
+            spec.cq_plans.push(CqPlan {
+                cq: cq.id,
+                uq: cq.uq,
+                user: cq.user,
+                score_fn: (*score_fn).clone(),
+                sig: whole,
+                root,
+                probed,
+            });
+        }
+        spec
+    }
+
+    /// If terms `x` and `y` can merge, return the queries currently holding
+    /// both and the (identical across those queries) connecting predicates.
+    fn mergeable(
+        &self,
+        batch: &[(&ConjunctiveQuery, &ScoreFn)],
+        term_map: &BTreeMap<CqId, Vec<usize>>,
+        spec: &PlanSpec,
+        x: usize,
+        y: usize,
+    ) -> Option<(Vec<CqId>, Vec<PredSpec>)> {
+        let users: Vec<CqId> = term_map
+            .iter()
+            .filter(|(_, terms)| terms.contains(&x) && terms.contains(&y))
+            .map(|(cq, _)| *cq)
+            .collect();
+        if users.len() < 2 {
+            return None;
+        }
+        let rels_x = spec.nodes[x].sig.rels();
+        let rels_y = spec.nodes[y].sig.rels();
+        let mut common: Option<Vec<PredSpec>> = None;
+        for cq_id in &users {
+            let (cq, _) = batch.iter().find(|(c, _)| c.id == *cq_id)?;
+            let mut preds: Vec<PredSpec> = cq
+                .joins
+                .iter()
+                .filter_map(|j| {
+                    if rels_x.contains(&j.left) && rels_y.contains(&j.right)
+                        || rels_x.contains(&j.right) && rels_y.contains(&j.left)
+                    {
+                        Some(PredSpec {
+                            left_rel: j.left,
+                            left_col: j.left_col,
+                            right_rel: j.right,
+                            right_col: j.right_col,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            preds.sort_by_key(|p| (p.left_rel, p.left_col, p.right_rel, p.right_col));
+            if preds.is_empty() {
+                return None;
+            }
+            match &common {
+                None => common = Some(preds),
+                Some(c) if *c == preds => {}
+                Some(_) => return None, // queries join these terms differently
+            }
+        }
+        common.map(|preds| (users, preds))
+    }
+}
+
+/// Join predicates of `cq` not internal to any single covered term.
+fn residual_preds(cq: &ConjunctiveQuery, covered: &[&SubExprSig]) -> Vec<PredSpec> {
+    cq.joins
+        .iter()
+        .filter(|j| {
+            !covered.iter().any(|sig| {
+                let rels = sig.rels();
+                rels.contains(&j.left) && rels.contains(&j.right)
+            })
+        })
+        .map(|j| PredSpec {
+            left_rel: j.left,
+            left_col: j.left_col,
+            right_rel: j.right,
+            right_col: j.right_col,
+        })
+        .collect()
+}
+
+fn combine_sigs(a: &SubExprSig, b: &SubExprSig, preds: &[PredSpec]) -> SubExprSig {
+    let mut atoms = a.atoms.clone();
+    atoms.extend(b.atoms.clone());
+    atoms.sort();
+    let mut joins = a.joins.clone();
+    joins.extend(b.joins.clone());
+    for p in preds {
+        let (l, r) = if p.left_rel <= p.right_rel {
+            (
+                (p.left_rel, p.left_col, p.right_rel, p.right_col),
+                None::<()>,
+            )
+        } else {
+            ((p.right_rel, p.right_col, p.left_rel, p.left_col), None)
+        };
+        let _ = r;
+        joins.push(l);
+    }
+    joins.sort();
+    joins.dedup();
+    SubExprSig { atoms, joins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::NoReuse;
+    use qsys_catalog::{CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+    use qsys_query::{CqAtom, CqJoin};
+    use qsys_types::SourceId;
+
+    /// Chain of five scored relations, generous sharing.
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::default();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let mut stats = RelationStats::with_cardinality(5_000);
+            stats.columns = vec![
+                ColumnStats { distinct: 200 },
+                ColumnStats { distinct: 200 },
+            ];
+            ids.push(b.relation(
+                format!("R{i}"),
+                SourceId::new(0),
+                vec!["k".into(), "j".into()],
+                Some(0),
+                1.0,
+                stats,
+            ));
+        }
+        for w in ids.windows(2) {
+            b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 2.0);
+        }
+        b.build()
+    }
+
+    fn path_cq(id: u32, catalog: &Catalog, from: u32, len: u32, uq: u32) -> ConjunctiveQuery {
+        let rels: Vec<RelId> = (from..from + len).map(RelId::new).collect();
+        let atoms = rels
+            .iter()
+            .map(|&rel| CqAtom {
+                rel,
+                selection: None,
+            })
+            .collect();
+        let joins = rels
+            .windows(2)
+            .map(|w| {
+                let e = catalog.edge_between(w[0], w[1]).unwrap();
+                CqJoin {
+                    edge: e.id,
+                    left: e.from,
+                    left_col: e.from_col,
+                    right: e.to,
+                    right_col: e.to_col,
+                }
+            })
+            .collect();
+        ConjunctiveQuery::new(CqId::new(id), UqId::new(uq), UserId::new(0), atoms, joins)
+    }
+
+    #[test]
+    fn shared_batch_reuses_stream_leaves() {
+        let cat = catalog();
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        let f = ScoreFn::discover(UserId::new(0), 3);
+        let q1 = path_cq(0, &cat, 0, 3, 0);
+        let q2 = path_cq(1, &cat, 0, 4, 0);
+        let batch = vec![(&q1, &f), (&q2, &f)];
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        assert_eq!(spec.cq_plans.len(), 2);
+        // The shared R0 leaf appears once.
+        let r0_leaves = spec
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(n.kind, SpecNodeKind::Stream)
+                    && n.sig.rels() == vec![RelId::new(0)]
+            })
+            .count();
+        assert_eq!(r0_leaves, 1, "{spec:#?}");
+        // Both CQ roots resolve to leaves.
+        for plan in &spec.cq_plans {
+            assert!(!spec.stream_leaves_of(plan.root).is_empty());
+        }
+    }
+
+    #[test]
+    fn unshared_batch_duplicates_leaves() {
+        let cat = catalog();
+        let config = OptimizerConfig {
+            share_subexpressions: false,
+            ..OptimizerConfig::default()
+        };
+        let opt = Optimizer::new(&cat, config);
+        let f = ScoreFn::discover(UserId::new(0), 3);
+        let q1 = path_cq(0, &cat, 0, 3, 0);
+        let q2 = path_cq(1, &cat, 0, 3, 0);
+        let batch = vec![(&q1, &f), (&q2, &f)];
+        let (spec, stats) = opt.optimize(&batch, &NoReuse, None);
+        assert_eq!(stats.candidates, 0, "no MQO under ATC-CQ");
+        let r0_leaves = spec
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(n.kind, SpecNodeKind::Stream)
+                    && n.sig.rels() == vec![RelId::new(0)]
+            })
+            .count();
+        assert_eq!(r0_leaves, 2, "one private leaf per CQ");
+    }
+
+    #[test]
+    fn factorization_merges_common_components() {
+        let cat = catalog();
+        let config = OptimizerConfig {
+            // Force pure middleware plans so the merge step is exercised:
+            // no pushdowns (min_sharing unreachable, high cardinality bar).
+            heuristics: HeuristicConfig {
+                min_sharing: 99,
+                low_cardinality: 0.0,
+                ..HeuristicConfig::default()
+            },
+            ..OptimizerConfig::default()
+        };
+        let opt = Optimizer::new(&cat, config);
+        let f = ScoreFn::discover(UserId::new(0), 3);
+        let q1 = path_cq(0, &cat, 0, 3, 0);
+        let q2 = path_cq(1, &cat, 0, 4, 0);
+        let q3 = path_cq(2, &cat, 0, 5, 0);
+        let batch = vec![(&q1, &f), (&q2, &f), (&q3, &f)];
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        // Some intermediate join component is consumed more than once —
+        // by downstream joins or directly as a CQ root.
+        let join_nodes: Vec<usize> = spec
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, SpecNodeKind::Join { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let uses = |idx: usize| {
+            let as_input = spec
+                .nodes
+                .iter()
+                .filter(|n| match &n.kind {
+                    SpecNodeKind::Join { inputs, .. } => inputs.contains(&idx),
+                    _ => false,
+                })
+                .count();
+            let as_root = spec.cq_plans.iter().filter(|p| p.root == idx).count();
+            as_input + as_root
+        };
+        assert!(
+            join_nodes.iter().any(|&j| uses(j) >= 2),
+            "expected a shared middleware component: {spec:#?}"
+        );
+    }
+
+    #[test]
+    fn optimizer_charges_the_clock() {
+        let cat = catalog();
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        let f = ScoreFn::discover(UserId::new(0), 3);
+        let q1 = path_cq(0, &cat, 0, 4, 0);
+        let q2 = path_cq(1, &cat, 1, 4, 0);
+        let clock = SimClock::new();
+        let batch = vec![(&q1, &f), (&q2, &f)];
+        let (_, stats) = opt.optimize(&batch, &NoReuse, Some(&clock));
+        assert!(clock.breakdown().optimize_us > 0);
+        assert!(stats.explored >= 1);
+    }
+
+    #[test]
+    fn single_cq_single_relation_plan() {
+        let cat = catalog();
+        let opt = Optimizer::new(&cat, OptimizerConfig::default());
+        let f = ScoreFn::discover(UserId::new(0), 1);
+        let q = path_cq(0, &cat, 2, 1, 0);
+        let batch = vec![(&q, &f)];
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        assert_eq!(spec.cq_plans.len(), 1);
+        let root = spec.cq_plans[0].root;
+        assert!(matches!(spec.nodes[root].kind, SpecNodeKind::Stream));
+    }
+}

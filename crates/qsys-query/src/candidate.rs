@@ -1,0 +1,682 @@
+//! Candidate-network generation: keyword query → ranked conjunctive queries.
+//!
+//! The paper treats this step as pluggable ("generated using any of the
+//! methods cited in Section 2.1", Section 3); we implement a DISCOVER-style
+//! enumerator over the schema graph. For each keyword we take the best
+//! matches from the [`KeywordIndex`]; for each combination of matches we
+//! find join trees connecting the matched relations (cheapest paths first,
+//! with alternatives — which is how variants like the paper's CQ5/CQ6, one
+//! routing through `Term_Syn` and one not, arise); each tree becomes a
+//! conjunctive query scored under the configured model. The result is a
+//! [`UserQuery`] whose CQs are sorted by score upper bound `U`, exactly the
+//! triples `[(UQ_j, CQ_i, C_i)]` the query batcher expects.
+
+use crate::cq::{ConjunctiveQuery, CqAtom, CqJoin, UserQuery};
+use crate::score::{ScoreFn, ScoreModel};
+use crate::subexpr::SubExprSig;
+use qsys_catalog::{Catalog, EdgeId, KeywordIndex, KeywordMatch, MatchKind};
+use qsys_types::{CqId, QsysError, QsysResult, RelId, Selection, UqId, UserId};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+/// Tuning knobs for candidate generation.
+#[derive(Clone, Debug)]
+pub struct CandidateConfig {
+    /// Maximum conjunctive queries per user query (paper: at most 20).
+    pub max_cqs: usize,
+    /// Maximum atoms per conjunctive query.
+    pub max_atoms: usize,
+    /// How many keyword matches to consider per keyword.
+    pub matches_per_keyword: usize,
+    /// How many alternative join paths to explore per connection step
+    /// (yields CQ variants like the paper's CQ5 vs CQ6).
+    pub path_variants: usize,
+    /// The scoring model to instantiate.
+    pub model: ScoreModel,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            max_cqs: 20,
+            max_atoms: 8,
+            matches_per_keyword: 4,
+            path_variants: 2,
+            model: ScoreModel::QSystem,
+        }
+    }
+}
+
+/// Generates candidate networks for keyword queries.
+pub struct CandidateGenerator<'a> {
+    catalog: &'a Catalog,
+    index: &'a KeywordIndex,
+    config: CandidateConfig,
+}
+
+/// A join tree under construction: relation set plus tree edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TreeCandidate {
+    rels: BTreeSet<RelId>,
+    edges: BTreeSet<EdgeId>,
+}
+
+impl<'a> CandidateGenerator<'a> {
+    /// Create a generator over a catalog and keyword index.
+    pub fn new(
+        catalog: &'a Catalog,
+        index: &'a KeywordIndex,
+        config: CandidateConfig,
+    ) -> CandidateGenerator<'a> {
+        CandidateGenerator {
+            catalog,
+            index,
+            config,
+        }
+    }
+
+    /// Convert a keyword query into a user query. `next_cq` is the global
+    /// CQ id counter (advanced for each emitted CQ). `user_edge_costs`
+    /// optionally overrides schema edge costs for this user (the Q System
+    /// learns per-user costs).
+    pub fn generate(
+        &self,
+        keywords: &str,
+        uq: UqId,
+        user: UserId,
+        next_cq: &mut u32,
+        user_edge_costs: Option<&HashMap<EdgeId, f64>>,
+    ) -> QsysResult<UserQuery> {
+        let terms = KeywordIndex::tokenize(keywords);
+        if terms.is_empty() {
+            return Err(QsysError::NoMatches(keywords.to_string()));
+        }
+        let mut per_keyword: Vec<&[KeywordMatch]> = Vec::new();
+        for term in &terms {
+            let hits = self.index.lookup(term);
+            if hits.is_empty() {
+                return Err(QsysError::NoMatches(term.clone()));
+            }
+            per_keyword.push(&hits[..hits.len().min(self.config.matches_per_keyword)]);
+        }
+
+        // Enumerate match combinations (cartesian product, best-first by
+        // similarity product).
+        let mut combos: Vec<Vec<&KeywordMatch>> = vec![Vec::new()];
+        for hits in &per_keyword {
+            let mut next = Vec::with_capacity(combos.len() * hits.len());
+            for combo in &combos {
+                for hit in *hits {
+                    let mut c = combo.clone();
+                    c.push(hit);
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        combos.sort_by(|a, b| {
+            let pa: f64 = a.iter().map(|m| m.similarity).product();
+            let pb: f64 = b.iter().map(|m| m.similarity).product();
+            pb.total_cmp(&pa)
+        });
+
+        let mut seen = BTreeSet::new();
+        let mut out: Vec<(ConjunctiveQuery, ScoreFn)> = Vec::new();
+        for combo in &combos {
+            if out.len() >= self.config.max_cqs * 2 {
+                break; // enough raw material before the final truncation
+            }
+            let Some((selections, similarity)) = merge_combo(combo) else {
+                continue; // conflicting selections on the same relation
+            };
+            let rels: Vec<RelId> = selections.keys().copied().collect();
+            for tree in self.connect(&rels) {
+                if tree.rels.len() > self.config.max_atoms {
+                    continue;
+                }
+                let (cq_atoms, cq_joins) = self.realize(&tree, &selections);
+                let sig = SubExprSig::new(
+                    cq_atoms
+                        .iter()
+                        .map(|a| (a.rel, a.selection.clone()))
+                        .collect(),
+                    cq_joins.clone(),
+                );
+                if !seen.insert(sig) {
+                    continue;
+                }
+                let cq = ConjunctiveQuery::new(
+                    CqId::new(*next_cq),
+                    uq,
+                    user,
+                    cq_atoms,
+                    cq_joins,
+                );
+                *next_cq += 1;
+                let score_fn = self.score_for(&cq, &similarity, user, user_edge_costs);
+                out.push((cq, score_fn));
+            }
+        }
+        if out.is_empty() {
+            return Err(QsysError::NoMatches(keywords.to_string()));
+        }
+        // Sort by upper bound, nonincreasing, and truncate (Section 3: CQs
+        // arrive at the batcher in nonincreasing order of U).
+        out.sort_by(|(cq_a, f_a), (cq_b, f_b)| {
+            let ua = f_a.upper_bound(cq_a, self.catalog);
+            let ub = f_b.upper_bound(cq_b, self.catalog);
+            ub.cmp(&ua)
+        });
+        out.truncate(self.config.max_cqs);
+        Ok(UserQuery {
+            id: uq,
+            user,
+            keywords: keywords.to_string(),
+            cqs: out,
+        })
+    }
+
+    /// Find join trees connecting `rels`, exploring `path_variants`
+    /// alternatives per connection step.
+    fn connect(&self, rels: &[RelId]) -> Vec<TreeCandidate> {
+        let mut alternatives = vec![TreeCandidate {
+            rels: BTreeSet::from([rels[0]]),
+            edges: BTreeSet::new(),
+        }];
+        for &target in &rels[1..] {
+            let mut next = Vec::new();
+            for alt in &alternatives {
+                if alt.rels.contains(&target) {
+                    next.push(alt.clone());
+                    continue;
+                }
+                for path in self.paths_to_set(target, &alt.rels, self.config.path_variants) {
+                    let mut grown = alt.clone();
+                    for eid in &path {
+                        let e = self.catalog.edge(*eid);
+                        grown.rels.insert(e.from);
+                        grown.rels.insert(e.to);
+                        grown.edges.insert(*eid);
+                    }
+                    if !next.contains(&grown) {
+                        next.push(grown);
+                    }
+                }
+            }
+            next.truncate(8); // keep the search bounded
+            alternatives = next;
+            if alternatives.is_empty() {
+                return Vec::new(); // disconnected keywords
+            }
+        }
+        // Keep only alternatives whose edges form trees (no cycles).
+        alternatives
+            .into_iter()
+            .filter(|t| t.edges.len() + 1 == t.rels.len())
+            .collect()
+    }
+
+    /// Up to `variants` cheapest edge-paths from `from` to any relation in
+    /// `targets`. The cheapest path comes from Dijkstra over edge costs;
+    /// alternatives are found Yen-style, by banning each edge of the
+    /// cheapest path in turn and keeping the cheapest distinct detours.
+    fn paths_to_set(
+        &self,
+        from: RelId,
+        targets: &BTreeSet<RelId>,
+        variants: usize,
+    ) -> Vec<Vec<EdgeId>> {
+        let Some(best) = self.dijkstra(from, targets, &BTreeSet::new()) else {
+            return Vec::new();
+        };
+        let mut out = vec![best.clone()];
+        if best.is_empty() || variants <= 1 {
+            return out;
+        }
+        let mut alts: Vec<Vec<EdgeId>> = Vec::new();
+        for &banned_edge in &best {
+            if let Some(p) = self.dijkstra(from, targets, &BTreeSet::from([banned_edge])) {
+                if p != best && !alts.contains(&p) {
+                    alts.push(p);
+                }
+            }
+        }
+        alts.sort_by_key(|p| self.path_cost(p));
+        for p in alts {
+            if out.len() >= variants {
+                break;
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    fn path_cost(&self, path: &[EdgeId]) -> u64 {
+        path.iter()
+            .map(|&e| (self.catalog.edge(e).cost * 1000.0).max(1.0) as u64)
+            .sum()
+    }
+
+    fn dijkstra(
+        &self,
+        from: RelId,
+        targets: &BTreeSet<RelId>,
+        banned: &BTreeSet<EdgeId>,
+    ) -> Option<Vec<EdgeId>> {
+        if targets.contains(&from) {
+            return Some(Vec::new());
+        }
+        // Max-heap on negative cost → min-heap behaviour.
+        let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, RelId)> = BinaryHeap::new();
+        let mut dist: BTreeMap<RelId, u64> = BTreeMap::new();
+        let mut back: BTreeMap<RelId, EdgeId> = BTreeMap::new();
+        dist.insert(from, 0);
+        heap.push((std::cmp::Reverse(0), from));
+        while let Some((std::cmp::Reverse(d), rel)) = heap.pop() {
+            if dist.get(&rel).copied().unwrap_or(u64::MAX) < d {
+                continue;
+            }
+            if targets.contains(&rel) {
+                // Reconstruct edge path.
+                let mut path = Vec::new();
+                let mut cur = rel;
+                while cur != from {
+                    let eid = back[&cur];
+                    path.push(eid);
+                    let e = self.catalog.edge(eid);
+                    cur = if e.from == cur { e.to } else { e.from };
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for eid in self.catalog.incident_edges(rel) {
+                if banned.contains(eid) {
+                    continue;
+                }
+                let e = self.catalog.edge(*eid);
+                let (next, _, _) = e.other(rel).expect("incident edge");
+                // Integer-scaled edge cost keeps Dijkstra exact.
+                let nd = d + (e.cost * 1000.0).max(1.0) as u64;
+                if nd < dist.get(&next).copied().unwrap_or(u64::MAX) {
+                    dist.insert(next, nd);
+                    back.insert(next, *eid);
+                    heap.push((std::cmp::Reverse(nd), next));
+                }
+            }
+        }
+        None
+    }
+
+    /// Turn a tree into atoms and joins, applying keyword selections.
+    fn realize(
+        &self,
+        tree: &TreeCandidate,
+        selections: &BTreeMap<RelId, (Option<Selection>, f64)>,
+    ) -> (Vec<CqAtom>, Vec<CqJoin>) {
+        let atoms = tree
+            .rels
+            .iter()
+            .map(|&rel| CqAtom {
+                rel,
+                selection: selections.get(&rel).and_then(|(s, _)| s.clone()),
+            })
+            .collect();
+        let joins = tree
+            .edges
+            .iter()
+            .map(|&eid| {
+                let e = self.catalog.edge(eid);
+                CqJoin {
+                    edge: eid,
+                    left: e.from,
+                    left_col: e.from_col,
+                    right: e.to,
+                    right_col: e.to_col,
+                }
+            })
+            .collect();
+        (atoms, joins)
+    }
+
+    /// Build the score function for a CQ under the configured model,
+    /// folding keyword-match similarities into per-relation weights.
+    fn score_for(
+        &self,
+        cq: &ConjunctiveQuery,
+        similarity: &BTreeMap<RelId, f64>,
+        user: UserId,
+        user_edge_costs: Option<&HashMap<EdgeId, f64>>,
+    ) -> ScoreFn {
+        let edge_cost = |eid: EdgeId| -> f64 {
+            user_edge_costs
+                .and_then(|m| m.get(&eid).copied())
+                .unwrap_or_else(|| self.catalog.edge(eid).cost)
+        };
+        let mut f = match self.config.model {
+            ScoreModel::Discover => ScoreFn::discover(user, cq.size()),
+            ScoreModel::QSystem => ScoreFn::q_system(
+                user,
+                cq.joins.iter().map(|j| edge_cost(j.edge)),
+                cq.atoms
+                    .iter()
+                    .map(|a| (a.rel, self.catalog.relation(a.rel).node_cost)),
+            ),
+            ScoreModel::Banks => {
+                let edge_w: f64 = cq
+                    .joins
+                    .iter()
+                    .map(|j| 1.0 / (1.0 + edge_cost(j.edge)))
+                    .product();
+                ScoreFn::banks(user, edge_w, Vec::new())
+            }
+        };
+        // Matched relations carry their keyword similarity as an extra
+        // multiplicative weight (the IR component of the score).
+        for (rel, sim) in similarity {
+            let w = f.weights.entry(*rel).or_insert(1.0);
+            *w *= *sim;
+        }
+        f
+    }
+}
+
+/// Merge one match combination into per-relation selections and similarity
+/// weights; `None` when two keywords demand conflicting selections on the
+/// same relation.
+#[allow(clippy::type_complexity)]
+fn merge_combo(
+    combo: &[&KeywordMatch],
+) -> Option<(
+    BTreeMap<RelId, (Option<Selection>, f64)>,
+    BTreeMap<RelId, f64>,
+)> {
+    let mut selections: BTreeMap<RelId, (Option<Selection>, f64)> = BTreeMap::new();
+    let mut similarity: BTreeMap<RelId, f64> = BTreeMap::new();
+    for m in combo {
+        let sel = match &m.kind {
+            MatchKind::Metadata => None,
+            MatchKind::Content { column, value } => {
+                Some(Selection::eq(*column, value.clone()))
+            }
+        };
+        match selections.get_mut(&m.rel) {
+            None => {
+                selections.insert(m.rel, (sel, m.similarity));
+            }
+            Some((existing, _)) => match (&existing, &sel) {
+                (None, None) => {}
+                (None, Some(_)) => *existing = sel,
+                (Some(_), None) => {}
+                (Some(a), Some(b)) if *a == *b => {}
+                _ => return None, // two different content predicates clash
+            },
+        }
+        *similarity.entry(m.rel).or_insert(1.0) *= m.similarity;
+    }
+    Some((selections, similarity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_catalog::{CatalogBuilder, EdgeKind, RelationStats};
+    use qsys_types::{SourceId, Value};
+
+    /// Build a mini bio-style schema:
+    /// Protein - Entry2Meth - InterPro2GO - Term - Gene2GO - GeneInfo
+    ///                         plus Term - TermSyn - Gene2GO (alt path).
+    fn setup() -> (Catalog, KeywordIndex) {
+        let mut b = CatalogBuilder::default();
+        let stats = |n: u64| RelationStats::with_cardinality(n);
+        let prot = b.relation(
+            "Protein",
+            SourceId::new(0),
+            vec!["id".into(), "name".into(), "score".into()],
+            Some(2),
+            0.5,
+            stats(1000),
+        );
+        let e2m = b.relation(
+            "Entry2Meth",
+            SourceId::new(0),
+            vec!["ent".into(), "id".into()],
+            None,
+            1.0,
+            stats(5000),
+        );
+        let i2g = b.relation(
+            "InterPro2GO",
+            SourceId::new(1),
+            vec!["ent".into(), "gid".into()],
+            None,
+            1.0,
+            stats(5000),
+        );
+        let term = b.relation(
+            "Term",
+            SourceId::new(1),
+            vec!["gid".into(), "name".into(), "score".into()],
+            Some(2),
+            0.5,
+            stats(2000),
+        );
+        let tsyn = b.relation(
+            "TermSyn",
+            SourceId::new(1),
+            vec!["gid1".into(), "gid2".into(), "score".into()],
+            Some(2),
+            1.0,
+            stats(3000),
+        );
+        let g2g = b.relation(
+            "Gene2GO",
+            SourceId::new(2),
+            vec!["gid".into(), "giId".into()],
+            None,
+            1.0,
+            stats(8000),
+        );
+        let gi = b.relation(
+            "GeneInfo",
+            SourceId::new(2),
+            vec!["giId".into(), "gene".into(), "score".into()],
+            Some(2),
+            0.5,
+            stats(4000),
+        );
+        b.edge(prot, 0, e2m, 1, EdgeKind::ForeignKey, 1.0, 2.0);
+        b.edge(e2m, 0, i2g, 0, EdgeKind::ForeignKey, 1.0, 1.5);
+        b.edge(i2g, 1, term, 0, EdgeKind::ForeignKey, 1.0, 1.0);
+        b.edge(term, 0, g2g, 0, EdgeKind::ForeignKey, 1.0, 3.0);
+        b.edge(term, 0, tsyn, 0, EdgeKind::ForeignKey, 2.0, 1.5);
+        b.edge(tsyn, 1, g2g, 0, EdgeKind::ForeignKey, 2.0, 2.0);
+        b.edge(g2g, 1, gi, 0, EdgeKind::ForeignKey, 1.0, 1.0);
+        let catalog = b.build();
+
+        let mut idx = KeywordIndex::new();
+        idx.insert(
+            "protein",
+            KeywordMatch {
+                rel: prot,
+                similarity: 0.9,
+                kind: MatchKind::Metadata,
+                selectivity: 1.0,
+            },
+        );
+        idx.insert(
+            "plasma membrane",
+            KeywordMatch {
+                rel: term,
+                similarity: 0.8,
+                kind: MatchKind::Content {
+                    column: 1,
+                    value: Value::str("plasma membrane"),
+                },
+                selectivity: 0.01,
+            },
+        );
+        idx.insert(
+            "gene",
+            KeywordMatch {
+                rel: gi,
+                similarity: 0.85,
+                kind: MatchKind::Metadata,
+                selectivity: 1.0,
+            },
+        );
+        (catalog, idx)
+    }
+
+    #[test]
+    fn generates_ranked_cqs_for_three_keywords() {
+        let (catalog, idx) = setup();
+        let generator =
+            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let mut next = 0;
+        let uq = generator
+            .generate(
+                "protein 'plasma membrane' gene",
+                UqId::new(0),
+                UserId::new(0),
+                &mut next,
+                None,
+            )
+            .unwrap();
+        assert!(!uq.cqs.is_empty());
+        assert_eq!(next as usize, uq.cqs.len());
+        // Sorted by nonincreasing upper bound.
+        let bounds: Vec<f64> = uq
+            .cqs
+            .iter()
+            .map(|(cq, f)| f.upper_bound(cq, &catalog).get())
+            .collect();
+        assert!(bounds.windows(2).all(|w| w[0] >= w[1]), "{bounds:?}");
+        // Every CQ covers all three matched relations.
+        for (cq, _) in &uq.cqs {
+            let rels = cq.rels();
+            assert!(rels.contains(&catalog.relation_by_name("Protein").unwrap().id));
+            assert!(rels.contains(&catalog.relation_by_name("Term").unwrap().id));
+            assert!(rels.contains(&catalog.relation_by_name("GeneInfo").unwrap().id));
+            assert!(cq.is_connected());
+        }
+    }
+
+    #[test]
+    fn content_match_becomes_selection() {
+        let (catalog, idx) = setup();
+        let generator =
+            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let mut next = 0;
+        let uq = generator
+            .generate(
+                "'plasma membrane' gene",
+                UqId::new(1),
+                UserId::new(0),
+                &mut next,
+                None,
+            )
+            .unwrap();
+        let term = catalog.relation_by_name("Term").unwrap().id;
+        for (cq, _) in &uq.cqs {
+            let atom = cq.atom(term).expect("Term participates");
+            let sel = atom.selection.as_ref().expect("content match selects");
+            assert_eq!(sel.value.as_str(), Some("plasma membrane"));
+        }
+    }
+
+    #[test]
+    fn path_variants_produce_syn_route() {
+        // CQ5 vs CQ6 of the paper: one route goes Term→Gene2GO directly,
+        // another via TermSyn.
+        let (catalog, idx) = setup();
+        let generator =
+            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let mut next = 0;
+        let uq = generator
+            .generate(
+                "'plasma membrane' gene",
+                UqId::new(2),
+                UserId::new(0),
+                &mut next,
+                None,
+            )
+            .unwrap();
+        let tsyn = catalog.relation_by_name("TermSyn").unwrap().id;
+        let with_syn = uq.cqs.iter().filter(|(cq, _)| cq.atom(tsyn).is_some()).count();
+        let without = uq.cqs.iter().filter(|(cq, _)| cq.atom(tsyn).is_none()).count();
+        assert!(with_syn >= 1, "expected a TermSyn variant");
+        assert!(without >= 1, "expected a direct variant");
+    }
+
+    #[test]
+    fn unknown_keyword_errors() {
+        let (catalog, idx) = setup();
+        let generator =
+            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let mut next = 0;
+        let err = generator
+            .generate("frobnicate", UqId::new(3), UserId::new(0), &mut next, None)
+            .unwrap_err();
+        assert!(matches!(err, QsysError::NoMatches(_)));
+    }
+
+    #[test]
+    fn max_cqs_truncates() {
+        let (catalog, idx) = setup();
+        let config = CandidateConfig {
+            max_cqs: 1,
+            ..CandidateConfig::default()
+        };
+        let generator = CandidateGenerator::new(&catalog, &idx, config);
+        let mut next = 0;
+        let uq = generator
+            .generate(
+                "protein 'plasma membrane' gene",
+                UqId::new(4),
+                UserId::new(0),
+                &mut next,
+                None,
+            )
+            .unwrap();
+        assert_eq!(uq.cqs.len(), 1);
+    }
+
+    #[test]
+    fn user_edge_costs_change_ranking() {
+        let (catalog, idx) = setup();
+        let config = CandidateConfig {
+            model: ScoreModel::QSystem,
+            ..CandidateConfig::default()
+        };
+        let generator = CandidateGenerator::new(&catalog, &idx, config);
+        let mut next = 0;
+        let base = generator
+            .generate(
+                "'plasma membrane' gene",
+                UqId::new(5),
+                UserId::new(0),
+                &mut next,
+                None,
+            )
+            .unwrap();
+        // Make every edge hugely expensive for user 1: bounds shrink.
+        let costs: HashMap<EdgeId, f64> = catalog
+            .edges()
+            .iter()
+            .map(|e| (e.id, 10.0))
+            .collect();
+        let expensive = generator
+            .generate(
+                "'plasma membrane' gene",
+                UqId::new(6),
+                UserId::new(1),
+                &mut next,
+                Some(&costs),
+            )
+            .unwrap();
+        let b0 = base.cqs[0].1.upper_bound(&base.cqs[0].0, &catalog);
+        let b1 = expensive.cqs[0]
+            .1
+            .upper_bound(&expensive.cqs[0].0, &catalog);
+        assert!(b0 > b1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Conjunctive queries, subexpression algebra, scoring models, and
+//! candidate-network generation.
+//!
+//! This crate covers the front half of the paper's pipeline (Sections 2–3):
+//! a keyword query `KQ_j` is converted into a **user query** `UQ_j` — a
+//! union of **conjunctive queries** `CQ_i` (candidate networks), each paired
+//! with a monotonic score function `C_i` with a computable upper bound
+//! `U(C_i)`. The back half (execution and optimization) consumes these
+//! types.
+
+pub mod candidate;
+pub mod cq;
+pub mod score;
+pub mod subexpr;
+
+pub use candidate::{CandidateConfig, CandidateGenerator};
+pub use cq::{ConjunctiveQuery, CqAtom, CqJoin, UserQuery};
+pub use score::{ScoreFn, ScoreModel};
+pub use subexpr::{enumerate_subexprs, SubExprSig};

@@ -1,0 +1,31 @@
+//! Simulated remote DBMS substrate.
+//!
+//! The paper's middleware runs over "remote (and possibly local) database
+//! instances" reached over a wide-area network (Sections 1–3), with two
+//! access styles:
+//!
+//! - **streaming sources**: SQL DBMSs that return a subquery's results in
+//!   nonincreasing score order, one tuple per network round;
+//! - **random access sources**: sources probed with specific join-key values
+//!   (a two-way semijoin per Roussopoulos & Kang [25]).
+//!
+//! The original evaluation used MySQL over JDBC with *simulated* Poisson
+//! (mean 2 ms) delays per tuple read and per probe. We reproduce the same
+//! cost model against in-process tables and a virtual clock (see DESIGN.md
+//! "Substitutions"): every stream read and probe charges simulated time,
+//! drawn from the same Poisson distribution, to a shared [`SimClock`].
+//!
+//! The module also implements **select-project-join push-down**
+//! ([`pushdown`]): the optimizer may decide to evaluate a subexpression "at
+//! the source" (Section 5.1); the result is exposed as just another
+//! score-ordered stream.
+
+pub mod pushdown;
+pub mod registry;
+pub mod stream;
+pub mod table;
+
+pub use pushdown::{JoinCond, SpjSpec};
+pub use registry::{Sources, TableProvider};
+pub use stream::{SourceStream, StreamKind};
+pub use table::Table;

@@ -1,0 +1,321 @@
+//! Lifecycle tests: graft → execute → re-graft with reuse → recover.
+//!
+//! These exercise the full Section 6 machinery against brute-force ground
+//! truth: grafting onto a warm graph must return exactly the same top-k as
+//! a cold execution, while reading strictly less from the network.
+
+use crate::manager::QsManager;
+use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
+use qsys_opt::{Optimizer, OptimizerConfig};
+use qsys_query::{ConjunctiveQuery, CqAtom, CqJoin, ScoreFn};
+use qsys_source::{Sources, Table};
+use qsys_types::{
+    BaseTuple, CostProfile, CqId, RelId, SimClock, Tuple, UqId, UserId, Value,
+};
+use std::sync::Arc;
+
+const N_ROWS: u64 = 40;
+const N_KEYS: i64 = 8;
+
+/// Chain A(0) - B(1) - C(2), all scored, key-joined on column 0/1.
+fn catalog() -> Catalog {
+    let mut b = CatalogBuilder::default();
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let mut stats = RelationStats::with_cardinality(N_ROWS);
+        stats.columns = vec![
+            ColumnStats {
+                distinct: N_KEYS as u64,
+            },
+            ColumnStats {
+                distinct: N_KEYS as u64,
+            },
+        ];
+        ids.push(b.relation(
+            format!("T{i}"),
+            qsys_types::SourceId::new(0),
+            vec!["k".into(), "j".into(), "score".into()],
+            Some(2),
+            1.0,
+            stats,
+        ));
+    }
+    for w in ids.windows(2) {
+        b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 2.0);
+    }
+    b.build()
+}
+
+fn sources() -> Sources {
+    let s = Sources::new(SimClock::new(), CostProfile::default(), 77);
+    for rel in 0..3u32 {
+        let id = RelId::new(rel);
+        let rows = (0..N_ROWS)
+            .map(|i| {
+                // Deterministic but varied keys and scores.
+                let k = ((i * 7 + rel as u64 * 3) % N_KEYS as u64) as i64;
+                let j = ((i * 5 + rel as u64) % N_KEYS as u64) as i64;
+                let score = 1.0 - (i as f64) / (N_ROWS as f64 + 5.0);
+                Arc::new(BaseTuple::new(
+                    id,
+                    i,
+                    vec![Value::Int(k), Value::Int(j), Value::float(score)],
+                    score,
+                ))
+            })
+            .collect();
+        s.register(Table::new(id, rows));
+    }
+    s
+}
+
+fn path_cq(id: u32, uq: u32, catalog: &Catalog, len: u32) -> ConjunctiveQuery {
+    let rels: Vec<RelId> = (0..len).map(RelId::new).collect();
+    let atoms = rels
+        .iter()
+        .map(|&rel| CqAtom {
+            rel,
+            selection: None,
+        })
+        .collect();
+    let joins = rels
+        .windows(2)
+        .map(|w| {
+            let e = catalog.edge_between(w[0], w[1]).unwrap();
+            CqJoin {
+                edge: e.id,
+                left: e.from,
+                left_col: e.from_col,
+                right: e.to,
+                right_col: e.to_col,
+            }
+        })
+        .collect();
+    ConjunctiveQuery::new(CqId::new(id), UqId::new(uq), UserId::new(0), atoms, joins)
+}
+
+/// Exhaustive reference: all join results of a chain CQ, scored, top-k.
+fn brute_force(sources: &Sources, cq: &ConjunctiveQuery, f: &ScoreFn, k: usize) -> Vec<f64> {
+    let tables: Vec<_> = cq
+        .rels()
+        .iter()
+        .map(|r| sources.table(*r))
+        .collect();
+    let mut partials: Vec<Tuple> = tables[0]
+        .rows()
+        .iter()
+        .map(|r| Tuple::single(Arc::clone(r)))
+        .collect();
+    for (i, t) in tables.iter().enumerate().skip(1) {
+        let mut next = Vec::new();
+        for p in &partials {
+            let left = p
+                .value_of(RelId::new(i as u32 - 1), 1)
+                .expect("left col")
+                .clone();
+            for row in t.rows() {
+                if left.joins_with(row.value(0)) {
+                    next.push(p.join(&Tuple::single(Arc::clone(row))));
+                }
+            }
+        }
+        partials = next;
+    }
+    let mut scores: Vec<f64> = partials.iter().map(|t| f.score(t).get()).collect();
+    scores.sort_by(|a, b| b.total_cmp(a));
+    scores.truncate(k);
+    scores
+}
+
+fn optimize_and_graft(
+    manager: &mut QsManager,
+    catalog: &Catalog,
+    batch: &[(&ConjunctiveQuery, &ScoreFn)],
+    sources: &Sources,
+    k: usize,
+) -> crate::manager::GraftOutcome {
+    let config = OptimizerConfig {
+        k,
+        ..OptimizerConfig::default()
+    };
+    let optimizer = Optimizer::new(catalog, config);
+    let oracle = manager.reuse_oracle();
+    let (spec, _) = optimizer.optimize(batch, &oracle, Some(sources.clock()));
+    manager.graft(&spec, sources, k)
+}
+
+fn run(manager: &mut QsManager, sources: &Sources, uqs: &[UqId]) -> ExecStats {
+    let mut stats = ExecStats::new();
+    for uq in uqs {
+        stats.submit(*uq, sources.clock().now_us());
+    }
+    let mut atc = Atc::new(SchedulingPolicy::RoundRobin);
+    atc.run(manager.graph_mut(), sources, &mut stats);
+    stats
+}
+
+fn results_of(manager: &QsManager, uq: UqId) -> Vec<f64> {
+    let rm = manager.rank_merge_of(uq).expect("rank merge exists");
+    manager
+        .graph()
+        .rank_merge(rm)
+        .results()
+        .iter()
+        .map(|r| r.score.get())
+        .collect()
+}
+
+#[test]
+fn fresh_graft_matches_brute_force() {
+    let cat = catalog();
+    let src = sources();
+    let mut manager = QsManager::new(usize::MAX);
+    let cq = path_cq(0, 0, &cat, 2);
+    let f = ScoreFn::discover(UserId::new(0), 2);
+    let k = 10;
+    let outcome = optimize_and_graft(&mut manager, &cat, &[(&cq, &f)], &src, k);
+    assert_eq!(outcome.new_uqs, vec![UqId::new(0)]);
+    assert_eq!(outcome.recovery_queries, 0, "cold graph needs no recovery");
+    run(&mut manager, &src, &[UqId::new(0)]);
+    let got = results_of(&manager, UqId::new(0));
+    let want = brute_force(&src, &cq, &f, k);
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g - w).abs() < 1e-12, "got {g}, want {w}");
+    }
+}
+
+#[test]
+fn warm_regraft_recovers_missed_results() {
+    let cat = catalog();
+    let src = sources();
+    let mut manager = QsManager::new(usize::MAX);
+    let k = 10;
+
+    // UQ0: A ⋈ B. Run to completion — streams are now partially read.
+    let cq0 = path_cq(0, 0, &cat, 2);
+    let f = ScoreFn::discover(UserId::new(0), 2);
+    optimize_and_graft(&mut manager, &cat, &[(&cq0, &f)], &src, k);
+    run(&mut manager, &src, &[UqId::new(0)]);
+    let streamed_after_uq0 = src.tuples_streamed();
+    assert!(streamed_after_uq0 > 0);
+
+    // UQ1: A ⋈ B ⋈ C — overlaps UQ0. Graft onto the warm graph.
+    let cq1 = path_cq(1, 1, &cat, 3);
+    let f3 = ScoreFn::discover(UserId::new(0), 3);
+    let outcome = optimize_and_graft(&mut manager, &cat, &[(&cq1, &f3)], &src, k);
+    assert!(
+        outcome.reused_nodes > 0,
+        "warm graph must be reused: {outcome:?}"
+    );
+    run(&mut manager, &src, &[UqId::new(1)]);
+    let got = results_of(&manager, UqId::new(1));
+    let want = brute_force(&src, &cq1, &f3, k);
+    assert_eq!(got.len(), want.len(), "got {got:?}\nwant {want:?}");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((g - w).abs() < 1e-12, "got {g}, want {w}");
+    }
+
+    // Reuse must beat a cold engine on network reads for the second query.
+    let cold_src = sources();
+    let mut cold = QsManager::new(usize::MAX);
+    optimize_and_graft(&mut cold, &cat, &[(&cq1, &f3)], &cold_src, k);
+    run(&mut cold, &cold_src, &[UqId::new(1)]);
+    let warm_reads = src.tuples_streamed() - streamed_after_uq0;
+    assert!(
+        warm_reads < cold_src.tuples_streamed(),
+        "warm {warm_reads} vs cold {}",
+        cold_src.tuples_streamed()
+    );
+}
+
+#[test]
+fn identical_requery_is_nearly_free() {
+    let cat = catalog();
+    let src = sources();
+    let mut manager = QsManager::new(usize::MAX);
+    let k = 10;
+    let f = ScoreFn::discover(UserId::new(0), 2);
+
+    let cq0 = path_cq(0, 0, &cat, 2);
+    optimize_and_graft(&mut manager, &cat, &[(&cq0, &f)], &src, k);
+    run(&mut manager, &src, &[UqId::new(0)]);
+    let want = results_of(&manager, UqId::new(0));
+    let reads_before = src.tuples_streamed();
+
+    // The same query again, as a new UQ from another user session.
+    let cq1 = path_cq(1, 1, &cat, 2);
+    let outcome = optimize_and_graft(&mut manager, &cat, &[(&cq1, &f)], &src, k);
+    assert!(outcome.recovery_queries >= 1, "{outcome:?}");
+    run(&mut manager, &src, &[UqId::new(1)]);
+    let got = results_of(&manager, UqId::new(1));
+    assert_eq!(got, want, "identical query, identical answers");
+    // Almost everything comes from the recovered state.
+    let extra_reads = src.tuples_streamed() - reads_before;
+    assert!(
+        extra_reads * 2 <= reads_before.max(1),
+        "extra {extra_reads} vs original {reads_before}"
+    );
+}
+
+#[test]
+fn unlink_detaches_but_retains_state() {
+    let cat = catalog();
+    let src = sources();
+    let mut manager = QsManager::new(usize::MAX);
+    let cq = path_cq(0, 0, &cat, 2);
+    let f = ScoreFn::discover(UserId::new(0), 2);
+    optimize_and_graft(&mut manager, &cat, &[(&cq, &f)], &src, 5);
+    run(&mut manager, &src, &[UqId::new(0)]);
+    let nodes_before = manager.graph().len();
+    manager.unlink_completed();
+    assert!(manager.rank_merge_of(UqId::new(0)).is_none());
+    // Rank-merge gone; operator state retained for reuse.
+    assert_eq!(manager.graph().len(), nodes_before - 1);
+    assert!(manager.graph().rank_merge_ids().is_empty());
+}
+
+#[test]
+fn eviction_respects_pins_and_budget() {
+    let cat = catalog();
+    let src = sources();
+    // A tiny budget forces eviction of detached state after unlinking.
+    let mut manager = QsManager::new(1);
+    let cq = path_cq(0, 0, &cat, 2);
+    let f = ScoreFn::discover(UserId::new(0), 2);
+    optimize_and_graft(&mut manager, &cat, &[(&cq, &f)], &src, 5);
+    run(&mut manager, &src, &[UqId::new(0)]);
+    manager.unlink_completed();
+    manager.evict_to_budget();
+    assert!(
+        manager.eviction_stats().evicted_nodes > 0,
+        "detached state must be reclaimed under a 1-byte budget"
+    );
+    // A pinned-everything manager cannot evict anything new after re-graft.
+    let src2 = sources();
+    let mut pinned_mgr = QsManager::new(1);
+    let cq2 = path_cq(1, 1, &cat, 2);
+    optimize_and_graft(&mut pinned_mgr, &cat, &[(&cq2, &f)], &src2, 5);
+    run(&mut pinned_mgr, &src2, &[UqId::new(1)]);
+    // Pin every signature present.
+    let sigs: Vec<_> = pinned_mgr
+        .graph()
+        .node_ids()
+        .filter_map(|id| pinned_mgr.graph().node(id).sig.clone())
+        .collect();
+    for sig in &sigs {
+        pinned_mgr.pin(sig);
+    }
+    pinned_mgr.unlink_completed();
+    let before = pinned_mgr.eviction_stats().evicted_nodes;
+    pinned_mgr.evict_to_budget();
+    // Only unpinned recovery/replay scaffolding (sig = None) may go.
+    let evicted_signed = pinned_mgr
+        .graph()
+        .node_ids()
+        .filter_map(|id| pinned_mgr.graph().node(id).sig.clone())
+        .count();
+    assert!(evicted_signed > 0, "pinned nodes survive");
+    let _ = before;
+}

@@ -1,0 +1,436 @@
+//! The QS manager proper: grafting and lifecycle.
+
+use crate::evict::{EvictionPolicy, EvictionStats};
+use crate::recover;
+use qsys_exec::access::{AccessModule, RemoteModule, StoredModule};
+use qsys_exec::mjoin::{JoinPred, MJoin, MJoinInput};
+use qsys_exec::rank_merge::{CqRegistration, RankMerge, StreamingInput};
+use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
+use qsys_opt::cost::ReuseOracle;
+use qsys_opt::plan::{CqPlan, PlanSpec, PredSpec, SpecNodeKind};
+use qsys_query::SubExprSig;
+use qsys_source::{JoinCond, Sources, SpjSpec};
+use qsys_types::{Epoch, RelId, UqId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// What one graft did (reported to the engine for stats and tests).
+#[derive(Debug, Default, Clone)]
+pub struct GraftOutcome {
+    /// User queries whose rank-merge operators were created.
+    pub new_uqs: Vec<UqId>,
+    /// Graph nodes reused from earlier batches, by signature match.
+    pub reused_nodes: usize,
+    /// Graph nodes created.
+    pub created_nodes: usize,
+    /// Recovery queries (`CQ^e`) created by `RecoverState`.
+    pub recovery_queries: usize,
+    /// The epoch this batch executes in.
+    pub epoch: Epoch,
+}
+
+/// The query state manager for one plan graph / ATC.
+pub struct QsManager {
+    graph: QueryPlanGraph,
+    /// Rank-merge node per user query.
+    rank_merges: BTreeMap<UqId, NodeId>,
+    /// Pinned subexpressions (protected from eviction; Section 6.1).
+    pinned: RefCell<BTreeSet<SubExprSig>>,
+    /// Last epoch each node was (re)used in, for LRU eviction.
+    last_used: HashMap<NodeId, Epoch>,
+    /// Shared random-access probe caches, one per remote relation: "we
+    /// cache tuples from random probes, [so] the rate of probing
+    /// decrease[s] over time" (§7.1). Shared across every m-join this
+    /// manager grafts (sharing-enabled plans only).
+    probe_modules: HashMap<RelId, Rc<RefCell<AccessModule>>>,
+    /// Whether probe caches are shared at all (ablation knob).
+    share_probe_caches: bool,
+    /// Memory budget in approximate bytes.
+    budget: usize,
+    /// Eviction policy.
+    policy: EvictionPolicy,
+    /// Synthetic id allocator for recovery queries.
+    next_recovery_cq: u32,
+    /// Cumulative eviction stats.
+    eviction_stats: EvictionStats,
+}
+
+impl QsManager {
+    /// A manager with the given memory budget (bytes).
+    pub fn new(budget: usize) -> QsManager {
+        QsManager {
+            graph: QueryPlanGraph::new(),
+            rank_merges: BTreeMap::new(),
+            pinned: RefCell::new(BTreeSet::new()),
+            last_used: HashMap::new(),
+            probe_modules: HashMap::new(),
+            share_probe_caches: true,
+            budget,
+            policy: EvictionPolicy::LruSizeTieBreak,
+            next_recovery_cq: 0x8000_0000,
+            eviction_stats: EvictionStats::default(),
+        }
+    }
+
+    /// Override the eviction policy (ablation benches).
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> QsManager {
+        self.policy = policy;
+        self
+    }
+
+    /// Disable cross-operator probe-cache sharing (ablation: DESIGN.md §3
+    /// decision 6 — without shared caches, a stream fanning out to N
+    /// consumers re-probes the same keys N times and sharing loses).
+    pub fn with_private_probe_caches(mut self) -> QsManager {
+        self.share_probe_caches = false;
+        self
+    }
+
+    /// The live plan graph.
+    pub fn graph(&self) -> &QueryPlanGraph {
+        &self.graph
+    }
+
+    /// Mutable access for the ATC.
+    pub fn graph_mut(&mut self) -> &mut QueryPlanGraph {
+        &mut self.graph
+    }
+
+    /// Rank-merge node for a user query.
+    pub fn rank_merge_of(&self, uq: UqId) -> Option<NodeId> {
+        self.rank_merges.get(&uq).copied()
+    }
+
+    /// A reuse oracle over the live graph for the optimizer.
+    pub fn reuse_oracle(&self) -> GraphReuse<'_> {
+        GraphReuse { manager: self }
+    }
+
+    /// Cumulative eviction statistics.
+    pub fn eviction_stats(&self) -> &EvictionStats {
+        &self.eviction_stats
+    }
+
+    /// Pin a subexpression against eviction.
+    pub fn pin(&self, sig: &SubExprSig) {
+        self.pinned.borrow_mut().insert(sig.clone());
+    }
+
+    /// Release all pins (typically after a batch completes).
+    pub fn unpin_all(&self) {
+        self.pinned.borrow_mut().clear();
+    }
+
+    /// Make all current state invisible to future grafts: forget signature
+    /// mappings and shared probe caches. The ATC-UQ configuration calls
+    /// this between user queries so sharing stays within one query.
+    pub fn isolate(&mut self) {
+        self.graph.clear_sig_index();
+        self.probe_modules.clear();
+    }
+
+    /// Graft a plan spec onto the live graph (Section 6.2): bump the epoch,
+    /// merge nodes by signature, create what is missing, prefill new
+    /// consumers of old streams, register conjunctive queries with their
+    /// rank-merges, and run `RecoverState` where streams were already read.
+    pub fn graft(&mut self, spec: &PlanSpec, sources: &Sources, k: usize) -> GraftOutcome {
+        let epoch = self.graph.bump_epoch();
+        let mut outcome = GraftOutcome {
+            epoch,
+            ..GraftOutcome::default()
+        };
+
+        // Map spec node index → graph node, reusing by signature when the
+        // spec allows sharing.
+        let mut node_map: Vec<NodeId> = Vec::with_capacity(spec.nodes.len());
+        for spec_node in &spec.nodes {
+            let existing = if spec_node.share {
+                self.graph.find_sig(&spec_node.sig)
+            } else {
+                None
+            };
+            let id = match existing {
+                Some(id) => {
+                    outcome.reused_nodes += 1;
+                    id
+                }
+                None => {
+                    outcome.created_nodes += 1;
+                    match &spec_node.kind {
+                        SpecNodeKind::Stream => self.create_stream(spec_node, sources),
+                        SpecNodeKind::Join {
+                            inputs,
+                            probes,
+                            preds,
+                        } => self.create_mjoin(
+                            spec,
+                            spec_node,
+                            inputs,
+                            probes,
+                            preds,
+                            &node_map,
+                            epoch,
+                        ),
+                    }
+                }
+            };
+            self.last_used.insert(id, epoch);
+            node_map.push(id);
+        }
+
+        // Register each CQ with its user query's rank-merge.
+        for plan in &spec.cq_plans {
+            let rm_id = match self.rank_merges.get(&plan.uq) {
+                Some(id) => *id,
+                None => {
+                    let rm = RankMerge::new(plan.uq, plan.user, k);
+                    let id = self.graph.add_rank_merge(rm);
+                    self.rank_merges.insert(plan.uq, id);
+                    outcome.new_uqs.push(plan.uq);
+                    id
+                }
+            };
+            let root = node_map[plan.root];
+            let streaming = self.streaming_inputs(spec, plan, &node_map);
+            let reg = CqRegistration {
+                cq: plan.cq,
+                reports_as: plan.cq,
+                score_fn: plan.score_fn.clone(),
+                streaming,
+                probed: plan.probed.clone(),
+            };
+            let slot = self.graph.rank_merge_mut(rm_id).register(reg);
+            self.graph.connect(root, rm_id, slot);
+
+            // RecoverState: if any state visible to this CQ predates the
+            // current epoch, build CQ^e over it.
+            let recovered = recover::recover_state(
+                &mut self.graph,
+                plan,
+                root,
+                rm_id,
+                epoch,
+                &mut self.next_recovery_cq,
+            );
+            if recovered {
+                outcome.recovery_queries += 1;
+            }
+        }
+
+        self.evict_to_budget();
+        outcome
+    }
+
+    fn create_stream(
+        &mut self,
+        spec_node: &qsys_opt::plan::SpecNode,
+        sources: &Sources,
+    ) -> NodeId {
+        let spj = sig_to_spj(&spec_node.sig);
+        let stream = if spj.atoms.len() == 1 {
+            let (rel, sel) = spj.atoms[0].clone();
+            sources.open_stream(rel, sel)
+        } else {
+            sources.open_pushdown(&spj)
+        };
+        let sig = spec_node.share.then(|| spec_node.sig.clone());
+        self.graph.add_stream(StreamBacking::Remote(stream), sig)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_mjoin(
+        &mut self,
+        spec: &PlanSpec,
+        spec_node: &qsys_opt::plan::SpecNode,
+        inputs: &[usize],
+        probes: &[(RelId, Option<qsys_types::Selection>)],
+        preds: &[PredSpec],
+        node_map: &[NodeId],
+        epoch: Epoch,
+    ) -> NodeId {
+        let mut mj_inputs = Vec::new();
+        let mut producer_edges = Vec::new();
+        for (slot, &spec_idx) in inputs.iter().enumerate() {
+            let producer = node_map[spec_idx];
+            // Relation coverage comes from the *spec*, not the graph node:
+            // unshared nodes carry no signature.
+            let rels = spec.nodes[spec_idx].sig.rels();
+            // Prefill the fresh module with the producer's pre-epoch output
+            // history so that future arrivals on *other* inputs can join
+            // with tuples read before this CQ existed (see recover module).
+            // The scratch clock discards the bookkeeping cost: reuse must
+            // not re-pay join time the original execution already paid.
+            let scratch = qsys_types::SimClock::new();
+            let mut module = StoredModule::new([]);
+            for (tuple, tuple_epoch) in recover::node_history(&self.graph, producer, epoch) {
+                module.insert(tuple, tuple_epoch, &scratch);
+            }
+            mj_inputs.push(MJoinInput {
+                rels,
+                module: Rc::new(RefCell::new(AccessModule::Stored(module))),
+                epoch_cap: None,
+                store_arrivals: true,
+                selection: None,
+            });
+            producer_edges.push((producer, slot));
+        }
+        for (rel, sel) in probes {
+            // Sharing-enabled plans share one probe cache per relation
+            // across the whole graph; the ATC-CQ baseline gets private
+            // modules (no sharing of any state).
+            let module = if spec_node.share && self.share_probe_caches {
+                Rc::clone(self.probe_modules.entry(*rel).or_insert_with(|| {
+                    Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(*rel))))
+                }))
+            } else {
+                Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(*rel))))
+            };
+            mj_inputs.push(MJoinInput {
+                rels: vec![*rel],
+                module,
+                epoch_cap: None,
+                store_arrivals: false,
+                selection: sel.clone(),
+            });
+        }
+        let join_preds = preds
+            .iter()
+            .map(|p| JoinPred {
+                left_rel: p.left_rel,
+                left_col: p.left_col,
+                right_rel: p.right_rel,
+                right_col: p.right_col,
+            })
+            .collect();
+        let mj = MJoin::new(mj_inputs, join_preds);
+        let sig = spec_node.share.then(|| spec_node.sig.clone());
+        let id = self.graph.add_mjoin(mj, sig);
+        for (producer, slot) in producer_edges {
+            self.graph.connect(producer, id, slot);
+        }
+        id
+    }
+
+    /// Rank-merge streaming registrations for a CQ: its leaf stream nodes
+    /// with coverage and all-time max bounds.
+    ///
+    /// A spec leaf may have been merged (by signature) with an existing
+    /// *m-join* node from a previous batch — grafting taps whatever node
+    /// computes the subexpression. Threshold maintenance, however, needs
+    /// actual stream leaves, so mapped nodes are resolved transitively to
+    /// the stream leaves feeding them.
+    fn streaming_inputs(
+        &self,
+        spec: &PlanSpec,
+        plan: &CqPlan,
+        node_map: &[NodeId],
+    ) -> Vec<StreamingInput> {
+        let mut leaves = BTreeSet::new();
+        for leaf_idx in spec.stream_leaves_of(plan.root) {
+            self.resolve_stream_leaves(node_map[leaf_idx], &mut leaves);
+        }
+        leaves
+            .into_iter()
+            .map(|node| {
+                let leaf = self.graph.stream_leaf(node);
+                StreamingInput {
+                    node,
+                    rels: leaf.rels(),
+                    max_bound: leaf.initial_bound,
+                }
+            })
+            .collect()
+    }
+
+    fn resolve_stream_leaves(&self, node: NodeId, out: &mut BTreeSet<NodeId>) {
+        match &self.graph.node(node).kind {
+            NodeKind::Stream(_) => {
+                out.insert(node);
+            }
+            _ => {
+                for p in self.graph.node(node).parents.clone() {
+                    self.resolve_stream_leaves(p, out);
+                }
+            }
+        }
+    }
+
+    /// Section 6.3: unlink user queries that have finished. The rank-merge
+    /// node is removed (its results live on in the engine's ledger); the
+    /// upstream operators are *detached but retained* — their state stays
+    /// cached for reuse until eviction reclaims it.
+    pub fn unlink_completed(&mut self) {
+        let done: Vec<(UqId, NodeId)> = self
+            .rank_merges
+            .iter()
+            .filter(|(_, id)| self.graph.rank_merge(**id).is_done())
+            .map(|(uq, id)| (*uq, *id))
+            .collect();
+        for (uq, rm_id) in done {
+            let parents: Vec<NodeId> = self.graph.node(rm_id).parents.clone();
+            for p in parents {
+                self.graph.disconnect(p, rm_id);
+            }
+            self.graph.remove_node(rm_id);
+            self.rank_merges.remove(&uq);
+        }
+    }
+
+    /// Evict detached, unpinned state until the graph fits the budget.
+    pub fn evict_to_budget(&mut self) {
+        crate::evict::evict_to_budget(
+            &mut self.graph,
+            self.budget,
+            self.policy,
+            &self.pinned.borrow(),
+            &self.last_used,
+            &mut self.eviction_stats,
+        );
+    }
+
+    /// Approximate resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.approx_bytes()
+    }
+}
+
+/// Convert a subexpression signature into the wire-level SPJ spec.
+pub fn sig_to_spj(sig: &SubExprSig) -> SpjSpec {
+    SpjSpec {
+        atoms: sig.atoms.clone(),
+        joins: sig
+            .joins
+            .iter()
+            .map(|(lr, lc, rr, rc)| JoinCond {
+                left: *lr,
+                left_col: *lc,
+                right: *rr,
+                right_col: *rc,
+            })
+            .collect(),
+    }
+}
+
+/// The optimizer-facing reuse oracle over the live graph.
+pub struct GraphReuse<'a> {
+    manager: &'a QsManager,
+}
+
+impl ReuseOracle for GraphReuse<'_> {
+    fn streamed(&self, sig: &SubExprSig) -> Option<u64> {
+        let node = self.manager.graph.find_sig(sig)?;
+        match &self.manager.graph.try_node(node)?.kind {
+            NodeKind::Stream(leaf) => Some(leaf.archive.len() as u64),
+            NodeKind::MJoin(mj) => mj
+                .inputs()
+                .iter()
+                .find_map(|i| i.module.borrow().as_stored().map(|s| s.len() as u64)),
+            _ => None,
+        }
+    }
+
+    fn pin(&self, sig: &SubExprSig) {
+        self.manager.pin(sig);
+    }
+}

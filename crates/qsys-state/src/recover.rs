@@ -1,0 +1,303 @@
+//! Algorithm 2: RecoverState.
+//!
+//! "A major complexity is that a new conjunctive query CQ_i may make use of
+//! data from input streams that have already been read. In such an event,
+//! simply reading further from the streams is insufficient; we must first
+//! re-process the earlier parts of the streams, which are buffered within
+//! the query plan graph's state. ... we create an additional new query
+//! CQ^e_i, to compute all the missing tuples for CQ_i. This query takes as
+//! its inputs the contents of the appropriate linked lists as recorded
+//! before epoch e, in order to avoid the introduction of duplicate
+//! results." (Section 6.2)
+//!
+//! Division of labour after a graft at epoch `e`:
+//!
+//! - combinations where **every** constituent predates `e` → produced by
+//!   `CQ^e` (built here): one pre-epoch input is replayed in original
+//!   (score) order, the others are probed through the *same shared hash
+//!   tables*, capped at epoch `e`;
+//! - combinations with **at least one** constituent from epoch ≥ `e` →
+//!   produced by the normal plan when that constituent arrives (new
+//!   consumers' modules are prefilled with pre-epoch history at graft
+//!   time, so old × new combinations are found too).
+//!
+//! Together these partitions cover every result exactly once.
+
+use qsys_exec::access::AccessModule;
+use qsys_exec::mjoin::{MJoin, MJoinInput};
+use qsys_exec::rank_merge::{CqRegistration, StreamingInput};
+use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
+use qsys_opt::plan::CqPlan;
+use qsys_types::{CqId, Epoch, SimClock, Tuple};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pre-epoch output history of a node, with the epochs tuples arrived in.
+///
+/// - Stream leaves keep an explicit archive.
+/// - m-joins reconstruct their output history by replaying one stored
+///   input's pre-epoch entries against the other access modules capped at
+///   the epoch — an in-memory, charge-free computation (the original
+///   execution already paid for this work; reuse must not pay again).
+pub fn node_history(
+    graph: &QueryPlanGraph,
+    node: NodeId,
+    before: Epoch,
+) -> Vec<(Tuple, Epoch)> {
+    match &graph.node(node).kind {
+        NodeKind::Stream(leaf) => leaf
+            .archive
+            .iter()
+            .filter(|(_, e)| *e < before)
+            .cloned()
+            .collect(),
+        NodeKind::MJoin(mj) => {
+            let stamp = Epoch(before.0.saturating_sub(1));
+            reconstruct_mjoin_history(mj, before)
+                .into_iter()
+                .map(|t| (t, stamp))
+                .collect()
+        }
+        NodeKind::Split => graph
+            .node(node)
+            .parents
+            .first()
+            .map(|p| node_history(graph, *p, before))
+            .unwrap_or_default(),
+        NodeKind::RankMerge(_) => Vec::new(),
+    }
+}
+
+/// Replay one stored input of `mj` (pre-epoch entries, original order)
+/// against the other modules capped at `before`, reproducing exactly the
+/// outputs the m-join emitted before that epoch.
+fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
+    // Choose the storing input with pre-epoch entries to replay.
+    let mut replay: Option<(usize, Vec<Tuple>)> = None;
+    for (idx, input) in mj.inputs().iter().enumerate() {
+        if !input.store_arrivals {
+            continue;
+        }
+        if let AccessModule::Stored(s) = &*input.module.borrow() {
+            let entries = s.entries_before(before);
+            if !entries.is_empty()
+                && replay
+                    .as_ref()
+                    .is_none_or(|(_, best)| entries.len() > best.len())
+            {
+                replay = Some((idx, entries));
+            }
+        }
+    }
+    let Some((replay_idx, entries)) = replay else {
+        return Vec::new();
+    };
+    // Temporary capped m-join sharing the live modules. The replay input
+    // itself gets a detached module so nothing is double-inserted.
+    let mut inputs: Vec<MJoinInput> = Vec::new();
+    for (idx, input) in mj.inputs().iter().enumerate() {
+        if idx == replay_idx {
+            inputs.push(MJoinInput {
+                rels: input.rels.clone(),
+                module: Rc::new(RefCell::new(AccessModule::Stored(
+                    qsys_exec::access::StoredModule::new([]),
+                ))),
+                epoch_cap: Some(before),
+                store_arrivals: false,
+                selection: None,
+            });
+        } else {
+            inputs.push(MJoinInput {
+                rels: input.rels.clone(),
+                module: Rc::clone(&input.module),
+                epoch_cap: Some(before),
+                store_arrivals: false,
+                selection: input.selection.clone(),
+            });
+        }
+    }
+    let mut temp = MJoin::new(inputs, mj.preds().to_vec());
+    // Free in-memory recomputation: scratch clock and scratch sources.
+    let scratch_sources = qsys_source::Sources::new(
+        SimClock::new(),
+        qsys_types::CostProfile::default(),
+        0,
+    );
+    let mut out = Vec::new();
+    for t in entries {
+        out.extend(temp.insert(replay_idx, t, before, &scratch_sources));
+    }
+    out
+}
+
+/// Build `CQ^e` for a freshly grafted conjunctive query whose root is
+/// `root`, if any pre-epoch state is visible to it. Returns whether a
+/// recovery query was created.
+///
+/// The recovery plan replays the richest pre-epoch streaming input of the
+/// root m-join against the other access modules capped at `epoch` —
+/// producing exactly the all-old combinations the normal plan will never
+/// trigger. For a stream-rooted (single-input) CQ the archive itself is the
+/// missing output.
+pub fn recover_state(
+    graph: &mut QueryPlanGraph,
+    plan: &CqPlan,
+    root: NodeId,
+    rm_id: NodeId,
+    epoch: Epoch,
+    next_recovery_cq: &mut u32,
+) -> bool {
+    let (replay_tuples, rels): (Vec<Tuple>, Vec<_>) = match &graph.node(root).kind {
+        NodeKind::Stream(leaf) => {
+            let tuples: Vec<Tuple> = leaf
+                .archive
+                .iter()
+                .filter(|(_, e)| *e < epoch)
+                .map(|(t, _)| t.clone())
+                .collect();
+            (tuples, plan.sig.rels())
+        }
+        NodeKind::MJoin(_) => {
+            // Find the richest pre-epoch streaming input to replay; if none
+            // has history, nothing was missed.
+            let NodeKind::MJoin(mj) = &graph.node(root).kind else {
+                unreachable!()
+            };
+            let mut best: Option<(usize, usize)> = None; // (input, count)
+            for (idx, input) in mj.inputs().iter().enumerate() {
+                if !input.store_arrivals {
+                    continue;
+                }
+                if let AccessModule::Stored(s) = &*input.module.borrow() {
+                    let n = s.entries_before(epoch).len();
+                    if n > 0 && best.is_none_or(|(_, b)| n > b) {
+                        best = Some((idx, n));
+                    }
+                }
+            }
+            let Some((replay_idx, _)) = best else {
+                return false;
+            };
+            let (mut entries, rels) = {
+                let input = &mj.inputs()[replay_idx];
+                let AccessModule::Stored(s) = &*input.module.borrow() else {
+                    unreachable!()
+                };
+                (s.entries_before(epoch), input.rels.clone())
+            };
+            // Replay must be nonincreasing in raw-score product for the
+            // rank-merge threshold to be sound. Base-stream arrivals
+            // already are; intermediate-component outputs arrive in
+            // trigger order, so sort explicitly.
+            entries.sort_by(|a, b| {
+                b.raw_score_product().total_cmp(&a.raw_score_product())
+            });
+            // Build the recovery m-join: replay input detached, all other
+            // inputs shared and capped at the epoch.
+            let mut rec_inputs = Vec::new();
+            for (idx, input) in mj.inputs().iter().enumerate() {
+                if idx == replay_idx {
+                    rec_inputs.push(MJoinInput {
+                        rels: input.rels.clone(),
+                        module: Rc::new(RefCell::new(AccessModule::Stored(
+                            qsys_exec::access::StoredModule::new([]),
+                        ))),
+                        epoch_cap: Some(epoch),
+                        store_arrivals: false,
+                        selection: None,
+                    });
+                } else {
+                    rec_inputs.push(MJoinInput {
+                        rels: input.rels.clone(),
+                        module: Rc::clone(&input.module),
+                        epoch_cap: Some(epoch),
+                        store_arrivals: false,
+                        selection: input.selection.clone(),
+                    });
+                }
+            }
+            let preds = mj.preds().to_vec();
+            let rec_join = MJoin::new(rec_inputs, preds);
+            let rec_join_id = graph.add_mjoin(rec_join, None);
+
+            let replay_id = graph.add_stream(
+                StreamBacking::Replay {
+                    tuples: entries.clone(),
+                    pos: 0,
+                },
+                None,
+            );
+            graph.connect(replay_id, rec_join_id, replay_idx);
+
+            // Register CQ^e as another ranked input of the same UQ,
+            // reporting as the original CQ.
+            let cq_e = CqId::new(*next_recovery_cq);
+            *next_recovery_cq += 1;
+            let max_bound = entries
+                .first()
+                .map(|t| t.raw_score_product())
+                .unwrap_or(0.0);
+            let other_rels: Vec<_> = plan
+                .sig
+                .rels()
+                .into_iter()
+                .filter(|r| !rels.contains(r))
+                .collect();
+            let probed = other_rels
+                .into_iter()
+                .map(|r| {
+                    // Sound (slightly loose) per-relation maxima for the
+                    // capped inputs: score components are in [0, 1].
+                    (r, 1.0)
+                })
+                .collect();
+            let reg = CqRegistration {
+                cq: cq_e,
+                reports_as: plan.cq,
+                score_fn: plan.score_fn.clone(),
+                streaming: vec![StreamingInput {
+                    node: replay_id,
+                    rels,
+                    max_bound,
+                }],
+                probed,
+            };
+            let slot = graph.rank_merge_mut(rm_id).register(reg);
+            graph.connect(rec_join_id, rm_id, slot);
+            return true;
+        }
+        _ => (Vec::new(), Vec::new()),
+    };
+
+    // Stream-rooted CQ: replay the archive straight into the rank-merge.
+    if replay_tuples.is_empty() {
+        return false;
+    }
+    let cq_e = CqId::new(*next_recovery_cq);
+    *next_recovery_cq += 1;
+    let max_bound = replay_tuples
+        .first()
+        .map(|t| t.raw_score_product())
+        .unwrap_or(0.0);
+    let replay_id = graph.add_stream(
+        StreamBacking::Replay {
+            tuples: replay_tuples,
+            pos: 0,
+        },
+        None,
+    );
+    let reg = CqRegistration {
+        cq: cq_e,
+        reports_as: plan.cq,
+        score_fn: plan.score_fn.clone(),
+        streaming: vec![StreamingInput {
+            node: replay_id,
+            rels,
+            max_bound,
+        }],
+        probed: plan.probed.clone(),
+    };
+    let slot = graph.rank_merge_mut(rm_id).register(reg);
+    graph.connect(replay_id, rm_id, slot);
+    true
+}

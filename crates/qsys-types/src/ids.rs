@@ -1,0 +1,143 @@
+//! Strongly-typed identifiers.
+//!
+//! All identifiers are thin `u32` newtypes. Using distinct types (rather than
+//! bare integers) prevents the classic bug of indexing the wrong arena, at
+//! zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, for arena addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A relation (table) in the global schema graph.
+    RelId,
+    "R"
+);
+id_type!(
+    /// A data source (one remote DBMS hosting one or more relations, or a
+    /// pushed-down subexpression exposed as a source).
+    SourceId,
+    "S"
+);
+id_type!(
+    /// A conjunctive query (one candidate network of a keyword query).
+    CqId,
+    "CQ"
+);
+id_type!(
+    /// A user query: the union of conjunctive queries answering one keyword
+    /// query.
+    UqId,
+    "UQ"
+);
+id_type!(
+    /// A user of the system; each user may carry a custom scoring function.
+    UserId,
+    "U"
+);
+id_type!(
+    /// An atom (relation occurrence) within a conjunctive query.
+    AtomId,
+    "a"
+);
+
+/// A logical timestamp incremented every time the QS manager hands a new set
+/// of queries to the ATC (Section 6.2 of the paper). Hash-table state is
+/// partitioned by epoch so that `RecoverState` can replay exactly the tuples
+/// that arrived before a query joined the plan.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The first epoch of a fresh system.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The epoch after this one.
+    #[inline]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_stable_repr() {
+        let r = RelId::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(format!("{r}"), "R7");
+        assert_eq!(format!("{r:?}"), "R7");
+        let c = CqId::from(3);
+        assert_eq!(format!("{c}"), "CQ3");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        for i in 0..10 {
+            set.insert(RelId::new(i));
+        }
+        assert_eq!(set.len(), 10);
+        assert!(RelId::new(1) < RelId::new(2));
+    }
+
+    #[test]
+    fn epoch_advances() {
+        let e = Epoch::ZERO;
+        assert_eq!(e.next(), Epoch(1));
+        assert_eq!(e.next().next(), Epoch(2));
+        assert_eq!(format!("{}", Epoch(4)), "e4");
+    }
+}

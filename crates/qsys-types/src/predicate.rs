@@ -1,0 +1,65 @@
+//! Selection predicates.
+//!
+//! Keyword content matches induce equality selections (e.g.,
+//! `σ_{name='plasma membrane'}(Term)` in the paper's running example). The
+//! predicate type lives in `qsys-types` because both the source simulator
+//! (which pushes selections down to the "remote DBMS") and the query layer
+//! (which embeds them in subexpression signatures) need it without depending
+//! on each other.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An equality selection on one column.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Selection {
+    /// Column index the predicate applies to.
+    pub column: usize,
+    /// Value the column must equal.
+    pub value: Value,
+}
+
+impl Selection {
+    /// Build a selection.
+    pub fn eq(column: usize, value: Value) -> Selection {
+        Selection { column, value }
+    }
+
+    /// Evaluate against a row's values.
+    #[inline]
+    pub fn matches(&self, values: &[Value]) -> bool {
+        values
+            .get(self.column)
+            .is_some_and(|v| v.joins_with(&self.value))
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[c{} = {}]", self.column, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_equality() {
+        let s = Selection::eq(1, Value::str("metabolism"));
+        assert!(s.matches(&[Value::Int(3), Value::str("metabolism")]));
+        assert!(!s.matches(&[Value::Int(3), Value::str("transport")]));
+    }
+
+    #[test]
+    fn out_of_range_column_never_matches() {
+        let s = Selection::eq(5, Value::Int(1));
+        assert!(!s.matches(&[Value::Int(1)]));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let s = Selection::eq(0, Value::Null);
+        assert!(!s.matches(&[Value::Null]));
+    }
+}

@@ -1,0 +1,89 @@
+//! A multi-user bioinformatics portal (the paper's motivating scenario):
+//! many biologists pose overlapping keyword queries over time, and the
+//! middleware's job is to share work among them.
+//!
+//! Runs the same 8-query script under all four sharing configurations and
+//! prints the paper's headline comparison: per-query response times, time
+//! breakdown, and total work.
+//!
+//! ```sh
+//! cargo run --release --example bio_portal
+//! ```
+
+use qsys::{run_workload, EngineConfig, SharingMode};
+use qsys_opt::cluster::ClusterConfig;
+use qsys_query::CandidateConfig;
+use qsys_workload::gus::{self, GusConfig};
+
+fn main() {
+    let mut cfg = GusConfig::small(7);
+    cfg.min_rows = 500;
+    cfg.max_rows = 2_000;
+    cfg.user_queries = 8;
+    let workload = gus::generate(&cfg);
+
+    println!("8 users, queries posed over time:");
+    for (i, q) in workload.queries.iter().enumerate() {
+        println!(
+            "  UQ{i} @ {:5.1}s  user {}  \"{}\"",
+            q.arrival_us as f64 / 1e6,
+            q.user,
+            q.keywords
+        );
+    }
+
+    let engine = |mode: SharingMode| EngineConfig {
+        k: 25,
+        batch_size: 4,
+        sharing: mode,
+        candidate: CandidateConfig {
+            max_cqs: 8,
+            ..CandidateConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+
+    println!(
+        "\n{:10} {:>9} {:>10} {:>10} {:>8} {:>6}",
+        "config", "mean(s)", "streamed", "probes", "opt(ms)", "lanes"
+    );
+    for mode in [
+        SharingMode::AtcCq,
+        SharingMode::AtcUq,
+        SharingMode::AtcFull,
+        SharingMode::AtcCl(ClusterConfig::default()),
+    ] {
+        let report = run_workload(&workload, &engine(mode), None).expect("workload runs");
+        println!(
+            "{:10} {:>9.3} {:>10} {:>10} {:>8.1} {:>6}",
+            report.config,
+            report.mean_response_us() / 1e6,
+            report.tuples_streamed,
+            report.probes,
+            report.opt_us() as f64 / 1e3,
+            report.lanes,
+        );
+    }
+
+    println!("\nPer-query response times (seconds):");
+    let reports: Vec<_> = [
+        SharingMode::AtcCq,
+        SharingMode::AtcFull,
+        SharingMode::AtcCl(ClusterConfig::default()),
+    ]
+    .into_iter()
+    .map(|m| run_workload(&workload, &engine(m), None).unwrap())
+    .collect();
+    print!("{:>6}", "UQ");
+    for r in &reports {
+        print!(" {:>10}", r.config);
+    }
+    println!();
+    for i in 0..reports[0].per_uq.len() {
+        print!("{:>6}", format!("UQ{i}"));
+        for r in &reports {
+            print!(" {:>10.3}", r.per_uq[i].response_us as f64 / 1e6);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,360 @@
+//! The Q System engine: batcher, configurations, and the interactive API.
+//!
+//! One [`QSystem`] wires the full pipeline of Figure 3: keyword query →
+//! candidate networks → batcher → optimizer (consulting the QS manager's
+//! reuse oracle) → graft → ATC execution → top-k answers. The
+//! [`SharingMode`] selects the paper's experimental configurations
+//! (Section 7.1).
+
+use qsys_catalog::{Catalog, KeywordIndex};
+use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
+use qsys_opt::cluster::ClusterConfig;
+use qsys_opt::{HeuristicConfig, Optimizer, OptimizerConfig, OptStats};
+use qsys_query::{CandidateConfig, CandidateGenerator, ScoreFn, UserQuery};
+use qsys_source::{Sources, TableProvider};
+use qsys_state::QsManager;
+use qsys_types::{CostProfile, QsysResult, Score, SimClock, Tuple, UqId, UserId};
+use std::collections::HashMap;
+
+/// Which sharing configuration to run (Section 7.1's four systems).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum SharingMode {
+    /// Baseline: each user query optimized separately, no subexpression
+    /// sharing at all.
+    AtcCq,
+    /// Sharing within a user query, none across user queries or time.
+    AtcUq,
+    /// One plan graph for everything: full sharing and reuse.
+    #[default]
+    AtcFull,
+    /// Clustered plan graphs, one ATC each (Section 6.1).
+    AtcCl(ClusterConfig),
+}
+
+impl SharingMode {
+    /// Short label used in reports (matches the paper's legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SharingMode::AtcCq => "ATC-CQ",
+            SharingMode::AtcUq => "ATC-UQ",
+            SharingMode::AtcFull => "ATC-FULL",
+            SharingMode::AtcCl(_) => "ATC-CL",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Results per user query (paper: 50).
+    pub k: usize,
+    /// User queries per optimization batch (paper: 5).
+    pub batch_size: usize,
+    /// Sharing configuration.
+    pub sharing: SharingMode,
+    /// QS manager memory budget in bytes.
+    pub memory_budget: usize,
+    /// Candidate-network generation knobs.
+    pub candidate: CandidateConfig,
+    /// Optimizer pruning heuristics.
+    pub heuristics: HeuristicConfig,
+    /// Simulation cost constants.
+    pub cost_profile: CostProfile,
+    /// ATC scheduling policy (paper: round-robin).
+    pub scheduling: SchedulingPolicy,
+    /// Share random-access probe caches across operators of a plan graph
+    /// (§7.1's "we cache tuples from random probes"); `false` only for the
+    /// ablation.
+    pub share_probe_caches: bool,
+    /// Base RNG seed for network delays.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            k: 50,
+            batch_size: 5,
+            sharing: SharingMode::AtcFull,
+            memory_budget: usize::MAX,
+            candidate: CandidateConfig::default(),
+            heuristics: HeuristicConfig::default(),
+            cost_profile: CostProfile::default(),
+            scheduling: SchedulingPolicy::RoundRobin,
+            share_probe_caches: true,
+            seed: 0,
+        }
+    }
+}
+
+/// One execution lane: a plan graph, its ATC, and its gateway to the
+/// sources. ATC-CL runs several lanes; the other modes run one.
+pub struct Lane {
+    /// The QS manager owning this lane's plan graph.
+    pub manager: QsManager,
+    /// This lane's source gateway (own clock, own counters).
+    pub sources: Sources,
+    /// The coordinator.
+    pub atc: Atc,
+    /// Per-UQ statistics.
+    pub stats: ExecStats,
+}
+
+impl Lane {
+    fn new(config: &EngineConfig, provider: TableProvider, lane_idx: u64) -> Lane {
+        let mut manager = QsManager::new(config.memory_budget);
+        if !config.share_probe_caches {
+            manager = manager.with_private_probe_caches();
+        }
+        Lane {
+            manager,
+            sources: Sources::with_provider(
+                SimClock::new(),
+                config.cost_profile,
+                config.seed ^ (lane_idx.wrapping_mul(0x517c_c1b7_2722_0a95)),
+                provider,
+            ),
+            atc: Atc::new(config.scheduling),
+            stats: ExecStats::new(),
+        }
+    }
+}
+
+/// Result of one interactive search.
+#[derive(Debug)]
+pub struct SearchResult {
+    /// The user query id assigned.
+    pub uq: UqId,
+    /// Top-k answers, best first: `(score, join result)`.
+    pub results: Vec<(Score, Tuple)>,
+    /// Conjunctive queries generated for the search.
+    pub cqs_generated: usize,
+    /// Conjunctive queries the ATC actually executed (Table 4's metric).
+    pub cqs_executed: usize,
+    /// Plan-graph nodes reused from previous searches.
+    pub reused_nodes: usize,
+    /// Virtual response time, µs.
+    pub response_us: u64,
+    /// Optimizer stats for this search.
+    pub opt: OptStats,
+}
+
+/// The interactive Q System facade (single lane, full sharing by default).
+pub struct QSystem {
+    catalog: Catalog,
+    index: KeywordIndex,
+    config: EngineConfig,
+    lane: Lane,
+    next_cq: u32,
+    next_uq: u32,
+}
+
+impl QSystem {
+    /// Stand up a system over a catalog, keyword index, and table provider.
+    pub fn new(
+        catalog: Catalog,
+        index: KeywordIndex,
+        provider: TableProvider,
+        config: EngineConfig,
+    ) -> QSystem {
+        let lane = Lane::new(&config, provider, 0);
+        QSystem {
+            catalog,
+            index,
+            config,
+            lane,
+            next_cq: 0,
+            next_uq: 0,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The lane's source gateway (work counters, clock).
+    pub fn sources(&self) -> &Sources {
+        &self.lane.sources
+    }
+
+    /// Pose a keyword query and run it to completion, reusing whatever
+    /// state previous searches left in the plan graph.
+    pub fn search(&mut self, keywords: &str, user: UserId) -> QsysResult<SearchResult> {
+        let uq = self.generate(keywords, user)?;
+        let uq_id = uq.id;
+        let cqs_generated = uq.cqs.len();
+        let submit = self.lane.sources.clock().now_us();
+        self.lane.stats.submit(uq_id, submit);
+        let (outcome, opt) = graft_batch(
+            &self.catalog,
+            &mut self.lane,
+            &[&uq],
+            &self.config,
+            batch_share(&self.config.sharing),
+        );
+        self.lane.atc.run(
+            self.lane.manager.graph_mut(),
+            &self.lane.sources,
+            &mut self.lane.stats,
+        );
+        self.lane.manager.unpin_all();
+        let rm = self
+            .lane
+            .manager
+            .rank_merge_of(uq_id)
+            .expect("rank merge registered");
+        let results: Vec<(Score, Tuple)> = self
+            .lane
+            .manager
+            .graph()
+            .rank_merge(rm)
+            .results()
+            .iter()
+            .map(|r| (r.score, r.tuple.clone()))
+            .collect();
+        let stats = self.lane.stats.uq(uq_id).expect("submitted");
+        let out = SearchResult {
+            uq: uq_id,
+            results,
+            cqs_generated,
+            cqs_executed: stats.cqs_executed.len(),
+            reused_nodes: outcome.reused_nodes,
+            response_us: stats.response_us().unwrap_or(0),
+            opt,
+        };
+        self.lane.manager.unlink_completed();
+        Ok(out)
+    }
+
+    /// Convert a keyword query into a user query (candidate networks).
+    pub fn generate(&mut self, keywords: &str, user: UserId) -> QsysResult<UserQuery> {
+        let generator =
+            CandidateGenerator::new(&self.catalog, &self.index, self.config.candidate.clone());
+        let uq = UqId::new(self.next_uq);
+        self.next_uq += 1;
+        generator.generate(keywords, uq, user, &mut self.next_cq, None)
+    }
+}
+
+/// Whether the optimizer shares subexpressions within a batch, per mode.
+pub(crate) fn batch_share(mode: &SharingMode) -> bool {
+    !matches!(mode, SharingMode::AtcCq)
+}
+
+/// Optimize and graft a set of user queries as one batch onto a lane.
+/// Returns the combined graft outcome and optimizer stats.
+pub(crate) fn graft_batch(
+    catalog: &Catalog,
+    lane: &mut Lane,
+    uqs: &[&UserQuery],
+    config: &EngineConfig,
+    share: bool,
+) -> (qsys_state::GraftOutcome, OptStats) {
+    let batch: Vec<(&qsys_query::ConjunctiveQuery, &ScoreFn)> = uqs
+        .iter()
+        .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+        .collect();
+    let opt_config = OptimizerConfig {
+        k: config.k,
+        heuristics: config.heuristics.clone(),
+        cost_profile: config.cost_profile,
+        share_subexpressions: share,
+        ..OptimizerConfig::default()
+    };
+    let optimizer = Optimizer::new(catalog, opt_config);
+    let (spec, opt_stats) = {
+        let oracle = lane.manager.reuse_oracle();
+        optimizer.optimize(&batch, &oracle, Some(lane.sources.clock()))
+    };
+    let outcome = lane.manager.graft(&spec, &lane.sources, config.k);
+    (outcome, opt_stats)
+}
+
+/// Group user queries into arrival-ordered batches of `batch_size`.
+pub(crate) fn batches(uqs: &[UserQuery], batch_size: usize) -> Vec<Vec<&UserQuery>> {
+    uqs.chunks(batch_size.max(1))
+        .map(|chunk| chunk.iter().collect())
+        .collect()
+}
+
+/// Per-UQ relation reference counts (input to clustering).
+pub(crate) fn reference_map(
+    uqs: &[UserQuery],
+) -> std::collections::BTreeMap<UqId, Vec<qsys_types::RelId>> {
+    uqs.iter()
+        .map(|uq| {
+            let refs = uq
+                .cqs
+                .iter()
+                .flat_map(|(cq, _)| cq.rels())
+                .collect();
+            (uq.id, refs)
+        })
+        .collect()
+}
+
+/// Build one lane per cluster (or a single lane for non-CL modes).
+pub(crate) fn make_lanes(
+    config: &EngineConfig,
+    provider: impl Fn() -> TableProvider,
+    uqs: &[UserQuery],
+) -> (Vec<Lane>, HashMap<UqId, usize>) {
+    match &config.sharing {
+        SharingMode::AtcCl(cluster_cfg) => {
+            let refs = reference_map(uqs);
+            let clusters = qsys_opt::cluster_user_queries(&refs, *cluster_cfg);
+            let mut lanes = Vec::new();
+            let mut assignment = HashMap::new();
+            for (idx, cluster) in clusters.iter().enumerate() {
+                lanes.push(Lane::new(config, provider(), idx as u64));
+                for uq in cluster {
+                    assignment.insert(*uq, idx);
+                }
+            }
+            (lanes, assignment)
+        }
+        _ => {
+            let lanes = vec![Lane::new(config, provider(), 0)];
+            let assignment = uqs.iter().map(|uq| (uq.id, 0usize)).collect();
+            (lanes, assignment)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_labels_match_paper() {
+        assert_eq!(SharingMode::AtcCq.label(), "ATC-CQ");
+        assert_eq!(SharingMode::AtcUq.label(), "ATC-UQ");
+        assert_eq!(SharingMode::AtcFull.label(), "ATC-FULL");
+        assert_eq!(
+            SharingMode::AtcCl(ClusterConfig::default()).label(),
+            "ATC-CL"
+        );
+    }
+
+    #[test]
+    fn batch_share_only_disabled_for_cq() {
+        assert!(!batch_share(&SharingMode::AtcCq));
+        assert!(batch_share(&SharingMode::AtcUq));
+        assert!(batch_share(&SharingMode::AtcFull));
+        assert!(batch_share(&SharingMode::AtcCl(ClusterConfig::default())));
+    }
+
+    #[test]
+    fn default_config_matches_paper_setup() {
+        let c = EngineConfig::default();
+        assert_eq!(c.k, 50);
+        assert_eq!(c.batch_size, 5);
+        assert_eq!(c.scheduling, SchedulingPolicy::RoundRobin);
+    }
+}

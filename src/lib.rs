@@ -1,0 +1,64 @@
+//! # qsys — Sharing Work in Keyword Search over Databases
+//!
+//! A from-scratch Rust reproduction of the Q System's shared top-k query
+//! processing middleware (Jacob & Ives, SIGMOD 2011): keyword queries are
+//! converted into ranked sets of conjunctive queries (candidate networks),
+//! batched, multi-query-optimized with cost-based subexpression push-down,
+//! and executed by a fully pipelined plan graph of split / m-join /
+//! rank-merge operators under a novel coordinator, the **ATC**. Plan state
+//! persists between queries: later queries graft onto the running graph and
+//! recover already-read stream prefixes from the hash-table state instead
+//! of re-reading the network.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsys::{EngineConfig, QSystem, SharingMode};
+//! use qsys_workload::gus::{self, GusConfig};
+//! use qsys_types::UserId;
+//!
+//! // A synthetic bioinformatics federation (358 relations).
+//! let mut cfg = GusConfig::small(42);
+//! cfg.min_rows = 200;
+//! cfg.max_rows = 400;
+//! let workload = gus::generate(&cfg);
+//! let mut system = QSystem::new(
+//!     workload.catalog,
+//!     workload.index,
+//!     workload.tables.provider(),
+//!     EngineConfig { k: 5, sharing: SharingMode::AtcFull, ..EngineConfig::default() },
+//! );
+//! let answers = system.search("protein gene", UserId::new(0)).unwrap();
+//! assert!(answers.results.len() <= 5);
+//! // A refinement reuses the state the first search left behind.
+//! let refined = system.search("gene membrane", UserId::new(0)).unwrap();
+//! assert!(refined.reused_nodes > 0 || refined.results.is_empty());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | layer | crate |
+//! |-------|-------|
+//! | values, tuples, virtual clock | `qsys-types` |
+//! | schema graph, keyword index | `qsys-catalog` |
+//! | simulated remote DBMSs | `qsys-source` |
+//! | CQs, scoring, candidate networks | `qsys-query` |
+//! | operators, plan graph, ATC | `qsys-exec` |
+//! | multi-query optimizer | `qsys-opt` |
+//! | state manager (graft/recover/evict) | `qsys-state` |
+//! | workload generators | `qsys-workload` |
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{EngineConfig, QSystem, SearchResult, SharingMode};
+pub use report::{generate_user_queries, run_workload, OptEvent, RunReport, UqReport};
+
+// Re-export the subsystem crates under one roof.
+pub use qsys_catalog as catalog;
+pub use qsys_exec as exec;
+pub use qsys_opt as opt;
+pub use qsys_query as query;
+pub use qsys_source as source;
+pub use qsys_state as state;
+pub use qsys_types as types;

@@ -1,0 +1,269 @@
+//! Workload runner and reporting: the engine behind every experiment.
+//!
+//! [`run_workload`] executes a scripted workload under one [`EngineConfig`]
+//! and returns the quantities the paper's evaluation section plots:
+//! per-user-query response times (Figures 7, 9, 12), time breakdowns
+//! (Figure 8), conjunctive queries executed (Table 4), total tuples
+//! consumed (Figure 10), and optimizer statistics (Figure 11).
+
+use crate::engine::{
+    batch_share, batches, graft_batch, make_lanes, EngineConfig, SharingMode,
+};
+use qsys_query::{CandidateGenerator, UserQuery};
+use qsys_types::{QsysResult, TimeBreakdown, UqId};
+use qsys_workload::Workload;
+use std::collections::HashMap;
+
+/// Per-user-query report line.
+#[derive(Debug, Clone)]
+pub struct UqReport {
+    /// The user query.
+    pub uq: UqId,
+    /// The keyword text.
+    pub keywords: String,
+    /// Virtual response time in µs (graft → top-k complete).
+    pub response_us: u64,
+    /// Results returned.
+    pub results: usize,
+    /// Conjunctive queries generated.
+    pub cqs_generated: usize,
+    /// Conjunctive queries executed (Table 4).
+    pub cqs_executed: usize,
+    /// Which lane (plan graph) served it.
+    pub lane: usize,
+}
+
+/// One optimizer invocation (Figure 11's data points).
+#[derive(Debug, Clone, Copy)]
+pub struct OptEvent {
+    /// Conjunctive queries in the batch.
+    pub batch_cqs: usize,
+    /// Push-down candidates entering BestPlan.
+    pub candidates: usize,
+    /// Search states explored.
+    pub explored: usize,
+    /// Simulated optimization time, µs.
+    pub opt_us: u64,
+}
+
+/// The full outcome of one workload run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Configuration label ("ATC-CQ" …).
+    pub config: String,
+    /// Per-UQ lines, in UQ order.
+    pub per_uq: Vec<UqReport>,
+    /// Number of plan graphs (lanes) used.
+    pub lanes: usize,
+    /// Summed simulated time across lanes.
+    pub breakdown: TimeBreakdown,
+    /// Total input tuples consumed (Figure 10).
+    pub tuples_consumed: u64,
+    /// Stream tuples read.
+    pub tuples_streamed: u64,
+    /// Remote probes issued.
+    pub probes: u64,
+    /// Optimizer invocations.
+    pub opt_events: Vec<OptEvent>,
+    /// Keyword queries that matched no candidate network (skipped).
+    pub skipped: Vec<String>,
+}
+
+impl RunReport {
+    /// Mean response time across UQs, µs.
+    pub fn mean_response_us(&self) -> f64 {
+        if self.per_uq.is_empty() {
+            return 0.0;
+        }
+        self.per_uq.iter().map(|u| u.response_us as f64).sum::<f64>() / self.per_uq.len() as f64
+    }
+
+    /// Total simulated optimization time, µs.
+    pub fn opt_us(&self) -> u64 {
+        self.opt_events.iter().map(|e| e.opt_us).sum()
+    }
+}
+
+/// Generate the user queries of a workload (shared by the runner, the
+/// benches, and the examples). Queries whose keywords cannot be connected
+/// into any candidate network are skipped (returned second) — a real system
+/// reports "no results" for them rather than failing the batch.
+pub fn generate_user_queries(
+    workload: &Workload,
+    config: &EngineConfig,
+) -> QsysResult<(Vec<UserQuery>, Vec<String>)> {
+    let generator =
+        CandidateGenerator::new(&workload.catalog, &workload.index, config.candidate.clone());
+    let mut next_cq = 0u32;
+    let mut uqs = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, q) in workload.queries.iter().enumerate() {
+        match generator.generate(
+            &q.keywords,
+            UqId::new(i as u32),
+            q.user,
+            &mut next_cq,
+            q.edge_costs.as_ref(),
+        ) {
+            Ok(uq) => uqs.push(uq),
+            Err(_) => skipped.push(q.keywords.clone()),
+        }
+    }
+    Ok((uqs, skipped))
+}
+
+/// Run `workload` (optionally truncated to its first `limit` user queries)
+/// under `config`, returning the experiment report.
+pub fn run_workload(
+    workload: &Workload,
+    config: &EngineConfig,
+    limit: Option<usize>,
+) -> QsysResult<RunReport> {
+    let (mut uqs, skipped) = generate_user_queries(workload, config)?;
+    if let Some(n) = limit {
+        uqs.truncate(n);
+    }
+    let provider = || workload.tables.provider();
+    let (mut lanes, assignment) = make_lanes(config, provider, &uqs);
+    let share = batch_share(&config.sharing);
+    let per_uq_meta: HashMap<UqId, (String, usize)> = uqs
+        .iter()
+        .map(|uq| (uq.id, (uq.keywords.clone(), uq.cqs.len())))
+        .collect();
+
+    let mut opt_events = Vec::new();
+    // Partition the arrival-ordered script per lane, then process each
+    // lane's batches.
+    for (lane_idx, lane) in lanes.iter_mut().enumerate() {
+        let lane_uqs: Vec<UserQuery> = uqs
+            .iter()
+            .filter(|uq| assignment.get(&uq.id) == Some(&lane_idx))
+            .cloned()
+            .collect();
+        for batch in batches(&lane_uqs, config.batch_size) {
+            let submit = lane.sources.clock().now_us();
+            for uq in &batch {
+                lane.stats.submit(uq.id, submit);
+            }
+            match config.sharing {
+                // ATC-CQ / ATC-UQ: optimize each user query separately.
+                SharingMode::AtcCq | SharingMode::AtcUq => {
+                    for uq in &batch {
+                        let (_, opt) =
+                            graft_batch(&workload.catalog, lane, &[uq], config, share);
+                        opt_events.push(OptEvent {
+                            batch_cqs: uq.cqs.len(),
+                            candidates: opt.candidates,
+                            explored: opt.explored,
+                            opt_us: opt.explored as u64 * 15,
+                        });
+                        if matches!(config.sharing, SharingMode::AtcUq) {
+                            // Sharing stays within the user query.
+                            lane.manager.isolate();
+                        }
+                    }
+                }
+                // ATC-FULL / ATC-CL: one multi-query optimization per batch.
+                _ => {
+                    let n_cqs: usize = batch.iter().map(|uq| uq.cqs.len()).sum();
+                    let (_, opt) =
+                        graft_batch(&workload.catalog, lane, &batch, config, share);
+                    opt_events.push(OptEvent {
+                        batch_cqs: n_cqs,
+                        candidates: opt.candidates,
+                        explored: opt.explored,
+                        opt_us: opt.explored as u64 * 15,
+                    });
+                }
+            }
+            lane.atc
+                .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
+            lane.manager.unpin_all();
+            lane.manager.unlink_completed();
+            lane.manager.evict_to_budget();
+        }
+    }
+
+    // Assemble the report.
+    let mut report = RunReport {
+        config: config.sharing.label().to_string(),
+        lanes: lanes.len(),
+        opt_events,
+        skipped,
+        ..RunReport::default()
+    };
+    for (lane_idx, lane) in lanes.iter().enumerate() {
+        let b = lane.sources.clock().breakdown();
+        report.breakdown.stream_read_us += b.stream_read_us;
+        report.breakdown.random_access_us += b.random_access_us;
+        report.breakdown.join_us += b.join_us;
+        report.breakdown.optimize_us += b.optimize_us;
+        report.tuples_consumed += lane.sources.tuples_consumed();
+        report.tuples_streamed += lane.sources.tuples_streamed();
+        report.probes += lane.sources.probes();
+        for s in lane.stats.all() {
+            let (keywords, generated) = per_uq_meta
+                .get(&s.uq)
+                .cloned()
+                .unwrap_or_default();
+            report.per_uq.push(UqReport {
+                uq: s.uq,
+                keywords,
+                response_us: s.response_us().unwrap_or(0),
+                results: s.results,
+                cqs_generated: generated,
+                cqs_executed: s.cqs_executed.len(),
+                lane: lane_idx,
+            });
+        }
+    }
+    report.per_uq.sort_by_key(|u| u.uq);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_response_handles_empty() {
+        let r = RunReport::default();
+        assert_eq!(r.mean_response_us(), 0.0);
+        assert_eq!(r.opt_us(), 0);
+    }
+
+    #[test]
+    fn mean_response_averages() {
+        let mut r = RunReport::default();
+        for (i, us) in [100u64, 300].iter().enumerate() {
+            r.per_uq.push(UqReport {
+                uq: UqId::new(i as u32),
+                keywords: String::new(),
+                response_us: *us,
+                results: 1,
+                cqs_generated: 1,
+                cqs_executed: 1,
+                lane: 0,
+            });
+        }
+        assert_eq!(r.mean_response_us(), 200.0);
+    }
+
+    #[test]
+    fn opt_events_sum() {
+        let mut r = RunReport::default();
+        r.opt_events.push(OptEvent {
+            batch_cqs: 3,
+            candidates: 1,
+            explored: 10,
+            opt_us: 150,
+        });
+        r.opt_events.push(OptEvent {
+            batch_cqs: 2,
+            candidates: 0,
+            explored: 1,
+            opt_us: 15,
+        });
+        assert_eq!(r.opt_us(), 165);
+    }
+}

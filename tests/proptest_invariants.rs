@@ -1,0 +1,313 @@
+//! Property-based tests on the core invariants.
+//!
+//! - the pipelined engine's top-k equals the brute-force top-k on random
+//!   database instances;
+//! - the m-join produces exactly the batch join, under any arrival
+//!   interleaving;
+//! - a warm (two-session) execution returns exactly what a cold execution
+//!   returns — RecoverState loses nothing and duplicates nothing;
+//! - score upper bounds really bound every emitted result.
+
+use proptest::prelude::*;
+use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
+use qsys_exec::access::{AccessModule, StoredModule};
+use qsys_exec::mjoin::{JoinPred, MJoin, MJoinInput};
+use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
+use qsys_opt::{Optimizer, OptimizerConfig};
+use qsys_query::{ConjunctiveQuery, CqAtom, CqJoin, ScoreFn};
+use qsys_source::{Sources, Table};
+use qsys_state::QsManager;
+use qsys_types::{
+    BaseTuple, CostProfile, CqId, Epoch, RelId, SimClock, Tuple, UqId, UserId, Value,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A randomly generated relation instance: (key, score) rows.
+#[derive(Clone, Debug)]
+struct RelData {
+    rows: Vec<(i64, f64)>,
+}
+
+fn rel_data(max_rows: usize, key_range: i64) -> impl Strategy<Value = RelData> {
+    prop::collection::vec((0..key_range, 0.0f64..=1.0), 1..=max_rows)
+        .prop_map(|rows| RelData { rows })
+}
+
+fn build_sources(data: &[RelData]) -> Sources {
+    let s = Sources::new(SimClock::new(), CostProfile::default(), 1);
+    for (i, rel) in data.iter().enumerate() {
+        let id = RelId::new(i as u32);
+        let rows = rel
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(rid, (k, score))| {
+                Arc::new(BaseTuple::new(
+                    id,
+                    rid as u64,
+                    vec![Value::Int(*k), Value::Int(*k), Value::float(*score)],
+                    *score,
+                ))
+            })
+            .collect();
+        s.register(Table::new(id, rows));
+    }
+    s
+}
+
+fn chain_catalog(data: &[RelData], key_range: i64) -> Catalog {
+    let mut b = CatalogBuilder::default();
+    let mut ids = Vec::new();
+    for (i, rel) in data.iter().enumerate() {
+        let mut stats = RelationStats::with_cardinality(rel.rows.len() as u64);
+        stats.columns = vec![
+            ColumnStats {
+                distinct: key_range as u64,
+            },
+            ColumnStats {
+                distinct: key_range as u64,
+            },
+        ];
+        ids.push(b.relation(
+            format!("P{i}"),
+            qsys_types::SourceId::new(0),
+            vec!["k".into(), "j".into(), "score".into()],
+            Some(2),
+            1.0,
+            stats,
+        ));
+    }
+    for w in ids.windows(2) {
+        b.edge(w[0], 1, w[1], 0, EdgeKind::ForeignKey, 1.0, 1.5);
+    }
+    b.build()
+}
+
+fn chain_cq(id: u32, uq: u32, catalog: &Catalog, len: usize) -> ConjunctiveQuery {
+    let rels: Vec<RelId> = (0..len as u32).map(RelId::new).collect();
+    let atoms = rels
+        .iter()
+        .map(|&rel| CqAtom {
+            rel,
+            selection: None,
+        })
+        .collect();
+    let joins = rels
+        .windows(2)
+        .map(|w| {
+            let e = catalog.edge_between(w[0], w[1]).unwrap();
+            CqJoin {
+                edge: e.id,
+                left: e.from,
+                left_col: e.from_col,
+                right: e.to,
+                right_col: e.to_col,
+            }
+        })
+        .collect();
+    ConjunctiveQuery::new(CqId::new(id), UqId::new(uq), UserId::new(0), atoms, joins)
+}
+
+/// Brute-force top-k scores for a chain CQ over the raw data.
+fn brute_force_scores(data: &[RelData], f: &ScoreFn, k: usize) -> Vec<f64> {
+    let mut partials: Vec<(i64, f64)> = data[0].rows.clone();
+    for rel in &data[1..] {
+        let mut next = Vec::new();
+        for (k1, s1) in &partials {
+            for (k2, s2) in &rel.rows {
+                if k1 == k2 {
+                    next.push((*k2, s1 * s2));
+                }
+            }
+        }
+        partials = next;
+    }
+    let mut scores: Vec<f64> = partials
+        .iter()
+        .map(|(_, s)| f.static_factor * s)
+        .collect();
+    scores.sort_by(|a, b| b.total_cmp(a));
+    scores.truncate(k);
+    scores
+}
+
+fn run_engine(
+    data: &[RelData],
+    key_range: i64,
+    k: usize,
+) -> (Vec<f64>, f64) {
+    let catalog = chain_catalog(data, key_range);
+    let sources = build_sources(data);
+    let cq = chain_cq(0, 0, &catalog, data.len());
+    let f = ScoreFn::discover(UserId::new(0), data.len());
+    let upper = f.upper_bound(&cq, &catalog).get();
+    let mut manager = QsManager::new(usize::MAX);
+    let optimizer = Optimizer::new(&catalog, OptimizerConfig { k, ..OptimizerConfig::default() });
+    let (spec, _) = {
+        let oracle = manager.reuse_oracle();
+        optimizer.optimize(&[(&cq, &f)], &oracle, None)
+    };
+    manager.graft(&spec, &sources, k);
+    let mut stats = ExecStats::new();
+    stats.submit(UqId::new(0), 0);
+    Atc::new(SchedulingPolicy::RoundRobin).run(manager.graph_mut(), &sources, &mut stats);
+    let rm = manager.rank_merge_of(UqId::new(0)).unwrap();
+    let scores = manager
+        .graph()
+        .rank_merge(rm)
+        .results()
+        .iter()
+        .map(|r| r.score.get())
+        .collect();
+    (scores, upper)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// End-to-end top-k == brute force, for random 2-chain instances.
+    #[test]
+    fn engine_topk_matches_brute_force_2chain(
+        a in rel_data(24, 6),
+        b in rel_data(24, 6),
+        k in 1usize..12,
+    ) {
+        let data = vec![a, b];
+        // NB: the catalog stats say max_score = 1.0, which is ≥ any actual
+        // score — bounds stay sound even when the data's true max is lower.
+        let (got, upper) = run_engine(&data, 6, k);
+        let f = ScoreFn::discover(UserId::new(0), 2);
+        let want = brute_force_scores(&data, &f, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-12, "got {} want {}", g, w);
+        }
+        for g in &got {
+            prop_assert!(*g <= upper + 1e-12, "score {} exceeds U {}", g, upper);
+        }
+    }
+
+    /// Same for 3-chains (deeper plans, possible pushdowns).
+    #[test]
+    fn engine_topk_matches_brute_force_3chain(
+        a in rel_data(12, 4),
+        b in rel_data(12, 4),
+        c in rel_data(12, 4),
+        k in 1usize..8,
+    ) {
+        let data = vec![a, b, c];
+        let (got, _) = run_engine(&data, 4, k);
+        let f = ScoreFn::discover(UserId::new(0), 3);
+        let want = brute_force_scores(&data, &f, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-12, "got {} want {}", g, w);
+        }
+    }
+
+    /// The m-join emits exactly the batch join under any interleaving.
+    #[test]
+    fn mjoin_equals_batch_join(
+        a in rel_data(20, 5),
+        b in rel_data(20, 5),
+        seed in 0u64..1000,
+    ) {
+        let stored = |rel: u32| MJoinInput {
+            rels: vec![RelId::new(rel)],
+            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            epoch_cap: None,
+            store_arrivals: true,
+            selection: None,
+        };
+        let mut mj = MJoin::new(
+            vec![stored(0), stored(1)],
+            vec![JoinPred {
+                left_rel: RelId::new(0),
+                left_col: 0,
+                right_rel: RelId::new(1),
+                right_col: 0,
+            }],
+        );
+        let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
+        // Deterministic interleaving from the seed.
+        let mut order: Vec<(usize, Tuple)> = Vec::new();
+        for (i, (k, s)) in a.rows.iter().enumerate() {
+            order.push((0, Tuple::single(Arc::new(BaseTuple::new(
+                RelId::new(0), i as u64, vec![Value::Int(*k)], *s)))));
+        }
+        for (i, (k, s)) in b.rows.iter().enumerate() {
+            order.push((1, Tuple::single(Arc::new(BaseTuple::new(
+                RelId::new(1), i as u64, vec![Value::Int(*k)], *s)))));
+        }
+        // Fisher-Yates with a tiny LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut produced = Vec::new();
+        for (input, t) in order {
+            produced.extend(mj.insert(input, t, Epoch(0), &sources));
+        }
+        let expected: usize = a.rows.iter().map(|(ka, _)| {
+            b.rows.iter().filter(|(kb, _)| ka == kb).count()
+        }).sum();
+        prop_assert_eq!(produced.len(), expected);
+        // No duplicates by provenance.
+        let mut prov: Vec<_> = produced.iter().map(|t| t.provenance()).collect();
+        prov.sort();
+        prov.dedup();
+        prop_assert_eq!(prov.len(), expected);
+    }
+
+    /// Warm two-session execution == cold execution (RecoverState is
+    /// lossless and duplicate-free).
+    #[test]
+    fn warm_session_equals_cold_session(
+        a in rel_data(20, 5),
+        b in rel_data(20, 5),
+        c in rel_data(20, 5),
+        k in 2usize..8,
+    ) {
+        let data = vec![a, b, c];
+        let catalog = chain_catalog(&data, 5);
+        let f2 = ScoreFn::discover(UserId::new(0), 2);
+        let f3 = ScoreFn::discover(UserId::new(0), 3);
+
+        // Warm: run the 2-chain, then graft the 3-chain onto the same graph.
+        let sources = build_sources(&data);
+        let mut manager = QsManager::new(usize::MAX);
+        let optimizer = Optimizer::new(&catalog, OptimizerConfig { k, ..OptimizerConfig::default() });
+        let cq2 = chain_cq(0, 0, &catalog, 2);
+        let (spec, _) = {
+            let oracle = manager.reuse_oracle();
+            optimizer.optimize(&[(&cq2, &f2)], &oracle, None)
+        };
+        manager.graft(&spec, &sources, k);
+        let mut stats = ExecStats::new();
+        stats.submit(UqId::new(0), 0);
+        Atc::new(SchedulingPolicy::RoundRobin).run(manager.graph_mut(), &sources, &mut stats);
+
+        let cq3 = chain_cq(1, 1, &catalog, 3);
+        let (spec, _) = {
+            let oracle = manager.reuse_oracle();
+            optimizer.optimize(&[(&cq3, &f3)], &oracle, None)
+        };
+        manager.graft(&spec, &sources, k);
+        stats.submit(UqId::new(1), 0);
+        Atc::new(SchedulingPolicy::RoundRobin).run(manager.graph_mut(), &sources, &mut stats);
+        let rm = manager.rank_merge_of(UqId::new(1)).unwrap();
+        let warm: Vec<f64> = manager.graph().rank_merge(rm).results()
+            .iter().map(|r| r.score.get()).collect();
+
+        // Cold reference.
+        let want = brute_force_scores(&data, &f3, k);
+        prop_assert_eq!(warm.len(), want.len(), "warm {:?} want {:?}", warm, want);
+        for (g, w) in warm.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() < 1e-12, "got {} want {}", g, w);
+        }
+    }
+}
