@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of criterion: the
+//! `criterion_group!`/`criterion_main!` macros, benchmark groups,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter` /
+//! `iter_batched`. Timing is a plain mean/min/max over `sample_size`
+//! wall-clock samples — no outlier analysis, no HTML reports — printed in
+//! a `group/name: mean …` line per benchmark, plus a machine-readable
+//! `CRITERION-JSON {…}` line consumed by the repo's bench scripts.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (ignored beyond API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup per iteration.
+    PerIteration,
+    /// Small inputs (real criterion batches these; we run one per sample).
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-sample duration, filled by the `iter*` methods.
+    last_mean_ns: f64,
+    last_min_ns: f64,
+    last_max_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        self.record(&times);
+    }
+
+    /// Measure `routine` over values produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed());
+        }
+        self.record(&times);
+    }
+
+    fn record(&mut self, times: &[Duration]) {
+        let ns: Vec<f64> = times.iter().map(|d| d.as_nanos() as f64).collect();
+        self.last_mean_ns = ns.iter().sum::<f64>() / ns.len().max(1) as f64;
+        self.last_min_ns = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.last_max_ns = ns.iter().cloned().fold(0.0, f64::max);
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_ns: 0.0,
+            last_min_ns: 0.0,
+            last_max_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: mean {}  min {}  max {}  ({} samples)",
+            self.name,
+            id.id,
+            human(b.last_mean_ns),
+            human(b.last_min_ns),
+            human(b.last_max_ns),
+            self.sample_size
+        );
+        println!(
+            "CRITERION-JSON {{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            self.name, id.id, b.last_mean_ns, b.last_min_ns, b.last_max_ns
+        );
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+}

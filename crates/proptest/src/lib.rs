@@ -1,0 +1,338 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of proptest: enough
+//! for the `proptest!` macro, range/tuple/`prop_map`/`collection::vec`
+//! strategies, and the `prop_assert*` macros used by the test suite.
+//!
+//! Differences from the real crate (deliberate, to stay dependency-free):
+//!
+//! - cases are generated from a fixed splitmix64 stream, so runs are fully
+//!   deterministic across machines and invocations;
+//! - there is no shrinking — on failure the generated inputs are printed
+//!   verbatim and the panic is re-raised.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state (splitmix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a stream.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// A value generator. The real crate's `Strategy` also drives shrinking;
+/// here it is a plain deterministic sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i64, u64, usize, u32, i32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+/// A strategy yielding one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Element-count bounds for [`collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            min: r.start,
+            max: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate a `Vec` of `elem`-generated values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.min, self.size.max);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::…` namespace mirror.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The everything-you-need import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                // Per-test stream offset so sibling tests see different data.
+                let __test_seed: u64 = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+                    });
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::TestRng::new(__test_seed ^ (__case as u64).wrapping_mul(0x9E37_79B9));
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                    let __inputs = {
+                        let mut s = String::new();
+                        $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)*
+                        s
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "[proptest] {} failed on case {}/{} with inputs:\n{}",
+                            stringify!($name), __case, __config.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..9, y in 0.0f64..=1.0, n in 1usize..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0u64..10, 2..=6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn map_applies(s in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert!(s % 2 == 0 && s < 10);
+        }
+    }
+}

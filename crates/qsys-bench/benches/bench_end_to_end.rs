@@ -23,17 +23,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_4uq");
     group.sample_size(10);
     for mode in [SharingMode::AtcCq, SharingMode::AtcUq, SharingMode::AtcFull] {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &mode,
-            |b, mode| {
-                b.iter_batched(
-                    || gus_engine(mode.clone(), 5),
-                    |engine| black_box(run_workload(&workload, &engine, None).unwrap()),
-                    BatchSize::PerIteration,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, mode| {
+            b.iter_batched(
+                || gus_engine(mode.clone(), 5),
+                |engine| black_box(run_workload(&workload, &engine, None).unwrap()),
+                BatchSize::PerIteration,
+            );
+        });
     }
     group.finish();
 }

@@ -1,0 +1,120 @@
+//! Micro-benchmark: hash-consed signature ids vs deep-signature keys.
+//!
+//! Compares the two representations on exactly the operations the
+//! optimizer's hot loop performs — map lookups keyed by signature (the
+//! BestPlan memo / reuse-index probe pattern) and first-time interning —
+//! plus the overlap test that dominates `S′` construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsys::query::{SigId, SigInterner, SubExprSig};
+use qsys::types::RelId;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// A family of chain signatures of `len` atoms starting at `from`.
+fn chain_sig(from: u32, len: u32) -> SubExprSig {
+    SubExprSig::new(
+        (from..from + len).map(|r| (RelId::new(r), None)).collect(),
+        Vec::new(),
+    )
+    // Joins omitted: key size is dominated by the atom vector either way.
+}
+
+fn sig_family(n: u32, len: u32) -> Vec<SubExprSig> {
+    (0..n).map(|i| chain_sig(i, len)).collect()
+}
+
+fn bench_interner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sig_interner");
+    group.sample_size(50);
+
+    let sigs = sig_family(512, 4);
+
+    // Deep-keyed map: every probe hashes two vectors.
+    group.bench_function("deep_map_lookup_512x4", |b| {
+        let map: HashMap<SubExprSig, usize> = sigs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &sigs {
+                hits += map[s];
+            }
+            black_box(hits)
+        });
+    });
+
+    // Id-keyed map: every probe hashes one u32 (after a one-time intern).
+    group.bench_function("sigid_map_lookup_512x4", |b| {
+        let mut interner = SigInterner::new();
+        let ids: Vec<SigId> = sigs.iter().cloned().map(|s| interner.intern(s)).collect();
+        let map: HashMap<SigId, usize> = ids.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for id in &ids {
+                hits += map[id];
+            }
+            black_box(hits)
+        });
+    });
+
+    // Interning throughput: first insertion (cold) and re-interning (warm —
+    // the common case once a lane has been running).
+    group.bench_function("intern_cold_512x4", |b| {
+        b.iter(|| {
+            let mut interner = SigInterner::new();
+            for s in &sigs {
+                black_box(interner.intern(s.clone()));
+            }
+            black_box(interner.len())
+        });
+    });
+    group.bench_function("intern_warm_512x4", |b| {
+        let mut interner = SigInterner::new();
+        for s in &sigs {
+            interner.intern(s.clone());
+        }
+        b.iter(|| {
+            let mut last = SigId(0);
+            for s in &sigs {
+                last = interner.intern(s.clone());
+            }
+            black_box(last)
+        });
+    });
+
+    // The BestPlan S′ overlap test: deep relation-vector allocation vs the
+    // interner's cached sorted slices.
+    group.bench_function("overlap_deep_512", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for w in sigs.windows(2) {
+                if w[0].shares_relation_with(&w[1]) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("overlap_interned_512", |b| {
+        let mut interner = SigInterner::new();
+        let ids: Vec<SigId> = sigs.iter().cloned().map(|s| interner.intern(s)).collect();
+        b.iter(|| {
+            let mut n = 0usize;
+            for w in ids.windows(2) {
+                if interner.shares_relation(w[0], w[1]) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interner);
+criterion_main!(benches);

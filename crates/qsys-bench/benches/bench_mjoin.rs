@@ -37,7 +37,10 @@ fn tuples(rel: u32, n: u64, keys: i64) -> Vec<Tuple> {
             Tuple::single(Arc::new(BaseTuple::new(
                 RelId::new(rel),
                 i,
-                vec![Value::Int((i as i64) % keys), Value::Int((i as i64 * 7) % keys)],
+                vec![
+                    Value::Int((i as i64) % keys),
+                    Value::Int((i as i64 * 7) % keys),
+                ],
                 1.0 - i as f64 / (n + 1) as f64,
             )))
         })

@@ -34,7 +34,8 @@ fn bench_optimizer(c: &mut Criterion) {
                 ..OptimizerConfig::default()
             };
             let optimizer = Optimizer::new(&workload.catalog, config);
-            b.iter(|| black_box(optimizer.optimize(&batch, &NoReuse, None)));
+            let interner = qsys::query::SigCell::new(qsys::query::SigInterner::new());
+            b.iter(|| black_box(optimizer.optimize(&batch, &NoReuse, None, &interner)));
         });
     }
     group.finish();

@@ -8,6 +8,10 @@
 //!
 //! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
 //! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
+//! Perf:        `bench [--iters N] [--baseline FILE] [--out FILE]` — measure
+//! the optimizer+graft hot path and end-to-end throughput, and emit the
+//! repo's `BENCH_*.json` trajectory point (optionally embedding a baseline
+//! snapshot recorded before an optimization landed).
 
 use qsys_bench::*;
 
@@ -24,11 +28,60 @@ fn main() {
     // The paper used 4 synthetic instances; seeds play that role.
     let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 41 + i * 7).collect();
 
-    println!(
-        "# scale: {scale:?} | instance seeds: {seeds:?} | virtual-clock results\n"
-    );
+    println!("# scale: {scale:?} | instance seeds: {seeds:?} | virtual-clock results\n");
     let t0 = std::time::Instant::now();
     match what {
+        "bench" => {
+            let iters: usize = flag_value(&args, "--iters")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20);
+            // Validate the baseline fully before the (minutes-long)
+            // measurement. The file must be a bare snapshot object, as
+            // written by a `bench --out` run without `--baseline`; a
+            // combined before/after file would silently be compared
+            // against its embedded (oldest) snapshot.
+            let baseline = flag_value(&args, "--baseline").map(|path| {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(s) => s.trim().to_string(),
+                    Err(e) => {
+                        eprintln!("cannot read baseline {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                if text.contains("\"before\"") {
+                    eprintln!(
+                        "baseline {path} is a combined before/after file; pass a bare \
+                         snapshot (from `bench --out` without --baseline)"
+                    );
+                    std::process::exit(2);
+                }
+                let Some(before_ref) = extract_json_number(&text, "opt_graft_us") else {
+                    eprintln!("baseline {path} has no opt_graft_us field");
+                    std::process::exit(2);
+                };
+                (text, before_ref)
+            });
+            let snapshot = perf_snapshot(iters);
+            let after = snapshot.to_json();
+            println!("after: {after}");
+            let json = match baseline {
+                Some((before, before_ref)) => {
+                    let reduction = 100.0 * (1.0 - snapshot.opt_graft_us() / before_ref.max(1e-9));
+                    format!(
+                        "{{\n  \"bench\": \"optimizer+graft hot path (GUS seed 41, batch of 5 UQs) and end-to-end ATC-FULL workload\",\n  \"machine_note\": \"before/after measured back-to-back on the same machine and build flags\",\n  \"iters\": {iters},\n  \"before\": {before},\n  \"after\": {after},\n  \"opt_graft_reduction_pct\": {reduction:.1}\n}}\n"
+                    )
+                }
+                // No baseline: emit the bare snapshot, usable as the
+                // baseline of a future run.
+                None => format!("{after}\n"),
+            };
+            if let Some(path) = flag_value(&args, "--out") {
+                std::fs::write(&path, &json).expect("write bench output");
+                eprintln!("wrote {path}");
+            } else {
+                println!("{json}");
+            }
+        }
         "table4" => print_table4(&table4(&seeds, scale)),
         "fig7" => print_fig7(&fig7_runs(&seeds, scale, None)),
         "fig8" => print_fig8(&fig7_runs(&seeds, scale, None)),
@@ -86,7 +139,9 @@ fn main() {
             }
             println!();
             let (warm, cold) = ablation_recovery(seeds[0], scale);
-            println!("Ablation: RecoverState — repeated query stream reads: warm {warm} vs cold {cold}");
+            println!(
+                "Ablation: RecoverState — repeated query stream reads: warm {warm} vs cold {cold}"
+            );
             println!();
             println!("Ablation: memory budget (stream reads, 10 UQs)");
             for (label, reads) in ablation_eviction(seeds[0], scale) {
@@ -100,7 +155,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }
@@ -111,4 +166,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pull `"key": <number>` out of a flat JSON object (no JSON dependency in
+/// this build environment).
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

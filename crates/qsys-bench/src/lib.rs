@@ -7,12 +7,12 @@
 //! DESIGN.md's substitution notes; the claims under reproduction are about
 //! relative behaviour between configurations, not absolute seconds.
 
-use qsys::{run_workload, EngineConfig, RunReport, SharingMode};
 use qsys::opt::cluster::ClusterConfig;
-use qsys::opt::{HeuristicConfig, Optimizer, OptimizerConfig};
 use qsys::opt::cost::NoReuse;
+use qsys::opt::{HeuristicConfig, Optimizer, OptimizerConfig};
 use qsys::query::CandidateConfig;
 use qsys::types::SimClock;
+use qsys::{run_workload, EngineConfig, RunReport, SharingMode};
 use qsys_workload::gus::{self, GusConfig};
 use qsys_workload::pfam::{self, PfamConfig};
 use qsys_workload::Workload;
@@ -89,6 +89,185 @@ pub fn pfam_engine(mode: SharingMode) -> EngineConfig {
 }
 
 // ---------------------------------------------------------------------------
+// Perf snapshot: the repo's benchmark trajectory (BENCH_*.json).
+// ---------------------------------------------------------------------------
+
+/// One measured point of the hot path, plus the plan shape it produced.
+///
+/// `spec_*` pin the optimizer's *sharing decisions* (PlanSpec node / edge /
+/// leaf counts) so that representation changes — like rekeying the sharing
+/// structures on interned signature ids — can be verified decision-neutral.
+#[derive(Clone, Debug)]
+pub struct PerfSnapshot {
+    /// Mean wall-clock µs per `Optimizer::optimize` call (reference batch).
+    pub optimize_us: f64,
+    /// Mean wall-clock µs per `QsManager::graft` of the resulting spec.
+    pub graft_us: f64,
+    /// Mean wall-clock µs per combined optimize+graft cycle over a warm
+    /// manager (includes reuse-oracle and sig-index lookups).
+    pub opt_graft_warm_us: f64,
+    /// PlanSpec node count for the reference batch.
+    pub spec_nodes: usize,
+    /// PlanSpec edge count (join-input edges + one root edge per CQ).
+    pub spec_edges: usize,
+    /// Shared stream-leaf count in the reference spec.
+    pub spec_stream_leaves: usize,
+    /// CQ count of the reference batch.
+    pub batch_cqs: usize,
+    /// Wall-clock ms for the full GUS workload end to end (ATC-FULL).
+    pub end_to_end_ms: f64,
+    /// Input tuples consumed by the end-to-end run.
+    pub tuples_consumed: u64,
+    /// Tuples consumed per wall-clock second end to end.
+    pub tuples_per_sec: f64,
+}
+
+/// The optimizer+graft shape of one batch: node/edge/leaf counts.
+pub fn spec_shape(spec: &qsys::opt::PlanSpec) -> (usize, usize, usize) {
+    use qsys::opt::SpecNodeKind;
+    let nodes = spec.nodes.len();
+    let mut edges = spec.cq_plans.len(); // one root edge per CQ
+    let mut leaves = 0;
+    for node in &spec.nodes {
+        match &node.kind {
+            SpecNodeKind::Stream => leaves += 1,
+            SpecNodeKind::Join { inputs, .. } => edges += inputs.len(),
+        }
+    }
+    (nodes, edges, leaves)
+}
+
+/// Measure the optimizer+graft hot path and an end-to-end workload run.
+///
+/// `iters` controls how many optimize/graft cycles are averaged; the
+/// reference batch is the first `batch_size`-UQ batch of the seed-41 GUS
+/// workload — the same inputs `bench_optimizer` uses.
+pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
+    use qsys::state::QsManager;
+    use std::time::Instant;
+
+    let workload = gus_workload(41, Scale::Small);
+    let engine = gus_engine(SharingMode::AtcFull, 5);
+    let (uqs, _) = qsys::generate_user_queries(&workload, &engine).expect("generates");
+    let batch: Vec<_> = uqs
+        .iter()
+        .take(5)
+        .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+        .collect();
+    let opt_config = OptimizerConfig {
+        k: engine.k,
+        heuristics: engine.heuristics.clone(),
+        cost_profile: engine.cost_profile,
+        share_subexpressions: true,
+        ..OptimizerConfig::default()
+    };
+
+    // Cold optimize (fresh manager each cycle) and the graft of its spec.
+    let mut optimize_us = 0.0;
+    let mut graft_us = 0.0;
+    let mut shape = (0, 0, 0);
+    for _ in 0..iters {
+        let mut manager = QsManager::new(usize::MAX);
+        let optimizer = Optimizer::new(&workload.catalog, opt_config.clone());
+        let sources = qsys::source::Sources::with_provider(
+            SimClock::new(),
+            engine.cost_profile,
+            engine.seed,
+            workload.tables.provider(),
+        );
+        let t0 = Instant::now();
+        let (spec, _) = {
+            let interner = manager.shared_interner();
+            let oracle = manager.reuse_oracle();
+            optimizer.optimize(&batch, &oracle, None, &interner)
+        };
+        let t1 = Instant::now();
+        manager.graft(&spec, &sources, engine.k);
+        let t2 = Instant::now();
+        optimize_us += (t1 - t0).as_secs_f64() * 1e6;
+        graft_us += (t2 - t1).as_secs_f64() * 1e6;
+        shape = spec_shape(&spec);
+    }
+
+    // Warm cycles: successive batches grafted onto one live manager, so
+    // reuse-oracle probes and sig-index hits are on the measured path.
+    let mut warm_us = 0.0;
+    for _ in 0..iters {
+        let mut manager = QsManager::new(usize::MAX);
+        let optimizer = Optimizer::new(&workload.catalog, opt_config.clone());
+        let sources = qsys::source::Sources::with_provider(
+            SimClock::new(),
+            engine.cost_profile,
+            engine.seed,
+            workload.tables.provider(),
+        );
+        let t0 = Instant::now();
+        for chunk in uqs.chunks(5).take(3) {
+            let batch: Vec<_> = chunk
+                .iter()
+                .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+                .collect();
+            let (spec, _) = {
+                let interner = manager.shared_interner();
+                let oracle = manager.reuse_oracle();
+                optimizer.optimize(&batch, &oracle, None, &interner)
+            };
+            manager.graft(&spec, &sources, engine.k);
+        }
+        warm_us += t0.elapsed().as_secs_f64() * 1e6;
+    }
+
+    // End to end: the full workload under ATC-FULL, wall-clocked.
+    let t0 = std::time::Instant::now();
+    let report = run_workload(&workload, &engine, None).expect("runs");
+    let end_to_end = t0.elapsed();
+
+    let secs = end_to_end.as_secs_f64().max(1e-9);
+    PerfSnapshot {
+        optimize_us: optimize_us / iters.max(1) as f64,
+        graft_us: graft_us / iters.max(1) as f64,
+        opt_graft_warm_us: warm_us / iters.max(1) as f64,
+        spec_nodes: shape.0,
+        spec_edges: shape.1,
+        spec_stream_leaves: shape.2,
+        batch_cqs: batch.len(),
+        end_to_end_ms: secs * 1e3,
+        tuples_consumed: report.tuples_consumed,
+        tuples_per_sec: report.tuples_consumed as f64 / secs,
+    }
+}
+
+impl PerfSnapshot {
+    /// Combined optimize+graft µs (the headline hot-path number).
+    pub fn opt_graft_us(&self) -> f64 {
+        self.optimize_us + self.graft_us
+    }
+
+    /// Render as a JSON object (no external dependencies available).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"optimize_us\": {:.1},\n    \"graft_us\": {:.1},\n    \
+             \"opt_graft_us\": {:.1},\n    \"opt_graft_warm_us\": {:.1},\n    \
+             \"spec_nodes\": {},\n    \"spec_edges\": {},\n    \
+             \"spec_stream_leaves\": {},\n    \"batch_cqs\": {},\n    \
+             \"end_to_end_ms\": {:.1},\n    \"tuples_consumed\": {},\n    \
+             \"tuples_per_sec\": {:.0}\n  }}",
+            self.optimize_us,
+            self.graft_us,
+            self.opt_graft_us(),
+            self.opt_graft_warm_us,
+            self.spec_nodes,
+            self.spec_edges,
+            self.spec_stream_leaves,
+            self.batch_cqs,
+            self.end_to_end_ms,
+            self.tuples_consumed,
+            self.tuples_per_sec,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Table 4: average number of conjunctive queries executed per user query.
 // ---------------------------------------------------------------------------
 
@@ -98,8 +277,7 @@ pub fn table4(seeds: &[u64], scale: Scale) -> Vec<f64> {
     let mut counts: Vec<u32> = Vec::new();
     for &seed in seeds {
         let w = gus_workload(seed, scale);
-        let report =
-            run_workload(&w, &gus_engine(SharingMode::AtcFull, 5), None).expect("runs");
+        let report = run_workload(&w, &gus_engine(SharingMode::AtcFull, 5), None).expect("runs");
         for u in &report.per_uq {
             let i = u.uq.index();
             if sums.len() <= i {
@@ -158,9 +336,7 @@ pub fn fig7_runs(seeds: &[u64], scale: Scale, limit: Option<usize>) -> Vec<Confi
             let mut reports = Vec::new();
             for &seed in seeds {
                 let w = gus_workload(seed, scale);
-                reports.push(
-                    run_workload(&w, &gus_engine(mode.clone(), 5), limit).expect("runs"),
-                );
+                reports.push(run_workload(&w, &gus_engine(mode.clone(), 5), limit).expect("runs"));
             }
             summarize(label, reports)
         })
@@ -341,7 +517,10 @@ pub fn fig10(seeds: &[u64], scale: Scale) -> Vec<(String, u64, u64)> {
 /// Print Figure 10.
 pub fn print_fig10(rows: &[(String, u64, u64)]) {
     println!("Figure 10: total work done (input tuples consumed), 5 vs 15 UQs");
-    println!("{:>10} {:>12} {:>12} {:>8}", "config", "5-UQ", "15-UQ", "ratio");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "config", "5-UQ", "15-UQ", "ratio"
+    );
     for (label, five, fifteen) in rows {
         println!(
             "{:>10} {:>12} {:>12} {:>8.2}",
@@ -383,7 +562,8 @@ pub fn fig11(seed: u64, scale: Scale) -> Vec<(usize, usize, u64, u128)> {
         let optimizer = Optimizer::new(&w.catalog, config);
         let clock = SimClock::new();
         let wall = std::time::Instant::now();
-        let (_, stats) = optimizer.optimize(&batch, &NoReuse, Some(&clock));
+        let interner = qsys::query::SigCell::new(qsys::query::SigInterner::new());
+        let (_, stats) = optimizer.optimize(&batch, &NoReuse, Some(&clock), &interner);
         let wall_us = wall.elapsed().as_micros();
         out.push((
             stats.candidates,
@@ -451,8 +631,10 @@ pub fn print_fig12(runs: &[ConfigRun]) {
     for r in runs {
         print!(" {:>9}", r.label);
     }
-    println!("  (lanes used by ATC-CL: {})",
-        runs.last().map(|r| r.reports[0].lanes).unwrap_or(1));
+    println!(
+        "  (lanes used by ATC-CL: {})",
+        runs.last().map(|r| r.reports[0].lanes).unwrap_or(1)
+    );
     let n = runs.iter().map(|r| r.per_uq_secs.len()).max().unwrap_or(0);
     for i in 0..n {
         print!("{:>4}", i + 1);
@@ -479,16 +661,19 @@ pub fn print_fig12(runs: &[ConfigRun]) {
 /// ATC scheduling ablation: round-robin vs greedy-threshold mean response.
 pub fn ablation_atc(seed: u64, scale: Scale) -> Vec<(String, f64)> {
     use qsys::exec::SchedulingPolicy;
-    [SchedulingPolicy::RoundRobin, SchedulingPolicy::GreedyThreshold]
-        .into_iter()
-        .map(|policy| {
-            let w = gus_workload(seed, scale);
-            let mut engine = gus_engine(SharingMode::AtcFull, 5);
-            engine.scheduling = policy;
-            let r = run_workload(&w, &engine, Some(8)).expect("runs");
-            (format!("{policy:?}"), r.mean_response_us() / 1e6)
-        })
-        .collect()
+    [
+        SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::GreedyThreshold,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let w = gus_workload(seed, scale);
+        let mut engine = gus_engine(SharingMode::AtcFull, 5);
+        engine.scheduling = policy;
+        let r = run_workload(&w, &engine, Some(8)).expect("runs");
+        (format!("{policy:?}"), r.mean_response_us() / 1e6)
+    })
+    .collect()
 }
 
 /// Recovery ablation: answering a repeated query warm (RecoverState) vs

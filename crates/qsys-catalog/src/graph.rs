@@ -9,12 +9,11 @@
 
 use crate::stats::RelationStats;
 use qsys_types::{QsysError, QsysResult, RelId, SourceId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a schema-graph edge.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -38,7 +37,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// The nature of a schema edge.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EdgeKind {
     /// Key / foreign-key relationship within one database.
     ForeignKey,

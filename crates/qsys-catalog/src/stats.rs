@@ -7,10 +7,8 @@
 //! The QS manager keeps these updated as execution progresses ("maintains
 //! cardinality information about intermediate results", Section 3).
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics for one column.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ColumnStats {
     /// Estimated number of distinct values.
     pub distinct: u64,
@@ -23,7 +21,7 @@ impl Default for ColumnStats {
 }
 
 /// Statistics for one relation.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RelationStats {
     /// Number of tuples.
     pub cardinality: u64,

@@ -153,11 +153,9 @@ mod tests {
     use crate::mjoin::{JoinPred, MJoin, MJoinInput};
     use crate::node::StreamBacking;
     use crate::rank_merge::{CqRegistration, RankMerge, StreamingInput};
-    use qsys_query::{ScoreFn, SubExprSig};
+    use qsys_query::{ScoreFn, SigInterner};
     use qsys_source::Table;
-    use qsys_types::{
-        BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value,
-    };
+    use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value};
     use std::cell::RefCell;
     use std::rc::Rc;
     use std::sync::Arc;
@@ -194,13 +192,14 @@ mod tests {
 
     /// One UQ with one CQ: R0 ⋈ R1 on col 0, top-k.
     fn build(graph: &mut QueryPlanGraph, sources: &Sources, uq: u32, k: usize) {
+        let mut interner = SigInterner::new();
         let s0 = graph.add_stream(
             StreamBacking::Remote(sources.open_stream(RelId::new(0), None)),
-            Some(SubExprSig::relation(RelId::new(0), None)),
+            Some(interner.relation(RelId::new(0), None)),
         );
         let s1 = graph.add_stream(
             StreamBacking::Remote(sources.open_stream(RelId::new(1), None)),
-            Some(SubExprSig::relation(RelId::new(1), None)),
+            Some(interner.relation(RelId::new(1), None)),
         );
         let mj = MJoin::new(
             vec![stored_input(0), stored_input(1)],

@@ -9,7 +9,7 @@
 
 use crate::node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
 use crate::rank_merge::RankMerge;
-use qsys_query::SubExprSig;
+use qsys_query::SigId;
 use qsys_source::Sources;
 use qsys_types::{Epoch, TimeCategory, Tuple};
 use std::collections::{HashMap, VecDeque};
@@ -19,8 +19,9 @@ use std::collections::{HashMap, VecDeque};
 pub struct QueryPlanGraph {
     nodes: Vec<Option<Node>>,
     epoch: Epoch,
-    /// Reuse index: subexpression signature → the node computing it.
-    sig_index: HashMap<SubExprSig, NodeId>,
+    /// Reuse index: interned subexpression signature → the node computing
+    /// it. Keyed on [`SigId`], so lookups hash one `u32`.
+    sig_index: HashMap<SigId, NodeId>,
 }
 
 impl QueryPlanGraph {
@@ -41,13 +42,13 @@ impl QueryPlanGraph {
         self.epoch
     }
 
-    fn add_node(&mut self, kind: NodeKind, sig: Option<SubExprSig>) -> NodeId {
+    fn add_node(&mut self, kind: NodeKind, sig: Option<SigId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        if let Some(s) = &sig {
+        if let Some(s) = sig {
             // First registration wins: several nodes may carry the same
             // signature (a stream and the split fanning it out); the reuse
             // index points at the producer.
-            self.sig_index.entry(s.clone()).or_insert(id);
+            self.sig_index.entry(s).or_insert(id);
         }
         self.nodes.push(Some(Node {
             id,
@@ -60,7 +61,7 @@ impl QueryPlanGraph {
     }
 
     /// Add a stream leaf computing `sig`.
-    pub fn add_stream(&mut self, backing: StreamBacking, sig: Option<SubExprSig>) -> NodeId {
+    pub fn add_stream(&mut self, backing: StreamBacking, sig: Option<SigId>) -> NodeId {
         self.add_node(NodeKind::Stream(StreamLeaf::new(backing)), sig)
     }
 
@@ -73,12 +74,12 @@ impl QueryPlanGraph {
     }
 
     /// Add a split operator forwarding `sig`'s output to several consumers.
-    pub fn add_split(&mut self, sig: Option<SubExprSig>) -> NodeId {
+    pub fn add_split(&mut self, sig: Option<SigId>) -> NodeId {
         self.add_node(NodeKind::Split, sig)
     }
 
     /// Add an m-join computing `sig`.
-    pub fn add_mjoin(&mut self, mjoin: crate::mjoin::MJoin, sig: Option<SubExprSig>) -> NodeId {
+    pub fn add_mjoin(&mut self, mjoin: crate::mjoin::MJoin, sig: Option<SigId>) -> NodeId {
         self.add_node(NodeKind::MJoin(mjoin), sig)
     }
 
@@ -115,9 +116,9 @@ impl QueryPlanGraph {
             node.children.is_empty() && node.parents.is_empty(),
             "disconnect before removing {id}"
         );
-        if let Some(sig) = &node.sig {
-            if self.sig_index.get(sig) == Some(&id) {
-                self.sig_index.remove(sig);
+        if let Some(sig) = node.sig {
+            if self.sig_index.get(&sig) == Some(&id) {
+                self.sig_index.remove(&sig);
             }
         }
     }
@@ -155,8 +156,8 @@ impl QueryPlanGraph {
     /// The node currently computing `sig`, if any (the reuse index the
     /// optimizer consults: "it determines what query expressions can be
     /// reused from in-memory buffers", Section 3).
-    pub fn find_sig(&self, sig: &SubExprSig) -> Option<NodeId> {
-        self.sig_index.get(sig).copied()
+    pub fn find_sig(&self, sig: SigId) -> Option<NodeId> {
+        self.sig_index.get(&sig).copied()
     }
 
     /// Forget every signature mapping, making existing state invisible to
@@ -273,11 +274,9 @@ impl QueryPlanGraph {
                     leaf.backing.delivered(),
                     leaf.backing.bound()
                 ),
-                NodeKind::MJoin(mj) => format!(
-                    "{} inputs over {:?}",
-                    mj.inputs().len(),
-                    mj.output_rels()
-                ),
+                NodeKind::MJoin(mj) => {
+                    format!("{} inputs over {:?}", mj.inputs().len(), mj.output_rels())
+                }
                 NodeKind::RankMerge(rm) => format!(
                     "{} k={} emitted={} done={}",
                     rm.uq(),
@@ -287,11 +286,7 @@ impl QueryPlanGraph {
                 ),
                 NodeKind::Split => String::new(),
             };
-            let sig = node
-                .sig
-                .as_ref()
-                .map(|s| format!(" {s:?}"))
-                .unwrap_or_default();
+            let sig = node.sig.map(|s| format!(" {s}")).unwrap_or_default();
             let edges: Vec<String> = node
                 .children
                 .iter()
@@ -342,7 +337,7 @@ mod tests {
     use crate::access::{AccessModule, StoredModule};
     use crate::mjoin::{JoinPred, MJoin, MJoinInput};
     use crate::rank_merge::{CqRegistration, StreamingInput};
-    use qsys_query::ScoreFn;
+    use qsys_query::{ScoreFn, SigInterner};
     use qsys_source::Table;
     use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value};
     use std::cell::RefCell;
@@ -380,16 +375,19 @@ mod tests {
 
     /// Build: stream(R0) → split → mjoin(R0,R1) ← stream(R1); mjoin → rank-merge.
     fn small_graph(sources: &Sources) -> (QueryPlanGraph, NodeId, NodeId, NodeId) {
+        let mut interner = SigInterner::new();
+        let sig0 = interner.relation(RelId::new(0), None);
+        let sig1 = interner.relation(RelId::new(1), None);
         let mut g = QueryPlanGraph::new();
         let s0 = g.add_stream(
             StreamBacking::Remote(sources.open_stream(RelId::new(0), None)),
-            Some(SubExprSig::relation(RelId::new(0), None)),
+            Some(sig0),
         );
         let s1 = g.add_stream(
             StreamBacking::Remote(sources.open_stream(RelId::new(1), None)),
-            Some(SubExprSig::relation(RelId::new(1), None)),
+            Some(sig1),
         );
-        let split = g.add_split(Some(SubExprSig::relation(RelId::new(0), None)));
+        let split = g.add_split(Some(sig0));
         let mj = MJoin::new(
             vec![stored_input(0), stored_input(1)],
             vec![JoinPred {
@@ -451,15 +449,16 @@ mod tests {
     fn sig_index_finds_and_forgets() {
         let sources = sources_with_tables();
         let (mut g, s0, _, _) = small_graph(&sources);
-        let sig = SubExprSig::relation(RelId::new(0), None);
-        assert_eq!(g.find_sig(&sig), Some(s0));
+        // `small_graph`'s interner assigned σ0 to R0's signature.
+        let sig = qsys_query::SigId(0);
+        assert_eq!(g.find_sig(sig), Some(s0));
         // Disconnect and remove: index entry disappears.
         let children: Vec<NodeId> = g.node(s0).children.iter().map(|(c, _)| *c).collect();
         for c in children {
             g.disconnect(s0, c);
         }
         g.remove_node(s0);
-        assert_eq!(g.find_sig(&sig), None);
+        assert_eq!(g.find_sig(sig), None);
         assert!(g.try_node(s0).is_none());
     }
 

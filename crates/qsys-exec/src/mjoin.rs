@@ -17,6 +17,7 @@ use crate::access::AccessModule;
 use qsys_source::Sources;
 use qsys_types::{Epoch, RelId, Selection, Tuple};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// One join predicate between two relations handled by this m-join.
@@ -30,24 +31,6 @@ pub struct JoinPred {
     pub right_rel: RelId,
     /// Column on the right side.
     pub right_col: usize,
-}
-
-impl JoinPred {
-    /// If the predicate connects `covered` relations to relation set
-    /// `target`, return `(covered_rel, covered_col, target_rel, target_col)`.
-    fn oriented(
-        &self,
-        covered: &[RelId],
-        target: &[RelId],
-    ) -> Option<(RelId, usize, RelId, usize)> {
-        if covered.contains(&self.left_rel) && target.contains(&self.right_rel) {
-            Some((self.left_rel, self.left_col, self.right_rel, self.right_col))
-        } else if covered.contains(&self.right_rel) && target.contains(&self.left_rel) {
-            Some((self.right_rel, self.right_col, self.left_rel, self.left_col))
-        } else {
-            None
-        }
-    }
 }
 
 /// One input of an m-join.
@@ -89,23 +72,61 @@ pub struct MJoin {
     preds: Vec<JoinPred>,
     stats: Vec<InputStats>,
     output_rels: Vec<RelId>,
+    /// Relation → index of the input covering it. Inputs of one m-join
+    /// cover disjoint relation sets (a CQ references each relation once),
+    /// so probe routing reduces to bitmask tests over input indices — no
+    /// per-insert relation-set clones.
+    owner: HashMap<RelId, usize>,
 }
 
 impl MJoin {
     /// Build an m-join; registers probe keys on all stored modules so every
     /// predicate can be evaluated by hash lookup.
     pub fn new(inputs: Vec<MJoinInput>, preds: Vec<JoinPred>) -> MJoin {
-        let mut output_rels: Vec<RelId> = inputs.iter().flat_map(|i| i.rels.clone()).collect();
-        output_rels.sort();
+        // Hard limit: probe routing uses a u64 input bitmask; silently
+        // wrapping shifts in release builds would mis-route joins.
+        assert!(inputs.len() <= 64, "m-join supports at most 64 inputs");
+        let mut output_rels: Vec<RelId> =
+            inputs.iter().flat_map(|i| i.rels.iter().copied()).collect();
+        output_rels.sort_unstable();
         output_rels.dedup();
+        let mut owner = HashMap::with_capacity(output_rels.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            for rel in &input.rels {
+                let prev = owner.insert(*rel, idx);
+                debug_assert!(prev.is_none(), "inputs cover disjoint relations");
+            }
+        }
         let mj = MJoin {
             stats: vec![InputStats::default(); inputs.len()],
             inputs,
             preds,
             output_rels,
+            owner,
         };
         mj.register_probe_keys();
         mj
+    }
+
+    /// If `pred` connects relations covered by `mask` (a bitmask of input
+    /// indices) to the `target` input, return
+    /// `(covered_rel, covered_col, target_rel, target_col)`.
+    fn oriented(
+        &self,
+        pred: &JoinPred,
+        mask: u64,
+        target: usize,
+    ) -> Option<(RelId, usize, RelId, usize)> {
+        let left = self.owner.get(&pred.left_rel).copied();
+        let right = self.owner.get(&pred.right_rel).copied();
+        let in_mask = |o: Option<usize>| o.is_some_and(|i| mask & (1 << i) != 0);
+        if in_mask(left) && right == Some(target) {
+            Some((pred.left_rel, pred.left_col, pred.right_rel, pred.right_col))
+        } else if in_mask(right) && left == Some(target) {
+            Some((pred.right_rel, pred.right_col, pred.left_rel, pred.left_col))
+        } else {
+            None
+        }
     }
 
     fn register_probe_keys(&self) {
@@ -133,11 +154,6 @@ impl MJoin {
     /// The inputs.
     pub fn inputs(&self) -> &[MJoinInput] {
         &self.inputs
-    }
-
-    /// Mutable input access (used by grafting to re-wire).
-    pub fn inputs_mut(&mut self) -> &mut Vec<MJoinInput> {
-        &mut self.inputs
     }
 
     /// The join predicates.
@@ -175,11 +191,10 @@ impl MJoin {
             return vec![tuple];
         }
 
-        let mut covered: Vec<RelId> = self.inputs[input_idx].rels.clone();
+        let mut covered: u64 = 1 << input_idx;
         let mut partials = vec![tuple];
-        let mut remaining: Vec<usize> = (0..self.inputs.len())
-            .filter(|&i| i != input_idx)
-            .collect();
+        let mut remaining: Vec<usize> =
+            (0..self.inputs.len()).filter(|&i| i != input_idx).collect();
 
         while !remaining.is_empty() {
             if partials.is_empty() {
@@ -188,34 +203,28 @@ impl MJoin {
             // Probe sequence: among inputs connected to the covered set,
             // pick the most selective (fewest matches per probe) first —
             // the runtime adaptivity of [24].
-            let Some(pick) = self.pick_next(&covered, &remaining) else {
+            let Some(pick) = self.pick_next(covered, &remaining) else {
                 // Disconnected component: cannot complete the join.
                 return Vec::new();
             };
-            let next_input = remaining.remove(
-                remaining
-                    .iter()
-                    .position(|&i| i == pick)
-                    .expect("pick comes from remaining"),
-            );
-            partials = self.probe_step(next_input, &covered, partials, sources);
-            covered.extend(self.inputs[next_input].rels.iter().copied());
-            covered.sort();
-            covered.dedup();
+            remaining.retain(|&i| i != pick);
+            partials = self.probe_step(pick, covered, partials, sources);
+            covered |= 1 << pick;
         }
         partials
     }
 
-    /// Choose the next input to probe: connected to `covered`, lowest
-    /// observed selectivity (unknowns use a neutral prior of 1.0).
-    fn pick_next(&self, covered: &[RelId], remaining: &[usize]) -> Option<usize> {
+    /// Choose the next input to probe: connected to the `covered` input
+    /// mask, lowest observed selectivity (unknowns use a neutral prior of
+    /// 1.0).
+    fn pick_next(&self, covered: u64, remaining: &[usize]) -> Option<usize> {
         remaining
             .iter()
             .copied()
             .filter(|&i| {
                 self.preds
                     .iter()
-                    .any(|p| p.oriented(covered, &self.inputs[i].rels).is_some())
+                    .any(|p| self.oriented(p, covered, i).is_some())
             })
             .min_by(|&a, &b| {
                 let sa = self.stats[a].selectivity().unwrap_or(1.0);
@@ -229,15 +238,14 @@ impl MJoin {
     fn probe_step(
         &mut self,
         target: usize,
-        covered: &[RelId],
+        covered: u64,
         partials: Vec<Tuple>,
         sources: &Sources,
     ) -> Vec<Tuple> {
-        let target_rels = self.inputs[target].rels.clone();
         let conds: Vec<(RelId, usize, RelId, usize)> = self
             .preds
             .iter()
-            .filter_map(|p| p.oriented(covered, &target_rels))
+            .filter_map(|p| self.oriented(p, covered, target))
             .collect();
         debug_assert!(!conds.is_empty());
         let (probe_cond, extra_conds) = conds.split_first().expect("connected");
@@ -258,14 +266,15 @@ impl MJoin {
                 AccessModule::Remote(r) => r.probe(probe_cond.3, key, sources).to_vec(),
             };
             self.stats[target].probes += 1;
-            let residual = self.inputs[target].selection.clone();
+            // Disjoint field borrows: the residual selection is read through
+            // `self.inputs`, the match counter bumped through `self.stats` —
+            // no per-probe clone of the selection.
+            let residual = &self.inputs[target].selection;
             let target_rel = self.inputs[target].rels.first().copied();
             for m in matches {
                 // Residual selection on the probed relation.
-                if let (Some(sel), Some(rel)) = (&residual, target_rel) {
-                    let passes = m
-                        .part(rel)
-                        .is_some_and(|p| sel.matches(&p.values));
+                if let (Some(sel), Some(rel)) = (residual, target_rel) {
+                    let passes = m.part(rel).is_some_and(|p| sel.matches(&p.values));
                     if !passes {
                         continue;
                     }
@@ -375,9 +384,7 @@ mod tests {
         );
         let s = sources();
         assert!(mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(0), &s).is_empty());
-        assert!(mj
-            .insert(2, tup(2, 30, &[7], 1.0), Epoch(0), &s)
-            .is_empty());
+        assert!(mj.insert(2, tup(2, 30, &[7], 1.0), Epoch(0), &s).is_empty());
         // R1 row joins both sides: key 5 to R0, key 7 to R2.
         let r = mj.insert(1, tup(1, 20, &[5, 7], 1.0), Epoch(0), &s);
         assert_eq!(r.len(), 1);
@@ -434,7 +441,14 @@ mod tests {
         let s = sources();
         let rel = RelId::new(1);
         let rows = (0..4)
-            .map(|i| Arc::new(BaseTuple::new(rel, i, vec![Value::Int((i % 2) as i64)], 1.0)))
+            .map(|i| {
+                Arc::new(BaseTuple::new(
+                    rel,
+                    i,
+                    vec![Value::Int((i % 2) as i64)],
+                    1.0,
+                ))
+            })
             .collect();
         s.register(Table::new(rel, rows));
         let remote = MJoinInput {

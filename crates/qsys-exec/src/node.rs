@@ -7,7 +7,7 @@
 
 use crate::mjoin::MJoin;
 use crate::rank_merge::RankMerge;
-use qsys_query::SubExprSig;
+use qsys_query::SigId;
 use qsys_source::{SourceStream, Sources};
 use qsys_types::{Epoch, TimeCategory, Tuple};
 use std::fmt;
@@ -100,12 +100,9 @@ impl StreamBacking {
 impl fmt::Debug for StreamBacking {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamBacking::Remote(s) => write!(
-                f,
-                "Remote({}/{} delivered)",
-                s.delivered(),
-                s.total()
-            ),
+            StreamBacking::Remote(s) => {
+                write!(f, "Remote({}/{} delivered)", s.delivered(), s.total())
+            }
             StreamBacking::Replay { tuples, pos } => {
                 write!(f, "Replay({pos}/{} delivered)", tuples.len())
             }
@@ -199,10 +196,12 @@ pub struct Node {
     pub children: Vec<(NodeId, usize)>,
     /// Producers feeding this node.
     pub parents: Vec<NodeId>,
-    /// Canonical signature of the subexpression this node's output
-    /// computes, when meaningful (streams, m-joins, splits). The QS
-    /// manager's reuse index is keyed on this.
-    pub sig: Option<SubExprSig>,
+    /// Interned signature of the subexpression this node's output computes,
+    /// when meaningful (streams, m-joins, splits). The QS manager's reuse
+    /// index is keyed on this; resolve the id through the lane's shared
+    /// [`SigInterner`](qsys_query::SigInterner) when the actual atoms and
+    /// joins are needed.
+    pub sig: Option<SigId>,
 }
 
 impl Node {

@@ -170,7 +170,11 @@ impl RankMerge {
     /// thresholds demand them (Section 7.1: "additional CQs are executed
     /// only as necessary").
     pub fn register(&mut self, reg: CqRegistration) -> usize {
-        let probed_max: f64 = reg.probed.iter().map(|(r, m)| reg.score_fn.weight(*r) * m).product();
+        let probed_max: f64 = reg
+            .probed
+            .iter()
+            .map(|(r, m)| reg.score_fn.weight(*r) * m)
+            .product();
         let stream_max: f64 = reg
             .streaming
             .iter()
@@ -204,9 +208,7 @@ impl RankMerge {
         let state = &self.cqs[slot];
         let score = state.reg.score_fn.score(&tuple);
         let cq = state.reg.reports_as;
-        let pos = self
-            .candidates
-            .partition_point(|c| c.score >= score);
+        let pos = self.candidates.partition_point(|c| c.score >= score);
         if pos >= need {
             return; // dominated: can never enter the top-k
         }

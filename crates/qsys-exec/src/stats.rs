@@ -25,7 +25,8 @@ pub struct UqStats {
 impl UqStats {
     /// Response time in virtual µs (None while running).
     pub fn response_us(&self) -> Option<u64> {
-        self.completed_us.map(|c| c.saturating_sub(self.submitted_us))
+        self.completed_us
+            .map(|c| c.saturating_sub(self.submitted_us))
     }
 }
 

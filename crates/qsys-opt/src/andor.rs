@@ -7,27 +7,29 @@
 //! encode equivalent subexpressions, and 'AND' nodes that encode selection
 //! and join operations."
 //!
-//! OR nodes are keyed by canonical [`SubExprSig`]; AND nodes are the binary
-//! decompositions of a subexpression into two connected parts. The graph
-//! memoizes (a) which conjunctive queries share each subexpression and
-//! (b) cardinality estimates, so repeated costing during the BestPlan
-//! search does no redundant work.
+//! OR nodes are keyed by interned [`SigId`]s — equality is a `u32`
+//! compare, exactly the Cascades-memo discipline (cf. optd's integer-keyed
+//! `RelMemoNode`s); AND nodes are the binary decompositions of a
+//! subexpression into two connected parts, likewise stored as id pairs.
+//! The graph memoizes (a) which conjunctive queries share each
+//! subexpression and (b) cardinality estimates, so repeated costing during
+//! the BestPlan search does no redundant work.
 
 use crate::cost::CostModel;
-use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SubExprSig};
+use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SigId, SigInterner, SubExprSig};
 use qsys_types::CqId;
 use std::collections::{BTreeSet, HashMap};
 
 /// One OR node: an equivalence class of subexpressions.
 #[derive(Debug)]
 pub struct OrNode {
-    /// Canonical signature.
-    pub sig: SubExprSig,
+    /// Interned canonical signature.
+    pub sig: SigId,
     /// Conjunctive queries containing this subexpression.
     pub sharers: BTreeSet<CqId>,
-    /// Binary decompositions (AND nodes): pairs of child signatures whose
-    /// join re-derives this node.
-    pub decompositions: Vec<(SubExprSig, SubExprSig)>,
+    /// Binary decompositions (AND nodes): pairs of interned child
+    /// signatures whose join re-derives this node.
+    pub decompositions: Vec<(SigId, SigId)>,
     /// Memoized cardinality estimate.
     cardinality: Option<f64>,
 }
@@ -35,7 +37,7 @@ pub struct OrNode {
 /// The memoization graph.
 #[derive(Debug, Default)]
 pub struct AndOrGraph {
-    nodes: HashMap<SubExprSig, OrNode>,
+    nodes: HashMap<SigId, OrNode>,
     max_atoms: usize,
 }
 
@@ -50,11 +52,15 @@ impl AndOrGraph {
 
     /// Register every connected subexpression of `cq` (up to the size cap),
     /// recording sharing and decompositions.
-    pub fn register(&mut self, cq: &ConjunctiveQuery) {
+    pub fn register(&mut self, cq: &ConjunctiveQuery, interner: &mut SigInterner) {
         for sig in enumerate_subexprs(cq, 1, self.max_atoms) {
-            let entry = self.nodes.entry(sig.clone()).or_insert_with(|| OrNode {
-                decompositions: decompose(&sig),
-                sig,
+            let id = interner.intern(sig);
+            let entry = self.nodes.entry(id).or_insert_with(|| OrNode {
+                decompositions: decompose(interner.resolve(id))
+                    .into_iter()
+                    .map(|(l, r)| (interner.intern(l), interner.intern(r)))
+                    .collect(),
+                sig: id,
                 sharers: BTreeSet::new(),
                 cardinality: None,
             });
@@ -63,8 +69,8 @@ impl AndOrGraph {
     }
 
     /// The OR node for `sig`, if registered.
-    pub fn node(&self, sig: &SubExprSig) -> Option<&OrNode> {
-        self.nodes.get(sig)
+    pub fn node(&self, sig: SigId) -> Option<&OrNode> {
+        self.nodes.get(&sig)
     }
 
     /// Number of OR nodes.
@@ -78,9 +84,9 @@ impl AndOrGraph {
     }
 
     /// Queries sharing `sig` (empty if unknown).
-    pub fn sharers(&self, sig: &SubExprSig) -> BTreeSet<CqId> {
+    pub fn sharers(&self, sig: SigId) -> BTreeSet<CqId> {
         self.nodes
-            .get(sig)
+            .get(&sig)
             .map(|n| n.sharers.clone())
             .unwrap_or_default()
     }
@@ -91,14 +97,19 @@ impl AndOrGraph {
     }
 
     /// Memoized cardinality of `sig`.
-    pub fn cardinality(&mut self, sig: &SubExprSig, model: &CostModel<'_>) -> f64 {
-        if let Some(n) = self.nodes.get(sig) {
+    pub fn cardinality(
+        &mut self,
+        sig: SigId,
+        model: &CostModel<'_>,
+        interner: &SigInterner,
+    ) -> f64 {
+        if let Some(n) = self.nodes.get(&sig) {
             if let Some(c) = n.cardinality {
                 return c;
             }
         }
-        let c = model.cardinality(sig);
-        if let Some(n) = self.nodes.get_mut(sig) {
+        let c = model.cardinality(interner.resolve(sig));
+        if let Some(n) = self.nodes.get_mut(&sig) {
             n.cardinality = Some(c);
         }
         c
@@ -155,10 +166,7 @@ fn decompose(sig: &SubExprSig) -> Vec<(SubExprSig, SubExprSig)> {
 fn project(sig: &SubExprSig, atom_indices: &[usize]) -> SubExprSig {
     let rels: Vec<_> = atom_indices.iter().map(|&i| sig.atoms[i].0).collect();
     SubExprSig {
-        atoms: atom_indices
-            .iter()
-            .map(|&i| sig.atoms[i].clone())
-            .collect(),
+        atoms: atom_indices.iter().map(|&i| sig.atoms[i].clone()).collect(),
         joins: sig
             .joins
             .iter()
@@ -222,13 +230,14 @@ mod tests {
     #[test]
     fn registration_tracks_sharers() {
         let cat = catalog();
+        let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
         let q1 = path_cq(0, &cat, 3);
         let q2 = path_cq(1, &cat, 4);
-        g.register(&q1);
-        g.register(&q2);
-        let shared = SubExprSig::of_cq(&q1);
-        let sharers = g.sharers(&shared);
+        g.register(&q1, &mut interner);
+        g.register(&q2, &mut interner);
+        let shared = interner.of_cq(&q1);
+        let sharers = g.sharers(shared);
         assert!(sharers.contains(&CqId::new(0)));
         assert!(sharers.contains(&CqId::new(1)), "prefix of q2 too");
     }
@@ -236,14 +245,16 @@ mod tests {
     #[test]
     fn decompositions_split_along_edges() {
         let cat = catalog();
+        let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
         let q = path_cq(0, &cat, 3);
-        g.register(&q);
-        let node = g.node(&SubExprSig::of_cq(&q)).unwrap();
+        g.register(&q, &mut interner);
+        let whole = interner.of_cq(&q);
+        let node = g.node(whole).unwrap();
         // A 3-path has 2 edges → 2 binary decompositions.
         assert_eq!(node.decompositions.len(), 2);
         for (l, r) in &node.decompositions {
-            assert_eq!(l.size() + r.size(), 3);
+            assert_eq!(interner.size(*l) + interner.size(*r), 3);
         }
     }
 
@@ -251,23 +262,25 @@ mod tests {
     fn cardinality_is_memoized() {
         let cat = catalog();
         let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
         let q = path_cq(0, &cat, 2);
-        g.register(&q);
-        let sig = SubExprSig::of_cq(&q);
-        let c1 = g.cardinality(&sig, &model);
-        let c2 = g.cardinality(&sig, &model);
+        g.register(&q, &mut interner);
+        let sig = interner.of_cq(&q);
+        let c1 = g.cardinality(sig, &model, &interner);
+        let c2 = g.cardinality(sig, &model, &interner);
         assert_eq!(c1, c2);
         assert!(c1 > 0.0);
-        assert_eq!(g.node(&sig).unwrap().cardinality, Some(c1));
+        assert_eq!(g.node(sig).unwrap().cardinality, Some(c1));
     }
 
     #[test]
     fn single_atom_has_no_decomposition() {
         let cat = catalog();
+        let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
-        g.register(&path_cq(0, &cat, 1));
-        let sig = SubExprSig::relation(RelId::new(0), None);
-        assert!(g.node(&sig).unwrap().decompositions.is_empty());
+        g.register(&path_cq(0, &cat, 1), &mut interner);
+        let sig = interner.relation(RelId::new(0), None);
+        assert!(g.node(sig).unwrap().decompositions.is_empty());
     }
 }

@@ -17,10 +17,19 @@
 //! reachable — and keeps the exponential search in the number of
 //! *interesting* (multi-relation) candidates, which is the quantity
 //! Figure 11 plots.
+//!
+//! ### Interned signatures on the hot path
+//!
+//! The memo is keyed by sorted `Vec<SigId>` — hashing a handful of `u32`s
+//! per state instead of deep signature vectors — and every per-signature
+//! quantity the exponential search keeps re-asking (relation sets, overlap,
+//! streamability, cardinality, reuse) is answered from id-indexed caches
+//! precomputed before the recursion starts. The search itself never touches
+//! a deep [`SubExprSig`](qsys_query::SubExprSig) again.
 
 use crate::cost::{CostModel, ReuseOracle};
 use crate::heuristics::{is_streamable, Candidate, HeuristicConfig};
-use qsys_query::{ConjunctiveQuery, SubExprSig};
+use qsys_query::{ConjunctiveQuery, SigId, SigInterner};
 use qsys_types::CqId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -43,40 +52,140 @@ pub struct OptStats {
 /// is covered by exactly one input (Definition 1).
 pub type Assignment = Vec<Candidate>;
 
+/// Per-signature facts the recursion consults, computed once per id.
+#[derive(Clone, Copy, Debug)]
+struct SigFacts {
+    /// Estimated result cardinality.
+    card: f64,
+    /// Whether every covered relation is streamable (heuristic 2).
+    streamed: bool,
+    /// Atom count.
+    size: usize,
+    /// Tuples already resident for this signature (reuse oracle answer).
+    already: u64,
+}
+
 /// The memoized search.
 pub struct BestPlanSearch<'a> {
     model: &'a CostModel<'a>,
-    reuse: &'a dyn ReuseOracle,
     config: &'a HeuristicConfig,
     queries: Vec<&'a ConjunctiveQuery>,
-    memo: HashMap<Vec<SubExprSig>, (Assignment, f64)>,
+    interner: &'a mut SigInterner,
+    reuse: &'a dyn ReuseOracle,
+    memo: HashMap<Vec<SigId>, (Assignment, f64)>,
+    /// Per-signature facts, filled lazily (defaults and candidates are
+    /// seeded up front; recursion never interns).
+    facts: HashMap<SigId, SigFacts>,
+    /// Whole-query cardinality per CQ (denominator of depth estimation).
+    cq_card: BTreeMap<CqId, f64>,
+    /// Per query (aligned with `queries`): each atom's relation and its
+    /// interned default single-relation signature.
+    defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>>,
+    /// Rank of each default signature in canonical (deep) signature order —
+    /// so completion emits defaults in exactly the order the deep-keyed
+    /// B-tree produced.
+    default_rank: HashMap<SigId, usize>,
     stats: OptStats,
 }
 
 impl<'a> BestPlanSearch<'a> {
-    /// Set up a search over `queries`.
+    /// Set up a search over `queries`, precomputing every per-signature
+    /// fact the recursion will need.
     pub fn new(
         model: &'a CostModel<'a>,
         reuse: &'a dyn ReuseOracle,
         config: &'a HeuristicConfig,
         queries: Vec<&'a ConjunctiveQuery>,
+        interner: &'a mut SigInterner,
     ) -> BestPlanSearch<'a> {
-        BestPlanSearch {
+        let mut cq_card = BTreeMap::new();
+        let mut defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>> =
+            Vec::with_capacity(queries.len());
+        for cq in &queries {
+            let whole = interner.of_cq(cq);
+            cq_card.insert(cq.id, model.cardinality(interner.resolve(whole)));
+            defaults_of.push(
+                cq.atoms
+                    .iter()
+                    .map(|atom| {
+                        (
+                            atom.rel,
+                            interner.relation(atom.rel, atom.selection.clone()),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        // Canonical ordering of the default signatures (one deep sort, done
+        // before the exponential part begins).
+        let mut default_ids: Vec<SigId> = defaults_of
+            .iter()
+            .flat_map(|d| d.iter().map(|(_, s)| *s))
+            .collect();
+        default_ids.sort_unstable();
+        default_ids.dedup();
+        default_ids.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b)));
+        let default_rank = default_ids
+            .iter()
+            .enumerate()
+            .map(|(rank, id)| (*id, rank))
+            .collect();
+        let mut search = BestPlanSearch {
             model,
-            reuse,
             config,
             queries,
+            interner,
+            reuse,
             memo: HashMap::new(),
+            facts: HashMap::new(),
+            cq_card,
+            defaults_of,
+            default_rank,
             stats: OptStats::default(),
+        };
+        let ids: Vec<SigId> = search
+            .defaults_of
+            .iter()
+            .flat_map(|d| d.iter().map(|(_, s)| *s))
+            .collect();
+        for id in ids {
+            search.seed_facts(id);
         }
+        search
+    }
+
+    /// Compute and cache the per-signature facts for `sig`.
+    fn seed_facts(&mut self, sig: SigId) {
+        if self.facts.contains_key(&sig) {
+            return;
+        }
+        let resolved = self.interner.resolve(sig);
+        let facts = SigFacts {
+            card: self.model.cardinality(resolved),
+            streamed: resolved
+                .atoms
+                .iter()
+                .all(|(r, _)| is_streamable(self.model, *r, self.config)),
+            size: resolved.atoms.len(),
+            already: self.reuse.streamed(sig).unwrap_or(0),
+        };
+        self.facts.insert(sig, facts);
+    }
+
+    #[inline]
+    fn facts(&self, sig: SigId) -> SigFacts {
+        self.facts[&sig]
     }
 
     /// Run the search over multi-relation `candidates`; returns the best
     /// assignment (already completed with defaults) and stats.
     pub fn run(mut self, candidates: Vec<Candidate>) -> (Assignment, OptStats) {
+        for c in &candidates {
+            self.seed_facts(c.sig);
+        }
         let multi: Vec<Candidate> = candidates
             .into_iter()
-            .filter(|c| c.sig.size() > 1 && !c.queries.is_empty())
+            .filter(|c| self.facts(c.sig).size > 1 && !c.queries.is_empty())
             .collect();
         self.stats.candidates = multi.len();
         let (plan, cost) = self.best_plan(multi, Vec::new());
@@ -87,9 +196,9 @@ impl<'a> BestPlanSearch<'a> {
     /// The recursive search (Algorithm 1).
     fn best_plan(&mut self, s: Vec<Candidate>, a: Vec<Candidate>) -> (Assignment, f64) {
         self.stats.explored += 1;
-        let key: Vec<SubExprSig> = {
-            let mut sigs: Vec<SubExprSig> = a.iter().map(|c| c.sig.clone()).collect();
-            sigs.sort();
+        let key: Vec<SigId> = {
+            let mut sigs: Vec<SigId> = a.iter().map(|c| c.sig).collect();
+            sigs.sort_unstable();
             sigs
         };
         if let Some(hit) = self.memo.get(&key) {
@@ -110,14 +219,14 @@ impl<'a> BestPlanSearch<'a> {
                 if idx2 == idx {
                     continue;
                 }
-                if j2.sig.shares_relation_with(&j.sig) {
+                if self.interner.shares_relation(j2.sig, j.sig) {
                     // Queries sourced by J must not also use an overlapping
                     // J′ (line 14: S′[J′] = S[J′] − S[J]).
                     let reduced: BTreeSet<CqId> =
                         j2.queries.difference(&j.queries).copied().collect();
                     if !reduced.is_empty() {
                         s_prime.push(Candidate {
-                            sig: j2.sig.clone(),
+                            sig: j2.sig,
                             queries: reduced,
                         });
                     }
@@ -134,8 +243,7 @@ impl<'a> BestPlanSearch<'a> {
             }
         }
 
-        self.memo
-            .insert(key, (best_plan.clone(), best_cost));
+        self.memo.insert(key, (best_plan.clone(), best_cost));
         (best_plan, best_cost)
     }
 
@@ -143,25 +251,30 @@ impl<'a> BestPlanSearch<'a> {
     /// query gets its default single-relation input (carrying the query's
     /// selection on that relation), shared across queries by signature.
     fn complete(&self, a: &Assignment) -> Assignment {
-        let mut defaults: BTreeMap<SubExprSig, BTreeSet<CqId>> = BTreeMap::new();
-        for cq in &self.queries {
+        // Keyed by canonical rank so defaults append in deep-signature
+        // order (identical output to the former deep-keyed B-tree).
+        let mut defaults: BTreeMap<usize, (SigId, BTreeSet<CqId>)> = BTreeMap::new();
+        for (qi, cq) in self.queries.iter().enumerate() {
             let covered: BTreeSet<_> = a
                 .iter()
                 .filter(|c| c.queries.contains(&cq.id))
-                .flat_map(|c| c.sig.rels())
+                .flat_map(|c| self.interner.rels(c.sig).iter().copied())
                 .collect();
-            for atom in &cq.atoms {
-                if covered.contains(&atom.rel) {
+            for (rel, sig) in &self.defaults_of[qi] {
+                if covered.contains(rel) {
                     continue;
                 }
-                let sig = SubExprSig::relation(atom.rel, atom.selection.clone());
-                defaults.entry(sig).or_default().insert(cq.id);
+                defaults
+                    .entry(self.default_rank[sig])
+                    .or_insert_with(|| (*sig, BTreeSet::new()))
+                    .1
+                    .insert(cq.id);
             }
         }
         let mut out = a.clone();
         out.extend(
             defaults
-                .into_iter()
+                .into_values()
                 .map(|(sig, queries)| Candidate { sig, queries }),
         );
         out
@@ -179,25 +292,24 @@ impl<'a> BestPlanSearch<'a> {
         for cq in &self.queries {
             let m = assignment
                 .iter()
-                .filter(|c| {
-                    c.queries.contains(&cq.id) && self.input_is_streamed(&c.sig)
-                })
+                .filter(|c| c.queries.contains(&cq.id) && self.facts(c.sig).streamed)
                 .count();
-            let n = self.model.cardinality(&SubExprSig::of_cq(cq));
+            let n = self.cq_card[&cq.id];
             cq_info.insert(cq.id, (m.max(1), n));
         }
 
         let mut total = 0.0;
         for input in assignment {
-            if self.input_is_streamed(&input.sig) {
+            let facts = self.facts(input.sig);
+            if facts.streamed {
                 // Shared stream: read deep enough for the hungriest sharer.
                 let mut reads: f64 = 0.0;
                 for cq in &input.queries {
                     let (m, n) = cq_info[cq];
-                    reads = reads.max(self.model.expected_reads(&input.sig, n, m, self.reuse));
+                    reads = reads.max(self.model.expected_reads(facts.card, n, m, facts.already));
                 }
                 total += reads * self.model.stream_unit_us();
-                total += self.model.pushdown_penalty_us(&input.sig);
+                total += self.model.pushdown_penalty_us(facts.size, facts.card);
             } else {
                 // Probed relation: roughly one probe per streamed tuple of
                 // each consumer (two-way semijoin traffic).
@@ -212,22 +324,20 @@ impl<'a> BestPlanSearch<'a> {
         }
         total
     }
-
-    fn input_is_streamed(&self, sig: &SubExprSig) -> bool {
-        sig.atoms
-            .iter()
-            .all(|(r, _)| is_streamable(self.model, *r, self.config))
-    }
 }
 
 /// Validity per Definition 1: every relation of every query is covered by
 /// exactly one input sourcing that query.
-pub fn is_valid_assignment(queries: &[&ConjunctiveQuery], assignment: &Assignment) -> bool {
+pub fn is_valid_assignment(
+    queries: &[&ConjunctiveQuery],
+    assignment: &Assignment,
+    interner: &SigInterner,
+) -> bool {
     for cq in queries {
         for atom in &cq.atoms {
             let covering = assignment
                 .iter()
-                .filter(|c| c.queries.contains(&cq.id) && c.sig.rels().contains(&atom.rel))
+                .filter(|c| c.queries.contains(&cq.id) && interner.rels(c.sig).contains(&atom.rel))
                 .count();
             if covering != 1 {
                 return false;
@@ -242,7 +352,7 @@ mod tests {
     use super::*;
     use crate::cost::NoReuse;
     use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
-    use qsys_query::{CqAtom, CqJoin};
+    use qsys_query::{CqAtom, CqJoin, SubExprSig};
     use qsys_types::{CostProfile, RelId, SourceId, UqId, UserId};
 
     fn catalog(n: u32) -> Catalog {
@@ -250,10 +360,7 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..n {
             let mut stats = RelationStats::with_cardinality(10_000);
-            stats.columns = vec![
-                ColumnStats { distinct: 500 },
-                ColumnStats { distinct: 500 },
-            ];
+            stats.columns = vec![ColumnStats { distinct: 500 }, ColumnStats { distinct: 500 }];
             ids.push(b.relation(
                 format!("R{i}"),
                 SourceId::new(0),
@@ -294,7 +401,12 @@ mod tests {
         ConjunctiveQuery::new(CqId::new(id), UqId::new(0), UserId::new(0), atoms, joins)
     }
 
-    fn cand(catalog: &Catalog, rels: &[u32], queries: &[u32]) -> Candidate {
+    fn cand(
+        catalog: &Catalog,
+        interner: &mut SigInterner,
+        rels: &[u32],
+        queries: &[u32],
+    ) -> Candidate {
         let rel_ids: Vec<RelId> = rels.iter().map(|&r| RelId::new(r)).collect();
         let atoms = rel_ids.iter().map(|&r| (r, None)).collect();
         let joins = rel_ids
@@ -305,7 +417,7 @@ mod tests {
             })
             .collect();
         Candidate {
-            sig: SubExprSig { atoms, joins },
+            sig: interner.intern(SubExprSig { atoms, joins }),
             queries: queries.iter().map(|&q| CqId::new(q)).collect(),
         }
     }
@@ -315,10 +427,11 @@ mod tests {
         let cat = catalog(3);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
         let (plan, stats) = search.run(Vec::new());
-        assert!(is_valid_assignment(&[&q], &plan));
+        assert!(is_valid_assignment(&[&q], &plan, &interner));
         assert_eq!(plan.len(), 3, "one default input per relation");
         assert_eq!(stats.candidates, 0);
         assert_eq!(stats.explored, 1);
@@ -352,12 +465,13 @@ mod tests {
         let cat = b.build();
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q1 = path_cq(0, &cat, 0, 3);
         let q2 = path_cq(1, &cat, 0, 4);
-        let shared = cand(&cat, &[0, 1], &[0, 1]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q1, &q2]);
+        let shared = cand(&cat, &mut interner, &[0, 1], &[0, 1]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q1, &q2], &mut interner);
         let (plan, stats) = search.run(vec![shared.clone()]);
-        assert!(is_valid_assignment(&[&q1, &q2], &plan));
+        assert!(is_valid_assignment(&[&q1, &q2], &plan, &interner));
         assert!(
             plan.iter().any(|c| c.sig == shared.sig),
             "pushdown K0⋈K1 must be chosen: {plan:#?}"
@@ -372,11 +486,12 @@ mod tests {
         let cat = catalog(3);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let bad = cand(&cat, &[0, 1], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let bad = cand(&cat, &mut interner, &[0, 1], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
         let (plan, _) = search.run(vec![bad.clone()]);
-        assert!(is_valid_assignment(&[&q], &plan));
+        assert!(is_valid_assignment(&[&q], &plan, &interner));
         assert!(
             !plan.iter().any(|c| c.sig == bad.sig),
             "200k-tuple join must not be pushed down: {plan:#?}"
@@ -388,12 +503,13 @@ mod tests {
         let cat = catalog(4);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 4);
-        let c1 = cand(&cat, &[0, 1], &[0]);
-        let c2 = cand(&cat, &[1, 2], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let c1 = cand(&cat, &mut interner, &[0, 1], &[0]);
+        let c2 = cand(&cat, &mut interner, &[1, 2], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
         let (plan, _) = search.run(vec![c1, c2]);
-        assert!(is_valid_assignment(&[&q], &plan), "{plan:#?}");
+        assert!(is_valid_assignment(&[&q], &plan, &interner), "{plan:#?}");
     }
 
     #[test]
@@ -401,12 +517,13 @@ mod tests {
         let cat = catalog(6);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 6);
         // Two disjoint candidates: order of choice is irrelevant → the
         // {c1, c2} state is reached twice, second time from the memo.
-        let c1 = cand(&cat, &[0, 1], &[0]);
-        let c2 = cand(&cat, &[3, 4], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+        let c1 = cand(&cat, &mut interner, &[0, 1], &[0]);
+        let c2 = cand(&cat, &mut interner, &[3, 4], &[0]);
+        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
         let (_, stats) = search.run(vec![c1, c2]);
         assert!(stats.memo_hits >= 1, "stats: {stats:?}");
     }
@@ -416,13 +533,14 @@ mod tests {
         let cat = catalog(8);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 8);
         let mut explored = Vec::new();
         for n in 0..4 {
             let cands: Vec<Candidate> = (0..n)
-                .map(|i| cand(&cat, &[2 * i, 2 * i + 1], &[0]))
+                .map(|i| cand(&cat, &mut interner, &[2 * i, 2 * i + 1], &[0]))
                 .collect();
-            let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q]);
+            let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
             let (_, stats) = search.run(cands);
             explored.push(stats.explored);
         }
@@ -434,19 +552,20 @@ mod tests {
 
     #[test]
     fn reuse_tilts_the_choice() {
-        struct Resident(SubExprSig);
+        struct Resident(SigId);
         impl ReuseOracle for Resident {
-            fn streamed(&self, sig: &SubExprSig) -> Option<u64> {
-                (sig == &self.0).then_some(1_000_000)
+            fn streamed(&self, sig: SigId) -> Option<u64> {
+                (sig == self.0).then_some(1_000_000)
             }
         }
         let cat = catalog(3);
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let shared = cand(&cat, &[0, 1], &[0]);
-        let oracle = Resident(shared.sig.clone());
-        let search = BestPlanSearch::new(&model, &oracle, &config, vec![&q]);
+        let shared = cand(&cat, &mut interner, &[0, 1], &[0]);
+        let oracle = Resident(shared.sig);
+        let search = BestPlanSearch::new(&model, &oracle, &config, vec![&q], &mut interner);
         let (plan, stats) = search.run(vec![shared.clone()]);
         assert!(
             plan.iter().any(|c| c.sig == shared.sig),

@@ -50,8 +50,7 @@ pub fn cluster_user_queries(
             seeds.entry(*rel).or_default().insert(*uq);
         }
     }
-    let mut clusters: Vec<BTreeSet<UqId>> =
-        seeds.into_values().filter(|c| !c.is_empty()).collect();
+    let mut clusters: Vec<BTreeSet<UqId>> = seeds.into_values().filter(|c| !c.is_empty()).collect();
     clusters.sort();
     clusters.dedup();
 

@@ -9,7 +9,7 @@
 //! estimates").
 
 use qsys_catalog::Catalog;
-use qsys_query::SubExprSig;
+use qsys_query::{SigId, SubExprSig};
 use qsys_types::{CostProfile, RelId, Selection};
 
 /// Answers "how much of this subexpression has already been read?" —
@@ -18,13 +18,15 @@ use qsys_types::{CostProfile, RelId, Selection};
 /// for the input to be pinned.
 pub trait ReuseOracle {
     /// Number of tuples already streamed into in-memory state for `sig`,
-    /// or `None` when the subexpression is not resident.
-    fn streamed(&self, sig: &SubExprSig) -> Option<u64>;
+    /// or `None` when the subexpression is not resident. Keyed on interned
+    /// [`SigId`]s (the lane's shared interner), so each probe is one
+    /// integer-keyed map lookup.
+    fn streamed(&self, sig: SigId) -> Option<u64>;
 
     /// Ask the state manager to protect `sig` from eviction while planning
     /// and execution proceed (Section 6.1: "prevents J from being evicted,
     /// by requesting that the QS Manager 'pin' J down").
-    fn pin(&self, _sig: &SubExprSig) {}
+    fn pin(&self, _sig: SigId) {}
 }
 
 /// The trivial oracle: nothing is resident.
@@ -32,7 +34,7 @@ pub trait ReuseOracle {
 pub struct NoReuse;
 
 impl ReuseOracle for NoReuse {
-    fn streamed(&self, _sig: &SubExprSig) -> Option<u64> {
+    fn streamed(&self, _sig: SigId) -> Option<u64> {
         None
     }
 }
@@ -102,21 +104,21 @@ impl<'a> CostModel<'a> {
         ratio.powf(1.0 / m_streams.max(1) as f64)
     }
 
-    /// Expected tuples streamed from input `sig` on behalf of a CQ that has
-    /// `m_streams` streaming inputs and `result_card` estimated results,
-    /// minus tuples already resident (reuse).
+    /// Expected tuples streamed from an input of cardinality `card` on
+    /// behalf of a CQ that has `m_streams` streaming inputs and
+    /// `result_card` estimated results, minus `already`-resident tuples
+    /// (reuse). The caller supplies `card` so memoized per-signature
+    /// cardinalities are reused across the search.
     pub fn expected_reads(
         &self,
-        sig: &SubExprSig,
+        card: f64,
         result_card: f64,
         m_streams: usize,
-        reuse: &dyn ReuseOracle,
+        already: u64,
     ) -> f64 {
-        let card = self.cardinality(sig);
         let depth = self.depth_fraction(result_card, m_streams);
         let need = card * depth;
-        let already = reuse.streamed(sig).unwrap_or(0) as f64;
-        (need - already).max(0.0)
+        (need - already as f64).max(0.0)
     }
 
     /// Per-tuple streaming cost in µs (base + mean network delay).
@@ -129,14 +131,14 @@ impl<'a> CostModel<'a> {
         (self.profile.probe_us + self.profile.mean_network_delay_us) as f64
     }
 
-    /// Penalty for asking the remote source to compute a pushed-down join:
-    /// proportional to the intermediate work (`Σ` pairwise cardinalities).
-    /// Cheap relative to streaming, but biases against exploding joins.
-    pub fn pushdown_penalty_us(&self, sig: &SubExprSig) -> f64 {
-        if sig.atoms.len() <= 1 {
+    /// Penalty for asking the remote source to compute a pushed-down join
+    /// of `atoms` relations with result cardinality `card`: cheap relative
+    /// to streaming, but biases against exploding joins.
+    pub fn pushdown_penalty_us(&self, atoms: usize, card: f64) -> f64 {
+        if atoms <= 1 {
             return 0.0;
         }
-        self.cardinality(sig) * 0.5
+        card * 0.5
     }
 
     /// Requested k.
@@ -165,14 +167,7 @@ mod tests {
         );
         let mut stats_b = RelationStats::with_cardinality(500);
         stats_b.columns = vec![ColumnStats { distinct: 50 }];
-        let bb = b.relation(
-            "B",
-            SourceId::new(0),
-            vec!["k".into()],
-            None,
-            1.0,
-            stats_b,
-        );
+        let bb = b.relation("B", SourceId::new(0), vec!["k".into()], None, 1.0, stats_b);
         b.edge(a, 0, bb, 0, EdgeKind::ForeignKey, 1.0, 2.0);
         b.build()
     }
@@ -214,22 +209,14 @@ mod tests {
 
     #[test]
     fn reuse_discounts_reads() {
-        struct Oracle;
-        impl ReuseOracle for Oracle {
-            fn streamed(&self, _sig: &SubExprSig) -> Option<u64> {
-                Some(400)
-            }
-        }
         let c = catalog();
         let model = CostModel::new(&c, CostProfile::default(), 50);
         let rel = c.relation_by_name("A").unwrap().id;
         let sig = SubExprSig::relation(rel, None);
-        let fresh = model.expected_reads(&sig, 100_000.0, 1, &NoReuse);
-        let reused = model.expected_reads(&sig, 100_000.0, 1, &Oracle);
+        let card = model.cardinality(&sig);
+        let fresh = model.expected_reads(card, 100_000.0, 1, 0);
+        let reused = model.expected_reads(card, 100_000.0, 1, 400);
         assert!(reused < fresh);
-        // Fully covered: free.
-        let covered = model.expected_reads(&sig, 1e12, 1, &Oracle);
-        let _ = covered; // depth may exceed 400; just assert ordering holds
         assert!((fresh - reused - 400.0).abs() < 1e-6 || reused == 0.0);
     }
 
@@ -239,14 +226,12 @@ mod tests {
         let model = CostModel::new(&c, CostProfile::default(), 50);
         let a = c.relation_by_name("A").unwrap().id;
         let bb = c.relation_by_name("B").unwrap().id;
-        assert_eq!(
-            model.pushdown_penalty_us(&SubExprSig::relation(a, None)),
-            0.0
-        );
+        let single = model.cardinality(&SubExprSig::relation(a, None));
+        assert_eq!(model.pushdown_penalty_us(1, single), 0.0);
         let sig = SubExprSig {
             atoms: vec![(a, None), (bb, None)],
             joins: vec![(a, 0, bb, 0)],
         };
-        assert!(model.pushdown_penalty_us(&sig) > 0.0);
+        assert!(model.pushdown_penalty_us(2, model.cardinality(&sig)) > 0.0);
     }
 }

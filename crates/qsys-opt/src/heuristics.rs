@@ -15,17 +15,21 @@
 //! 4. *Do not consider overlapping pushed-down subexpressions* — a
 //!    candidate must be a subexpression of, or disjoint from, every query.
 //! 5. Base relations of streaming sources are always useful.
+//!
+//! Candidates carry interned [`SigId`]s; the pooling that detects sharing
+//! across queries is one integer-keyed map instead of a deep-signature
+//! B-tree.
 
 use crate::cost::CostModel;
-use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SubExprSig};
+use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SigId, SigInterner};
 use qsys_types::{CqId, RelId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// One push-down candidate: a subexpression and the queries it can source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Candidate {
-    /// The subexpression.
-    pub sig: SubExprSig,
+    /// The interned subexpression signature.
+    pub sig: SigId,
     /// Queries of which `sig` is a subexpression (the map `𝕊[J]`).
     pub queries: BTreeSet<CqId>,
 }
@@ -79,10 +83,12 @@ pub fn enumerate_candidates(
     queries: &[&ConjunctiveQuery],
     model: &CostModel<'_>,
     config: &HeuristicConfig,
+    interner: &mut SigInterner,
 ) -> Vec<Candidate> {
-    // Pool subexpressions across queries via canonical signatures (the
-    // AND-OR graph's OR-node sharing).
-    let mut pool: BTreeMap<SubExprSig, BTreeSet<CqId>> = BTreeMap::new();
+    // Pool subexpressions across queries via interned canonical signatures
+    // (the AND-OR graph's OR-node sharing): sharing detection is a u32 map
+    // probe per enumerated subexpression.
+    let mut pool: HashMap<SigId, BTreeSet<CqId>> = HashMap::new();
     for cq in queries {
         for sig in enumerate_subexprs(cq, 1, config.max_candidate_atoms) {
             // Heuristic 2: every atom of a pushed-down candidate must be
@@ -95,12 +101,17 @@ pub fn enumerate_candidates(
             {
                 continue;
             }
-            pool.entry(sig).or_default().insert(cq.id);
+            pool.entry(interner.intern(sig)).or_default().insert(cq.id);
         }
     }
+    // Deterministic processing order (canonical signature order, as the
+    // deep-keyed B-tree pool produced): one deep sort per batch, after
+    // which everything downstream compares ids only.
+    let mut pooled: Vec<(SigId, BTreeSet<CqId>)> = pool.into_iter().collect();
+    pooled.sort_by(|(a, _), (b, _)| interner.resolve(*a).cmp(interner.resolve(*b)));
 
     let mut out = Vec::new();
-    for (sig, mut using) in pool {
+    for (sig, mut using) in pooled {
         // Heuristic 4 — "do not consider overlapping pushed-down
         // subexpressions" — is enforced *per query* inside BestPlan
         // (Algorithm 1's S′ adjustment removes a query from every
@@ -108,13 +119,16 @@ pub fn enumerate_candidates(
         // would kill nearly every candidate in large batches, contradicting
         // the paper's own Example 5 where G2G⋈GI⋈T serves CQ2 while
         // overlapping (but not sourcing) CQ1.
-        if sig.size() == 1 {
+        if interner.size(sig) == 1 {
             // Heuristic 5: base streamable relations are always useful.
-            out.push(Candidate { sig, queries: using });
+            out.push(Candidate {
+                sig,
+                queries: using,
+            });
             continue;
         }
         // Heuristic 3a: drop candidates expensive to compute at the source.
-        let expensive = sig.joins.iter().any(|(lr, lc, rr, rc)| {
+        let expensive = interner.resolve(sig).joins.iter().any(|(lr, lc, rr, rc)| {
             match model.catalog().edge_between(*lr, *rr) {
                 Some(e) => {
                     // Must be the same join columns to reuse the edge stats.
@@ -129,7 +143,7 @@ pub fn enumerate_candidates(
             continue;
         }
         // Heuristic 1/3b: keep if shared enough or cheap.
-        let card = model.cardinality(&sig);
+        let card = model.cardinality(interner.resolve(sig));
         if using.len() < config.min_sharing && card > config.low_cardinality {
             continue;
         }
@@ -138,8 +152,8 @@ pub fn enumerate_candidates(
         if using.len() == 1 {
             let cq_id = *using.iter().next().expect("nonempty");
             if let Some(cq) = queries.iter().find(|c| c.id == cq_id) {
-                let whole = SubExprSig::of_cq(cq);
-                if model.cardinality(&whole) < model.k() as f64 {
+                let whole = interner.of_cq(cq);
+                if model.cardinality(interner.resolve(whole)) < model.k() as f64 {
                     using.clear();
                 }
             }
@@ -147,21 +161,31 @@ pub fn enumerate_candidates(
         if using.is_empty() {
             continue;
         }
-        out.push(Candidate { sig, queries: using });
+        out.push(Candidate {
+            sig,
+            queries: using,
+        });
     }
 
     // Rank: multi-relation candidates by sharing degree, then cardinality;
     // keep all single-relation base candidates (needed for validity).
-    let (base, mut multi): (Vec<_>, Vec<_>) = out.into_iter().partition(|c| c.sig.size() == 1);
-    multi.sort_by(|a, b| {
+    let (base, multi): (Vec<_>, Vec<_>) = out.into_iter().partition(|c| interner.size(c.sig) == 1);
+    let mut multi: Vec<(Candidate, f64)> = multi
+        .into_iter()
+        .map(|c| {
+            let card = model.cardinality(interner.resolve(c.sig));
+            (c, card)
+        })
+        .collect();
+    multi.sort_by(|(a, ca), (b, cb)| {
         b.queries
             .len()
             .cmp(&a.queries.len())
-            .then_with(|| model.cardinality(&a.sig).total_cmp(&model.cardinality(&b.sig)))
+            .then_with(|| ca.total_cmp(cb))
     });
     multi.truncate(config.max_candidates);
     let mut result = base;
-    result.extend(multi);
+    result.extend(multi.into_iter().map(|(c, _)| c));
     result
 }
 
@@ -178,10 +202,7 @@ mod tests {
         let mut b = CatalogBuilder::default();
         let mk_stats = |card: u64, distinct: u64| {
             let mut s = RelationStats::with_cardinality(card);
-            s.columns = vec![
-                ColumnStats { distinct },
-                ColumnStats { distinct },
-            ];
+            s.columns = vec![ColumnStats { distinct }, ColumnStats { distinct }];
             s
         };
         let a = b.relation(
@@ -258,8 +279,14 @@ mod tests {
         let c = cat.relation_by_name("C").unwrap().id;
         let d = cat.relation_by_name("D").unwrap().id;
         let a = cat.relation_by_name("A").unwrap().id;
-        assert!(!is_streamable(&model, c, &config), "large scoreless C probes");
-        assert!(is_streamable(&model, d, &config), "tiny scoreless D streams");
+        assert!(
+            !is_streamable(&model, c, &config),
+            "large scoreless C probes"
+        );
+        assert!(
+            is_streamable(&model, d, &config),
+            "tiny scoreless D streams"
+        );
         assert!(is_streamable(&model, a, &config), "scored A streams");
     }
 
@@ -268,17 +295,18 @@ mod tests {
         let cat = catalog();
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let q1 = cq(0, &cat, &["A", "B"]);
         let q2 = cq(1, &cat, &["A", "B", "C"]);
-        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config);
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner);
         // A⋈B is shared by both queries and both atoms are streamable.
         let ab = candidates
             .iter()
-            .find(|c| c.sig.size() == 2)
+            .find(|c| interner.size(c.sig) == 2)
             .expect("A⋈B candidate");
         assert_eq!(ab.queries.len(), 2);
         // Base relations appear as candidates too (heuristic 5).
-        assert!(candidates.iter().any(|c| c.sig.size() == 1));
+        assert!(candidates.iter().any(|c| interner.size(c.sig) == 1));
     }
 
     #[test]
@@ -286,13 +314,14 @@ mod tests {
         let cat = catalog();
         let model = CostModel::new(&cat, CostProfile::default(), 50);
         let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
         let c_rel = cat.relation_by_name("C").unwrap().id;
         let q = cq(0, &cat, &["A", "B", "C"]);
-        let candidates = enumerate_candidates(&[&q], &model, &config);
+        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner);
         assert!(
             candidates
                 .iter()
-                .all(|cand| !cand.sig.rels().contains(&c_rel)),
+                .all(|cand| !interner.rels(cand.sig).contains(&c_rel)),
             "C must be probed, not pushed down"
         );
     }
@@ -306,10 +335,11 @@ mod tests {
             low_cardinality: 1.0,
             ..HeuristicConfig::default()
         };
+        let mut interner = SigInterner::new();
         let q = cq(0, &cat, &["A", "B"]);
-        let candidates = enumerate_candidates(&[&q], &model, &config);
+        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner);
         // A⋈B has cardinality 10000*8000/1000 = 80000: too big, unshared.
-        assert!(candidates.iter().all(|c| c.sig.size() == 1));
+        assert!(candidates.iter().all(|c| interner.size(c.sig) == 1));
     }
 
     #[test]
@@ -320,10 +350,11 @@ mod tests {
             max_candidates: 0,
             ..HeuristicConfig::default()
         };
+        let mut interner = SigInterner::new();
         let q1 = cq(0, &cat, &["A", "B"]);
         let q2 = cq(1, &cat, &["A", "B"]);
-        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config);
-        assert!(candidates.iter().all(|c| c.sig.size() == 1));
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner);
+        assert!(candidates.iter().all(|c| interner.size(c.sig) == 1));
         assert!(!candidates.is_empty(), "base candidates always survive");
     }
 }

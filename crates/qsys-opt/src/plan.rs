@@ -11,16 +11,18 @@
 //! The output is a declarative [`PlanSpec`] that the query state manager
 //! instantiates into (or grafts onto) a live
 //! [`QueryPlanGraph`](../qsys_exec/graph/struct.QueryPlanGraph.html).
+//! Spec nodes carry interned [`SigId`]s from the lane's shared
+//! [`SigInterner`] — the same ids the QS manager's reuse index and the plan
+//! graph's signature index are keyed on, so grafting matches nodes with
+//! `u32` compares and no signature is ever cloned into a spec.
 
 use crate::bestplan::{Assignment, BestPlanSearch, OptStats};
 use crate::cost::{CostModel, ReuseOracle};
 use crate::heuristics::{enumerate_candidates, is_streamable, HeuristicConfig};
 use qsys_catalog::Catalog;
-use qsys_query::{ConjunctiveQuery, ScoreFn, SubExprSig};
-use qsys_types::{
-    CostProfile, CqId, RelId, Selection, SimClock, TimeCategory, UqId, UserId,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use qsys_query::{ConjunctiveQuery, ScoreFn, SigCell, SigId, SigInterner};
+use qsys_types::{CostProfile, CqId, RelId, Selection, SimClock, TimeCategory, UqId, UserId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One equi-join predicate in a plan spec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,9 +58,9 @@ pub enum SpecNodeKind {
 /// One node of the declarative plan.
 #[derive(Clone, Debug)]
 pub struct SpecNode {
-    /// Canonical signature of the node's output (streamed relations only —
+    /// Interned signature of the node's output (streamed relations only —
     /// probe results join in transiently).
-    pub sig: SubExprSig,
+    pub sig: SigId,
     /// The operator.
     pub kind: SpecNodeKind,
     /// Whether this node may be merged with identically-signed state
@@ -78,8 +80,8 @@ pub struct CqPlan {
     pub user: UserId,
     /// Score function.
     pub score_fn: ScoreFn,
-    /// Whole-query signature.
-    pub sig: SubExprSig,
+    /// Interned whole-query signature.
+    pub sig: SigId,
     /// Spec node whose output is the CQ's full result.
     pub root: usize,
     /// Relations probed (not streamed) for this CQ, with max raw scores.
@@ -157,28 +159,34 @@ impl<'a> Optimizer<'a> {
     /// Optimize a batch of conjunctive queries into a plan spec.
     ///
     /// `reuse` reports (and pins) in-memory state from prior executions;
-    /// `clock` receives the optimization-time charge (Figure 11).
+    /// `clock` receives the optimization-time charge (Figure 11);
+    /// `interner` is the lane's shared signature interner — the spec's
+    /// [`SigId`]s, the reuse oracle's keys, and the plan graph's index all
+    /// name signatures through it.
     pub fn optimize(
         &self,
         batch: &[(&ConjunctiveQuery, &ScoreFn)],
         reuse: &dyn ReuseOracle,
         clock: Option<&SimClock>,
+        interner: &SigCell,
     ) -> (PlanSpec, OptStats) {
         let model = CostModel::new(self.catalog, self.config.cost_profile, self.config.k);
         let queries: Vec<&ConjunctiveQuery> = batch.iter().map(|(cq, _)| *cq).collect();
 
+        let mut guard = interner.borrow_mut();
         let candidates = if self.config.share_subexpressions {
-            enumerate_candidates(&queries, &model, &self.config.heuristics)
+            enumerate_candidates(&queries, &model, &self.config.heuristics, &mut guard)
         } else {
             Vec::new()
         };
         // Pin any resident candidate inputs while we plan (Section 6.1).
         for c in &candidates {
-            if reuse.streamed(&c.sig).is_some() {
-                reuse.pin(&c.sig);
+            if reuse.streamed(c.sig).is_some() {
+                reuse.pin(c.sig);
             }
         }
-        let search = BestPlanSearch::new(&model, reuse, &self.config.heuristics, queries);
+        let search =
+            BestPlanSearch::new(&model, reuse, &self.config.heuristics, queries, &mut guard);
         let (assignment, stats) = search.run(candidates);
         if let Some(clock) = clock {
             clock.charge(
@@ -186,7 +194,7 @@ impl<'a> Optimizer<'a> {
                 stats.explored as u64 * self.config.opt_step_us,
             );
         }
-        let spec = self.factorize(batch, &assignment, &model);
+        let spec = self.factorize(batch, &assignment, &model, &mut guard);
         (spec, stats)
     }
 
@@ -196,33 +204,30 @@ impl<'a> Optimizer<'a> {
         batch: &[(&ConjunctiveQuery, &ScoreFn)],
         assignment: &Assignment,
         model: &CostModel<'_>,
+        interner: &mut SigInterner,
     ) -> PlanSpec {
         let share = self.config.share_subexpressions;
         let mut spec = PlanSpec::default();
         // Stream inputs become leaves; probe inputs attach to final joins.
+        let mut leaf_of_sig: HashMap<SigId, usize> = HashMap::new();
         let mut term_map: BTreeMap<CqId, Vec<usize>> = BTreeMap::new();
         let mut probe_map: BTreeMap<CqId, Vec<(RelId, Option<Selection>)>> = BTreeMap::new();
         for input in assignment {
-            let streamed = input
-                .sig
-                .atoms
+            let streamed = interner
+                .rels(input.sig)
                 .iter()
-                .all(|(r, _)| is_streamable(model, *r, &self.config.heuristics));
+                .all(|r| is_streamable(model, *r, &self.config.heuristics));
             if streamed {
                 if share {
                     // One shared leaf per signature.
-                    let idx = spec
-                        .nodes
-                        .iter()
-                        .position(|n| n.sig == input.sig)
-                        .unwrap_or_else(|| {
-                            spec.nodes.push(SpecNode {
-                                sig: input.sig.clone(),
-                                kind: SpecNodeKind::Stream,
-                                share: true,
-                            });
-                            spec.nodes.len() - 1
+                    let idx = *leaf_of_sig.entry(input.sig).or_insert_with(|| {
+                        spec.nodes.push(SpecNode {
+                            sig: input.sig,
+                            kind: SpecNodeKind::Stream,
+                            share: true,
                         });
+                        spec.nodes.len() - 1
+                    });
                     for cq in &input.queries {
                         term_map.entry(*cq).or_default().push(idx);
                     }
@@ -230,7 +235,7 @@ impl<'a> Optimizer<'a> {
                     // ATC-CQ: a private leaf per consumer.
                     for cq in &input.queries {
                         spec.nodes.push(SpecNode {
-                            sig: input.sig.clone(),
+                            sig: input.sig,
                             kind: SpecNodeKind::Stream,
                             share: false,
                         });
@@ -238,8 +243,12 @@ impl<'a> Optimizer<'a> {
                     }
                 }
             } else {
-                debug_assert_eq!(input.sig.size(), 1, "probe inputs are single relations");
-                let (rel, sel) = input.sig.atoms[0].clone();
+                debug_assert_eq!(
+                    interner.size(input.sig),
+                    1,
+                    "probe inputs are single relations"
+                );
+                let (rel, sel) = interner.resolve(input.sig).atoms[0].clone();
                 for cq in &input.queries {
                     probe_map.entry(*cq).or_default().push((rel, sel.clone()));
                 }
@@ -262,12 +271,14 @@ impl<'a> Optimizer<'a> {
                                 continue;
                             }
                             let Some((users, preds)) =
-                                self.mergeable(batch, &term_map, &spec, x, y)
+                                self.mergeable(batch, &term_map, &spec, x, y, interner)
                             else {
                                 continue;
                             };
                             if users.len() >= 2
-                                && best.as_ref().is_none_or(|(_, _, u, _)| users.len() > u.len())
+                                && best
+                                    .as_ref()
+                                    .is_none_or(|(_, _, u, _)| users.len() > u.len())
                             {
                                 best = Some((x, y, users, preds));
                             }
@@ -277,7 +288,11 @@ impl<'a> Optimizer<'a> {
                 let Some((x, y, users, preds)) = best else {
                     break;
                 };
-                let combined = combine_sigs(&spec.nodes[x].sig, &spec.nodes[y].sig, &preds);
+                let pred_tuples: Vec<(RelId, usize, RelId, usize)> = preds
+                    .iter()
+                    .map(|p| (p.left_rel, p.left_col, p.right_rel, p.right_col))
+                    .collect();
+                let combined = interner.combine(spec.nodes[x].sig, spec.nodes[y].sig, &pred_tuples);
                 spec.nodes.push(SpecNode {
                     sig: combined,
                     kind: SpecNodeKind::Join {
@@ -300,15 +315,17 @@ impl<'a> Optimizer<'a> {
         for (cq, score_fn) in batch {
             let terms = term_map.remove(&cq.id).unwrap_or_default();
             let probes = probe_map.remove(&cq.id).unwrap_or_default();
-            let whole = SubExprSig::of_cq(cq);
+            let whole = interner.of_cq(cq);
             let root = if terms.len() == 1 && probes.is_empty() {
                 terms[0]
             } else {
-                let covered: Vec<&SubExprSig> =
-                    terms.iter().map(|&t| &spec.nodes[t].sig).collect();
+                let covered: Vec<&[RelId]> = terms
+                    .iter()
+                    .map(|&t| interner.rels(spec.nodes[t].sig))
+                    .collect();
                 let preds = residual_preds(cq, &covered);
                 spec.nodes.push(SpecNode {
-                    sig: whole.clone(),
+                    sig: whole,
                     kind: SpecNodeKind::Join {
                         inputs: terms,
                         probes: probes.clone(),
@@ -337,6 +354,7 @@ impl<'a> Optimizer<'a> {
 
     /// If terms `x` and `y` can merge, return the queries currently holding
     /// both and the (identical across those queries) connecting predicates.
+    #[allow(clippy::too_many_arguments)]
     fn mergeable(
         &self,
         batch: &[(&ConjunctiveQuery, &ScoreFn)],
@@ -344,6 +362,7 @@ impl<'a> Optimizer<'a> {
         spec: &PlanSpec,
         x: usize,
         y: usize,
+        interner: &SigInterner,
     ) -> Option<(Vec<CqId>, Vec<PredSpec>)> {
         let users: Vec<CqId> = term_map
             .iter()
@@ -353,8 +372,8 @@ impl<'a> Optimizer<'a> {
         if users.len() < 2 {
             return None;
         }
-        let rels_x = spec.nodes[x].sig.rels();
-        let rels_y = spec.nodes[y].sig.rels();
+        let rels_x = interner.rels(spec.nodes[x].sig);
+        let rels_y = interner.rels(spec.nodes[y].sig);
         let mut common: Option<Vec<PredSpec>> = None;
         for cq_id in &users {
             let (cq, _) = batch.iter().find(|(c, _)| c.id == *cq_id)?;
@@ -391,14 +410,13 @@ impl<'a> Optimizer<'a> {
 }
 
 /// Join predicates of `cq` not internal to any single covered term.
-fn residual_preds(cq: &ConjunctiveQuery, covered: &[&SubExprSig]) -> Vec<PredSpec> {
+fn residual_preds(cq: &ConjunctiveQuery, covered: &[&[RelId]]) -> Vec<PredSpec> {
     cq.joins
         .iter()
         .filter(|j| {
-            !covered.iter().any(|sig| {
-                let rels = sig.rels();
-                rels.contains(&j.left) && rels.contains(&j.right)
-            })
+            !covered
+                .iter()
+                .any(|rels| rels.contains(&j.left) && rels.contains(&j.right))
         })
         .map(|j| PredSpec {
             left_rel: j.left,
@@ -409,35 +427,12 @@ fn residual_preds(cq: &ConjunctiveQuery, covered: &[&SubExprSig]) -> Vec<PredSpe
         .collect()
 }
 
-fn combine_sigs(a: &SubExprSig, b: &SubExprSig, preds: &[PredSpec]) -> SubExprSig {
-    let mut atoms = a.atoms.clone();
-    atoms.extend(b.atoms.clone());
-    atoms.sort();
-    let mut joins = a.joins.clone();
-    joins.extend(b.joins.clone());
-    for p in preds {
-        let (l, r) = if p.left_rel <= p.right_rel {
-            (
-                (p.left_rel, p.left_col, p.right_rel, p.right_col),
-                None::<()>,
-            )
-        } else {
-            ((p.right_rel, p.right_col, p.left_rel, p.left_col), None)
-        };
-        let _ = r;
-        joins.push(l);
-    }
-    joins.sort();
-    joins.dedup();
-    SubExprSig { atoms, joins }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::NoReuse;
     use qsys_catalog::{CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
-    use qsys_query::{CqAtom, CqJoin};
+    use qsys_query::{CqAtom, CqJoin, SigInterner};
     use qsys_types::SourceId;
 
     /// Chain of five scored relations, generous sharing.
@@ -446,10 +441,7 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..5 {
             let mut stats = RelationStats::with_cardinality(5_000);
-            stats.columns = vec![
-                ColumnStats { distinct: 200 },
-                ColumnStats { distinct: 200 },
-            ];
+            stats.columns = vec![ColumnStats { distinct: 200 }, ColumnStats { distinct: 200 }];
             ids.push(b.relation(
                 format!("R{i}"),
                 SourceId::new(0),
@@ -490,6 +482,10 @@ mod tests {
         ConjunctiveQuery::new(CqId::new(id), UqId::new(uq), UserId::new(0), atoms, joins)
     }
 
+    fn fresh_interner() -> SigCell {
+        SigCell::new(SigInterner::new())
+    }
+
     #[test]
     fn shared_batch_reuses_stream_leaves() {
         let cat = catalog();
@@ -498,16 +494,15 @@ mod tests {
         let q1 = path_cq(0, &cat, 0, 3, 0);
         let q2 = path_cq(1, &cat, 0, 4, 0);
         let batch = vec![(&q1, &f), (&q2, &f)];
-        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        let interner = fresh_interner();
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None, &interner);
         assert_eq!(spec.cq_plans.len(), 2);
         // The shared R0 leaf appears once.
+        let it = interner.borrow();
         let r0_leaves = spec
             .nodes
             .iter()
-            .filter(|n| {
-                matches!(n.kind, SpecNodeKind::Stream)
-                    && n.sig.rels() == vec![RelId::new(0)]
-            })
+            .filter(|n| matches!(n.kind, SpecNodeKind::Stream) && it.rels(n.sig) == [RelId::new(0)])
             .count();
         assert_eq!(r0_leaves, 1, "{spec:#?}");
         // Both CQ roots resolve to leaves.
@@ -528,15 +523,14 @@ mod tests {
         let q1 = path_cq(0, &cat, 0, 3, 0);
         let q2 = path_cq(1, &cat, 0, 3, 0);
         let batch = vec![(&q1, &f), (&q2, &f)];
-        let (spec, stats) = opt.optimize(&batch, &NoReuse, None);
+        let interner = fresh_interner();
+        let (spec, stats) = opt.optimize(&batch, &NoReuse, None, &interner);
         assert_eq!(stats.candidates, 0, "no MQO under ATC-CQ");
+        let it = interner.borrow();
         let r0_leaves = spec
             .nodes
             .iter()
-            .filter(|n| {
-                matches!(n.kind, SpecNodeKind::Stream)
-                    && n.sig.rels() == vec![RelId::new(0)]
-            })
+            .filter(|n| matches!(n.kind, SpecNodeKind::Stream) && it.rels(n.sig) == [RelId::new(0)])
             .count();
         assert_eq!(r0_leaves, 2, "one private leaf per CQ");
     }
@@ -560,7 +554,8 @@ mod tests {
         let q2 = path_cq(1, &cat, 0, 4, 0);
         let q3 = path_cq(2, &cat, 0, 5, 0);
         let batch = vec![(&q1, &f), (&q2, &f), (&q3, &f)];
-        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        let interner = fresh_interner();
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None, &interner);
         // Some intermediate join component is consumed more than once —
         // by downstream joins or directly as a CQ root.
         let join_nodes: Vec<usize> = spec
@@ -586,6 +581,13 @@ mod tests {
             join_nodes.iter().any(|&j| uses(j) >= 2),
             "expected a shared middleware component: {spec:#?}"
         );
+        // The merged components record their derivation in the interner's
+        // child DAG (Cascades-memo style).
+        let it = interner.borrow();
+        assert!(
+            spec.nodes.iter().any(|n| it.children(n.sig).is_some()),
+            "combine() must record child ids"
+        );
     }
 
     #[test]
@@ -597,7 +599,8 @@ mod tests {
         let q2 = path_cq(1, &cat, 1, 4, 0);
         let clock = SimClock::new();
         let batch = vec![(&q1, &f), (&q2, &f)];
-        let (_, stats) = opt.optimize(&batch, &NoReuse, Some(&clock));
+        let interner = fresh_interner();
+        let (_, stats) = opt.optimize(&batch, &NoReuse, Some(&clock), &interner);
         assert!(clock.breakdown().optimize_us > 0);
         assert!(stats.explored >= 1);
     }
@@ -609,7 +612,8 @@ mod tests {
         let f = ScoreFn::discover(UserId::new(0), 1);
         let q = path_cq(0, &cat, 2, 1, 0);
         let batch = vec![(&q, &f)];
-        let (spec, _) = opt.optimize(&batch, &NoReuse, None);
+        let interner = fresh_interner();
+        let (spec, _) = opt.optimize(&batch, &NoReuse, None, &interner);
         assert_eq!(spec.cq_plans.len(), 1);
         let root = spec.cq_plans[0].root;
         assert!(matches!(spec.nodes[root].kind, SpecNodeKind::Stream));

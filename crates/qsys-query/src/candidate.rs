@@ -144,13 +144,7 @@ impl<'a> CandidateGenerator<'a> {
                 if !seen.insert(sig) {
                     continue;
                 }
-                let cq = ConjunctiveQuery::new(
-                    CqId::new(*next_cq),
-                    uq,
-                    user,
-                    cq_atoms,
-                    cq_joins,
-                );
+                let cq = ConjunctiveQuery::new(CqId::new(*next_cq), uq, user, cq_atoms, cq_joins);
                 *next_cq += 1;
                 let score_fn = self.score_for(&cq, &similarity, user, user_edge_costs);
                 out.push((cq, score_fn));
@@ -394,9 +388,7 @@ fn merge_combo(
     for m in combo {
         let sel = match &m.kind {
             MatchKind::Metadata => None,
-            MatchKind::Content { column, value } => {
-                Some(Selection::eq(*column, value.clone()))
-            }
+            MatchKind::Content { column, value } => Some(Selection::eq(*column, value.clone())),
         };
         match selections.get_mut(&m.rel) {
             None => {
@@ -529,8 +521,7 @@ mod tests {
     #[test]
     fn generates_ranked_cqs_for_three_keywords() {
         let (catalog, idx) = setup();
-        let generator =
-            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let generator = CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
         let mut next = 0;
         let uq = generator
             .generate(
@@ -563,8 +554,7 @@ mod tests {
     #[test]
     fn content_match_becomes_selection() {
         let (catalog, idx) = setup();
-        let generator =
-            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let generator = CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
         let mut next = 0;
         let uq = generator
             .generate(
@@ -588,8 +578,7 @@ mod tests {
         // CQ5 vs CQ6 of the paper: one route goes Term→Gene2GO directly,
         // another via TermSyn.
         let (catalog, idx) = setup();
-        let generator =
-            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let generator = CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
         let mut next = 0;
         let uq = generator
             .generate(
@@ -601,8 +590,16 @@ mod tests {
             )
             .unwrap();
         let tsyn = catalog.relation_by_name("TermSyn").unwrap().id;
-        let with_syn = uq.cqs.iter().filter(|(cq, _)| cq.atom(tsyn).is_some()).count();
-        let without = uq.cqs.iter().filter(|(cq, _)| cq.atom(tsyn).is_none()).count();
+        let with_syn = uq
+            .cqs
+            .iter()
+            .filter(|(cq, _)| cq.atom(tsyn).is_some())
+            .count();
+        let without = uq
+            .cqs
+            .iter()
+            .filter(|(cq, _)| cq.atom(tsyn).is_none())
+            .count();
         assert!(with_syn >= 1, "expected a TermSyn variant");
         assert!(without >= 1, "expected a direct variant");
     }
@@ -610,8 +607,7 @@ mod tests {
     #[test]
     fn unknown_keyword_errors() {
         let (catalog, idx) = setup();
-        let generator =
-            CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
+        let generator = CandidateGenerator::new(&catalog, &idx, CandidateConfig::default());
         let mut next = 0;
         let err = generator
             .generate("frobnicate", UqId::new(3), UserId::new(0), &mut next, None)
@@ -659,11 +655,7 @@ mod tests {
             )
             .unwrap();
         // Make every edge hugely expensive for user 1: bounds shrink.
-        let costs: HashMap<EdgeId, f64> = catalog
-            .edges()
-            .iter()
-            .map(|e| (e.id, 10.0))
-            .collect();
+        let costs: HashMap<EdgeId, f64> = catalog.edges().iter().map(|e| (e.id, 10.0)).collect();
         let expensive = generator
             .generate(
                 "'plasma membrane' gene",

@@ -198,11 +198,7 @@ impl UserQuery {
 
     /// Relations referenced by any member CQ, sorted and deduplicated.
     pub fn rels(&self) -> Vec<RelId> {
-        let mut rels: Vec<RelId> = self
-            .cqs
-            .iter()
-            .flat_map(|(cq, _)| cq.rels())
-            .collect();
+        let mut rels: Vec<RelId> = self.cqs.iter().flat_map(|(cq, _)| cq.rels()).collect();
         rels.sort();
         rels.dedup();
         rels
@@ -240,10 +236,7 @@ mod tests {
             vec![atom(5), atom(2), atom(9)],
             vec![join(0, 2, 0, 5, 0), join(1, 5, 1, 9, 0)],
         );
-        assert_eq!(
-            cq.rels(),
-            vec![RelId::new(2), RelId::new(5), RelId::new(9)]
-        );
+        assert_eq!(cq.rels(), vec![RelId::new(2), RelId::new(5), RelId::new(9)]);
         assert_eq!(cq.size(), 3);
         assert!(cq.is_connected());
     }

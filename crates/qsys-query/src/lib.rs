@@ -7,13 +7,25 @@
 //! with a monotonic score function `C_i` with a computable upper bound
 //! `U(C_i)`. The back half (execution and optimization) consumes these
 //! types.
+//!
+//! It also hosts the system-wide sharing vocabulary: canonical
+//! subexpression signatures ([`subexpr`]) and their hash-consed interning
+//! ([`intern`]). Every sharing decision downstream — the AND-OR graph,
+//! BestPlan's memo, the reuse oracle, plan factorization, the QS manager's
+//! pin/evict index, and the live plan graph's signature index — is keyed on
+//! dense [`SigId`]s from one per-lane [`SigInterner`], so "are these two
+//! subexpressions the same?" is a `u32` compare and ids stay stable across
+//! query batches (the paper's sharing *across time*, Sections 5–6). See
+//! the [`intern`] module docs for the design.
 
 pub mod candidate;
 pub mod cq;
+pub mod intern;
 pub mod score;
 pub mod subexpr;
 
 pub use candidate::{CandidateConfig, CandidateGenerator};
 pub use cq::{ConjunctiveQuery, CqAtom, CqJoin, UserQuery};
+pub use intern::{shared_interner, SharedInterner, SigCell, SigId, SigInterner};
 pub use score::{ScoreFn, ScoreModel};
 pub use subexpr::{enumerate_subexprs, SubExprSig};

@@ -193,11 +193,7 @@ mod tests {
     #[test]
     fn q_system_matches_two_power_minus_c() {
         // c = edge costs (1 + 2) + node costs (0.5) - log2(s = 0.5) = 4.5
-        let f = ScoreFn::q_system(
-            UserId::new(1),
-            vec![1.0, 2.0],
-            vec![(RelId::new(0), 0.5)],
-        );
+        let f = ScoreFn::q_system(UserId::new(1), vec![1.0, 2.0], vec![(RelId::new(0), 0.5)]);
         let t = tuple(&[(0, 0.5)]);
         let expected = (2.0f64).powf(-4.5);
         assert!((f.score(&t).get() - expected).abs() < 1e-12);

@@ -32,10 +32,7 @@ impl SubExprSig {
     }
 
     /// Build from atoms and joins, normalizing.
-    pub fn new(
-        mut atoms: Vec<(RelId, Option<Selection>)>,
-        joins: Vec<CqJoin>,
-    ) -> SubExprSig {
+    pub fn new(mut atoms: Vec<(RelId, Option<Selection>)>, joins: Vec<CqJoin>) -> SubExprSig {
         atoms.sort();
         let mut joins: Vec<(RelId, usize, RelId, usize)> = joins
             .iter()
@@ -283,10 +280,8 @@ mod tests {
             assert!(s.is_subexpr_of(&cq), "{s:?} should be a subexpr");
         }
         // A different selection breaks containment.
-        let foreign = SubExprSig::relation(
-            RelId::new(0),
-            Some(Selection::eq(0, Value::str("other"))),
-        );
+        let foreign =
+            SubExprSig::relation(RelId::new(0), Some(Selection::eq(0, Value::str("other"))));
         assert!(!foreign.is_subexpr_of(&cq));
         assert!(foreign.overlaps(&cq)); // same relation, different selection
     }

@@ -168,10 +168,7 @@ mod tests {
         // Key 10 matches: a{1,3} x b{1,3} = 4 results; key 20/30 match nothing.
         assert_eq!(result.len(), 4);
         for t in &result {
-            assert_eq!(
-                t.value_of(a, 0).unwrap(),
-                t.value_of(b, 0).unwrap()
-            );
+            assert_eq!(t.value_of(a, 0).unwrap(), t.value_of(b, 0).unwrap());
         }
     }
 
@@ -221,8 +218,16 @@ mod tests {
             atoms: vec![(b, None), (a, None)],
             joins: vec![j],
         };
-        let mut r1: Vec<_> = fwd.evaluate(&tables).iter().map(Tuple::provenance).collect();
-        let mut r2: Vec<_> = rev.evaluate(&tables).iter().map(Tuple::provenance).collect();
+        let mut r1: Vec<_> = fwd
+            .evaluate(&tables)
+            .iter()
+            .map(Tuple::provenance)
+            .collect();
+        let mut r2: Vec<_> = rev
+            .evaluate(&tables)
+            .iter()
+            .map(Tuple::provenance)
+            .collect();
         r1.sort();
         r2.sort();
         assert_eq!(r1, r2);

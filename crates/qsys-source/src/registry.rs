@@ -84,9 +84,7 @@ impl Sources {
             .as_ref()
             .unwrap_or_else(|| panic!("no table registered for {rel} and no provider"));
         let table = provider(rel);
-        self.tables
-            .borrow_mut()
-            .insert(rel, Arc::clone(&table));
+        self.tables.borrow_mut().insert(rel, Arc::clone(&table));
         table
     }
 

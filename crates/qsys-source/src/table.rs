@@ -7,10 +7,10 @@
 //! lazily, standing in for the paper's "indexed by join keys and score
 //! attributes" MySQL setup.
 
-use parking_lot::RwLock;
 use qsys_types::{BaseTuple, RelId, Selection, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// A hash index over one column: key value → row positions.
 pub type ColumnIndex = Arc<HashMap<Value, Vec<u32>>>;
@@ -98,7 +98,7 @@ impl Table {
     }
 
     fn index_for(&self, column: usize) -> ColumnIndex {
-        if let Some(idx) = self.indexes.read().get(&column) {
+        if let Some(idx) = self.indexes.read().expect("index lock").get(&column) {
             return Arc::clone(idx);
         }
         let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
@@ -110,7 +110,10 @@ impl Table {
             }
         }
         let arc = Arc::new(map);
-        self.indexes.write().insert(column, Arc::clone(&arc));
+        self.indexes
+            .write()
+            .expect("index lock")
+            .insert(column, Arc::clone(&arc));
         arc
     }
 }

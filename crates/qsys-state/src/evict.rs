@@ -12,7 +12,7 @@
 //! its parents, which become candidates in later rounds.
 
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph};
-use qsys_query::SubExprSig;
+use qsys_query::SigId;
 use qsys_types::Epoch;
 use std::collections::{BTreeSet, HashMap};
 
@@ -43,7 +43,7 @@ pub fn evict_to_budget(
     graph: &mut QueryPlanGraph,
     budget: usize,
     policy: EvictionPolicy,
-    pinned: &BTreeSet<SubExprSig>,
+    pinned: &BTreeSet<SigId>,
     last_used: &HashMap<NodeId, Epoch>,
     stats: &mut EvictionStats,
 ) {
@@ -55,8 +55,8 @@ pub fn evict_to_budget(
                 if node.has_consumers() || matches!(node.kind, NodeKind::RankMerge(_)) {
                     return false;
                 }
-                if let Some(sig) = &node.sig {
-                    if pinned.contains(sig) {
+                if let Some(sig) = node.sig {
+                    if pinned.contains(&sig) {
                         return false;
                     }
                 }

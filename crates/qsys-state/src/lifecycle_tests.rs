@@ -10,9 +10,7 @@ use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
 use qsys_opt::{Optimizer, OptimizerConfig};
 use qsys_query::{ConjunctiveQuery, CqAtom, CqJoin, ScoreFn};
 use qsys_source::{Sources, Table};
-use qsys_types::{
-    BaseTuple, CostProfile, CqId, RelId, SimClock, Tuple, UqId, UserId, Value,
-};
+use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, Tuple, UqId, UserId, Value};
 use std::sync::Arc;
 
 const N_ROWS: u64 = 40;
@@ -97,11 +95,7 @@ fn path_cq(id: u32, uq: u32, catalog: &Catalog, len: u32) -> ConjunctiveQuery {
 
 /// Exhaustive reference: all join results of a chain CQ, scored, top-k.
 fn brute_force(sources: &Sources, cq: &ConjunctiveQuery, f: &ScoreFn, k: usize) -> Vec<f64> {
-    let tables: Vec<_> = cq
-        .rels()
-        .iter()
-        .map(|r| sources.table(*r))
-        .collect();
+    let tables: Vec<_> = cq.rels().iter().map(|r| sources.table(*r)).collect();
     let mut partials: Vec<Tuple> = tables[0]
         .rows()
         .iter()
@@ -140,8 +134,9 @@ fn optimize_and_graft(
         ..OptimizerConfig::default()
     };
     let optimizer = Optimizer::new(catalog, config);
+    let interner = manager.shared_interner();
     let oracle = manager.reuse_oracle();
-    let (spec, _) = optimizer.optimize(batch, &oracle, Some(sources.clock()));
+    let (spec, _) = optimizer.optimize(batch, &oracle, Some(sources.clock()), &interner);
     manager.graft(&spec, sources, k)
 }
 
@@ -302,9 +297,9 @@ fn eviction_respects_pins_and_budget() {
     let sigs: Vec<_> = pinned_mgr
         .graph()
         .node_ids()
-        .filter_map(|id| pinned_mgr.graph().node(id).sig.clone())
+        .filter_map(|id| pinned_mgr.graph().node(id).sig)
         .collect();
-    for sig in &sigs {
+    for sig in sigs {
         pinned_mgr.pin(sig);
     }
     pinned_mgr.unlink_completed();
@@ -314,7 +309,7 @@ fn eviction_respects_pins_and_budget() {
     let evicted_signed = pinned_mgr
         .graph()
         .node_ids()
-        .filter_map(|id| pinned_mgr.graph().node(id).sig.clone())
+        .filter_map(|id| pinned_mgr.graph().node(id).sig)
         .count();
     assert!(evicted_signed > 0, "pinned nodes survive");
     let _ = before;

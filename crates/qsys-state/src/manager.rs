@@ -7,8 +7,8 @@ use qsys_exec::mjoin::{JoinPred, MJoin, MJoinInput};
 use qsys_exec::rank_merge::{CqRegistration, RankMerge, StreamingInput};
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
 use qsys_opt::cost::ReuseOracle;
-use qsys_opt::plan::{CqPlan, PlanSpec, PredSpec, SpecNodeKind};
-use qsys_query::SubExprSig;
+use qsys_opt::plan::{PlanSpec, PredSpec, SpecNodeKind};
+use qsys_query::{shared_interner, SharedInterner, SigId, SubExprSig};
 use qsys_source::{JoinCond, Sources, SpjSpec};
 use qsys_types::{Epoch, RelId, UqId};
 use std::cell::RefCell;
@@ -35,8 +35,12 @@ pub struct QsManager {
     graph: QueryPlanGraph,
     /// Rank-merge node per user query.
     rank_merges: BTreeMap<UqId, NodeId>,
+    /// The lane's shared signature interner: specs, the reuse index, and
+    /// the plan graph all name subexpressions by [`SigId`] through it, so
+    /// ids stay stable across batches (the across-time sharing memo).
+    interner: SharedInterner,
     /// Pinned subexpressions (protected from eviction; Section 6.1).
-    pinned: RefCell<BTreeSet<SubExprSig>>,
+    pinned: RefCell<BTreeSet<SigId>>,
     /// Last epoch each node was (re)used in, for LRU eviction.
     last_used: HashMap<NodeId, Epoch>,
     /// Shared random-access probe caches, one per remote relation: "we
@@ -61,6 +65,7 @@ impl QsManager {
     pub fn new(budget: usize) -> QsManager {
         QsManager {
             graph: QueryPlanGraph::new(),
+            interner: shared_interner(),
             rank_merges: BTreeMap::new(),
             pinned: RefCell::new(BTreeSet::new()),
             last_used: HashMap::new(),
@@ -107,14 +112,21 @@ impl QsManager {
         GraphReuse { manager: self }
     }
 
+    /// The lane's shared signature interner. Hand this to
+    /// [`Optimizer::optimize`](qsys_opt::Optimizer::optimize) so the specs
+    /// it produces use the same ids this manager's indexes are keyed on.
+    pub fn shared_interner(&self) -> SharedInterner {
+        Rc::clone(&self.interner)
+    }
+
     /// Cumulative eviction statistics.
     pub fn eviction_stats(&self) -> &EvictionStats {
         &self.eviction_stats
     }
 
     /// Pin a subexpression against eviction.
-    pub fn pin(&self, sig: &SubExprSig) {
-        self.pinned.borrow_mut().insert(sig.clone());
+    pub fn pin(&self, sig: SigId) {
+        self.pinned.borrow_mut().insert(sig);
     }
 
     /// Release all pins (typically after a batch completes).
@@ -142,20 +154,76 @@ impl QsManager {
         };
 
         // Map spec node index → graph node, reusing by signature when the
-        // spec allows sharing.
-        let mut node_map: Vec<NodeId> = Vec::with_capacity(spec.nodes.len());
-        for spec_node in &spec.nodes {
-            let existing = if spec_node.share {
-                self.graph.find_sig(&spec_node.sig)
-            } else {
-                None
-            };
-            let id = match existing {
-                Some(id) => {
-                    outcome.reused_nodes += 1;
-                    id
+        // spec allows sharing. Reuse is decided *before* anything is
+        // created: when a node is merged with existing state, its entire
+        // spec input subtree is dead — the existing node already has its
+        // own producers — and must not be instantiated. (Creating it would
+        // do worse than waste memory: the rank-merge would be registered on
+        // orphan leaves that feed nothing, silently losing that CQ's
+        // results.)
+        enum Planned {
+            /// Merge with a node already in the graph.
+            Graph(NodeId),
+            /// Merge with the node another spec index will create.
+            Spec(usize),
+            /// Instantiate fresh.
+            Create,
+        }
+        let mut planned: Vec<Planned> = Vec::with_capacity(spec.nodes.len());
+        let mut pending: HashMap<SigId, usize> = HashMap::new();
+        for (idx, spec_node) in spec.nodes.iter().enumerate() {
+            let action = if spec_node.share {
+                if let Some(id) = self.graph.find_sig(spec_node.sig) {
+                    Planned::Graph(id)
+                } else if let Some(&first) = pending.get(&spec_node.sig) {
+                    Planned::Spec(first)
+                } else {
+                    pending.insert(spec_node.sig, idx);
+                    Planned::Create
                 }
-                None => {
+            } else {
+                Planned::Create
+            };
+            planned.push(action);
+        }
+        // Spec nodes are needed only while reachable from a CQ root without
+        // crossing a merged node (walk consumers-before-inputs — the spec
+        // is topologically ordered).
+        let mut needed = vec![false; spec.nodes.len()];
+        for plan in &spec.cq_plans {
+            needed[plan.root] = true;
+        }
+        for idx in (0..spec.nodes.len()).rev() {
+            if !needed[idx] {
+                continue;
+            }
+            match &planned[idx] {
+                Planned::Spec(first) => needed[*first] = true,
+                Planned::Create => {
+                    if let SpecNodeKind::Join { inputs, .. } = &spec.nodes[idx].kind {
+                        for &input in inputs {
+                            needed[input] = true;
+                        }
+                    }
+                }
+                Planned::Graph(_) => {}
+            }
+        }
+        let mut node_map: Vec<Option<NodeId>> = vec![None; spec.nodes.len()];
+        for (idx, spec_node) in spec.nodes.iter().enumerate() {
+            if !needed[idx] {
+                continue;
+            }
+            let id = match &planned[idx] {
+                Planned::Graph(id) => {
+                    outcome.reused_nodes += 1;
+                    *id
+                }
+                Planned::Spec(first) => {
+                    outcome.reused_nodes += 1;
+                    node_map[*first].expect("merge target created earlier")
+                }
+                Planned::Create => {
                     outcome.created_nodes += 1;
                     match &spec_node.kind {
                         SpecNodeKind::Stream => self.create_stream(spec_node, sources),
@@ -163,20 +231,13 @@ impl QsManager {
                             inputs,
                             probes,
                             preds,
-                        } => self.create_mjoin(
-                            spec,
-                            spec_node,
-                            inputs,
-                            probes,
-                            preds,
-                            &node_map,
-                            epoch,
-                        ),
+                        } => self
+                            .create_mjoin(spec, spec_node, inputs, probes, preds, &node_map, epoch),
                     }
                 }
             };
             self.last_used.insert(id, epoch);
-            node_map.push(id);
+            node_map[idx] = Some(id);
         }
 
         // Register each CQ with its user query's rank-merge.
@@ -191,8 +252,8 @@ impl QsManager {
                     id
                 }
             };
-            let root = node_map[plan.root];
-            let streaming = self.streaming_inputs(spec, plan, &node_map);
+            let root = node_map[plan.root].expect("CQ roots are always needed");
+            let streaming = self.streaming_inputs(root);
             let reg = CqRegistration {
                 cq: plan.cq,
                 reports_as: plan.cq,
@@ -212,6 +273,7 @@ impl QsManager {
                 rm_id,
                 epoch,
                 &mut self.next_recovery_cq,
+                &self.interner.borrow(),
             );
             if recovered {
                 outcome.recovery_queries += 1;
@@ -222,19 +284,15 @@ impl QsManager {
         outcome
     }
 
-    fn create_stream(
-        &mut self,
-        spec_node: &qsys_opt::plan::SpecNode,
-        sources: &Sources,
-    ) -> NodeId {
-        let spj = sig_to_spj(&spec_node.sig);
+    fn create_stream(&mut self, spec_node: &qsys_opt::plan::SpecNode, sources: &Sources) -> NodeId {
+        let spj = sig_to_spj(self.interner.borrow().resolve(spec_node.sig));
         let stream = if spj.atoms.len() == 1 {
             let (rel, sel) = spj.atoms[0].clone();
             sources.open_stream(rel, sel)
         } else {
             sources.open_pushdown(&spj)
         };
-        let sig = spec_node.share.then(|| spec_node.sig.clone());
+        let sig = spec_node.share.then_some(spec_node.sig);
         self.graph.add_stream(StreamBacking::Remote(stream), sig)
     }
 
@@ -246,16 +304,20 @@ impl QsManager {
         inputs: &[usize],
         probes: &[(RelId, Option<qsys_types::Selection>)],
         preds: &[PredSpec],
-        node_map: &[NodeId],
+        node_map: &[Option<NodeId>],
         epoch: Epoch,
     ) -> NodeId {
         let mut mj_inputs = Vec::new();
         let mut producer_edges = Vec::new();
         for (slot, &spec_idx) in inputs.iter().enumerate() {
-            let producer = node_map[spec_idx];
+            let producer = node_map[spec_idx].expect("join inputs precede their consumer");
             // Relation coverage comes from the *spec*, not the graph node:
             // unshared nodes carry no signature.
-            let rels = spec.nodes[spec_idx].sig.rels();
+            let rels = self
+                .interner
+                .borrow()
+                .rels(spec.nodes[spec_idx].sig)
+                .to_vec();
             // Prefill the fresh module with the producer's pre-epoch output
             // history so that future arrivals on *other* inputs can join
             // with tuples read before this CQ existed (see recover module).
@@ -304,7 +366,7 @@ impl QsManager {
             })
             .collect();
         let mj = MJoin::new(mj_inputs, join_preds);
-        let sig = spec_node.share.then(|| spec_node.sig.clone());
+        let sig = spec_node.share.then_some(spec_node.sig);
         let id = self.graph.add_mjoin(mj, sig);
         for (producer, slot) in producer_edges {
             self.graph.connect(producer, id, slot);
@@ -315,21 +377,14 @@ impl QsManager {
     /// Rank-merge streaming registrations for a CQ: its leaf stream nodes
     /// with coverage and all-time max bounds.
     ///
-    /// A spec leaf may have been merged (by signature) with an existing
-    /// *m-join* node from a previous batch — grafting taps whatever node
-    /// computes the subexpression. Threshold maintenance, however, needs
-    /// actual stream leaves, so mapped nodes are resolved transitively to
-    /// the stream leaves feeding them.
-    fn streaming_inputs(
-        &self,
-        spec: &PlanSpec,
-        plan: &CqPlan,
-        node_map: &[NodeId],
-    ) -> Vec<StreamingInput> {
+    /// Resolved against the *graph*, not the spec: the CQ's root (or any
+    /// node under it) may have been merged by signature with an existing
+    /// node — a pushed-down stream or an earlier batch's m-join — whose
+    /// upstream structure differs from what the spec planned. Threshold
+    /// maintenance needs the stream leaves actually feeding the root.
+    fn streaming_inputs(&self, root: NodeId) -> Vec<StreamingInput> {
         let mut leaves = BTreeSet::new();
-        for leaf_idx in spec.stream_leaves_of(plan.root) {
-            self.resolve_stream_leaves(node_map[leaf_idx], &mut leaves);
-        }
+        self.resolve_stream_leaves(root, &mut leaves);
         leaves
             .into_iter()
             .map(|node| {
@@ -418,7 +473,7 @@ pub struct GraphReuse<'a> {
 }
 
 impl ReuseOracle for GraphReuse<'_> {
-    fn streamed(&self, sig: &SubExprSig) -> Option<u64> {
+    fn streamed(&self, sig: SigId) -> Option<u64> {
         let node = self.manager.graph.find_sig(sig)?;
         match &self.manager.graph.try_node(node)?.kind {
             NodeKind::Stream(leaf) => Some(leaf.archive.len() as u64),
@@ -430,7 +485,7 @@ impl ReuseOracle for GraphReuse<'_> {
         }
     }
 
-    fn pin(&self, sig: &SubExprSig) {
+    fn pin(&self, sig: SigId) {
         self.manager.pin(sig);
     }
 }

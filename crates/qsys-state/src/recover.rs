@@ -28,6 +28,7 @@ use qsys_exec::mjoin::{MJoin, MJoinInput};
 use qsys_exec::rank_merge::{CqRegistration, StreamingInput};
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
 use qsys_opt::plan::CqPlan;
+use qsys_query::SigInterner;
 use qsys_types::{CqId, Epoch, SimClock, Tuple};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -39,11 +40,7 @@ use std::rc::Rc;
 ///   input's pre-epoch entries against the other access modules capped at
 ///   the epoch — an in-memory, charge-free computation (the original
 ///   execution already paid for this work; reuse must not pay again).
-pub fn node_history(
-    graph: &QueryPlanGraph,
-    node: NodeId,
-    before: Epoch,
-) -> Vec<(Tuple, Epoch)> {
+pub fn node_history(graph: &QueryPlanGraph, node: NodeId, before: Epoch) -> Vec<(Tuple, Epoch)> {
     match &graph.node(node).kind {
         NodeKind::Stream(leaf) => leaf
             .archive
@@ -118,11 +115,8 @@ fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
     }
     let mut temp = MJoin::new(inputs, mj.preds().to_vec());
     // Free in-memory recomputation: scratch clock and scratch sources.
-    let scratch_sources = qsys_source::Sources::new(
-        SimClock::new(),
-        qsys_types::CostProfile::default(),
-        0,
-    );
+    let scratch_sources =
+        qsys_source::Sources::new(SimClock::new(), qsys_types::CostProfile::default(), 0);
     let mut out = Vec::new();
     for t in entries {
         out.extend(temp.insert(replay_idx, t, before, &scratch_sources));
@@ -139,6 +133,7 @@ fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
 /// producing exactly the all-old combinations the normal plan will never
 /// trigger. For a stream-rooted (single-input) CQ the archive itself is the
 /// missing output.
+#[allow(clippy::too_many_arguments)]
 pub fn recover_state(
     graph: &mut QueryPlanGraph,
     plan: &CqPlan,
@@ -146,6 +141,7 @@ pub fn recover_state(
     rm_id: NodeId,
     epoch: Epoch,
     next_recovery_cq: &mut u32,
+    interner: &SigInterner,
 ) -> bool {
     let (replay_tuples, rels): (Vec<Tuple>, Vec<_>) = match &graph.node(root).kind {
         NodeKind::Stream(leaf) => {
@@ -155,7 +151,7 @@ pub fn recover_state(
                 .filter(|(_, e)| *e < epoch)
                 .map(|(t, _)| t.clone())
                 .collect();
-            (tuples, plan.sig.rels())
+            (tuples, interner.rels(plan.sig).to_vec())
         }
         NodeKind::MJoin(_) => {
             // Find the richest pre-epoch streaming input to replay; if none
@@ -189,9 +185,7 @@ pub fn recover_state(
             // rank-merge threshold to be sound. Base-stream arrivals
             // already are; intermediate-component outputs arrive in
             // trigger order, so sort explicitly.
-            entries.sort_by(|a, b| {
-                b.raw_score_product().total_cmp(&a.raw_score_product())
-            });
+            entries.sort_by(|a, b| b.raw_score_product().total_cmp(&a.raw_score_product()));
             // Build the recovery m-join: replay input detached, all other
             // inputs shared and capped at the epoch.
             let mut rec_inputs = Vec::new();
@@ -237,10 +231,10 @@ pub fn recover_state(
                 .first()
                 .map(|t| t.raw_score_product())
                 .unwrap_or(0.0);
-            let other_rels: Vec<_> = plan
-                .sig
-                .rels()
-                .into_iter()
+            let other_rels: Vec<_> = interner
+                .rels(plan.sig)
+                .iter()
+                .copied()
                 .filter(|r| !rels.contains(r))
                 .collect();
             let probed = other_rels

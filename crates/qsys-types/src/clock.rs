@@ -13,13 +13,12 @@
 //! hardware while preserving the relative cost structure that drives the
 //! paper's results.
 
-use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
 /// What an expenditure of simulated time was for (Figure 8 categories).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TimeCategory {
     /// Reading a tuple from a streaming source (includes network delay).
     StreamRead,
@@ -36,7 +35,7 @@ pub enum TimeCategory {
 
 /// Accumulated simulated time, split by category. All values in
 /// microseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     /// Time spent reading streaming sources.
     pub stream_read_us: u64,
@@ -105,7 +104,7 @@ impl fmt::Display for TimeBreakdown {
 /// Defaults follow Section 7: mean 2 ms network delay per stream read and
 /// per remote probe (the Poisson draw is added by the source layer on top of
 /// the base costs here), plus small constants for in-memory work.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostProfile {
     /// Mean of the Poisson network delay, µs (paper: 2000 µs).
     pub mean_network_delay_us: u64,

@@ -103,8 +103,7 @@ impl Poisson {
             // Normal approximation with continuity correction; adequate for
             // delay simulation and O(1) regardless of λ.
             let (u1, u2): (f64, f64) = (rng.random(), rng.random());
-            let z = (-2.0 * u1.max(1e-300).ln()).sqrt()
-                * (2.0 * std::f64::consts::PI * u2).cos();
+            let z = (-2.0 * u1.max(1e-300).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             let x = self.lambda + self.lambda.sqrt() * z + 0.5;
             if x < 0.0 {
                 0

@@ -4,14 +4,13 @@
 //! bare integers) prevents the classic bug of indexing the wrong arena, at
 //! zero runtime cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -86,9 +85,7 @@ id_type!(
 /// of queries to the ATC (Section 6.2 of the paper). Hash-table state is
 /// partitioned by epoch so that `RecoverState` can replay exactly the tuples
 /// that arrived before a query joined the plan.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Epoch(pub u32);
 
 impl Epoch {

@@ -5,13 +5,12 @@
 //! `BTreeMap`s, so `Score` wraps `f64` with a total order (`total_cmp`),
 //! normalizing NaN at construction.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Mul};
 
 /// A real-valued result score with a total order.
-#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Score(f64);
 
 impl Score {

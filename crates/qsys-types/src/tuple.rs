@@ -217,19 +217,13 @@ mod tests {
     #[test]
     fn provenance_identifies_result() {
         let t = Tuple::single(row(1, 7, 1.0)).join(&Tuple::single(row(3, 9, 1.0)));
-        assert_eq!(
-            t.provenance(),
-            vec![(RelId::new(1), 7), (RelId::new(3), 9)]
-        );
+        assert_eq!(t.provenance(), vec![(RelId::new(1), 7), (RelId::new(3), 9)]);
     }
 
     #[test]
     fn value_of_reaches_into_parts() {
         let t = Tuple::single(row(4, 42, 1.0));
-        assert_eq!(
-            t.value_of(RelId::new(4), 0),
-            Some(&Value::Int(42))
-        );
+        assert_eq!(t.value_of(RelId::new(4), 0), Some(&Value::Int(42)));
         assert_eq!(t.value_of(RelId::new(5), 0), None);
     }
 }

@@ -16,7 +16,9 @@
 
 use crate::tables::{SharedTables, TableGenSpec};
 use crate::{Workload, WorkloadQuery};
-use qsys_catalog::{CatalogBuilder, ColumnStats, EdgeKind, KeywordIndex, KeywordMatch, MatchKind, RelationStats};
+use qsys_catalog::{
+    CatalogBuilder, ColumnStats, EdgeKind, KeywordIndex, KeywordMatch, MatchKind, RelationStats,
+};
 use qsys_types::dist::{seeded_rng, Zipf};
 use qsys_types::{RelId, SourceId, UserId, Value};
 use rand::Rng;
@@ -24,24 +26,81 @@ use std::collections::HashMap;
 
 /// Vocabulary of "common biological terms" (Section 7).
 pub const BIO_TERMS: &[&str] = &[
-    "protein", "gene", "plasma membrane", "metabolism", "kinase", "receptor",
-    "transcription", "binding", "transport", "signal", "enzyme", "pathway",
-    "nucleus", "mitochondrion", "ribosome", "cytoplasm", "homolog",
-    "mutation", "expression", "regulation", "domain", "motif", "sequence",
-    "structure", "antibody", "ligand", "catalysis", "phosphorylation",
-    "transferase", "hydrolase", "oxidoreductase", "membrane", "chromosome",
-    "plasmid", "promoter", "repressor", "operon", "ortholog", "paralog",
+    "protein",
+    "gene",
+    "plasma membrane",
+    "metabolism",
+    "kinase",
+    "receptor",
+    "transcription",
+    "binding",
+    "transport",
+    "signal",
+    "enzyme",
+    "pathway",
+    "nucleus",
+    "mitochondrion",
+    "ribosome",
+    "cytoplasm",
+    "homolog",
+    "mutation",
+    "expression",
+    "regulation",
+    "domain",
+    "motif",
+    "sequence",
+    "structure",
+    "antibody",
+    "ligand",
+    "catalysis",
+    "phosphorylation",
+    "transferase",
+    "hydrolase",
+    "oxidoreductase",
+    "membrane",
+    "chromosome",
+    "plasmid",
+    "promoter",
+    "repressor",
+    "operon",
+    "ortholog",
+    "paralog",
     "synthase",
 ];
 
 const NAME_PREFIXES: &[&str] = &[
-    "Gene", "Protein", "Transcript", "Sequence", "GO", "Entry", "Term",
-    "Family", "Motif", "Domain", "Taxon", "Assay", "Clone", "Library",
-    "Spot", "Array", "Feature", "Interaction",
+    "Gene",
+    "Protein",
+    "Transcript",
+    "Sequence",
+    "GO",
+    "Entry",
+    "Term",
+    "Family",
+    "Motif",
+    "Domain",
+    "Taxon",
+    "Assay",
+    "Clone",
+    "Library",
+    "Spot",
+    "Array",
+    "Feature",
+    "Interaction",
 ];
 const NAME_SUFFIXES: &[&str] = &[
-    "Info", "Feature", "Synonym", "Category", "Instance", "Attribute",
-    "Relationship", "Evidence", "Annotation", "Ref", "Map", "Link",
+    "Info",
+    "Feature",
+    "Synonym",
+    "Category",
+    "Instance",
+    "Attribute",
+    "Relationship",
+    "Evidence",
+    "Annotation",
+    "Ref",
+    "Map",
+    "Link",
 ];
 
 /// Generator parameters.
@@ -109,7 +168,7 @@ pub fn generate(config: &GusConfig) -> Workload {
             NAME_SUFFIXES[(i / NAME_PREFIXES.len()) % NAME_SUFFIXES.len()],
             i
         );
-        let key_domain = (rows / rng.random_range(1..3)).max(16);
+        let key_domain = (rows / rng.random_range(1u64..3)).max(16);
         let mut stats = RelationStats::with_cardinality(rows);
         stats.columns = vec![
             ColumnStats {

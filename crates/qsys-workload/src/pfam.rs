@@ -26,10 +26,22 @@ use std::collections::HashMap;
 /// Protein-family search terms (matched against family / sequence /
 /// publication text).
 pub const PFAM_TERMS: &[&str] = &[
-    "kinase", "domain", "binding", "transferase", "receptor", "zinc finger",
-    "helicase", "protease", "immunoglobulin", "transcription factor",
-    "membrane", "signal peptide", "phosphatase", "dehydrogenase",
-    "ribosomal", "polymerase",
+    "kinase",
+    "domain",
+    "binding",
+    "transferase",
+    "receptor",
+    "zinc finger",
+    "helicase",
+    "protease",
+    "immunoglobulin",
+    "transcription factor",
+    "membrane",
+    "signal peptide",
+    "phosphatase",
+    "dehydrogenase",
+    "ribosomal",
+    "polymerase",
 ];
 
 /// Generator parameters.
@@ -78,14 +90,14 @@ pub fn generate(config: &PfamConfig) -> Workload {
     let mut b = CatalogBuilder::default();
     let mut specs: HashMap<RelId, TableGenSpec> = HashMap::new();
     let mk = |b: &mut CatalogBuilder,
-                  specs: &mut HashMap<RelId, TableGenSpec>,
-                  name: &str,
-                  db: SourceId,
-                  n: u64,
-                  scored: bool,
-                  score_kind: ScoreKind,
-                  key_domain: u64,
-                  node_cost: f64| {
+              specs: &mut HashMap<RelId, TableGenSpec>,
+              name: &str,
+              db: SourceId,
+              n: u64,
+              scored: bool,
+              score_kind: ScoreKind,
+              key_domain: u64,
+              node_cost: f64| {
         let mut stats = RelationStats::with_cardinality(n);
         stats.columns = vec![
             ColumnStats {
@@ -119,18 +131,108 @@ pub fn generate(config: &PfamConfig) -> Workload {
     };
 
     // Pfam side.
-    let pfam_a = mk(&mut b, &mut specs, "pfamA", pfam_db, rows(18_000.0), true, ScoreKind::ZipfSimilarity, rows(18_000.0) / 2, 0.4);
-    let pfamseq = mk(&mut b, &mut specs, "pfamseq", pfam_db, rows(120_000.0), true, ScoreKind::ZipfSimilarity, rows(120_000.0) / 6, 0.5);
-    let pfam_reg = mk(&mut b, &mut specs, "pfamA_reg_full", pfam_db, rows(150_000.0), false, ScoreKind::ZipfSimilarity, rows(18_000.0) / 2, 1.0);
-    let literature = mk(&mut b, &mut specs, "literature_ref", pfam_db, rows(30_000.0), true, ScoreKind::PublicationYear, rows(18_000.0) / 2, 0.8);
+    let pfam_a = mk(
+        &mut b,
+        &mut specs,
+        "pfamA",
+        pfam_db,
+        rows(18_000.0),
+        true,
+        ScoreKind::ZipfSimilarity,
+        rows(18_000.0) / 2,
+        0.4,
+    );
+    let pfamseq = mk(
+        &mut b,
+        &mut specs,
+        "pfamseq",
+        pfam_db,
+        rows(120_000.0),
+        true,
+        ScoreKind::ZipfSimilarity,
+        rows(120_000.0) / 6,
+        0.5,
+    );
+    let pfam_reg = mk(
+        &mut b,
+        &mut specs,
+        "pfamA_reg_full",
+        pfam_db,
+        rows(150_000.0),
+        false,
+        ScoreKind::ZipfSimilarity,
+        rows(18_000.0) / 2,
+        1.0,
+    );
+    let literature = mk(
+        &mut b,
+        &mut specs,
+        "literature_ref",
+        pfam_db,
+        rows(30_000.0),
+        true,
+        ScoreKind::PublicationYear,
+        rows(18_000.0) / 2,
+        0.8,
+    );
     // InterPro side.
-    let entry = mk(&mut b, &mut specs, "interpro_entry", interpro_db, rows(25_000.0), true, ScoreKind::ZipfSimilarity, rows(25_000.0) / 2, 0.4);
-    let entry2go = mk(&mut b, &mut specs, "interpro2go", interpro_db, rows(40_000.0), false, ScoreKind::ZipfSimilarity, rows(25_000.0) / 2, 1.0);
-    let go_term = mk(&mut b, &mut specs, "go_term", interpro_db, rows(20_000.0), true, ScoreKind::ZipfSimilarity, rows(20_000.0) / 2, 0.6);
-    let entry_pub = mk(&mut b, &mut specs, "entry_pub", interpro_db, rows(35_000.0), false, ScoreKind::ZipfSimilarity, rows(25_000.0) / 2, 1.0);
+    let entry = mk(
+        &mut b,
+        &mut specs,
+        "interpro_entry",
+        interpro_db,
+        rows(25_000.0),
+        true,
+        ScoreKind::ZipfSimilarity,
+        rows(25_000.0) / 2,
+        0.4,
+    );
+    let entry2go = mk(
+        &mut b,
+        &mut specs,
+        "interpro2go",
+        interpro_db,
+        rows(40_000.0),
+        false,
+        ScoreKind::ZipfSimilarity,
+        rows(25_000.0) / 2,
+        1.0,
+    );
+    let go_term = mk(
+        &mut b,
+        &mut specs,
+        "go_term",
+        interpro_db,
+        rows(20_000.0),
+        true,
+        ScoreKind::ZipfSimilarity,
+        rows(20_000.0) / 2,
+        0.6,
+    );
+    let entry_pub = mk(
+        &mut b,
+        &mut specs,
+        "entry_pub",
+        interpro_db,
+        rows(35_000.0),
+        false,
+        ScoreKind::ZipfSimilarity,
+        rows(25_000.0) / 2,
+        1.0,
+    );
     // The cross-database mapping table ("the former database contains a
     // mapping table that relates Pfam families to Interpro entries").
-    let pfam2interpro = mk(&mut b, &mut specs, "pfam2interpro", pfam_db, rows(20_000.0), true, ScoreKind::ZipfSimilarity, rows(18_000.0) / 2, 0.7);
+    let pfam2interpro = mk(
+        &mut b,
+        &mut specs,
+        "pfam2interpro",
+        pfam_db,
+        rows(20_000.0),
+        true,
+        ScoreKind::ZipfSimilarity,
+        rows(18_000.0) / 2,
+        0.7,
+    );
 
     b.edge(pfam_a, 0, pfam_reg, 0, EdgeKind::ForeignKey, 0.8, 8.0);
     b.edge(pfam_reg, 1, pfamseq, 0, EdgeKind::ForeignKey, 0.8, 1.0);

@@ -32,9 +32,9 @@ fn main() {
 
     let user = UserId::new(0);
     let session = [
-        "kinase domain",    // KQ1: initial exploration
-        "kinase binding",   // KQ2: pivot on the second concept
-        "domain binding",   // KQ3: drop 'kinase', refine
+        "kinase domain",  // KQ1: initial exploration
+        "kinase binding", // KQ2: pivot on the second concept
+        "domain binding", // KQ3: drop 'kinase', refine
     ];
 
     println!("One user's refinement session over Pfam/InterPro:\n");
@@ -61,7 +61,11 @@ fn main() {
                 .iter()
                 .map(|p| system.catalog().relation(p.rel).name.clone())
                 .collect();
-            println!("  best answer: score {:.6} via {}", score.get(), rels.join(" ⋈ "));
+            println!(
+                "  best answer: score {:.6} via {}",
+                score.get(),
+                rels.join(" ⋈ ")
+            );
         }
         println!();
         last_streamed = streamed;

@@ -58,7 +58,12 @@ fn main() {
             .iter()
             .map(|p| format!("{}#{}", system.catalog().relation(p.rel).name, p.row_id))
             .collect();
-        println!("  {:2}. score {:.6}  {}", rank + 1, score.get(), rels.join(" ⋈ "));
+        println!(
+            "  {:2}. score {:.6}  {}",
+            rank + 1,
+            score.get(),
+            rels.join(" ⋈ ")
+        );
     }
 
     // Work accounting: top-k processing reads only stream prefixes.

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repo's merge gate: formatting, lints (deny warnings), and tests.
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

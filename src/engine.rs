@@ -9,7 +9,7 @@
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
 use qsys_opt::cluster::ClusterConfig;
-use qsys_opt::{HeuristicConfig, Optimizer, OptimizerConfig, OptStats};
+use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
 use qsys_query::{CandidateConfig, CandidateGenerator, ScoreFn, UserQuery};
 use qsys_source::{Sources, TableProvider};
 use qsys_state::QsManager;
@@ -269,8 +269,11 @@ pub(crate) fn graft_batch(
     };
     let optimizer = Optimizer::new(catalog, opt_config);
     let (spec, opt_stats) = {
+        // The lane's shared interner: the spec's signature ids must be the
+        // ones the manager's reuse index is keyed on.
+        let interner = lane.manager.shared_interner();
         let oracle = lane.manager.reuse_oracle();
-        optimizer.optimize(&batch, &oracle, Some(lane.sources.clock()))
+        optimizer.optimize(&batch, &oracle, Some(lane.sources.clock()), &interner)
     };
     let outcome = lane.manager.graft(&spec, &lane.sources, config.k);
     (outcome, opt_stats)
@@ -289,11 +292,7 @@ pub(crate) fn reference_map(
 ) -> std::collections::BTreeMap<UqId, Vec<qsys_types::RelId>> {
     uqs.iter()
         .map(|uq| {
-            let refs = uq
-                .cqs
-                .iter()
-                .flat_map(|(cq, _)| cq.rels())
-                .collect();
+            let refs = uq.cqs.iter().flat_map(|(cq, _)| cq.rels()).collect();
             (uq.id, refs)
         })
         .collect()

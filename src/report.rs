@@ -6,9 +6,7 @@
 //! (Figure 8), conjunctive queries executed (Table 4), total tuples
 //! consumed (Figure 10), and optimizer statistics (Figure 11).
 
-use crate::engine::{
-    batch_share, batches, graft_batch, make_lanes, EngineConfig, SharingMode,
-};
+use crate::engine::{batch_share, batches, graft_batch, make_lanes, EngineConfig, SharingMode};
 use qsys_query::{CandidateGenerator, UserQuery};
 use qsys_types::{QsysResult, TimeBreakdown, UqId};
 use qsys_workload::Workload;
@@ -75,7 +73,11 @@ impl RunReport {
         if self.per_uq.is_empty() {
             return 0.0;
         }
-        self.per_uq.iter().map(|u| u.response_us as f64).sum::<f64>() / self.per_uq.len() as f64
+        self.per_uq
+            .iter()
+            .map(|u| u.response_us as f64)
+            .sum::<f64>()
+            / self.per_uq.len() as f64
     }
 
     /// Total simulated optimization time, µs.
@@ -149,8 +151,7 @@ pub fn run_workload(
                 // ATC-CQ / ATC-UQ: optimize each user query separately.
                 SharingMode::AtcCq | SharingMode::AtcUq => {
                     for uq in &batch {
-                        let (_, opt) =
-                            graft_batch(&workload.catalog, lane, &[uq], config, share);
+                        let (_, opt) = graft_batch(&workload.catalog, lane, &[uq], config, share);
                         opt_events.push(OptEvent {
                             batch_cqs: uq.cqs.len(),
                             candidates: opt.candidates,
@@ -166,8 +167,7 @@ pub fn run_workload(
                 // ATC-FULL / ATC-CL: one multi-query optimization per batch.
                 _ => {
                     let n_cqs: usize = batch.iter().map(|uq| uq.cqs.len()).sum();
-                    let (_, opt) =
-                        graft_batch(&workload.catalog, lane, &batch, config, share);
+                    let (_, opt) = graft_batch(&workload.catalog, lane, &batch, config, share);
                     opt_events.push(OptEvent {
                         batch_cqs: n_cqs,
                         candidates: opt.candidates,
@@ -202,10 +202,7 @@ pub fn run_workload(
         report.tuples_streamed += lane.sources.tuples_streamed();
         report.probes += lane.sources.probes();
         for s in lane.stats.all() {
-            let (keywords, generated) = per_uq_meta
-                .get(&s.uq)
-                .cloned()
-                .unwrap_or_default();
+            let (keywords, generated) = per_uq_meta.get(&s.uq).cloned().unwrap_or_default();
             report.per_uq.push(UqReport {
                 uq: s.uq,
                 keywords,

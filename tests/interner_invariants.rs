@@ -1,0 +1,210 @@
+//! Invariants of the hash-consed signature interner, plus the regression
+//! gate proving the SigId rekeying changed *representation only*: the
+//! optimizer's sharing decisions on a GUS workload batch are pinned to the
+//! exact values the deep-`SubExprSig`-keyed implementation produced.
+
+use proptest::prelude::*;
+use qsys::opt::{NoReuse, Optimizer, OptimizerConfig};
+use qsys::query::{SigCell, SigInterner, SubExprSig};
+use qsys::types::{RelId, Selection, Value};
+use qsys::SharingMode;
+
+/// Raw material for a random signature: atoms as `(rel, optional selection
+/// value)` and joins as index pairs into the atom list.
+fn sig_from_parts(atoms: &[(u32, Option<i64>)], joins: &[(usize, usize)]) -> SubExprSig {
+    let atom_vec: Vec<(RelId, Option<Selection>)> = atoms
+        .iter()
+        .map(|(r, sel)| (RelId::new(*r), sel.map(|v| Selection::eq(0, Value::Int(v)))))
+        .collect();
+    let join_vec: Vec<(RelId, usize, RelId, usize)> = joins
+        .iter()
+        .filter_map(|(i, j)| {
+            let (a, _) = atoms[i % atoms.len()];
+            let (b, _) = atoms[j % atoms.len()];
+            if a == b {
+                return None; // self-joins don't occur in CQ signatures
+            }
+            // Normalized left < right, as CqJoin::normalized produces.
+            let (l, r) = if a < b { (a, b) } else { (b, a) };
+            Some((RelId::new(l), 1, RelId::new(r), 0))
+        })
+        .collect();
+    let mut sig = SubExprSig {
+        atoms: atom_vec,
+        joins: join_vec,
+    };
+    sig.atoms.sort();
+    sig.joins.sort();
+    sig.joins.dedup();
+    sig
+}
+
+/// Deterministic shuffle of a vector by a seed (Fisher–Yates over an LCG).
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for i in (1..out.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `intern(a) == intern(b)` ⇔ `a == b`, regardless of the atom / join
+    /// order the caller assembled the signature in.
+    #[test]
+    fn interning_is_injective_up_to_normalization(
+        atoms in prop::collection::vec((0u32..12, 0i64..4), 1..=6),
+        joins in prop::collection::vec((0usize..6, 0usize..6), 0..=5),
+        shuffle_seed in 0u64..1000,
+    ) {
+        // Half the atoms carry selections, half don't.
+        let atoms: Vec<(u32, Option<i64>)> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, (r, v))| (*r, (i % 2 == 0).then_some(*v)))
+            .collect();
+        let canonical = sig_from_parts(&atoms, &joins);
+
+        let mut interner = SigInterner::new();
+        let id = interner.intern(canonical.clone());
+
+        // Same content, scrambled construction order AND flipped join
+        // orientation → same id (intern() must re-normalize both).
+        let scrambled = SubExprSig {
+            atoms: shuffled(&canonical.atoms, shuffle_seed),
+            joins: shuffled(&canonical.joins, shuffle_seed ^ 0xdead)
+                .into_iter()
+                .map(|(l, lc, r, rc)| (r, rc, l, lc))
+                .collect(),
+        };
+        prop_assert_eq!(interner.intern(scrambled), id);
+        prop_assert_eq!(interner.get(&canonical), Some(id));
+
+        // Resolution round-trips the canonical form, and the cached
+        // relation list mirrors the atoms.
+        prop_assert_eq!(interner.resolve(id), &canonical);
+        let rels: Vec<RelId> = canonical.atoms.iter().map(|(r, _)| *r).collect();
+        prop_assert_eq!(interner.rels(id), &rels[..]);
+
+        // Any structural change produces a *different* id.
+        let mut stripped = canonical.clone();
+        stripped.atoms.push((RelId::new(99), None));
+        stripped.atoms.sort();
+        let other = interner.intern(stripped);
+        prop_assert!(other != id, "adding an atom must change identity");
+        if canonical.atoms.iter().any(|(_, s)| s.is_some()) {
+            let mut unselected = canonical.clone();
+            for (_, s) in &mut unselected.atoms {
+                *s = None;
+            }
+            unselected.atoms.sort();
+            unselected.atoms.dedup();
+            if unselected != canonical {
+                let plain = interner.intern(unselected);
+                prop_assert!(plain != id, "dropping selections must change identity");
+            }
+        }
+    }
+
+    /// `shares_relation` on interned ids agrees with the deep predicate.
+    #[test]
+    fn overlap_matches_deep_predicate(
+        a in prop::collection::vec(0u32..8, 1..=4),
+        b in prop::collection::vec(0u32..8, 1..=4),
+    ) {
+        let sig_a = sig_from_parts(
+            &a.iter().map(|r| (*r, None)).collect::<Vec<_>>(), &[]);
+        let sig_b = sig_from_parts(
+            &b.iter().map(|r| (*r, None)).collect::<Vec<_>>(), &[]);
+        let deep = sig_a.shares_relation_with(&sig_b);
+        let mut interner = SigInterner::new();
+        let (ia, ib) = (interner.intern(sig_a), interner.intern(sig_b));
+        prop_assert_eq!(interner.shares_relation(ia, ib), deep);
+    }
+}
+
+/// Golden regression: the rekeyed optimizer must produce byte-identical
+/// sharing decisions to the deep-signature implementation. The pinned
+/// values — PlanSpec node/edge/leaf counts, BestPlan states explored, and
+/// winning plan cost — were recorded by running the pre-interner code on
+/// the same workloads (GUS small, first batch of 5 UQs, ATC-FULL engine
+/// defaults).
+#[test]
+fn gus_batch_plan_shape_is_unchanged_by_interning() {
+    // (seed, batch CQs, nodes, edges, stream leaves, explored, best cost)
+    let golden: &[(u64, usize, usize, usize, usize, usize, f64)] = &[
+        (41, 71, 128, 238, 41, 23553, 170404502.165),
+        (48, 46, 99, 167, 38, 18049, 161185511.809),
+        (55, 41, 76, 135, 30, 18881, 127518989.104),
+    ];
+    for &(seed, cqs, nodes, edges, leaves, explored, best_cost) in golden {
+        let workload = qsys_bench_like_workload(seed);
+        let engine = qsys_bench_like_engine();
+        let (uqs, _) = qsys::generate_user_queries(&workload, &engine).expect("generates");
+        let batch: Vec<_> = uqs
+            .iter()
+            .take(5)
+            .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+            .collect();
+        assert_eq!(batch.len(), cqs, "seed {seed}: batch size drifted");
+        let config = OptimizerConfig {
+            k: engine.k,
+            heuristics: engine.heuristics.clone(),
+            cost_profile: engine.cost_profile,
+            share_subexpressions: true,
+            ..OptimizerConfig::default()
+        };
+        let optimizer = Optimizer::new(&workload.catalog, config);
+        let interner = SigCell::new(SigInterner::new());
+        let (spec, stats) = optimizer.optimize(&batch, &NoReuse, None, &interner);
+
+        let mut spec_edges = spec.cq_plans.len();
+        let mut spec_leaves = 0;
+        for node in &spec.nodes {
+            match &node.kind {
+                qsys::opt::SpecNodeKind::Stream => spec_leaves += 1,
+                qsys::opt::SpecNodeKind::Join { inputs, .. } => spec_edges += inputs.len(),
+            }
+        }
+        assert_eq!(spec.nodes.len(), nodes, "seed {seed}: node count changed");
+        assert_eq!(spec_edges, edges, "seed {seed}: edge count changed");
+        assert_eq!(spec_leaves, leaves, "seed {seed}: leaf count changed");
+        assert_eq!(
+            stats.explored, explored,
+            "seed {seed}: search space changed"
+        );
+        assert!(
+            (stats.best_cost - best_cost).abs() < 1e-3,
+            "seed {seed}: best cost changed: {} vs {best_cost}",
+            stats.best_cost
+        );
+    }
+}
+
+/// The GUS workload `qsys-bench` uses (duplicated here because the bench
+/// crate depends on `qsys`, not the other way around).
+fn qsys_bench_like_workload(seed: u64) -> qsys_workload::Workload {
+    qsys_workload::gus::generate(&qsys_workload::GusConfig::small(seed))
+}
+
+fn qsys_bench_like_engine() -> qsys::EngineConfig {
+    qsys::EngineConfig {
+        k: 50,
+        batch_size: 5,
+        sharing: SharingMode::AtcFull,
+        candidate: qsys::query::CandidateConfig {
+            max_cqs: 20,
+            max_atoms: 6,
+            matches_per_keyword: 3,
+            ..qsys::query::CandidateConfig::default()
+        },
+        ..qsys::EngineConfig::default()
+    }
+}

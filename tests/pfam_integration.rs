@@ -48,11 +48,9 @@ fn pfam_queries_answer_under_all_configs() {
         let c: Vec<usize> = r.per_uq.iter().map(|u| u.results).collect();
         match &counts {
             None => counts = Some(c),
-            Some(reference) => assert_eq!(
-                reference, &c,
-                "{} disagrees on result counts",
-                mode.label()
-            ),
+            Some(reference) => {
+                assert_eq!(reference, &c, "{} disagrees on result counts", mode.label())
+            }
         }
     }
 }

@@ -124,30 +124,30 @@ fn brute_force_scores(data: &[RelData], f: &ScoreFn, k: usize) -> Vec<f64> {
         }
         partials = next;
     }
-    let mut scores: Vec<f64> = partials
-        .iter()
-        .map(|(_, s)| f.static_factor * s)
-        .collect();
+    let mut scores: Vec<f64> = partials.iter().map(|(_, s)| f.static_factor * s).collect();
     scores.sort_by(|a, b| b.total_cmp(a));
     scores.truncate(k);
     scores
 }
 
-fn run_engine(
-    data: &[RelData],
-    key_range: i64,
-    k: usize,
-) -> (Vec<f64>, f64) {
+fn run_engine(data: &[RelData], key_range: i64, k: usize) -> (Vec<f64>, f64) {
     let catalog = chain_catalog(data, key_range);
     let sources = build_sources(data);
     let cq = chain_cq(0, 0, &catalog, data.len());
     let f = ScoreFn::discover(UserId::new(0), data.len());
     let upper = f.upper_bound(&cq, &catalog).get();
     let mut manager = QsManager::new(usize::MAX);
-    let optimizer = Optimizer::new(&catalog, OptimizerConfig { k, ..OptimizerConfig::default() });
+    let optimizer = Optimizer::new(
+        &catalog,
+        OptimizerConfig {
+            k,
+            ..OptimizerConfig::default()
+        },
+    );
     let (spec, _) = {
+        let interner = manager.shared_interner();
         let oracle = manager.reuse_oracle();
-        optimizer.optimize(&[(&cq, &f)], &oracle, None)
+        optimizer.optimize(&[(&cq, &f)], &oracle, None, &interner)
     };
     manager.graft(&spec, &sources, k);
     let mut stats = ExecStats::new();
@@ -283,8 +283,9 @@ proptest! {
         let optimizer = Optimizer::new(&catalog, OptimizerConfig { k, ..OptimizerConfig::default() });
         let cq2 = chain_cq(0, 0, &catalog, 2);
         let (spec, _) = {
+            let interner = manager.shared_interner();
             let oracle = manager.reuse_oracle();
-            optimizer.optimize(&[(&cq2, &f2)], &oracle, None)
+            optimizer.optimize(&[(&cq2, &f2)], &oracle, None, &interner)
         };
         manager.graft(&spec, &sources, k);
         let mut stats = ExecStats::new();
@@ -293,8 +294,9 @@ proptest! {
 
         let cq3 = chain_cq(1, 1, &catalog, 3);
         let (spec, _) = {
+            let interner = manager.shared_interner();
             let oracle = manager.reuse_oracle();
-            optimizer.optimize(&[(&cq3, &f3)], &oracle, None)
+            optimizer.optimize(&[(&cq3, &f3)], &oracle, None, &interner)
         };
         manager.graft(&spec, &sources, k);
         stats.submit(UqId::new(1), 0);
