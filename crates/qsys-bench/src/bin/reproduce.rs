@@ -36,10 +36,17 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(20);
             // Validate the baseline fully before the (minutes-long)
-            // measurement. The file must be a bare snapshot object, as
-            // written by a `bench --out` run without `--baseline`; a
-            // combined before/after file would silently be compared
-            // against its embedded (oldest) snapshot.
+            // measurement. Without `--baseline-section`, the file must be a
+            // bare snapshot object, as written by a `bench --out` run
+            // without `--baseline` — a combined before/after file would
+            // silently be compared against its embedded (oldest) snapshot.
+            // With `--baseline-section after` (the BENCH_N.json chaining
+            // case), that named sub-object is validated and used instead.
+            let section = flag_value(&args, "--baseline-section");
+            if section.is_some() && flag_value(&args, "--baseline").is_none() {
+                eprintln!("--baseline-section requires --baseline");
+                std::process::exit(2);
+            }
             let baseline = flag_value(&args, "--baseline").map(|path| {
                 let text = match std::fs::read_to_string(&path) {
                     Ok(s) => s.trim().to_string(),
@@ -48,27 +55,55 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                if text.contains("\"before\"") {
-                    eprintln!(
-                        "baseline {path} is a combined before/after file; pass a bare \
-                         snapshot (from `bench --out` without --baseline)"
-                    );
-                    std::process::exit(2);
-                }
-                let Some(before_ref) = extract_json_number(&text, "opt_graft_us") else {
-                    eprintln!("baseline {path} has no opt_graft_us field");
-                    std::process::exit(2);
+                let snapshot_text = match &section {
+                    Some(key) => match extract_json_object(&text, key) {
+                        Some(obj) => obj,
+                        None => {
+                            eprintln!("baseline {path} has no \"{key}\" object");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        if text.contains("\"before\"") {
+                            eprintln!(
+                                "baseline {path} is a combined before/after file; pass a bare \
+                                 snapshot, or select a section with --baseline-section"
+                            );
+                            std::process::exit(2);
+                        }
+                        text
+                    }
                 };
-                (text, before_ref)
+                match BaselineRef::parse(&snapshot_text) {
+                    Some(b) => (snapshot_text, b),
+                    None => {
+                        eprintln!(
+                            "baseline {path} is missing required fields (opt_graft_us, \
+                             optimize_us, spec shape, batch_cqs, tuples_consumed)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
             });
             let snapshot = perf_snapshot(iters);
             let after = snapshot.to_json();
             println!("after: {after}");
-            let json = match baseline {
-                Some((before, before_ref)) => {
-                    let reduction = 100.0 * (1.0 - snapshot.opt_graft_us() / before_ref.max(1e-9));
+            let mut decisions_ok = true;
+            let json = match &baseline {
+                Some((before, b)) => {
+                    decisions_ok = b.decisions_match(&snapshot);
+                    if !decisions_ok {
+                        eprintln!(
+                            "WARNING: sharing decisions differ from the baseline \
+                             (spec shape / batch / tuples changed — not a pure perf delta)"
+                        );
+                    }
+                    let reduction =
+                        100.0 * (1.0 - snapshot.opt_graft_us() / b.opt_graft_us.max(1e-9));
+                    let opt_reduction =
+                        100.0 * (1.0 - snapshot.optimize_us / b.optimize_us.max(1e-9));
                     format!(
-                        "{{\n  \"bench\": \"optimizer+graft hot path (GUS seed 41, batch of 5 UQs) and end-to-end ATC-FULL workload\",\n  \"machine_note\": \"before/after measured back-to-back on the same machine and build flags\",\n  \"iters\": {iters},\n  \"before\": {before},\n  \"after\": {after},\n  \"opt_graft_reduction_pct\": {reduction:.1}\n}}\n"
+                        "{{\n  \"bench\": \"optimizer+graft hot path (GUS seed 41, batch of 5 UQs) and end-to-end ATC-FULL workload\",\n  \"machine_note\": \"before/after measured back-to-back on the same machine and build flags\",\n  \"iters\": {iters},\n  \"before\": {before},\n  \"after\": {after},\n  \"optimize_reduction_pct\": {opt_reduction:.1},\n  \"opt_graft_reduction_pct\": {reduction:.1}\n}}\n"
                     )
                 }
                 // No baseline: emit the bare snapshot, usable as the
@@ -80,6 +115,47 @@ fn main() {
                 eprintln!("wrote {path}");
             } else {
                 println!("{json}");
+            }
+            // `--check`: regression gate. Sharing decisions must be
+            // identical to the baseline — that part is deterministic and
+            // always enforced. Wall time is gated only when the caller
+            // opts in with `--max-regression-pct` (absolute µs are only
+            // comparable against a baseline measured on the same machine,
+            // so CI — whose baseline file comes from a dev machine —
+            // checks decisions only).
+            if args.iter().any(|a| a == "--check") {
+                let Some((_, b)) = &baseline else {
+                    eprintln!("--check requires --baseline");
+                    std::process::exit(2);
+                };
+                let regression = 100.0 * (snapshot.opt_graft_us() / b.opt_graft_us.max(1e-9) - 1.0);
+                if !decisions_ok {
+                    eprintln!("CHECK FAILED: sharing decisions changed vs baseline");
+                    std::process::exit(1);
+                }
+                match flag_value(&args, "--max-regression-pct").map(|s| s.parse::<f64>()) {
+                    Some(Ok(max_regression)) => {
+                        if regression > max_regression {
+                            eprintln!(
+                                "CHECK FAILED: opt+graft regressed {regression:.1}% vs baseline \
+                                 (allowed {max_regression:.1}%)"
+                            );
+                            std::process::exit(1);
+                        }
+                        eprintln!(
+                            "check ok: decisions identical, opt+graft delta {regression:+.1}% \
+                             (allowed +{max_regression:.1}%)"
+                        );
+                    }
+                    Some(Err(_)) => {
+                        eprintln!("--max-regression-pct wants a number");
+                        std::process::exit(2);
+                    }
+                    None => eprintln!(
+                        "check ok: decisions identical (wall time not gated; \
+                         opt+graft delta {regression:+.1}%)"
+                    ),
+                }
             }
         }
         "table4" => print_table4(&table4(&seeds, scale)),
@@ -168,6 +244,42 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The baseline fields the bench validates before measuring and gates on
+/// after: the hot-path numbers plus every sharing-decision invariant.
+struct BaselineRef {
+    opt_graft_us: f64,
+    optimize_us: f64,
+    spec_nodes: f64,
+    spec_edges: f64,
+    spec_stream_leaves: f64,
+    batch_cqs: f64,
+    tuples_consumed: f64,
+}
+
+impl BaselineRef {
+    fn parse(json: &str) -> Option<BaselineRef> {
+        Some(BaselineRef {
+            opt_graft_us: extract_json_number(json, "opt_graft_us")?,
+            optimize_us: extract_json_number(json, "optimize_us")?,
+            spec_nodes: extract_json_number(json, "spec_nodes")?,
+            spec_edges: extract_json_number(json, "spec_edges")?,
+            spec_stream_leaves: extract_json_number(json, "spec_stream_leaves")?,
+            batch_cqs: extract_json_number(json, "batch_cqs")?,
+            tuples_consumed: extract_json_number(json, "tuples_consumed")?,
+        })
+    }
+
+    /// Whether the measured run made the same sharing decisions (plan
+    /// shape, batch size, total work) the baseline recorded.
+    fn decisions_match(&self, s: &qsys_bench::PerfSnapshot) -> bool {
+        self.spec_nodes as usize == s.spec_nodes
+            && self.spec_edges as usize == s.spec_edges
+            && self.spec_stream_leaves as usize == s.spec_stream_leaves
+            && self.batch_cqs as usize == s.batch_cqs
+            && self.tuples_consumed as u64 == s.tuples_consumed
+    }
+}
+
 /// Pull `"key": <number>` out of a flat JSON object (no JSON dependency in
 /// this build environment).
 fn extract_json_number(json: &str, key: &str) -> Option<f64> {
@@ -178,4 +290,29 @@ fn extract_json_number(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Pull the balanced-brace object at `"key": {…}` out of a JSON document
+/// (enough JSON to chain `BENCH_N.json` files without a parser crate).
+fn extract_json_object(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start().strip_prefix(':')?.trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }

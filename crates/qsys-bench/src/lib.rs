@@ -114,6 +114,12 @@ pub struct PerfSnapshot {
     pub spec_stream_leaves: usize,
     /// CQ count of the reference batch.
     pub batch_cqs: usize,
+    /// BestPlan states explored for the reference batch (search-space
+    /// shape, independent of wall time — the trajectory should show the
+    /// state count holding steady while µs/state falls).
+    pub explored: usize,
+    /// BestPlan memo hits for the reference batch.
+    pub memo_hits: usize,
     /// Wall-clock ms for the full GUS workload end to end (ATC-FULL).
     pub end_to_end_ms: f64,
     /// Input tuples consumed by the end-to-end run.
@@ -166,6 +172,7 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
     let mut optimize_us = 0.0;
     let mut graft_us = 0.0;
     let mut shape = (0, 0, 0);
+    let mut opt_stats = qsys::opt::OptStats::default();
     for _ in 0..iters {
         let mut manager = QsManager::new(usize::MAX);
         let optimizer = Optimizer::new(&workload.catalog, opt_config.clone());
@@ -176,7 +183,7 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
             workload.tables.provider(),
         );
         let t0 = Instant::now();
-        let (spec, _) = {
+        let (spec, stats) = {
             let interner = manager.shared_interner();
             let oracle = manager.reuse_oracle();
             optimizer.optimize(&batch, &oracle, None, &interner)
@@ -187,6 +194,7 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
         optimize_us += (t1 - t0).as_secs_f64() * 1e6;
         graft_us += (t2 - t1).as_secs_f64() * 1e6;
         shape = spec_shape(&spec);
+        opt_stats = stats;
     }
 
     // Warm cycles: successive batches grafted onto one live manager, so
@@ -231,6 +239,8 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
         spec_edges: shape.1,
         spec_stream_leaves: shape.2,
         batch_cqs: batch.len(),
+        explored: opt_stats.explored,
+        memo_hits: opt_stats.memo_hits,
         end_to_end_ms: secs * 1e3,
         tuples_consumed: report.tuples_consumed,
         tuples_per_sec: report.tuples_consumed as f64 / secs,
@@ -250,6 +260,7 @@ impl PerfSnapshot {
              \"opt_graft_us\": {:.1},\n    \"opt_graft_warm_us\": {:.1},\n    \
              \"spec_nodes\": {},\n    \"spec_edges\": {},\n    \
              \"spec_stream_leaves\": {},\n    \"batch_cqs\": {},\n    \
+             \"explored\": {},\n    \"memo_hits\": {},\n    \
              \"end_to_end_ms\": {:.1},\n    \"tuples_consumed\": {},\n    \
              \"tuples_per_sec\": {:.0}\n  }}",
             self.optimize_us,
@@ -260,6 +271,8 @@ impl PerfSnapshot {
             self.spec_edges,
             self.spec_stream_leaves,
             self.batch_cqs,
+            self.explored,
+            self.memo_hits,
             self.end_to_end_ms,
             self.tuples_consumed,
             self.tuples_per_sec,
@@ -713,27 +726,41 @@ pub fn ablation_probe_cache(seed: u64, scale: Scale) -> Vec<(String, u64, f64)> 
         .collect()
 }
 
-/// Eviction-policy ablation: total stream reads for a 10-query session
-/// under a constrained memory budget, per policy. (The paper found LRU
-/// with size tie-break best; differences are modest, Section 6.3.)
+/// Eviction ablation: total stream reads for a 10-query session, first
+/// across memory budgets (how much reuse a tight budget destroys), then
+/// across replacement policies at the tightest budget — the policy is an
+/// [`EngineConfig`] knob wired through to every lane's QS manager. (The
+/// paper found LRU with size tie-break best; differences are modest,
+/// Section 6.3.)
 pub fn ablation_eviction(seed: u64, scale: Scale) -> Vec<(String, u64)> {
-    // The eviction policy lives inside the QS manager; the engine facade
-    // always uses the default. We approximate the comparison by varying
-    // the budget: unlimited vs tight (forcing eviction) — the interesting
-    // signal is how much reuse a tight budget destroys.
-    [usize::MAX, 1 << 22, 1 << 16]
+    use qsys::state::EvictionPolicy;
+    let run = |budget: usize, policy: EvictionPolicy| {
+        let w = gus_workload(seed, scale);
+        let mut engine = gus_engine(SharingMode::AtcFull, 5);
+        engine.memory_budget = budget;
+        engine.eviction = policy;
+        run_workload(&w, &engine, Some(10))
+            .expect("runs")
+            .tuples_streamed
+    };
+    let fmt_budget = |budget: usize| {
+        if budget == usize::MAX {
+            "unlimited".to_string()
+        } else if budget >= 1 << 20 {
+            format!("{} MiB", budget >> 20)
+        } else {
+            format!("{} KiB", budget >> 10)
+        }
+    };
+    let mut out: Vec<(String, u64)> = [usize::MAX, 1 << 22, 1 << 16]
         .into_iter()
-        .map(|budget| {
-            let w = gus_workload(seed, scale);
-            let mut engine = gus_engine(SharingMode::AtcFull, 5);
-            engine.memory_budget = budget;
-            let r = run_workload(&w, &engine, Some(10)).expect("runs");
-            let label = if budget == usize::MAX {
-                "unlimited".to_string()
-            } else {
-                format!("{} MiB", budget >> 20)
-            };
-            (label, r.tuples_streamed)
-        })
-        .collect()
+        .map(|budget| (fmt_budget(budget), run(budget, EvictionPolicy::default())))
+        .collect();
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::SizeGreedy] {
+        out.push((
+            format!("{policy:?}@{}", fmt_budget(1 << 16)),
+            run(1 << 16, policy),
+        ));
+    }
+    out
 }

@@ -16,17 +16,19 @@
 //! the BestPlan search does no redundant work.
 
 use crate::cost::CostModel;
-use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SigId, SigInterner, SubExprSig};
-use qsys_types::CqId;
-use std::collections::{BTreeSet, HashMap};
+use qsys_query::{
+    enumerate_subexprs, ConjunctiveQuery, CqSet, CqTable, SigId, SigInterner, SubExprSig,
+};
+use std::collections::HashMap;
 
 /// One OR node: an equivalence class of subexpressions.
 #[derive(Debug)]
 pub struct OrNode {
     /// Interned canonical signature.
     pub sig: SigId,
-    /// Conjunctive queries containing this subexpression.
-    pub sharers: BTreeSet<CqId>,
+    /// Conjunctive queries containing this subexpression, as dense batch
+    /// indices into the graph's [`CqTable`].
+    pub sharers: CqSet,
     /// Binary decompositions (AND nodes): pairs of interned child
     /// signatures whose join re-derives this node.
     pub decompositions: Vec<(SigId, SigId)>,
@@ -51,8 +53,10 @@ impl AndOrGraph {
     }
 
     /// Register every connected subexpression of `cq` (up to the size cap),
-    /// recording sharing and decompositions.
-    pub fn register(&mut self, cq: &ConjunctiveQuery, interner: &mut SigInterner) {
+    /// recording sharing and decompositions. `table` is the batch's dense
+    /// query index (sharer sets are bitmasks over it).
+    pub fn register(&mut self, cq: &ConjunctiveQuery, interner: &mut SigInterner, table: &CqTable) {
+        let qi = table.idx(cq.id);
         for sig in enumerate_subexprs(cq, 1, self.max_atoms) {
             let id = interner.intern(sig);
             let entry = self.nodes.entry(id).or_insert_with(|| OrNode {
@@ -61,10 +65,10 @@ impl AndOrGraph {
                     .map(|(l, r)| (interner.intern(l), interner.intern(r)))
                     .collect(),
                 sig: id,
-                sharers: BTreeSet::new(),
+                sharers: CqSet::new(),
                 cardinality: None,
             });
-            entry.sharers.insert(cq.id);
+            entry.sharers.insert(qi);
         }
     }
 
@@ -83,8 +87,8 @@ impl AndOrGraph {
         self.nodes.is_empty()
     }
 
-    /// Queries sharing `sig` (empty if unknown).
-    pub fn sharers(&self, sig: SigId) -> BTreeSet<CqId> {
+    /// Queries sharing `sig`, as dense batch indices (empty if unknown).
+    pub fn sharers(&self, sig: SigId) -> CqSet {
         self.nodes
             .get(&sig)
             .map(|n| n.sharers.clone())
@@ -181,7 +185,7 @@ mod tests {
     use super::*;
     use qsys_catalog::{Catalog, CatalogBuilder, EdgeKind, RelationStats};
     use qsys_query::{CqAtom, CqJoin};
-    use qsys_types::{CostProfile, RelId, SourceId, UqId, UserId};
+    use qsys_types::{CostProfile, CqId, RelId, SourceId, UqId, UserId};
 
     fn catalog() -> Catalog {
         let mut b = CatalogBuilder::default();
@@ -234,12 +238,16 @@ mod tests {
         let mut g = AndOrGraph::new(4);
         let q1 = path_cq(0, &cat, 3);
         let q2 = path_cq(1, &cat, 4);
-        g.register(&q1, &mut interner);
-        g.register(&q2, &mut interner);
+        let table = CqTable::from_queries([&q1, &q2]);
+        g.register(&q1, &mut interner, &table);
+        g.register(&q2, &mut interner, &table);
         let shared = interner.of_cq(&q1);
         let sharers = g.sharers(shared);
-        assert!(sharers.contains(&CqId::new(0)));
-        assert!(sharers.contains(&CqId::new(1)), "prefix of q2 too");
+        assert!(sharers.contains(table.idx(CqId::new(0))));
+        assert!(
+            sharers.contains(table.idx(CqId::new(1))),
+            "prefix of q2 too"
+        );
     }
 
     #[test]
@@ -248,7 +256,8 @@ mod tests {
         let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
         let q = path_cq(0, &cat, 3);
-        g.register(&q, &mut interner);
+        let table = CqTable::from_queries([&q]);
+        g.register(&q, &mut interner, &table);
         let whole = interner.of_cq(&q);
         let node = g.node(whole).unwrap();
         // A 3-path has 2 edges → 2 binary decompositions.
@@ -265,7 +274,8 @@ mod tests {
         let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
         let q = path_cq(0, &cat, 2);
-        g.register(&q, &mut interner);
+        let table = CqTable::from_queries([&q]);
+        g.register(&q, &mut interner, &table);
         let sig = interner.of_cq(&q);
         let c1 = g.cardinality(sig, &model, &interner);
         let c2 = g.cardinality(sig, &model, &interner);
@@ -279,7 +289,9 @@ mod tests {
         let cat = catalog();
         let mut interner = SigInterner::new();
         let mut g = AndOrGraph::new(4);
-        g.register(&path_cq(0, &cat, 1), &mut interner);
+        let q = path_cq(0, &cat, 1);
+        let table = CqTable::from_queries([&q]);
+        g.register(&q, &mut interner, &table);
         let sig = interner.relation(RelId::new(0), None);
         assert!(g.node(sig).unwrap().decompositions.is_empty());
     }

@@ -18,20 +18,40 @@
 //! *interesting* (multi-relation) candidates, which is the quantity
 //! Figure 11 plots.
 //!
-//! ### Interned signatures on the hot path
+//! ### Dense per-batch indices on the hot path
 //!
-//! The memo is keyed by sorted `Vec<SigId>` — hashing a handful of `u32`s
-//! per state instead of deep signature vectors — and every per-signature
-//! quantity the exponential search keeps re-asking (relation sets, overlap,
-//! streamability, cardinality, reuse) is answered from id-indexed caches
-//! precomputed before the recursion starts. The search itself never touches
-//! a deep [`SubExprSig`](qsys_query::SubExprSig) again.
+//! Everything the exponential part touches is an integer into a per-batch
+//! arena or a bitmask over per-batch indices; no search state owns a heap
+//! structure:
+//!
+//! - **Query sets are [`CqSet`] bitmasks** over the batch's dense
+//!   [`CqTable`] indices, so line 14's set difference, the emptiness test,
+//!   and candidate cloning are word ops.
+//! - **Candidates live once in an arena** (`cands`, deduplicated by
+//!   `(SigId, CqSet)`); the recursion passes small `Vec<CandIdx>` index
+//!   vectors for `S` and `A` instead of cloning `Vec<Candidate>`s.
+//! - **The memo stores indices, not assignments**: it maps a sorted
+//!   `[SigId]` state key to `(plan arena index, cost)`, and winning
+//!   completed assignments are stored exactly once in the `plans` arena.
+//!   A memo hit returns two `Copy` words.
+//! - **Completion and costing are incremental** against an all-defaults
+//!   baseline hoisted once per batch: each state copies the baseline
+//!   default sets and per-query stream counts (a few `memcpy`s) and applies
+//!   only the committed candidates' deltas via precomputed
+//!   per-(signature, query) covered-default tables. The final cost sum is
+//!   still accumulated input-by-input in the exact order (and with the
+//!   exact floating-point operations) the original `BTreeSet`-based code
+//!   used, so sharing decisions and costs are bit-for-bit unchanged — the
+//!   golden tests in `tests/interner_invariants.rs` pin that.
+//!
+//! Per-signature facts (cardinality, streamability, reuse) are answered
+//! from a dense id-indexed cache precomputed before the recursion starts;
+//! the search never touches a deep [`SubExprSig`](qsys_query::SubExprSig).
 
 use crate::cost::{CostModel, ReuseOracle};
 use crate::heuristics::{is_streamable, Candidate, HeuristicConfig};
-use qsys_query::{ConjunctiveQuery, SigId, SigInterner};
-use qsys_types::CqId;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use qsys_query::{ConjunctiveQuery, CqSet, CqTable, SigId, SigInterner};
+use std::collections::HashMap;
 
 /// Search statistics (Figure 11's x-axis is `candidates`; its y-axis grows
 /// with `explored`).
@@ -52,6 +72,12 @@ pub struct OptStats {
 /// is covered by exactly one input (Definition 1).
 pub type Assignment = Vec<Candidate>;
 
+/// Index into the search's candidate arena.
+type CandIdx = u32;
+
+/// Index into the search's winning-plan arena.
+type PlanIdx = u32;
+
 /// Per-signature facts the recursion consults, computed once per id.
 #[derive(Clone, Copy, Debug)]
 struct SigFacts {
@@ -69,52 +95,83 @@ struct SigFacts {
 pub struct BestPlanSearch<'a> {
     model: &'a CostModel<'a>,
     config: &'a HeuristicConfig,
-    queries: Vec<&'a ConjunctiveQuery>,
     interner: &'a mut SigInterner,
     reuse: &'a dyn ReuseOracle,
-    memo: HashMap<Vec<SigId>, (Assignment, f64)>,
-    /// Per-signature facts, filled lazily (defaults and candidates are
+    /// Candidate arena: every `(sig, queries)` the search ever names lives
+    /// here exactly once; states reference candidates by [`CandIdx`].
+    cands: Vec<CandData>,
+    /// Arena deduplication: `(sig, queries)` → index.
+    cand_ids: HashMap<(SigId, CqSet), CandIdx>,
+    /// Winning completed assignments, stored once; the memo points here.
+    plans: Vec<Box<[CandIdx]>>,
+    /// Memo: sorted signatures of `A` → (winning plan index, cost).
+    memo: HashMap<Box<[SigId]>, (PlanIdx, f64)>,
+    /// Per-signature facts, indexed by `SigId` (defaults and candidates are
     /// seeded up front; recursion never interns).
-    facts: HashMap<SigId, SigFacts>,
-    /// Whole-query cardinality per CQ (denominator of depth estimation).
-    cq_card: BTreeMap<CqId, f64>,
-    /// Per query (aligned with `queries`): each atom's relation and its
-    /// interned default single-relation signature.
+    facts: Vec<Option<SigFacts>>,
+    /// Whole-query cardinality per batch index.
+    cq_card: Vec<f64>,
+    /// Per batch index: each atom's relation and its interned default
+    /// single-relation signature.
     defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>>,
     /// Rank of each default signature in canonical (deep) signature order —
     /// so completion emits defaults in exactly the order the deep-keyed
     /// B-tree produced.
     default_rank: HashMap<SigId, usize>,
+    /// Default signature per rank (inverse of `default_rank`).
+    rank_sigs: Vec<SigId>,
+    /// Whether the default at each rank is a streaming input.
+    rank_streamed: Vec<bool>,
+    /// All-defaults baseline, hoisted once per batch: which queries need
+    /// each default when nothing is pushed down…
+    baseline_defaults: Vec<CqSet>,
+    /// …and how many streaming inputs each query has in that baseline.
+    baseline_m: Vec<u32>,
+    /// Per candidate signature and batch index: the default ranks a commit
+    /// of that signature displaces for that query.
+    cover: HashMap<SigId, Vec<Box<[u16]>>>,
+    /// Reusable per-state buffers (reset from the baseline each state).
+    scratch_defaults: Vec<CqSet>,
+    scratch_m: Vec<u32>,
     stats: OptStats,
+}
+
+/// One arena entry.
+#[derive(Clone, Debug)]
+struct CandData {
+    sig: SigId,
+    queries: CqSet,
 }
 
 impl<'a> BestPlanSearch<'a> {
     /// Set up a search over `queries`, precomputing every per-signature
-    /// fact the recursion will need.
+    /// fact the recursion will need and hoisting the all-defaults baseline
+    /// completion.
     pub fn new(
         model: &'a CostModel<'a>,
         reuse: &'a dyn ReuseOracle,
         config: &'a HeuristicConfig,
         queries: Vec<&'a ConjunctiveQuery>,
         interner: &'a mut SigInterner,
+        table: &'a CqTable,
     ) -> BestPlanSearch<'a> {
-        let mut cq_card = BTreeMap::new();
-        let mut defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>> =
-            Vec::with_capacity(queries.len());
+        let n_cq = table.len();
+        let mut cq_card = vec![0.0; n_cq];
+        let mut defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>> = vec![Vec::new(); n_cq];
         for cq in &queries {
             let whole = interner.of_cq(cq);
-            cq_card.insert(cq.id, model.cardinality(interner.resolve(whole)));
-            defaults_of.push(
-                cq.atoms
-                    .iter()
-                    .map(|atom| {
-                        (
-                            atom.rel,
-                            interner.relation(atom.rel, atom.selection.clone()),
-                        )
-                    })
-                    .collect(),
-            );
+            let qi = table.idx(cq.id).index();
+            cq_card[qi] = model.cardinality(interner.resolve(whole));
+            defaults_of[qi] = cq
+                .atoms
+                .iter()
+                .map(|atom| {
+                    (
+                        atom.rel,
+                        interner.relation(atom.rel, atom.selection.clone()),
+                    )
+                })
+                .collect();
         }
         // Canonical ordering of the default signatures (one deep sort, done
         // before the exponential part begins).
@@ -125,22 +182,39 @@ impl<'a> BestPlanSearch<'a> {
         default_ids.sort_unstable();
         default_ids.dedup();
         default_ids.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b)));
-        let default_rank = default_ids
+        let default_rank: HashMap<SigId, usize> = default_ids
             .iter()
             .enumerate()
             .map(|(rank, id)| (*id, rank))
             .collect();
+        let rank_sigs = default_ids;
+        // Ranks travel as u16 through the cover tables and survivor lists.
+        assert!(
+            rank_sigs.len() <= u16::MAX as usize + 1,
+            "batch with {} default signatures exceeds the dense-rank range",
+            rank_sigs.len()
+        );
+        let n_ranks = rank_sigs.len();
         let mut search = BestPlanSearch {
             model,
             config,
-            queries,
             interner,
             reuse,
+            cands: Vec::new(),
+            cand_ids: HashMap::new(),
+            plans: Vec::new(),
             memo: HashMap::new(),
-            facts: HashMap::new(),
+            facts: Vec::new(),
             cq_card,
             defaults_of,
             default_rank,
+            rank_sigs,
+            rank_streamed: Vec::new(),
+            baseline_defaults: Vec::new(),
+            baseline_m: Vec::new(),
+            cover: HashMap::new(),
+            scratch_defaults: vec![CqSet::new(); n_ranks],
+            scratch_m: vec![0; n_cq],
             stats: OptStats::default(),
         };
         let ids: Vec<SigId> = search
@@ -151,12 +225,35 @@ impl<'a> BestPlanSearch<'a> {
         for id in ids {
             search.seed_facts(id);
         }
+        // The hoisted baseline: default sets and per-query stream counts of
+        // the all-defaults completion (the `A = ∅` stop plan). Every state
+        // starts from a copy of these and applies its candidates' deltas.
+        search.rank_streamed = search
+            .rank_sigs
+            .iter()
+            .map(|sig| search.facts(*sig).streamed)
+            .collect();
+        search.baseline_defaults = vec![CqSet::new(); n_ranks];
+        search.baseline_m = vec![0; n_cq];
+        for qi in 0..n_cq {
+            for (_, sig) in &search.defaults_of[qi] {
+                let rank = search.default_rank[sig];
+                search.baseline_defaults[rank].insert(qsys_query::CqIdx(qi as u16));
+                if search.rank_streamed[rank] {
+                    search.baseline_m[qi] += 1;
+                }
+            }
+        }
         search
     }
 
     /// Compute and cache the per-signature facts for `sig`.
     fn seed_facts(&mut self, sig: SigId) {
-        if self.facts.contains_key(&sig) {
+        let slot = sig.index();
+        if slot >= self.facts.len() {
+            self.facts.resize(slot + 1, None);
+        }
+        if self.facts[slot].is_some() {
             return;
         }
         let resolved = self.interner.resolve(sig);
@@ -169,12 +266,48 @@ impl<'a> BestPlanSearch<'a> {
             size: resolved.atoms.len(),
             already: self.reuse.streamed(sig).unwrap_or(0),
         };
-        self.facts.insert(sig, facts);
+        self.facts[slot] = Some(facts);
     }
 
     #[inline]
     fn facts(&self, sig: SigId) -> SigFacts {
-        self.facts[&sig]
+        self.facts[sig.index()].expect("facts seeded before the search")
+    }
+
+    /// Intern a `(sig, queries)` pair in the candidate arena.
+    fn cand_idx(&mut self, sig: SigId, queries: CqSet) -> CandIdx {
+        use std::collections::hash_map::Entry;
+        match self.cand_ids.entry((sig, queries)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let idx = self.cands.len() as CandIdx;
+                let queries = e.key().1.clone();
+                self.cands.push(CandData { sig, queries });
+                e.insert(idx);
+                idx
+            }
+        }
+    }
+
+    /// Precompute, per query, which default ranks a commit of `sig`
+    /// displaces (its covered relations intersected with the query's
+    /// default list).
+    fn build_cover(&mut self, sig: SigId) {
+        if self.cover.contains_key(&sig) {
+            return;
+        }
+        let rels: Vec<qsys_types::RelId> = self.interner.rels(sig).to_vec();
+        let per_query: Vec<Box<[u16]>> = self
+            .defaults_of
+            .iter()
+            .map(|defs| {
+                defs.iter()
+                    .filter(|(rel, _)| rels.contains(rel))
+                    .map(|(_, dsig)| self.default_rank[dsig] as u16)
+                    .collect()
+            })
+            .collect();
+        self.cover.insert(sig, per_query);
     }
 
     /// Run the search over multi-relation `candidates`; returns the best
@@ -188,141 +321,186 @@ impl<'a> BestPlanSearch<'a> {
             .filter(|c| self.facts(c.sig).size > 1 && !c.queries.is_empty())
             .collect();
         self.stats.candidates = multi.len();
-        let (plan, cost) = self.best_plan(multi, Vec::new());
+        let root: Vec<CandIdx> = multi
+            .into_iter()
+            .map(|c| {
+                self.build_cover(c.sig);
+                self.cand_idx(c.sig, c.queries)
+            })
+            .collect();
+        let (plan, cost) = self.best_plan(root, Vec::new());
         self.stats.best_cost = cost;
-        (plan, self.stats)
+        let assignment: Assignment = self.plans[plan as usize]
+            .iter()
+            .map(|&ci| {
+                let cd = &self.cands[ci as usize];
+                Candidate {
+                    sig: cd.sig,
+                    queries: cd.queries.clone(),
+                }
+            })
+            .collect();
+        (assignment, self.stats)
     }
 
-    /// The recursive search (Algorithm 1).
-    fn best_plan(&mut self, s: Vec<Candidate>, a: Vec<Candidate>) -> (Assignment, f64) {
+    /// The recursive search (Algorithm 1), over arena indices.
+    fn best_plan(&mut self, s: Vec<CandIdx>, a: Vec<CandIdx>) -> (PlanIdx, f64) {
         self.stats.explored += 1;
-        let key: Vec<SigId> = {
-            let mut sigs: Vec<SigId> = a.iter().map(|c| c.sig).collect();
-            sigs.sort_unstable();
-            sigs
-        };
-        if let Some(hit) = self.memo.get(&key) {
+        let mut key: Vec<SigId> = a.iter().map(|&c| self.cands[c as usize].sig).collect();
+        key.sort_unstable();
+        if let Some(&(plan, cost)) = self.memo.get(key.as_slice()) {
             self.stats.memo_hits += 1;
-            return hit.clone();
+            return (plan, cost);
         }
 
         // Option 0 (and the |S| = 0 base case): stop here — complete `A`
         // with default per-relation inputs and cost the plan.
-        let completed = self.complete(&a);
-        let mut best_cost = self.plan_cost(&completed);
-        let mut best_plan = completed;
+        let (survivors, mut best_cost) = self.complete_and_cost(&a);
+        let mut best_plan: Option<PlanIdx> = None;
 
         // Otherwise commit to each candidate J in turn (lines 11–23).
-        for (idx, j) in s.iter().enumerate() {
-            let mut s_prime: Vec<Candidate> = Vec::with_capacity(s.len() - 1);
-            for (idx2, j2) in s.iter().enumerate() {
+        for (idx, &j) in s.iter().enumerate() {
+            let mut s_prime: Vec<CandIdx> = Vec::with_capacity(s.len() - 1);
+            for (idx2, &j2) in s.iter().enumerate() {
                 if idx2 == idx {
                     continue;
                 }
-                if self.interner.shares_relation(j2.sig, j.sig) {
+                let j2_sig = self.cands[j2 as usize].sig;
+                if self
+                    .interner
+                    .shares_relation(j2_sig, self.cands[j as usize].sig)
+                {
                     // Queries sourced by J must not also use an overlapping
                     // J′ (line 14: S′[J′] = S[J′] − S[J]).
-                    let reduced: BTreeSet<CqId> =
-                        j2.queries.difference(&j.queries).copied().collect();
+                    let reduced = self.cands[j2 as usize]
+                        .queries
+                        .difference(&self.cands[j as usize].queries);
                     if !reduced.is_empty() {
-                        s_prime.push(Candidate {
-                            sig: j2.sig,
-                            queries: reduced,
-                        });
+                        s_prime.push(self.cand_idx(j2_sig, reduced));
                     }
                 } else {
-                    s_prime.push(j2.clone());
+                    s_prime.push(j2);
                 }
             }
             let mut a_prime = a.clone();
-            a_prime.push(j.clone());
+            a_prime.push(j);
             let (plan, cost) = self.best_plan(s_prime, a_prime);
             if cost < best_cost {
                 best_cost = cost;
-                best_plan = plan;
+                best_plan = Some(plan);
             }
         }
 
-        self.memo.insert(key, (best_plan.clone(), best_cost));
-        (best_plan, best_cost)
-    }
-
-    /// Complete a partial assignment: every uncovered relation of every
-    /// query gets its default single-relation input (carrying the query's
-    /// selection on that relation), shared across queries by signature.
-    fn complete(&self, a: &Assignment) -> Assignment {
-        // Keyed by canonical rank so defaults append in deep-signature
-        // order (identical output to the former deep-keyed B-tree).
-        let mut defaults: BTreeMap<usize, (SigId, BTreeSet<CqId>)> = BTreeMap::new();
-        for (qi, cq) in self.queries.iter().enumerate() {
-            let covered: BTreeSet<_> = a
-                .iter()
-                .filter(|c| c.queries.contains(&cq.id))
-                .flat_map(|c| self.interner.rels(c.sig).iter().copied())
-                .collect();
-            for (rel, sig) in &self.defaults_of[qi] {
-                if covered.contains(rel) {
-                    continue;
+        // Only a *winning* stop plan is materialized: its surviving
+        // defaults are interned into the candidate arena and the completed
+        // index list is stored once. Losing stops cost nothing beyond the
+        // cost computation itself.
+        let plan = match best_plan {
+            Some(p) => p,
+            None => {
+                let mut completed: Vec<CandIdx> = Vec::with_capacity(a.len() + survivors.len());
+                completed.extend_from_slice(&a);
+                for (rank, set) in survivors {
+                    let ci = self.cand_idx(self.rank_sigs[rank as usize], set);
+                    completed.push(ci);
                 }
-                defaults
-                    .entry(self.default_rank[sig])
-                    .or_insert_with(|| (*sig, BTreeSet::new()))
-                    .1
-                    .insert(cq.id);
+                let p = self.plans.len() as PlanIdx;
+                self.plans.push(completed.into_boxed_slice());
+                p
             }
-        }
-        let mut out = a.clone();
-        out.extend(
-            defaults
-                .into_values()
-                .map(|(sig, queries)| Candidate { sig, queries }),
-        );
-        out
+        };
+        self.memo.insert(key.into_boxed_slice(), (plan, best_cost));
+        (plan, best_cost)
     }
 
-    /// Estimated cost of a completed assignment, in simulated µs.
+    /// Complete a partial assignment and cost the resulting plan, starting
+    /// from the hoisted all-defaults baseline and applying only `a`'s
+    /// deltas: committed candidates displace the defaults they cover
+    /// (per-rank bit clears) and adjust the per-query stream counts.
     ///
-    /// Streaming inputs cost per expected read; shared inputs are read once
-    /// (the maximum of the sharers' needs, not the sum — this is where
-    /// sharing wins). Probed relations cost per expected probe. Pushed-down
-    /// joins carry a penalty for remote computation.
-    pub fn plan_cost(&self, assignment: &Assignment) -> f64 {
-        // Per-CQ shape: how many streaming inputs, estimated result count.
-        let mut cq_info: BTreeMap<CqId, (usize, f64)> = BTreeMap::new();
-        for cq in &self.queries {
-            let m = assignment
-                .iter()
-                .filter(|c| c.queries.contains(&cq.id) && self.facts(c.sig).streamed)
-                .count();
-            let n = self.cq_card[&cq.id];
-            cq_info.insert(cq.id, (m.max(1), n));
+    /// Costing follows the paper's model: streaming inputs cost per
+    /// expected read; shared inputs are read once (the maximum of the
+    /// sharers' needs, not the sum — this is where sharing wins). Probed
+    /// relations cost per expected probe. Pushed-down joins carry a penalty
+    /// for remote computation. Inputs are costed in assignment order
+    /// (committed candidates, then defaults in canonical rank order) and
+    /// sharers in ascending `CqId` order, reproducing the original
+    /// accumulation order exactly.
+    ///
+    /// Returns the surviving defaults as owned `(rank, set)` pairs — they
+    /// must outlive the child recursion (which clobbers the scratch
+    /// buffers) so the caller can materialize the stop plan if it wins;
+    /// nothing is interned into the candidate arena here.
+    fn complete_and_cost(&mut self, a: &[CandIdx]) -> (Vec<(u16, CqSet)>, f64) {
+        let mut defaults = std::mem::take(&mut self.scratch_defaults);
+        let mut m = std::mem::take(&mut self.scratch_m);
+        defaults.clone_from(&self.baseline_defaults);
+        m.clone_from(&self.baseline_m);
+
+        for &ci in a {
+            let cd = &self.cands[ci as usize];
+            let streamed = self.facts(cd.sig).streamed;
+            let cover = &self.cover[&cd.sig];
+            for qi in cd.queries.iter() {
+                if streamed {
+                    m[qi.index()] += 1;
+                }
+                for &rank in cover[qi.index()].iter() {
+                    let rank = rank as usize;
+                    if defaults[rank].remove(qi) && self.rank_streamed[rank] {
+                        m[qi.index()] -= 1;
+                    }
+                }
+            }
         }
+
+        let survivors: Vec<(u16, CqSet)> = defaults
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(rank, set)| (rank as u16, set.clone()))
+            .collect();
 
         let mut total = 0.0;
-        for input in assignment {
-            let facts = self.facts(input.sig);
-            if facts.streamed {
-                // Shared stream: read deep enough for the hungriest sharer.
-                let mut reads: f64 = 0.0;
-                for cq in &input.queries {
-                    let (m, n) = cq_info[cq];
-                    reads = reads.max(self.model.expected_reads(facts.card, n, m, facts.already));
-                }
-                total += reads * self.model.stream_unit_us();
-                total += self.model.pushdown_penalty_us(facts.size, facts.card);
-            } else {
-                // Probed relation: roughly one probe per streamed tuple of
-                // each consumer (two-way semijoin traffic).
-                let mut probes = 0.0;
-                for cq in &input.queries {
-                    let (m, n) = cq_info[cq];
-                    let depth = self.model.depth_fraction(n, m);
-                    probes += depth * 64.0; // nominal per-CQ probe volume
-                }
-                total += probes * self.model.probe_unit_us();
-            }
+        for &ci in a {
+            let cd = &self.cands[ci as usize];
+            self.add_input_cost(cd.sig, &cd.queries, &m, &mut total);
         }
-        total
+        for (rank, set) in &survivors {
+            self.add_input_cost(self.rank_sigs[*rank as usize], set, &m, &mut total);
+        }
+
+        self.scratch_defaults = defaults;
+        self.scratch_m = m;
+        (survivors, total)
+    }
+
+    /// Accumulate one input's cost into `total` with the exact additions
+    /// (and their order) the original assignment-level loop performed.
+    fn add_input_cost(&self, sig: SigId, queries: &CqSet, m: &[u32], total: &mut f64) {
+        let facts = self.facts(sig);
+        if facts.streamed {
+            // Shared stream: read deep enough for the hungriest sharer.
+            let mut reads: f64 = 0.0;
+            for qi in queries.iter() {
+                let m_q = (m[qi.index()] as usize).max(1);
+                let n = self.cq_card[qi.index()];
+                reads = reads.max(self.model.expected_reads(facts.card, n, m_q, facts.already));
+            }
+            *total += reads * self.model.stream_unit_us();
+            *total += self.model.pushdown_penalty_us(facts.size, facts.card);
+        } else {
+            // Probed relation: roughly one probe per streamed tuple of
+            // each consumer (two-way semijoin traffic).
+            let mut probes = 0.0;
+            for qi in queries.iter() {
+                let m_q = (m[qi.index()] as usize).max(1);
+                let n = self.cq_card[qi.index()];
+                let depth = self.model.depth_fraction(n, m_q);
+                probes += depth * 64.0; // nominal per-CQ probe volume
+            }
+            *total += probes * self.model.probe_unit_us();
+        }
     }
 }
 
@@ -332,12 +510,14 @@ pub fn is_valid_assignment(
     queries: &[&ConjunctiveQuery],
     assignment: &Assignment,
     interner: &SigInterner,
+    table: &CqTable,
 ) -> bool {
     for cq in queries {
+        let qi = table.idx(cq.id);
         for atom in &cq.atoms {
             let covering = assignment
                 .iter()
-                .filter(|c| c.queries.contains(&cq.id) && interner.rels(c.sig).contains(&atom.rel))
+                .filter(|c| c.queries.contains(qi) && interner.rels(c.sig).contains(&atom.rel))
                 .count();
             if covering != 1 {
                 return false;
@@ -353,7 +533,7 @@ mod tests {
     use crate::cost::NoReuse;
     use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
     use qsys_query::{CqAtom, CqJoin, SubExprSig};
-    use qsys_types::{CostProfile, RelId, SourceId, UqId, UserId};
+    use qsys_types::{CostProfile, CqId, RelId, SourceId, UqId, UserId};
 
     fn catalog(n: u32) -> Catalog {
         let mut b = CatalogBuilder::default();
@@ -404,6 +584,7 @@ mod tests {
     fn cand(
         catalog: &Catalog,
         interner: &mut SigInterner,
+        table: &CqTable,
         rels: &[u32],
         queries: &[u32],
     ) -> Candidate {
@@ -418,7 +599,7 @@ mod tests {
             .collect();
         Candidate {
             sig: interner.intern(SubExprSig { atoms, joins }),
-            queries: queries.iter().map(|&q| CqId::new(q)).collect(),
+            queries: table.set_of(queries.iter().map(|&q| CqId::new(q))),
         }
     }
 
@@ -429,9 +610,11 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
+        let table = CqTable::from_queries([&q]);
+        let search =
+            BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
         let (plan, stats) = search.run(Vec::new());
-        assert!(is_valid_assignment(&[&q], &plan, &interner));
+        assert!(is_valid_assignment(&[&q], &plan, &interner, &table));
         assert_eq!(plan.len(), 3, "one default input per relation");
         assert_eq!(stats.candidates, 0);
         assert_eq!(stats.explored, 1);
@@ -468,10 +651,18 @@ mod tests {
         let mut interner = SigInterner::new();
         let q1 = path_cq(0, &cat, 0, 3);
         let q2 = path_cq(1, &cat, 0, 4);
-        let shared = cand(&cat, &mut interner, &[0, 1], &[0, 1]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q1, &q2], &mut interner);
+        let table = CqTable::from_queries([&q1, &q2]);
+        let shared = cand(&cat, &mut interner, &table, &[0, 1], &[0, 1]);
+        let search = BestPlanSearch::new(
+            &model,
+            &NoReuse,
+            &config,
+            vec![&q1, &q2],
+            &mut interner,
+            &table,
+        );
         let (plan, stats) = search.run(vec![shared.clone()]);
-        assert!(is_valid_assignment(&[&q1, &q2], &plan, &interner));
+        assert!(is_valid_assignment(&[&q1, &q2], &plan, &interner, &table));
         assert!(
             plan.iter().any(|c| c.sig == shared.sig),
             "pushdown K0⋈K1 must be chosen: {plan:#?}"
@@ -488,10 +679,12 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let bad = cand(&cat, &mut interner, &[0, 1], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
+        let table = CqTable::from_queries([&q]);
+        let bad = cand(&cat, &mut interner, &table, &[0, 1], &[0]);
+        let search =
+            BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
         let (plan, _) = search.run(vec![bad.clone()]);
-        assert!(is_valid_assignment(&[&q], &plan, &interner));
+        assert!(is_valid_assignment(&[&q], &plan, &interner, &table));
         assert!(
             !plan.iter().any(|c| c.sig == bad.sig),
             "200k-tuple join must not be pushed down: {plan:#?}"
@@ -505,11 +698,16 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 4);
-        let c1 = cand(&cat, &mut interner, &[0, 1], &[0]);
-        let c2 = cand(&cat, &mut interner, &[1, 2], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
+        let table = CqTable::from_queries([&q]);
+        let c1 = cand(&cat, &mut interner, &table, &[0, 1], &[0]);
+        let c2 = cand(&cat, &mut interner, &table, &[1, 2], &[0]);
+        let search =
+            BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
         let (plan, _) = search.run(vec![c1, c2]);
-        assert!(is_valid_assignment(&[&q], &plan, &interner), "{plan:#?}");
+        assert!(
+            is_valid_assignment(&[&q], &plan, &interner, &table),
+            "{plan:#?}"
+        );
     }
 
     #[test]
@@ -519,11 +717,13 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 6);
+        let table = CqTable::from_queries([&q]);
         // Two disjoint candidates: order of choice is irrelevant → the
         // {c1, c2} state is reached twice, second time from the memo.
-        let c1 = cand(&cat, &mut interner, &[0, 1], &[0]);
-        let c2 = cand(&cat, &mut interner, &[3, 4], &[0]);
-        let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
+        let c1 = cand(&cat, &mut interner, &table, &[0, 1], &[0]);
+        let c2 = cand(&cat, &mut interner, &table, &[3, 4], &[0]);
+        let search =
+            BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
         let (_, stats) = search.run(vec![c1, c2]);
         assert!(stats.memo_hits >= 1, "stats: {stats:?}");
     }
@@ -535,12 +735,14 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 8);
+        let table = CqTable::from_queries([&q]);
         let mut explored = Vec::new();
         for n in 0..4 {
             let cands: Vec<Candidate> = (0..n)
-                .map(|i| cand(&cat, &mut interner, &[2 * i, 2 * i + 1], &[0]))
+                .map(|i| cand(&cat, &mut interner, &table, &[2 * i, 2 * i + 1], &[0]))
                 .collect();
-            let search = BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner);
+            let search =
+                BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
             let (_, stats) = search.run(cands);
             explored.push(stats.explored);
         }
@@ -563,14 +765,38 @@ mod tests {
         let config = HeuristicConfig::default();
         let mut interner = SigInterner::new();
         let q = path_cq(0, &cat, 0, 3);
-        let shared = cand(&cat, &mut interner, &[0, 1], &[0]);
+        let table = CqTable::from_queries([&q]);
+        let shared = cand(&cat, &mut interner, &table, &[0, 1], &[0]);
         let oracle = Resident(shared.sig);
-        let search = BestPlanSearch::new(&model, &oracle, &config, vec![&q], &mut interner);
+        let search = BestPlanSearch::new(&model, &oracle, &config, vec![&q], &mut interner, &table);
         let (plan, stats) = search.run(vec![shared.clone()]);
         assert!(
             plan.iter().any(|c| c.sig == shared.sig),
             "fully resident input is free and must win: {:?}",
             stats
         );
+    }
+
+    /// The memo stores indices into the plan arena; a memoized state is
+    /// stored once no matter how many orderings reach it.
+    #[test]
+    fn memo_and_plan_arena_stay_index_sized() {
+        let cat = catalog(8);
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let config = HeuristicConfig::default();
+        let mut interner = SigInterner::new();
+        let q = path_cq(0, &cat, 0, 8);
+        let table = CqTable::from_queries([&q]);
+        let cands: Vec<Candidate> = (0..3)
+            .map(|i| cand(&cat, &mut interner, &table, &[2 * i, 2 * i + 1], &[0]))
+            .collect();
+        let search =
+            BestPlanSearch::new(&model, &NoReuse, &config, vec![&q], &mut interner, &table);
+        let (_, stats) = search.run(cands);
+        // 3 disjoint candidates → 2^3 = 8 distinct states. The permutation
+        // tree has 1 + 3 + 6 + 3 = 13 invocations (memo-hit nodes do not
+        // expand): 3 second-level and 2 third-level repeats hit the memo.
+        assert_eq!(stats.explored, 13);
+        assert_eq!(stats.memo_hits, 5);
     }
 }

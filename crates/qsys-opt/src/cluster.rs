@@ -9,8 +9,9 @@
 //! we repeatedly merge clusters whose Jaccard similarity exceeds a second
 //! threshold T_c, until it is no longer possible to merge."
 
+use qsys_query::cqset::{CqIdx, CqSet};
 use qsys_types::{RelId, UqId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Clustering thresholds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,10 +32,26 @@ impl Default for ClusterConfig {
 /// Partition user queries into plan-graph clusters. Input: per user query,
 /// the multiset of relations its CQs reference (one entry per CQ atom).
 /// Output: disjoint clusters covering every input UQ.
+///
+/// Clusters are dense bitmasks over a per-call user-query index (the same
+/// [`CqSet`] machinery the optimizer uses for conjunctive queries — the
+/// bitset is index-generic), so Jaccard similarity is two popcounts and a
+/// merge is a word-wise union. The bitset's element-lexicographic `Ord`
+/// matches `BTreeSet` ordering, keeping the deterministic merge loop's
+/// decisions identical to the set-based implementation.
 pub fn cluster_user_queries(
     references: &BTreeMap<UqId, Vec<RelId>>,
     config: ClusterConfig,
 ) -> Vec<Vec<UqId>> {
+    // Dense UQ index: references is a BTreeMap, so ids arrive sorted.
+    let uq_ids: Vec<UqId> = references.keys().copied().collect();
+    assert!(
+        uq_ids.len() <= u16::MAX as usize + 1,
+        "clustering {} UQs exceeds the dense-index range",
+        uq_ids.len()
+    );
+    let uq_idx = |uq: UqId| CqIdx(uq_ids.binary_search(&uq).expect("known UQ") as u16);
+
     // Reference counts per (uq, rel).
     let mut counts: BTreeMap<(UqId, RelId), usize> = BTreeMap::new();
     for (uq, rels) in references {
@@ -44,13 +61,13 @@ pub fn cluster_user_queries(
     }
     // Seed clusters: one per source relation, holding UQs referencing it
     // more than T_m times.
-    let mut seeds: BTreeMap<RelId, BTreeSet<UqId>> = BTreeMap::new();
+    let mut seeds: BTreeMap<RelId, CqSet> = BTreeMap::new();
     for ((uq, rel), n) in &counts {
         if *n > config.t_m {
-            seeds.entry(*rel).or_default().insert(*uq);
+            seeds.entry(*rel).or_default().insert(uq_idx(*uq));
         }
     }
-    let mut clusters: Vec<BTreeSet<UqId>> = seeds.into_values().filter(|c| !c.is_empty()).collect();
+    let mut clusters: Vec<CqSet> = seeds.into_values().filter(|c| !c.is_empty()).collect();
     clusters.sort();
     clusters.dedup();
 
@@ -61,7 +78,7 @@ pub fn cluster_user_queries(
             for j in i + 1..clusters.len() {
                 if jaccard(&clusters[i], &clusters[j]) > config.t_c {
                     let absorbed = clusters.remove(j);
-                    clusters[i].extend(absorbed);
+                    clusters[i].union_with(&absorbed);
                     merged = true;
                     break 'outer;
                 }
@@ -75,27 +92,28 @@ pub fn cluster_user_queries(
     // Make the partition disjoint: a UQ stays in the largest cluster that
     // claims it; everything unclaimed forms singletons.
     clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
-    let mut assigned: BTreeSet<UqId> = BTreeSet::new();
+    let mut assigned = CqSet::new();
     let mut out: Vec<Vec<UqId>> = Vec::new();
     for cluster in clusters {
         let fresh: Vec<UqId> = cluster
-            .into_iter()
-            .filter(|u| assigned.insert(*u))
+            .iter()
+            .filter(|i| assigned.insert(*i))
+            .map(|i| uq_ids[i.index()])
             .collect();
         if !fresh.is_empty() {
             out.push(fresh);
         }
     }
-    for uq in references.keys() {
-        if assigned.insert(*uq) {
+    for (i, uq) in uq_ids.iter().enumerate() {
+        if assigned.insert(CqIdx(i as u16)) {
             out.push(vec![*uq]);
         }
     }
     out
 }
 
-fn jaccard(a: &BTreeSet<UqId>, b: &BTreeSet<UqId>) -> f64 {
-    let inter = a.intersection(b).count();
+fn jaccard(a: &CqSet, b: &CqSet) -> f64 {
+    let inter = a.intersection_len(b);
     let union = a.len() + b.len() - inter;
     if union == 0 {
         0.0
@@ -107,6 +125,7 @@ fn jaccard(a: &BTreeSet<UqId>, b: &BTreeSet<UqId>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn refs(pairs: &[(u32, &[u32])]) -> BTreeMap<UqId, Vec<RelId>> {
         pairs

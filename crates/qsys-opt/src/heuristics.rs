@@ -21,17 +21,23 @@
 //! B-tree.
 
 use crate::cost::CostModel;
-use qsys_query::{enumerate_subexprs, ConjunctiveQuery, SigId, SigInterner};
-use qsys_types::{CqId, RelId};
-use std::collections::{BTreeSet, HashMap};
+use qsys_query::{enumerate_subexprs, ConjunctiveQuery, CqSet, CqTable, SigId, SigInterner};
+use qsys_types::RelId;
+use std::collections::HashMap;
 
 /// One push-down candidate: a subexpression and the queries it can source.
+///
+/// Queries are a dense per-batch bitmask ([`CqSet`], interpreted through the
+/// batch's [`CqTable`]) — the BestPlan recursion differences, tests, and
+/// clones these sets on every branch, and as word-wise ops they cost a few
+/// instructions instead of a `BTreeSet` walk.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Candidate {
     /// The interned subexpression signature.
     pub sig: SigId,
-    /// Queries of which `sig` is a subexpression (the map `𝕊[J]`).
-    pub queries: BTreeSet<CqId>,
+    /// Queries of which `sig` is a subexpression (the map `𝕊[J]`), as
+    /// per-batch indices.
+    pub queries: CqSet,
 }
 
 /// Tuning for the pruning heuristics.
@@ -84,12 +90,15 @@ pub fn enumerate_candidates(
     model: &CostModel<'_>,
     config: &HeuristicConfig,
     interner: &mut SigInterner,
+    table: &CqTable,
 ) -> Vec<Candidate> {
     // Pool subexpressions across queries via interned canonical signatures
     // (the AND-OR graph's OR-node sharing): sharing detection is a u32 map
-    // probe per enumerated subexpression.
-    let mut pool: HashMap<SigId, BTreeSet<CqId>> = HashMap::new();
+    // probe per enumerated subexpression, and the sharer set is a bitmask
+    // insert.
+    let mut pool: HashMap<SigId, CqSet> = HashMap::new();
     for cq in queries {
+        let qi = table.idx(cq.id);
         for sig in enumerate_subexprs(cq, 1, config.max_candidate_atoms) {
             // Heuristic 2: every atom of a pushed-down candidate must be
             // streamable, otherwise the source could not deliver results in
@@ -101,13 +110,13 @@ pub fn enumerate_candidates(
             {
                 continue;
             }
-            pool.entry(interner.intern(sig)).or_default().insert(cq.id);
+            pool.entry(interner.intern(sig)).or_default().insert(qi);
         }
     }
     // Deterministic processing order (canonical signature order, as the
     // deep-keyed B-tree pool produced): one deep sort per batch, after
     // which everything downstream compares ids only.
-    let mut pooled: Vec<(SigId, BTreeSet<CqId>)> = pool.into_iter().collect();
+    let mut pooled: Vec<(SigId, CqSet)> = pool.into_iter().collect();
     pooled.sort_by(|(a, _), (b, _)| interner.resolve(*a).cmp(interner.resolve(*b)));
 
     let mut out = Vec::new();
@@ -150,11 +159,11 @@ pub fn enumerate_candidates(
         // Heuristic 1: subexpressions of a low-output query are not worth
         // factoring for that query alone; keep only the sharers beyond it.
         if using.len() == 1 {
-            let cq_id = *using.iter().next().expect("nonempty");
+            let cq_id = table.id(using.first().expect("nonempty"));
             if let Some(cq) = queries.iter().find(|c| c.id == cq_id) {
                 let whole = interner.of_cq(cq);
                 if model.cardinality(interner.resolve(whole)) < model.k() as f64 {
-                    using.clear();
+                    using = CqSet::new();
                 }
             }
         }
@@ -194,7 +203,7 @@ mod tests {
     use super::*;
     use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
     use qsys_query::{CqAtom, CqJoin};
-    use qsys_types::{CostProfile, SourceId, UqId, UserId};
+    use qsys_types::{CostProfile, CqId, SourceId, UqId, UserId};
 
     /// Chain A - B - C - D; C is scoreless and large (probe-only), D is
     /// scoreless but tiny (streamable).
@@ -298,7 +307,8 @@ mod tests {
         let mut interner = SigInterner::new();
         let q1 = cq(0, &cat, &["A", "B"]);
         let q2 = cq(1, &cat, &["A", "B", "C"]);
-        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner);
+        let table = CqTable::from_queries([&q1, &q2]);
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner, &table);
         // A⋈B is shared by both queries and both atoms are streamable.
         let ab = candidates
             .iter()
@@ -317,7 +327,8 @@ mod tests {
         let mut interner = SigInterner::new();
         let c_rel = cat.relation_by_name("C").unwrap().id;
         let q = cq(0, &cat, &["A", "B", "C"]);
-        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner);
+        let table = CqTable::from_queries([&q]);
+        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner, &table);
         assert!(
             candidates
                 .iter()
@@ -337,7 +348,8 @@ mod tests {
         };
         let mut interner = SigInterner::new();
         let q = cq(0, &cat, &["A", "B"]);
-        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner);
+        let table = CqTable::from_queries([&q]);
+        let candidates = enumerate_candidates(&[&q], &model, &config, &mut interner, &table);
         // A⋈B has cardinality 10000*8000/1000 = 80000: too big, unshared.
         assert!(candidates.iter().all(|c| interner.size(c.sig) == 1));
     }
@@ -353,7 +365,8 @@ mod tests {
         let mut interner = SigInterner::new();
         let q1 = cq(0, &cat, &["A", "B"]);
         let q2 = cq(1, &cat, &["A", "B"]);
-        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner);
+        let table = CqTable::from_queries([&q1, &q2]);
+        let candidates = enumerate_candidates(&[&q1, &q2], &model, &config, &mut interner, &table);
         assert!(candidates.iter().all(|c| interner.size(c.sig) == 1));
         assert!(!candidates.is_empty(), "base candidates always survive");
     }

@@ -20,7 +20,7 @@ use crate::bestplan::{Assignment, BestPlanSearch, OptStats};
 use crate::cost::{CostModel, ReuseOracle};
 use crate::heuristics::{enumerate_candidates, is_streamable, HeuristicConfig};
 use qsys_catalog::Catalog;
-use qsys_query::{ConjunctiveQuery, ScoreFn, SigCell, SigId, SigInterner};
+use qsys_query::{ConjunctiveQuery, CqTable, ScoreFn, SigCell, SigId, SigInterner};
 use qsys_types::{CostProfile, CqId, RelId, Selection, SimClock, TimeCategory, UqId, UserId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -172,10 +172,19 @@ impl<'a> Optimizer<'a> {
     ) -> (PlanSpec, OptStats) {
         let model = CostModel::new(self.catalog, self.config.cost_profile, self.config.k);
         let queries: Vec<&ConjunctiveQuery> = batch.iter().map(|(cq, _)| *cq).collect();
+        // The batch's dense query index: every query set the optimizer
+        // touches from here on is a CqSet bitmask over this table.
+        let table = CqTable::from_queries(queries.iter().copied());
 
         let mut guard = interner.borrow_mut();
         let candidates = if self.config.share_subexpressions {
-            enumerate_candidates(&queries, &model, &self.config.heuristics, &mut guard)
+            enumerate_candidates(
+                &queries,
+                &model,
+                &self.config.heuristics,
+                &mut guard,
+                &table,
+            )
         } else {
             Vec::new()
         };
@@ -185,8 +194,14 @@ impl<'a> Optimizer<'a> {
                 reuse.pin(c.sig);
             }
         }
-        let search =
-            BestPlanSearch::new(&model, reuse, &self.config.heuristics, queries, &mut guard);
+        let search = BestPlanSearch::new(
+            &model,
+            reuse,
+            &self.config.heuristics,
+            queries,
+            &mut guard,
+            &table,
+        );
         let (assignment, stats) = search.run(candidates);
         if let Some(clock) = clock {
             clock.charge(
@@ -194,7 +209,7 @@ impl<'a> Optimizer<'a> {
                 stats.explored as u64 * self.config.opt_step_us,
             );
         }
-        let spec = self.factorize(batch, &assignment, &model, &mut guard);
+        let spec = self.factorize(batch, &assignment, &model, &mut guard, &table);
         (spec, stats)
     }
 
@@ -205,6 +220,7 @@ impl<'a> Optimizer<'a> {
         assignment: &Assignment,
         model: &CostModel<'_>,
         interner: &mut SigInterner,
+        table: &CqTable,
     ) -> PlanSpec {
         let share = self.config.share_subexpressions;
         let mut spec = PlanSpec::default();
@@ -228,18 +244,21 @@ impl<'a> Optimizer<'a> {
                         });
                         spec.nodes.len() - 1
                     });
-                    for cq in &input.queries {
-                        term_map.entry(*cq).or_default().push(idx);
+                    for qi in input.queries.iter() {
+                        term_map.entry(table.id(qi)).or_default().push(idx);
                     }
                 } else {
                     // ATC-CQ: a private leaf per consumer.
-                    for cq in &input.queries {
+                    for qi in input.queries.iter() {
                         spec.nodes.push(SpecNode {
                             sig: input.sig,
                             kind: SpecNodeKind::Stream,
                             share: false,
                         });
-                        term_map.entry(*cq).or_default().push(spec.nodes.len() - 1);
+                        term_map
+                            .entry(table.id(qi))
+                            .or_default()
+                            .push(spec.nodes.len() - 1);
                     }
                 }
             } else {
@@ -249,8 +268,11 @@ impl<'a> Optimizer<'a> {
                     "probe inputs are single relations"
                 );
                 let (rel, sel) = interner.resolve(input.sig).atoms[0].clone();
-                for cq in &input.queries {
-                    probe_map.entry(*cq).or_default().push((rel, sel.clone()));
+                for qi in input.queries.iter() {
+                    probe_map
+                        .entry(table.id(qi))
+                        .or_default()
+                        .push((rel, sel.clone()));
                 }
             }
         }

@@ -20,12 +20,14 @@
 
 pub mod candidate;
 pub mod cq;
+pub mod cqset;
 pub mod intern;
 pub mod score;
 pub mod subexpr;
 
 pub use candidate::{CandidateConfig, CandidateGenerator};
 pub use cq::{ConjunctiveQuery, CqAtom, CqJoin, UserQuery};
+pub use cqset::{CqIdx, CqSet, CqTable};
 pub use intern::{shared_interner, SharedInterner, SigCell, SigId, SigInterner};
 pub use score::{ScoreFn, ScoreModel};
 pub use subexpr::{enumerate_subexprs, SubExprSig};

@@ -78,10 +78,16 @@ impl QsManager {
         }
     }
 
-    /// Override the eviction policy (ablation benches).
+    /// Override the eviction policy (selected per engine config for the
+    /// eviction ablation).
     pub fn with_policy(mut self, policy: EvictionPolicy) -> QsManager {
         self.policy = policy;
         self
+    }
+
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Disable cross-operator probe-cache sharing (ablation: DESIGN.md §3

@@ -12,7 +12,7 @@ use qsys_opt::cluster::ClusterConfig;
 use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
 use qsys_query::{CandidateConfig, CandidateGenerator, ScoreFn, UserQuery};
 use qsys_source::{Sources, TableProvider};
-use qsys_state::QsManager;
+use qsys_state::{EvictionPolicy, QsManager};
 use qsys_types::{CostProfile, QsysResult, Score, SimClock, Tuple, UqId, UserId};
 use std::collections::HashMap;
 
@@ -54,6 +54,10 @@ pub struct EngineConfig {
     pub sharing: SharingMode,
     /// QS manager memory budget in bytes.
     pub memory_budget: usize,
+    /// Cache replacement policy under that budget (Section 6.3; the paper
+    /// found LRU with size tie-break best — the others exist for the
+    /// eviction ablation, which needs policy selection per engine config).
+    pub eviction: EvictionPolicy,
     /// Candidate-network generation knobs.
     pub candidate: CandidateConfig,
     /// Optimizer pruning heuristics.
@@ -77,6 +81,7 @@ impl Default for EngineConfig {
             batch_size: 5,
             sharing: SharingMode::AtcFull,
             memory_budget: usize::MAX,
+            eviction: EvictionPolicy::default(),
             candidate: CandidateConfig::default(),
             heuristics: HeuristicConfig::default(),
             cost_profile: CostProfile::default(),
@@ -102,7 +107,7 @@ pub struct Lane {
 
 impl Lane {
     fn new(config: &EngineConfig, provider: TableProvider, lane_idx: u64) -> Lane {
-        let mut manager = QsManager::new(config.memory_budget);
+        let mut manager = QsManager::new(config.memory_budget).with_policy(config.eviction);
         if !config.share_probe_caches {
             manager = manager.with_private_probe_caches();
         }
@@ -355,5 +360,23 @@ mod tests {
         assert_eq!(c.k, 50);
         assert_eq!(c.batch_size, 5);
         assert_eq!(c.scheduling, SchedulingPolicy::RoundRobin);
+        assert_eq!(c.eviction, EvictionPolicy::LruSizeTieBreak);
+    }
+
+    #[test]
+    fn eviction_policy_reaches_the_lane_manager() {
+        for policy in [
+            EvictionPolicy::LruSizeTieBreak,
+            EvictionPolicy::Lru,
+            EvictionPolicy::SizeGreedy,
+        ] {
+            let config = EngineConfig {
+                eviction: policy,
+                ..EngineConfig::default()
+            };
+            let provider: TableProvider = Box::new(|_| unreachable!("no table access here"));
+            let lane = Lane::new(&config, provider, 0);
+            assert_eq!(lane.manager.policy(), policy);
+        }
     }
 }

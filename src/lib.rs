@@ -42,11 +42,20 @@
 //! | values, tuples, virtual clock | `qsys-types` |
 //! | schema graph, keyword index | `qsys-catalog` |
 //! | simulated remote DBMSs | `qsys-source` |
-//! | CQs, scoring, candidate networks | `qsys-query` |
+//! | CQs, scoring, candidate networks, sharing vocabulary (`SigInterner` ids, `CqSet` batch bitmasks) | `qsys-query` |
 //! | operators, plan graph, ATC | `qsys-exec` |
-//! | multi-query optimizer | `qsys-opt` |
-//! | state manager (graft/recover/evict) | `qsys-state` |
+//! | multi-query optimizer (arena-indexed BestPlan, AND-OR memo, clustering) | `qsys-opt` |
+//! | state manager (graft/recover/evict, policy via `EngineConfig::eviction`) | `qsys-state` |
 //! | workload generators | `qsys-workload` |
+//!
+//! Two dense-index layers keep the optimizer's hot path allocation-free:
+//! subexpression identity is a hash-consed [`query::SigId`] (one interner
+//! per engine lane, stable across batches), and within a batch every
+//! "which queries use this input?" set is a [`query::CqSet`] bitmask over
+//! the batch's [`query::CqTable`]. The BestPlan search runs entirely on
+//! those indices — candidates in an arena, the memo mapping state keys to
+//! plan-arena indices — with sharing decisions pinned bit-for-bit by the
+//! goldens in `tests/interner_invariants.rs`.
 
 pub mod engine;
 pub mod report;

@@ -5,6 +5,7 @@
 //! answers (same scores), while doing measurably different amounts of
 //! work. These tests pin both properties.
 
+use qsys::state::EvictionPolicy;
 use qsys::{run_workload, EngineConfig, SharingMode};
 use qsys_opt::cluster::ClusterConfig;
 use qsys_query::CandidateConfig;
@@ -135,6 +136,39 @@ fn limit_truncates_the_script() {
     let w = small_workload(19);
     let r = run_workload(&w, &engine(SharingMode::AtcFull), Some(2)).unwrap();
     assert_eq!(r.per_uq.len(), 2);
+}
+
+/// The eviction policy is an engine-config knob (wired through to each
+/// lane's `QsManager::with_policy`): every policy must complete the same
+/// workload under memory pressure and return the same answers — eviction
+/// changes what is *recomputed*, never what is *returned*.
+#[test]
+fn eviction_policy_is_selectable_per_config() {
+    let w = small_workload(29);
+    let reference = run_workload(&w, &engine(SharingMode::AtcFull), None).unwrap();
+    for policy in [
+        EvictionPolicy::LruSizeTieBreak,
+        EvictionPolicy::Lru,
+        EvictionPolicy::SizeGreedy,
+    ] {
+        let mut cfg = engine(SharingMode::AtcFull);
+        cfg.eviction = policy;
+        cfg.memory_budget = 1 << 18; // tight enough to force eviction
+        let report = run_workload(&w, &cfg, None).unwrap();
+        assert_eq!(
+            report.per_uq.len(),
+            reference.per_uq.len(),
+            "{policy:?}: every UQ completes"
+        );
+        for (a, b) in reference.per_uq.iter().zip(report.per_uq.iter()) {
+            assert_eq!(a.uq, b.uq);
+            assert_eq!(
+                a.results, b.results,
+                "{policy:?}: UQ {} returned different result counts",
+                a.uq
+            );
+        }
+    }
 }
 
 #[test]

@@ -130,21 +130,72 @@ proptest! {
     }
 }
 
-/// Golden regression: the rekeyed optimizer must produce byte-identical
-/// sharing decisions to the deep-signature implementation. The pinned
-/// values — PlanSpec node/edge/leaf counts, BestPlan states explored, and
-/// winning plan cost — were recorded by running the pre-interner code on
-/// the same workloads (GUS small, first batch of 5 UQs, ATC-FULL engine
-/// defaults).
+/// Golden regression: representation rewrites inside the optimizer — the
+/// SigId rekeying, and after it the dense-index BestPlan (CqSet bitmask
+/// query sets, candidate arena, memo-of-indices, incremental costing) —
+/// must produce byte-identical sharing decisions. The pinned values —
+/// PlanSpec node/edge/leaf counts, BestPlan states explored, memo hits,
+/// and winning plan cost — were recorded by running the pre-interner
+/// (deep-`SubExprSig`-keyed) code on the same workloads (GUS small, first
+/// batch of 5 UQs, ATC-FULL engine defaults); memo hits were captured from
+/// the `BTreeSet<CqId>`-based implementation immediately before the
+/// dense-index rewrite.
 #[test]
 fn gus_batch_plan_shape_is_unchanged_by_interning() {
-    // (seed, batch CQs, nodes, edges, stream leaves, explored, best cost)
-    let golden: &[(u64, usize, usize, usize, usize, usize, f64)] = &[
-        (41, 71, 128, 238, 41, 23553, 170404502.165),
-        (48, 46, 99, 167, 38, 18049, 161185511.809),
-        (55, 41, 76, 135, 30, 18881, 127518989.104),
+    /// One pinned workload: seed, batch CQs, spec shape, search shape, cost.
+    struct Golden {
+        seed: u64,
+        cqs: usize,
+        nodes: usize,
+        edges: usize,
+        leaves: usize,
+        explored: usize,
+        memo_hits: usize,
+        best_cost: f64,
+    }
+    let golden = [
+        Golden {
+            seed: 41,
+            cqs: 71,
+            nodes: 128,
+            edges: 238,
+            leaves: 41,
+            explored: 23553,
+            memo_hits: 19457,
+            best_cost: 170404502.165,
+        },
+        Golden {
+            seed: 48,
+            cqs: 46,
+            nodes: 99,
+            edges: 167,
+            leaves: 38,
+            explored: 18049,
+            memo_hits: 14465,
+            best_cost: 161185511.809,
+        },
+        Golden {
+            seed: 55,
+            cqs: 41,
+            nodes: 76,
+            edges: 135,
+            leaves: 30,
+            explored: 18881,
+            memo_hits: 15297,
+            best_cost: 127518989.104,
+        },
     ];
-    for &(seed, cqs, nodes, edges, leaves, explored, best_cost) in golden {
+    for Golden {
+        seed,
+        cqs,
+        nodes,
+        edges,
+        leaves,
+        explored,
+        memo_hits,
+        best_cost,
+    } in golden
+    {
         let workload = qsys_bench_like_workload(seed);
         let engine = qsys_bench_like_engine();
         let (uqs, _) = qsys::generate_user_queries(&workload, &engine).expect("generates");
@@ -179,6 +230,10 @@ fn gus_batch_plan_shape_is_unchanged_by_interning() {
         assert_eq!(
             stats.explored, explored,
             "seed {seed}: search space changed"
+        );
+        assert_eq!(
+            stats.memo_hits, memo_hits,
+            "seed {seed}: memoization behaviour changed"
         );
         assert!(
             (stats.best_cost - best_cost).abs() < 1e-3,
