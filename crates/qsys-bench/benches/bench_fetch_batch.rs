@@ -1,0 +1,61 @@
+//! Micro-benchmark: stream fetch-ahead (`CostProfile::fetch_batch`).
+//!
+//! Drains one score-ordered stream at the fetch sizes the tentpole's
+//! satellite sweep calls for — 1 (the paper's one-tuple-per-round model),
+//! 8, and 32. Host wall time falls with batch size because each simulated
+//! round costs one Poisson draw from the seeded RNG; the simulated-time
+//! saving (one 2 ms round-trip per batch instead of per tuple) is pinned
+//! separately by the `fetch_ahead` unit and property tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsys::source::{Sources, Table};
+use qsys::types::{BaseTuple, CostProfile, RelId, SimClock, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn table(rows: u64) -> Table {
+    let rel = RelId::new(0);
+    let rows = (0..rows)
+        .map(|i| {
+            Arc::new(BaseTuple::new(
+                rel,
+                i,
+                vec![Value::Int((i % 16) as i64)],
+                1.0 - i as f64 / 10_000.0,
+            ))
+        })
+        .collect();
+    Table::new(rel, rows)
+}
+
+fn bench_fetch_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch_batch");
+    group.sample_size(30);
+    let shared = Arc::new(table(4_000));
+    for &batch in &[1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_4k_stream", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let cost = CostProfile {
+                        fetch_batch: batch,
+                        ..CostProfile::default()
+                    };
+                    let sources = Sources::new(SimClock::new(), cost, 99);
+                    sources.register_shared(Arc::clone(&shared));
+                    let mut stream = sources.open_stream(RelId::new(0), None);
+                    let mut n = 0usize;
+                    while sources.read(&mut stream).is_some() {
+                        n += 1;
+                    }
+                    black_box((n, sources.stream_rounds()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_batch);
+criterion_main!(benches);

@@ -3,19 +3,17 @@
 //! runtime adaptivity).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use qsys::exec::access::{AccessModule, StoredModule};
+use qsys::exec::access::{AccessModule, AccessModuleArena, StoredModule};
 use qsys::exec::mjoin::{JoinPred, MJoin, MJoinInput};
 use qsys::source::Sources;
 use qsys::types::{BaseTuple, CostProfile, Epoch, RelId, SimClock, Tuple, Value};
-use std::cell::RefCell;
 use std::hint::black_box;
-use std::rc::Rc;
 use std::sync::Arc;
 
-fn stored_input(rel: u32) -> MJoinInput {
+fn stored_input(rel: u32, modules: &mut AccessModuleArena) -> MJoinInput {
     MJoinInput {
         rels: vec![RelId::new(rel)],
-        module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+        module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
         epoch_cap: None,
         store_arrivals: true,
         selection: None,
@@ -58,22 +56,26 @@ fn bench_mjoin(c: &mut Criterion) {
         let t2 = tuples(2, 300, 32);
         b.iter_batched(
             || {
-                MJoin::new(
-                    vec![stored_input(0), stored_input(1), stored_input(2)],
-                    vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
-                )
+                let mut modules = AccessModuleArena::new();
+                let inputs = vec![
+                    stored_input(0, &mut modules),
+                    stored_input(1, &mut modules),
+                    stored_input(2, &mut modules),
+                ];
+                let mj = MJoin::new(inputs, vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)], &modules);
+                (mj, modules)
             },
-            |mut mj| {
+            |(mut mj, modules)| {
                 let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
                 let mut out = 0usize;
                 for t in &t1 {
-                    out += mj.insert(1, t.clone(), Epoch(0), &sources).len();
+                    out += mj.insert(1, t.clone(), Epoch(0), &sources, &modules).len();
                 }
                 for t in &t2 {
-                    out += mj.insert(2, t.clone(), Epoch(0), &sources).len();
+                    out += mj.insert(2, t.clone(), Epoch(0), &sources, &modules).len();
                 }
                 for t in &t0 {
-                    out += mj.insert(0, t.clone(), Epoch(0), &sources).len();
+                    out += mj.insert(0, t.clone(), Epoch(0), &sources, &modules).len();
                 }
                 black_box(out)
             },
@@ -88,22 +90,25 @@ fn bench_mjoin(c: &mut Criterion) {
         let t1 = tuples(1, 500, 16);
         b.iter_batched(
             || {
-                let mut mj = MJoin::new(
-                    vec![stored_input(0), stored_input(1), stored_input(2)],
-                    vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
-                );
+                let mut modules = AccessModuleArena::new();
+                let inputs = vec![
+                    stored_input(0, &mut modules),
+                    stored_input(1, &mut modules),
+                    stored_input(2, &mut modules),
+                ];
+                let mut mj = MJoin::new(inputs, vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)], &modules);
                 let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
                 // R2 stays empty; warm up R1.
                 for t in &t1 {
-                    mj.insert(1, t.clone(), Epoch(0), &sources);
+                    mj.insert(1, t.clone(), Epoch(0), &sources, &modules);
                 }
-                mj
+                (mj, modules)
             },
-            |mut mj| {
+            |(mut mj, modules)| {
                 let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
                 let mut out = 0usize;
                 for t in &t0 {
-                    out += mj.insert(0, t.clone(), Epoch(0), &sources).len();
+                    out += mj.insert(0, t.clone(), Epoch(0), &sources, &modules).len();
                 }
                 black_box(out)
             },

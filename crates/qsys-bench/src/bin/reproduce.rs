@@ -9,9 +9,14 @@
 //! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
 //! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
 //! Perf:        `bench [--iters N] [--baseline FILE] [--out FILE]` — measure
-//! the optimizer+graft hot path and end-to-end throughput, and emit the
+//! the optimizer+graft hot path, end-to-end throughput, and the
+//! sequential-vs-threaded multi-cluster ATC-CL comparison, and emit the
 //! repo's `BENCH_*.json` trajectory point (optionally embedding a baseline
 //! snapshot recorded before an optimization landed).
+//!
+//! Every subcommand accepts `--lane-threads N` to cap how many ATC-CL
+//! lanes execute concurrently (default: the machine's parallelism; the
+//! env equivalent is `QSYS_LANE_THREADS`).
 
 use qsys_bench::*;
 
@@ -27,6 +32,18 @@ fn main() {
         .unwrap_or(2);
     // The paper used 4 synthetic instances; seeds play that role.
     let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 41 + i * 7).collect();
+    // `--lane-threads N`: cap on concurrently executing ATC-CL lanes for
+    // every experiment and the bench's parallel arm (the flag equivalent
+    // of `QSYS_LANE_THREADS`).
+    let lane_threads: Option<usize> = flag_value(&args, "--lane-threads").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--lane-threads wants a positive integer");
+            std::process::exit(2);
+        })
+    });
+    if let Some(n) = lane_threads {
+        set_lane_threads(n);
+    }
 
     println!("# scale: {scale:?} | instance seeds: {seeds:?} | virtual-clock results\n");
     let t0 = std::time::Instant::now();
@@ -85,9 +102,16 @@ fn main() {
                     }
                 }
             });
-            let snapshot = perf_snapshot(iters);
+            let snapshot = perf_snapshot(iters, lane_threads);
             let after = snapshot.to_json();
             println!("after: {after}");
+            if !snapshot.atc_cl_identical {
+                eprintln!(
+                    "CHECK FAILED: threaded ATC-CL lanes diverged from the sequential run \
+                     (results must be bit-identical at any lane_threads)"
+                );
+                std::process::exit(1);
+            }
             let mut decisions_ok = true;
             let json = match &baseline {
                 Some((before, b)) => {

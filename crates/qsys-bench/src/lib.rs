@@ -26,6 +26,25 @@ pub enum Scale {
     Paper,
 }
 
+/// Process-wide lane-thread override, set once by the `--lane-threads`
+/// flag before any experiment runs; every engine the drivers build picks
+/// it up (the config equivalent of `QSYS_LANE_THREADS`).
+static LANE_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// Install the `--lane-threads` override (first call wins).
+pub fn set_lane_threads(n: usize) {
+    let _ = LANE_THREADS.set(n.max(1));
+}
+
+/// The lane-thread count experiments run under: the `--lane-threads`
+/// override if given, else the engine default (env var / parallelism).
+pub fn lane_threads() -> usize {
+    LANE_THREADS
+        .get()
+        .copied()
+        .unwrap_or_else(|| EngineConfig::default().lane_threads)
+}
+
 /// The four configurations of Section 7.1, in the paper's order.
 pub fn all_modes() -> Vec<SharingMode> {
     vec![
@@ -67,6 +86,7 @@ pub fn gus_engine(mode: SharingMode, batch_size: usize) -> EngineConfig {
             matches_per_keyword: 3,
             ..CandidateConfig::default()
         },
+        lane_threads: lane_threads(),
         ..EngineConfig::default()
     }
 }
@@ -84,6 +104,7 @@ pub fn pfam_engine(mode: SharingMode) -> EngineConfig {
             matches_per_keyword: 2,
             ..CandidateConfig::default()
         },
+        lane_threads: lane_threads(),
         ..EngineConfig::default()
     }
 }
@@ -126,6 +147,49 @@ pub struct PerfSnapshot {
     pub tuples_consumed: u64,
     /// Tuples consumed per wall-clock second end to end.
     pub tuples_per_sec: f64,
+    /// Host threads available to the measurement (`available_parallelism`);
+    /// a 1 here means the parallel arm below could only time-slice.
+    pub host_parallelism: usize,
+    /// Lane-thread cap the parallel ATC-CL arm ran under.
+    pub lane_threads: usize,
+    /// Lanes (clustered plan graphs) of the multi-cluster ATC-CL workload.
+    pub atc_cl_lanes: usize,
+    /// Wall-clock ms for the multi-cluster ATC-CL workload, lanes strictly
+    /// sequential (`lane_threads = 1`).
+    pub atc_cl_seq_ms: f64,
+    /// Same workload with lanes on `lane_threads` worker threads.
+    pub atc_cl_par_ms: f64,
+    /// Upper bound on lane-parallel speedup for this workload, from the
+    /// sequential arm's per-lane wall times (Σ / max): what
+    /// `lane_threads ≥ lanes` approaches on a host with at least that many
+    /// cores. On a single-core host the measured `atc_cl_par_ms` cannot
+    /// reach this — compare it with `host_parallelism` when reading.
+    pub atc_cl_speedup_bound: f64,
+    /// Whether the parallel arm consumed bit-identical tuples and produced
+    /// identical per-UQ statistics to the sequential arm (must be true —
+    /// threading changes wall time, never results).
+    pub atc_cl_identical: bool,
+    /// Tuples consumed by the ATC-CL workload (same in both arms).
+    pub atc_cl_tuples: u64,
+    /// Host wall-clock µs per lane in the parallel arm, by lane index.
+    pub lane_wall_us: Vec<u64>,
+}
+
+/// The multi-cluster ATC-CL reference workload: the seed-41 GUS instance
+/// with a longer script (40 UQs) and clustering thresholds that actually
+/// split it (several plan graphs with real work in each) — the shape the
+/// lane-threading tentpole exists for.
+pub fn atc_cl_reference_engine(lane_threads_cap: usize) -> EngineConfig {
+    let mut engine = gus_engine(SharingMode::AtcCl(ClusterConfig { t_m: 2, t_c: 0.9 }), 5);
+    engine.lane_threads = lane_threads_cap;
+    engine
+}
+
+/// The workload for [`atc_cl_reference_engine`].
+pub fn atc_cl_reference_workload() -> Workload {
+    let mut cfg = GusConfig::small(41);
+    cfg.user_queries = 40;
+    gus::generate(&cfg)
 }
 
 /// The optimizer+graft shape of one batch: node/edge/leaf counts.
@@ -143,12 +207,15 @@ pub fn spec_shape(spec: &qsys::opt::PlanSpec) -> (usize, usize, usize) {
     (nodes, edges, leaves)
 }
 
-/// Measure the optimizer+graft hot path and an end-to-end workload run.
+/// Measure the optimizer+graft hot path, an end-to-end workload run, and
+/// the sequential-vs-threaded multi-cluster ATC-CL comparison.
 ///
 /// `iters` controls how many optimize/graft cycles are averaged; the
 /// reference batch is the first `batch_size`-UQ batch of the seed-41 GUS
-/// workload — the same inputs `bench_optimizer` uses.
-pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
+/// workload — the same inputs `bench_optimizer` uses. `lane_threads_cap`
+/// sets the parallel ATC-CL arm's thread count (defaults to the host's
+/// parallelism, min 2 so the threaded path is exercised even on one core).
+pub fn perf_snapshot(iters: usize, lane_threads_cap: Option<usize>) -> PerfSnapshot {
     use qsys::state::QsManager;
     use std::time::Instant;
 
@@ -230,6 +297,34 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
     let report = run_workload(&workload, &engine, None).expect("runs");
     let end_to_end = t0.elapsed();
 
+    // Multi-cluster ATC-CL: the same lanes strictly sequential, then on
+    // worker threads. Everything except wall time must be identical.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = lane_threads_cap.unwrap_or(host_parallelism).max(2);
+    let cl_workload = atc_cl_reference_workload();
+    let t0 = std::time::Instant::now();
+    let seq = run_workload(&cl_workload, &atc_cl_reference_engine(1), None).expect("runs");
+    let atc_cl_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let par = run_workload(&cl_workload, &atc_cl_reference_engine(threads), None).expect("runs");
+    let atc_cl_par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let seq_total: u64 = seq.lane_wall_us.iter().sum();
+    let seq_max: u64 = seq.lane_wall_us.iter().copied().max().unwrap_or(1);
+    let atc_cl_speedup_bound = seq_total as f64 / seq_max.max(1) as f64;
+    let atc_cl_identical = seq.tuples_consumed == par.tuples_consumed
+        && seq.tuples_streamed == par.tuples_streamed
+        && seq.probes == par.probes
+        && seq.per_uq.len() == par.per_uq.len()
+        && seq.per_uq.iter().zip(par.per_uq.iter()).all(|(a, b)| {
+            a.uq == b.uq
+                && a.response_us == b.response_us
+                && a.results == b.results
+                && a.cqs_executed == b.cqs_executed
+                && a.lane == b.lane
+        });
+
     let secs = end_to_end.as_secs_f64().max(1e-9);
     PerfSnapshot {
         optimize_us: optimize_us / iters.max(1) as f64,
@@ -244,6 +339,15 @@ pub fn perf_snapshot(iters: usize) -> PerfSnapshot {
         end_to_end_ms: secs * 1e3,
         tuples_consumed: report.tuples_consumed,
         tuples_per_sec: report.tuples_consumed as f64 / secs,
+        host_parallelism,
+        lane_threads: threads,
+        atc_cl_lanes: par.lanes,
+        atc_cl_seq_ms,
+        atc_cl_par_ms,
+        atc_cl_speedup_bound,
+        atc_cl_identical,
+        atc_cl_tuples: par.tuples_consumed,
+        lane_wall_us: par.lane_wall_us,
     }
 }
 
@@ -253,8 +357,14 @@ impl PerfSnapshot {
         self.optimize_us + self.graft_us
     }
 
+    /// Lane speedup of the parallel ATC-CL arm over sequential, percent.
+    pub fn atc_cl_speedup_pct(&self) -> f64 {
+        100.0 * (1.0 - self.atc_cl_par_ms / self.atc_cl_seq_ms.max(1e-9))
+    }
+
     /// Render as a JSON object (no external dependencies available).
     pub fn to_json(&self) -> String {
+        let lane_wall: Vec<String> = self.lane_wall_us.iter().map(u64::to_string).collect();
         format!(
             "{{\n    \"optimize_us\": {:.1},\n    \"graft_us\": {:.1},\n    \
              \"opt_graft_us\": {:.1},\n    \"opt_graft_warm_us\": {:.1},\n    \
@@ -262,7 +372,13 @@ impl PerfSnapshot {
              \"spec_stream_leaves\": {},\n    \"batch_cqs\": {},\n    \
              \"explored\": {},\n    \"memo_hits\": {},\n    \
              \"end_to_end_ms\": {:.1},\n    \"tuples_consumed\": {},\n    \
-             \"tuples_per_sec\": {:.0}\n  }}",
+             \"tuples_per_sec\": {:.0},\n    \
+             \"host_parallelism\": {},\n    \"lane_threads\": {},\n    \
+             \"atc_cl_lanes\": {},\n    \"atc_cl_seq_ms\": {:.1},\n    \
+             \"atc_cl_par_ms\": {:.1},\n    \"atc_cl_speedup_pct\": {:.1},\n    \
+             \"atc_cl_speedup_bound\": {:.2},\n    \
+             \"atc_cl_identical\": {},\n    \"atc_cl_tuples\": {},\n    \
+             \"lane_wall_us\": [{}]\n  }}",
             self.optimize_us,
             self.graft_us,
             self.opt_graft_us(),
@@ -276,6 +392,16 @@ impl PerfSnapshot {
             self.end_to_end_ms,
             self.tuples_consumed,
             self.tuples_per_sec,
+            self.host_parallelism,
+            self.lane_threads,
+            self.atc_cl_lanes,
+            self.atc_cl_seq_ms,
+            self.atc_cl_par_ms,
+            self.atc_cl_speedup_pct(),
+            self.atc_cl_speedup_bound,
+            self.atc_cl_identical,
+            self.atc_cl_tuples,
+            lane_wall.join(", "),
         )
     }
 }

@@ -18,11 +18,138 @@
 
 use qsys_source::Sources;
 use qsys_types::{Epoch, RelId, SimClock, TimeCategory, Tuple, Value};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// A probe key: which (relation, column) the lookup addresses.
 pub type ProbeKey = (RelId, usize);
+
+/// Dense identifier of an access module in a lane's [`AccessModuleArena`].
+///
+/// This is the `Send`-safe replacement for the old `Rc<RefCell<_>>` module
+/// handles: m-join inputs, the QS manager's shared probe caches, and
+/// recovery joins all name the same module by the same `Copy` id, and the
+/// lane-owned arena provides the storage — cross-operator sharing within a
+/// lane needs no locks because a lane is internally single-threaded.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// Sentinel for an input that owns no module at all: recovery replay
+    /// inputs neither store arrivals nor get probed (tuples only ever
+    /// *arrive* on them), so they carry no state. The arena resolves it to
+    /// `None`.
+    pub const DETACHED: ModuleId = ModuleId(u32::MAX);
+
+    /// Whether this is the [`Self::DETACHED`] sentinel.
+    #[inline]
+    pub fn is_detached(self) -> bool {
+        self == ModuleId::DETACHED
+    }
+
+    /// Raw arena index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_detached() {
+            write!(f, "m·")
+        } else {
+            write!(f, "m{}", self.0)
+        }
+    }
+}
+
+/// One lane's arena of access modules, keyed by dense [`ModuleId`].
+///
+/// Slots are reference-counted by *graph residency*: allocating takes the
+/// first reference, every additional graph-resident m-join input sharing
+/// the module (shared probe caches, recovery joins over live hash tables)
+/// takes one via [`Self::retain`], and the plan graph releases one per
+/// input when a node is removed — the slot is recycled when the count hits
+/// zero. Transient m-joins (state-recovery replays that never enter the
+/// graph) reference ids without retaining; they must not outlive the call
+/// that built them.
+///
+/// Module state is behind `RefCell`, not a lock: the arena belongs to one
+/// lane and is only touched from that lane's thread (`Send`, not `Sync`).
+#[derive(Debug, Default)]
+pub struct AccessModuleArena {
+    slots: Vec<Option<RefCell<AccessModule>>>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl AccessModuleArena {
+    /// An empty arena.
+    pub fn new() -> AccessModuleArena {
+        AccessModuleArena::default()
+    }
+
+    /// Store a module, taking the first reference on its slot.
+    pub fn alloc(&mut self, module: AccessModule) -> ModuleId {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(RefCell::new(module));
+            self.refs[idx as usize] = 1;
+            return ModuleId(idx);
+        }
+        let idx = self.slots.len() as u32;
+        assert!(idx < u32::MAX, "access-module arena overflow");
+        self.slots.push(Some(RefCell::new(module)));
+        self.refs.push(1);
+        ModuleId(idx)
+    }
+
+    /// Take an additional reference on a live slot (a new graph-resident
+    /// input now shares the module). Returns the same id for convenience.
+    pub fn retain(&mut self, id: ModuleId) -> ModuleId {
+        if !id.is_detached() {
+            debug_assert!(self.slots[id.index()].is_some(), "retain of a freed slot");
+            self.refs[id.index()] += 1;
+        }
+        id
+    }
+
+    /// Drop one reference; the slot is recycled when none remain.
+    pub fn release(&mut self, id: ModuleId) {
+        if id.is_detached() {
+            return;
+        }
+        let idx = id.index();
+        debug_assert!(self.refs[idx] > 0, "release of a freed slot");
+        self.refs[idx] -= 1;
+        if self.refs[idx] == 0 {
+            self.slots[idx] = None;
+            self.free.push(id.0);
+        }
+    }
+
+    /// The module behind `id`; `None` for [`ModuleId::DETACHED`]. Panics
+    /// on a freed slot (a stale id is a lifecycle bug, not a miss).
+    #[inline]
+    pub fn module(&self, id: ModuleId) -> Option<&RefCell<AccessModule>> {
+        if id.is_detached() {
+            return None;
+        }
+        Some(self.slots[id.index()].as_ref().expect("live module slot"))
+    }
+
+    /// Number of live (allocated, unreleased) modules.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether no modules are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Hash-table access module for a streaming input.
 #[derive(Debug, Default)]

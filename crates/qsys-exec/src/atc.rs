@@ -149,15 +149,13 @@ impl Atc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::{AccessModule, StoredModule};
+    use crate::access::{AccessModule, AccessModuleArena, StoredModule};
     use crate::mjoin::{JoinPred, MJoin, MJoinInput};
     use crate::node::StreamBacking;
     use crate::rank_merge::{CqRegistration, RankMerge, StreamingInput};
     use qsys_query::{ScoreFn, SigInterner};
     use qsys_source::Table;
     use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value};
-    use std::cell::RefCell;
-    use std::rc::Rc;
     use std::sync::Arc;
 
     /// Two relations, 20 rows each, alternating join keys.
@@ -180,10 +178,10 @@ mod tests {
         s
     }
 
-    fn stored_input(rel: u32) -> MJoinInput {
+    fn stored_input(rel: u32, modules: &mut AccessModuleArena) -> MJoinInput {
         MJoinInput {
             rels: vec![RelId::new(rel)],
-            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
             epoch_cap: None,
             store_arrivals: true,
             selection: None,
@@ -201,14 +199,19 @@ mod tests {
             StreamBacking::Remote(sources.open_stream(RelId::new(1), None)),
             Some(interner.relation(RelId::new(1), None)),
         );
+        let inputs = vec![
+            stored_input(0, graph.modules_mut()),
+            stored_input(1, graph.modules_mut()),
+        ];
         let mj = MJoin::new(
-            vec![stored_input(0), stored_input(1)],
+            inputs,
             vec![JoinPred {
                 left_rel: RelId::new(0),
                 left_col: 0,
                 right_rel: RelId::new(1),
                 right_col: 0,
             }],
+            graph.modules(),
         );
         let mjn = graph.add_mjoin(mj, None);
         let mut rm = RankMerge::new(UqId::new(uq), UserId::new(0), k);

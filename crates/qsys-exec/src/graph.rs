@@ -7,6 +7,7 @@
 //! manager grafts into and prunes out of this structure between query
 //! batches, so insertion and removal never invalidate other nodes.
 
+use crate::access::AccessModuleArena;
 use crate::node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
 use crate::rank_merge::RankMerge;
 use qsys_query::SigId;
@@ -22,6 +23,11 @@ pub struct QueryPlanGraph {
     /// Reuse index: interned subexpression signature → the node computing
     /// it. Keyed on [`SigId`], so lookups hash one `u32`.
     sig_index: HashMap<SigId, NodeId>,
+    /// The lane's access modules: every m-join input names its hash table
+    /// or probe cache by [`ModuleId`](crate::access::ModuleId) into this
+    /// arena. Owning it here (rather than `Rc`-sharing modules) is what
+    /// makes the whole graph — and the lane around it — `Send`.
+    modules: AccessModuleArena,
 }
 
 impl QueryPlanGraph {
@@ -33,6 +39,16 @@ impl QueryPlanGraph {
     /// The current epoch (logical timestamp of the latest graft).
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// The lane's access-module arena.
+    pub fn modules(&self) -> &AccessModuleArena {
+        &self.modules
+    }
+
+    /// Mutable arena access (the QS manager allocates modules at graft).
+    pub fn modules_mut(&mut self) -> &mut AccessModuleArena {
+        &mut self.modules
     }
 
     /// Increment the epoch; called by the QS manager whenever it provides a
@@ -107,7 +123,9 @@ impl QueryPlanGraph {
     }
 
     /// Remove a node entirely. The caller (QS manager) must have
-    /// disconnected it; panics if edges remain.
+    /// disconnected it; panics if edges remain. An m-join's inputs each
+    /// drop their arena reference, so modules shared with nothing else
+    /// (and their hash-table state) are reclaimed here.
     pub fn remove_node(&mut self, id: NodeId) {
         let node = self.nodes[id.index()]
             .take()
@@ -119,6 +137,11 @@ impl QueryPlanGraph {
         if let Some(sig) = node.sig {
             if self.sig_index.get(&sig) == Some(&id) {
                 self.sig_index.remove(&sig);
+            }
+        }
+        if let NodeKind::MJoin(mj) = &node.kind {
+            for input in mj.inputs() {
+                self.modules.release(input.module);
             }
         }
     }
@@ -234,10 +257,13 @@ impl QueryPlanGraph {
         while let Some((nid, idx, t)) = queue.pop_front() {
             sources.clock().charge(TimeCategory::Join, route_us);
             let outputs: Vec<Tuple> = {
-                let node = self.node_mut(nid);
+                // Split borrow: the node is mutated, the module arena is
+                // only read (module state is behind per-slot `RefCell`s).
+                let modules = &self.modules;
+                let node = self.nodes[nid.index()].as_mut().expect("live node");
                 match &mut node.kind {
                     NodeKind::Split => vec![t],
-                    NodeKind::MJoin(mj) => mj.insert(idx, t, epoch, sources),
+                    NodeKind::MJoin(mj) => mj.insert(idx, t, epoch, sources, modules),
                     NodeKind::RankMerge(rm) => {
                         rm.accept(idx, t);
                         Vec::new()
@@ -316,7 +342,7 @@ impl QueryPlanGraph {
             .iter()
             .flatten()
             .map(|n| match &n.kind {
-                NodeKind::MJoin(mj) => mj.approx_bytes(),
+                NodeKind::MJoin(mj) => mj.approx_bytes(&self.modules),
                 NodeKind::RankMerge(rm) => rm.approx_bytes(),
                 NodeKind::Stream(leaf) => {
                     let replay = match &leaf.backing {
@@ -334,14 +360,12 @@ impl QueryPlanGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::{AccessModule, StoredModule};
+    use crate::access::{AccessModule, AccessModuleArena, StoredModule};
     use crate::mjoin::{JoinPred, MJoin, MJoinInput};
     use crate::rank_merge::{CqRegistration, StreamingInput};
     use qsys_query::{ScoreFn, SigInterner};
     use qsys_source::Table;
     use qsys_types::{BaseTuple, CostProfile, CqId, RelId, SimClock, UqId, UserId, Value};
-    use std::cell::RefCell;
-    use std::rc::Rc;
     use std::sync::Arc;
 
     fn sources_with_tables() -> Sources {
@@ -363,10 +387,10 @@ mod tests {
         s
     }
 
-    fn stored_input(rel: u32) -> MJoinInput {
+    fn stored_input(rel: u32, modules: &mut AccessModuleArena) -> MJoinInput {
         MJoinInput {
             rels: vec![RelId::new(rel)],
-            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
             epoch_cap: None,
             store_arrivals: true,
             selection: None,
@@ -388,14 +412,19 @@ mod tests {
             Some(sig1),
         );
         let split = g.add_split(Some(sig0));
+        let inputs = vec![
+            stored_input(0, g.modules_mut()),
+            stored_input(1, g.modules_mut()),
+        ];
         let mj = MJoin::new(
-            vec![stored_input(0), stored_input(1)],
+            inputs,
             vec![JoinPred {
                 left_rel: RelId::new(0),
                 left_col: 0,
                 right_rel: RelId::new(1),
                 right_col: 0,
             }],
+            g.modules(),
         );
         let mjn = g.add_mjoin(mj, None);
         let mut rm = RankMerge::new(UqId::new(0), UserId::new(0), 4);

@@ -16,6 +16,27 @@
 //! across all rank-merge operators' thresholds, picks which source to read
 //! next, and routes the resulting tuples through the graph until the top-k
 //! answers of every user query are known.
+//!
+//! ## Threading model
+//!
+//! Everything in this crate is `Send` and nothing is `Sync`: the unit of
+//! parallelism is the engine **lane** (one plan graph + ATC + source
+//! registry + clock), and each lane is driven by exactly one thread at a
+//! time. The paper's ATC-CL configuration runs one lane per query cluster,
+//! so independent clusters execute on real threads without coordinating —
+//! there is no cross-lane shared mutable state at all.
+//!
+//! Within a lane, operators still share state freely (that sharing is the
+//! paper's whole point), but through lane-owned storage instead of
+//! thread-pinning `Rc`s: every m-join hash table and probe cache lives in
+//! the [`QueryPlanGraph`]'s [`AccessModuleArena`] and is named by a dense
+//! `Copy` [`ModuleId`] — recovery joins and shared probe caches are just
+//! two inputs holding the same id. Module state sits behind per-slot
+//! `RefCell`s (cheap, single-threaded interior mutability), the virtual
+//! clock uses relaxed atomics so its handles can move with the lane, and
+//! the lane's signature interner is behind an uncontended `RwLock`. The
+//! invariant to preserve when extending the executor: state may be shared
+//! *within* a lane through the arena, never *across* lanes.
 
 pub mod access;
 pub mod atc;
@@ -25,7 +46,7 @@ pub mod node;
 pub mod rank_merge;
 pub mod stats;
 
-pub use access::{AccessModule, RemoteModule, StoredModule};
+pub use access::{AccessModule, AccessModuleArena, ModuleId, RemoteModule, StoredModule};
 pub use atc::{Atc, SchedulingPolicy};
 pub use graph::QueryPlanGraph;
 pub use mjoin::{MJoin, MJoinInput};

@@ -9,16 +9,22 @@
 //! adjusted at runtime based on monitored values for the various join
 //! selectivities" (Section 4.1).
 //!
-//! Access modules are shared (`Rc<RefCell<_>>`) because the state-recovery
-//! machinery of Section 6.2 builds *recovery* m-joins over the same hash
-//! tables, restricted to pre-epoch partitions via an epoch cap.
+//! Access modules live in the lane-owned [`AccessModuleArena`] and are
+//! named by dense, `Copy` [`ModuleId`]s; an input holds an id, never the
+//! module itself. Sharing a hash table — the state-recovery machinery of
+//! Section 6.2 builds *recovery* m-joins over the same tables, restricted
+//! to pre-epoch partitions via an epoch cap, and the QS manager shares one
+//! probe cache per remote relation — means two inputs holding the same id.
+//! The ownership rule: graph-resident inputs hold one arena reference each
+//! (taken at graft, dropped when the plan graph removes the node);
+//! transient recovery joins borrow ids without retaining. This keeps the
+//! whole executor `Send`: the arena moves with its lane onto a lane
+//! thread, and no `Rc` ties operators to the spawning thread.
 
-use crate::access::AccessModule;
+use crate::access::{AccessModule, AccessModuleArena, ModuleId};
 use qsys_source::Sources;
 use qsys_types::{Epoch, RelId, Selection, Tuple};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// One join predicate between two relations handled by this m-join.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,8 +44,10 @@ pub struct JoinPred {
 pub struct MJoinInput {
     /// Relations covered by tuples arriving on (or probed from) this input.
     pub rels: Vec<RelId>,
-    /// The access module (shared so recovery joins can reference it).
-    pub module: Rc<RefCell<AccessModule>>,
+    /// Arena id of the access module (the same id appearing in several
+    /// inputs is how recovery joins and shared probe caches reference one
+    /// module; [`ModuleId::DETACHED`] marks a stateless replay input).
+    pub module: ModuleId,
     /// Only consider stored tuples from epochs strictly before this when
     /// probing (RecoverState's pre-epoch view); `None` = all.
     pub epoch_cap: Option<Epoch>,
@@ -82,7 +90,11 @@ pub struct MJoin {
 impl MJoin {
     /// Build an m-join; registers probe keys on all stored modules so every
     /// predicate can be evaluated by hash lookup.
-    pub fn new(inputs: Vec<MJoinInput>, preds: Vec<JoinPred>) -> MJoin {
+    pub fn new(
+        inputs: Vec<MJoinInput>,
+        preds: Vec<JoinPred>,
+        modules: &AccessModuleArena,
+    ) -> MJoin {
         // Hard limit: probe routing uses a u64 input bitmask; silently
         // wrapping shifts in release builds would mis-route joins.
         assert!(inputs.len() <= 64, "m-join supports at most 64 inputs");
@@ -104,7 +116,7 @@ impl MJoin {
             output_rels,
             owner,
         };
-        mj.register_probe_keys();
+        mj.register_probe_keys(modules);
         mj
     }
 
@@ -129,7 +141,7 @@ impl MJoin {
         }
     }
 
-    fn register_probe_keys(&self) {
+    fn register_probe_keys(&self, modules: &AccessModuleArena) {
         for pred in &self.preds {
             for (rel, col) in [
                 (pred.left_rel, pred.left_col),
@@ -137,7 +149,10 @@ impl MJoin {
             ] {
                 for input in &self.inputs {
                     if input.rels.contains(&rel) {
-                        if let AccessModule::Stored(s) = &mut *input.module.borrow_mut() {
+                        let Some(module) = modules.module(input.module) else {
+                            continue;
+                        };
+                        if let AccessModule::Stored(s) = &mut *module.borrow_mut() {
                             s.add_probe_key((rel, col));
                         }
                     }
@@ -162,10 +177,10 @@ impl MJoin {
     }
 
     /// Add a predicate (grafting may extend a component).
-    pub fn add_pred(&mut self, pred: JoinPred) {
+    pub fn add_pred(&mut self, pred: JoinPred, modules: &AccessModuleArena) {
         if !self.preds.contains(&pred) {
             self.preds.push(pred);
-            self.register_probe_keys();
+            self.register_probe_keys(modules);
         }
         self.stats.resize(self.inputs.len(), InputStats::default());
     }
@@ -180,11 +195,14 @@ impl MJoin {
         tuple: Tuple,
         epoch: Epoch,
         sources: &Sources,
+        modules: &AccessModuleArena,
     ) -> Vec<Tuple> {
         debug_assert!(input_idx < self.inputs.len());
         if self.inputs[input_idx].store_arrivals {
-            if let AccessModule::Stored(s) = &mut *self.inputs[input_idx].module.borrow_mut() {
-                s.insert(tuple.clone(), epoch, sources.clock());
+            if let Some(module) = modules.module(self.inputs[input_idx].module) {
+                if let AccessModule::Stored(s) = &mut *module.borrow_mut() {
+                    s.insert(tuple.clone(), epoch, sources.clock());
+                }
             }
         }
         if self.inputs.len() == 1 {
@@ -208,7 +226,7 @@ impl MJoin {
                 return Vec::new();
             };
             remaining.retain(|&i| i != pick);
-            partials = self.probe_step(pick, covered, partials, sources);
+            partials = self.probe_step(pick, covered, partials, sources, modules);
             covered |= 1 << pick;
         }
         partials
@@ -241,6 +259,7 @@ impl MJoin {
         covered: u64,
         partials: Vec<Tuple>,
         sources: &Sources,
+        modules: &AccessModuleArena,
     ) -> Vec<Tuple> {
         let conds: Vec<(RelId, usize, RelId, usize)> = self
             .preds
@@ -256,7 +275,11 @@ impl MJoin {
             let Some(key) = partial.value_of(probe_cond.0, probe_cond.1) else {
                 continue;
             };
-            let matches: Vec<Tuple> = match &mut *self.inputs[target].module.borrow_mut() {
+            let Some(module) = modules.module(self.inputs[target].module) else {
+                // A detached (stateless) input can never contribute matches.
+                continue;
+            };
+            let matches: Vec<Tuple> = match &mut *module.borrow_mut() {
                 AccessModule::Stored(s) => s.probe(
                     (probe_cond.2, probe_cond.3),
                     key,
@@ -306,11 +329,13 @@ impl MJoin {
         self.stats.iter().map(|s| s.probes).collect()
     }
 
-    /// Approximate resident bytes across all *owned* stored modules.
-    pub fn approx_bytes(&self) -> usize {
+    /// Approximate resident bytes across this join's modules (shared
+    /// modules count once per referencing join, as before).
+    pub fn approx_bytes(&self, modules: &AccessModuleArena) -> usize {
         self.inputs
             .iter()
-            .map(|i| i.module.borrow().approx_bytes())
+            .filter_map(|i| modules.module(i.module))
+            .map(|m| m.borrow().approx_bytes())
             .sum()
     }
 }
@@ -332,10 +357,10 @@ mod tests {
         )))
     }
 
-    fn stored_input(rel: u32) -> MJoinInput {
+    fn stored_input(rel: u32, modules: &mut AccessModuleArena) -> MJoinInput {
         MJoinInput {
             rels: vec![RelId::new(rel)],
-            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
             epoch_cap: None,
             store_arrivals: true,
             selection: None,
@@ -359,34 +384,46 @@ mod tests {
     /// side arrives first.
     #[test]
     fn two_way_symmetric_join() {
+        let mut modules = AccessModuleArena::new();
         let mut mj = MJoin::new(
-            vec![stored_input(0), stored_input(1)],
+            vec![stored_input(0, &mut modules), stored_input(1, &mut modules)],
             vec![pred(0, 0, 1, 0)],
+            &modules,
         );
         let s = sources();
-        let r1 = mj.insert(0, tup(0, 1, &[5], 0.9), Epoch(0), &s);
+        let r1 = mj.insert(0, tup(0, 1, &[5], 0.9), Epoch(0), &s, &modules);
         assert!(r1.is_empty());
-        let r2 = mj.insert(1, tup(1, 10, &[5], 0.8), Epoch(0), &s);
+        let r2 = mj.insert(1, tup(1, 10, &[5], 0.8), Epoch(0), &s, &modules);
         assert_eq!(r2.len(), 1);
         assert_eq!(r2[0].arity(), 2);
-        let r3 = mj.insert(0, tup(0, 2, &[5], 0.7), Epoch(0), &s);
+        let r3 = mj.insert(0, tup(0, 2, &[5], 0.7), Epoch(0), &s, &modules);
         assert_eq!(r3.len(), 1);
-        let r4 = mj.insert(1, tup(1, 11, &[6], 0.6), Epoch(0), &s);
+        let r4 = mj.insert(1, tup(1, 11, &[6], 0.6), Epoch(0), &s, &modules);
         assert!(r4.is_empty());
     }
 
     /// Three-way join over a path R0 -0- R1 -1- R2.
     #[test]
     fn three_way_join_produces_full_results() {
+        let mut modules = AccessModuleArena::new();
         let mut mj = MJoin::new(
-            vec![stored_input(0), stored_input(1), stored_input(2)],
+            vec![
+                stored_input(0, &mut modules),
+                stored_input(1, &mut modules),
+                stored_input(2, &mut modules),
+            ],
             vec![pred(0, 0, 1, 0), pred(1, 1, 2, 0)],
+            &modules,
         );
         let s = sources();
-        assert!(mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(0), &s).is_empty());
-        assert!(mj.insert(2, tup(2, 30, &[7], 1.0), Epoch(0), &s).is_empty());
+        assert!(mj
+            .insert(0, tup(0, 1, &[5], 1.0), Epoch(0), &s, &modules)
+            .is_empty());
+        assert!(mj
+            .insert(2, tup(2, 30, &[7], 1.0), Epoch(0), &s, &modules)
+            .is_empty());
         // R1 row joins both sides: key 5 to R0, key 7 to R2.
-        let r = mj.insert(1, tup(1, 20, &[5, 7], 1.0), Epoch(0), &s);
+        let r = mj.insert(1, tup(1, 20, &[5, 7], 1.0), Epoch(0), &s, &modules);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].arity(), 3);
         assert_eq!(
@@ -404,14 +441,16 @@ mod tests {
             .map(|i| tup(1, 100 + i, &[(i % 3) as i64], 1.0))
             .collect();
         let run = |order: &[(usize, &Tuple)]| {
+            let mut modules = AccessModuleArena::new();
             let mut mj = MJoin::new(
-                vec![stored_input(0), stored_input(1)],
+                vec![stored_input(0, &mut modules), stored_input(1, &mut modules)],
                 vec![pred(0, 0, 1, 0)],
+                &modules,
             );
             let s = sources();
             let mut results = Vec::new();
             for (idx, t) in order {
-                results.extend(mj.insert(*idx, (*t).clone(), Epoch(0), &s));
+                results.extend(mj.insert(*idx, (*t).clone(), Epoch(0), &s, &modules));
             }
             let mut prov: Vec<_> = results.iter().map(|t| t.provenance()).collect();
             prov.sort();
@@ -451,19 +490,24 @@ mod tests {
             })
             .collect();
         s.register(Table::new(rel, rows));
+        let mut modules = AccessModuleArena::new();
         let remote = MJoinInput {
             rels: vec![rel],
-            module: Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(rel)))),
+            module: modules.alloc(AccessModule::Remote(RemoteModule::new(rel))),
             epoch_cap: None,
             store_arrivals: false,
             selection: None,
         };
-        let mut mj = MJoin::new(vec![stored_input(0), remote], vec![pred(0, 0, 1, 0)]);
-        let r = mj.insert(0, tup(0, 1, &[0], 1.0), Epoch(0), &s);
+        let mut mj = MJoin::new(
+            vec![stored_input(0, &mut modules), remote],
+            vec![pred(0, 0, 1, 0)],
+            &modules,
+        );
+        let r = mj.insert(0, tup(0, 1, &[0], 1.0), Epoch(0), &s, &modules);
         assert_eq!(r.len(), 2); // two remote rows with key 0
         assert_eq!(s.probes(), 1);
         // Another arrival with the same key: served from the probe cache.
-        let r = mj.insert(0, tup(0, 2, &[0], 1.0), Epoch(0), &s);
+        let r = mj.insert(0, tup(0, 2, &[0], 1.0), Epoch(0), &s, &modules);
         assert_eq!(r.len(), 2);
         assert_eq!(s.probes(), 1);
     }
@@ -471,20 +515,24 @@ mod tests {
     /// Epoch caps restrict probes to pre-epoch state (RecoverState).
     #[test]
     fn epoch_cap_limits_matches() {
-        let module = Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([]))));
+        let mut modules = AccessModuleArena::new();
         let capped = MJoinInput {
             rels: vec![RelId::new(1)],
-            module: Rc::clone(&module),
+            module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
             epoch_cap: Some(Epoch(1)),
             store_arrivals: true,
             selection: None,
         };
-        let mut mj = MJoin::new(vec![stored_input(0), capped], vec![pred(0, 0, 1, 0)]);
+        let mut mj = MJoin::new(
+            vec![stored_input(0, &mut modules), capped],
+            vec![pred(0, 0, 1, 0)],
+            &modules,
+        );
         let s = sources();
         // One R1 tuple in epoch 0, one in epoch 1 — only the former visible.
-        mj.insert(1, tup(1, 10, &[5], 1.0), Epoch(0), &s);
-        mj.insert(1, tup(1, 11, &[5], 1.0), Epoch(1), &s);
-        let r = mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(1), &s);
+        mj.insert(1, tup(1, 10, &[5], 1.0), Epoch(0), &s, &modules);
+        mj.insert(1, tup(1, 11, &[5], 1.0), Epoch(1), &s, &modules);
+        let r = mj.insert(0, tup(0, 1, &[5], 1.0), Epoch(1), &s, &modules);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].part(RelId::new(1)).unwrap().row_id, 10);
     }
@@ -494,19 +542,25 @@ mod tests {
     #[test]
     fn adaptive_probe_sequence_prefers_selective_input() {
         // R0 joins R1 (col 0, high fanout) and R2 (col 1, zero matches).
+        let mut modules = AccessModuleArena::new();
         let mut mj = MJoin::new(
-            vec![stored_input(0), stored_input(1), stored_input(2)],
+            vec![
+                stored_input(0, &mut modules),
+                stored_input(1, &mut modules),
+                stored_input(2, &mut modules),
+            ],
             vec![pred(0, 0, 1, 0), pred(0, 1, 2, 0)],
+            &modules,
         );
         let s = sources();
         for i in 0..10 {
-            mj.insert(1, tup(1, 100 + i, &[1], 1.0), Epoch(0), &s);
+            mj.insert(1, tup(1, 100 + i, &[1], 1.0), Epoch(0), &s, &modules);
         }
         // No R2 tuples at all: selectivity of input 2 is 0. The very first
         // R0 insert fans out to 10 partials, giving input 2 instant
         // evidence of zero selectivity.
         for i in 0..10 {
-            mj.insert(0, tup(0, i, &[1, 9], 1.0), Epoch(0), &s);
+            mj.insert(0, tup(0, i, &[1, 9], 1.0), Epoch(0), &s, &modules);
         }
         let sel = mj.observed_selectivities();
         assert_eq!(sel[2], Some(0.0), "input 2 observed as fully selective");
@@ -516,15 +570,16 @@ mod tests {
         let probes = mj.probe_counts();
         assert_eq!(probes[1], 1, "R1 probed only before adaptation kicked in");
         let before = mj.probe_counts()[1];
-        mj.insert(0, tup(0, 99, &[1, 9], 1.0), Epoch(0), &s);
+        mj.insert(0, tup(0, 99, &[1, 9], 1.0), Epoch(0), &s, &modules);
         assert_eq!(mj.probe_counts()[1], before, "R1 probe was skipped");
     }
 
     #[test]
     fn single_input_passes_through() {
-        let mut mj = MJoin::new(vec![stored_input(0)], vec![]);
+        let mut modules = AccessModuleArena::new();
+        let mut mj = MJoin::new(vec![stored_input(0, &mut modules)], vec![], &modules);
         let s = sources();
-        let r = mj.insert(0, tup(0, 1, &[5], 0.5), Epoch(0), &s);
+        let r = mj.insert(0, tup(0, 1, &[5], 0.5), Epoch(0), &s, &modules);
         assert_eq!(r.len(), 1);
     }
 }

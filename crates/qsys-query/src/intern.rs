@@ -32,10 +32,9 @@
 use crate::cq::ConjunctiveQuery;
 use crate::subexpr::SubExprSig;
 use qsys_types::{RelId, Selection};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Dense identifier of an interned [`SubExprSig`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -82,17 +81,42 @@ pub struct SigInterner {
     arena: Vec<SigEntry>,
 }
 
-/// A `RefCell` around the interner, for single-threaded sharing between the
+/// Shared-ownership cell around the interner, for sharing between the
 /// optimizer (which interns) and the state manager (which resolves).
-pub type SigCell = RefCell<SigInterner>;
+///
+/// Each engine lane owns exactly one interner and drives it from a single
+/// thread, but lanes run on real OS threads, so the cell must be `Send` +
+/// `Sync`. The lock is an uncontended `RwLock` whose guards are exposed
+/// through `RefCell`-shaped `borrow` / `borrow_mut` accessors: the borrow
+/// discipline is the same one `RefCell` enforced, with poisoning ignored
+/// (a panic mid-intern aborts the lane anyway).
+#[derive(Debug, Default)]
+pub struct SigCell(RwLock<SigInterner>);
+
+impl SigCell {
+    /// Wrap an interner.
+    pub fn new(inner: SigInterner) -> SigCell {
+        SigCell(RwLock::new(inner))
+    }
+
+    /// Shared (read) access.
+    pub fn borrow(&self) -> RwLockReadGuard<'_, SigInterner> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive (write) access.
+    pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, SigInterner> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// The engine-lane handle: one interner shared by optimizer, QS manager,
 /// and plan graph, keeping ids stable across batches.
-pub type SharedInterner = Rc<SigCell>;
+pub type SharedInterner = Arc<SigCell>;
 
 /// A fresh shareable interner.
 pub fn shared_interner() -> SharedInterner {
-    Rc::new(RefCell::new(SigInterner::default()))
+    Arc::new(SigCell::default())
 }
 
 impl SigInterner {

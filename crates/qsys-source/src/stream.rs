@@ -39,6 +39,12 @@ pub struct SourceStream {
     /// Pushed-down selection (kept for display/debugging).
     selection: Option<Selection>,
     cursor: usize,
+    /// Fetch-ahead credit: tuples already paid for by the current network
+    /// round. While positive, reads cost only per-tuple CPU; at zero the
+    /// next read opens a new round (one round-trip delay for up to
+    /// [`CostProfile::fetch_batch`](qsys_types::CostProfile::fetch_batch)
+    /// tuples). Maintained by [`Sources::read`](crate::registry::Sources).
+    pub(crate) round_credit: usize,
 }
 
 impl SourceStream {
@@ -51,6 +57,7 @@ impl SourceStream {
             rels,
             selection,
             cursor: 0,
+            round_credit: 0,
         }
     }
 
@@ -62,6 +69,7 @@ impl SourceStream {
             rels,
             selection: None,
             cursor: 0,
+            round_credit: 0,
         }
     }
 

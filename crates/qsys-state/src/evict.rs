@@ -91,7 +91,7 @@ pub fn evict_to_budget(
 
 fn node_bytes(graph: &QueryPlanGraph, id: NodeId) -> usize {
     match &graph.node(id).kind {
-        NodeKind::MJoin(mj) => mj.approx_bytes(),
+        NodeKind::MJoin(mj) => mj.approx_bytes(graph.modules()),
         NodeKind::RankMerge(rm) => rm.approx_bytes(),
         NodeKind::Stream(leaf) => leaf.archive.len() * 16 + 64,
         NodeKind::Split => 16,

@@ -2,7 +2,7 @@
 
 use crate::evict::{EvictionPolicy, EvictionStats};
 use crate::recover;
-use qsys_exec::access::{AccessModule, RemoteModule, StoredModule};
+use qsys_exec::access::{AccessModule, ModuleId, RemoteModule, StoredModule};
 use qsys_exec::mjoin::{JoinPred, MJoin, MJoinInput};
 use qsys_exec::rank_merge::{CqRegistration, RankMerge, StreamingInput};
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
@@ -13,7 +13,7 @@ use qsys_source::{JoinCond, Sources, SpjSpec};
 use qsys_types::{Epoch, RelId, UqId};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What one graft did (reported to the engine for stats and tests).
 #[derive(Debug, Default, Clone)]
@@ -46,8 +46,10 @@ pub struct QsManager {
     /// Shared random-access probe caches, one per remote relation: "we
     /// cache tuples from random probes, [so] the rate of probing
     /// decrease[s] over time" (§7.1). Shared across every m-join this
-    /// manager grafts (sharing-enabled plans only).
-    probe_modules: HashMap<RelId, Rc<RefCell<AccessModule>>>,
+    /// manager grafts (sharing-enabled plans only). The id points into the
+    /// graph's module arena; this map holds one arena reference per entry
+    /// so the cache outlives any individual consumer.
+    probe_modules: HashMap<RelId, ModuleId>,
     /// Whether probe caches are shared at all (ablation knob).
     share_probe_caches: bool,
     /// Memory budget in approximate bytes.
@@ -122,7 +124,7 @@ impl QsManager {
     /// [`Optimizer::optimize`](qsys_opt::Optimizer::optimize) so the specs
     /// it produces use the same ids this manager's indexes are keyed on.
     pub fn shared_interner(&self) -> SharedInterner {
-        Rc::clone(&self.interner)
+        Arc::clone(&self.interner)
     }
 
     /// Cumulative eviction statistics.
@@ -145,7 +147,9 @@ impl QsManager {
     /// this between user queries so sharing stays within one query.
     pub fn isolate(&mut self) {
         self.graph.clear_sig_index();
-        self.probe_modules.clear();
+        for (_, id) in self.probe_modules.drain() {
+            self.graph.modules_mut().release(id);
+        }
     }
 
     /// Graft a plan spec onto the live graph (Section 6.2): bump the epoch,
@@ -336,7 +340,7 @@ impl QsManager {
             }
             mj_inputs.push(MJoinInput {
                 rels,
-                module: Rc::new(RefCell::new(AccessModule::Stored(module))),
+                module: self.graph.modules_mut().alloc(AccessModule::Stored(module)),
                 epoch_cap: None,
                 store_arrivals: true,
                 selection: None,
@@ -346,13 +350,23 @@ impl QsManager {
         for (rel, sel) in probes {
             // Sharing-enabled plans share one probe cache per relation
             // across the whole graph; the ATC-CQ baseline gets private
-            // modules (no sharing of any state).
+            // modules (no sharing of any state). The map holds its own
+            // arena reference; each consuming input retains one more.
             let module = if spec_node.share && self.share_probe_caches {
-                Rc::clone(self.probe_modules.entry(*rel).or_insert_with(|| {
-                    Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(*rel))))
-                }))
+                let modules = self.graph.modules_mut();
+                let id = match self.probe_modules.get(rel) {
+                    Some(id) => *id,
+                    None => {
+                        let id = modules.alloc(AccessModule::Remote(RemoteModule::new(*rel)));
+                        self.probe_modules.insert(*rel, id);
+                        id
+                    }
+                };
+                modules.retain(id)
             } else {
-                Rc::new(RefCell::new(AccessModule::Remote(RemoteModule::new(*rel))))
+                self.graph
+                    .modules_mut()
+                    .alloc(AccessModule::Remote(RemoteModule::new(*rel)))
             };
             mj_inputs.push(MJoinInput {
                 rels: vec![*rel],
@@ -371,7 +385,7 @@ impl QsManager {
                 right_col: p.right_col,
             })
             .collect();
-        let mj = MJoin::new(mj_inputs, join_preds);
+        let mj = MJoin::new(mj_inputs, join_preds, self.graph.modules());
         let sig = spec_node.share.then_some(spec_node.sig);
         let id = self.graph.add_mjoin(mj, sig);
         for (producer, slot) in producer_edges {
@@ -483,10 +497,16 @@ impl ReuseOracle for GraphReuse<'_> {
         let node = self.manager.graph.find_sig(sig)?;
         match &self.manager.graph.try_node(node)?.kind {
             NodeKind::Stream(leaf) => Some(leaf.archive.len() as u64),
-            NodeKind::MJoin(mj) => mj
-                .inputs()
-                .iter()
-                .find_map(|i| i.module.borrow().as_stored().map(|s| s.len() as u64)),
+            NodeKind::MJoin(mj) => {
+                let modules = self.manager.graph.modules();
+                mj.inputs().iter().find_map(|i| {
+                    modules
+                        .module(i.module)?
+                        .borrow()
+                        .as_stored()
+                        .map(|s| s.len() as u64)
+                })
+            }
             _ => None,
         }
     }

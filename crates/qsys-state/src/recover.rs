@@ -23,15 +23,13 @@
 //!
 //! Together these partitions cover every result exactly once.
 
-use qsys_exec::access::AccessModule;
+use qsys_exec::access::{AccessModule, AccessModuleArena, ModuleId};
 use qsys_exec::mjoin::{MJoin, MJoinInput};
 use qsys_exec::rank_merge::{CqRegistration, StreamingInput};
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
 use qsys_opt::plan::CqPlan;
 use qsys_query::SigInterner;
 use qsys_types::{CqId, Epoch, SimClock, Tuple};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Pre-epoch output history of a node, with the epochs tuples arrived in.
 ///
@@ -50,7 +48,7 @@ pub fn node_history(graph: &QueryPlanGraph, node: NodeId, before: Epoch) -> Vec<
             .collect(),
         NodeKind::MJoin(mj) => {
             let stamp = Epoch(before.0.saturating_sub(1));
-            reconstruct_mjoin_history(mj, before)
+            reconstruct_mjoin_history(mj, graph.modules(), before)
                 .into_iter()
                 .map(|t| (t, stamp))
                 .collect()
@@ -68,14 +66,17 @@ pub fn node_history(graph: &QueryPlanGraph, node: NodeId, before: Epoch) -> Vec<
 /// Replay one stored input of `mj` (pre-epoch entries, original order)
 /// against the other modules capped at `before`, reproducing exactly the
 /// outputs the m-join emitted before that epoch.
-fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
+fn reconstruct_mjoin_history(mj: &MJoin, modules: &AccessModuleArena, before: Epoch) -> Vec<Tuple> {
     // Choose the storing input with pre-epoch entries to replay.
     let mut replay: Option<(usize, Vec<Tuple>)> = None;
     for (idx, input) in mj.inputs().iter().enumerate() {
         if !input.store_arrivals {
             continue;
         }
-        if let AccessModule::Stored(s) = &*input.module.borrow() {
+        let Some(module) = modules.module(input.module) else {
+            continue;
+        };
+        if let AccessModule::Stored(s) = &*module.borrow() {
             let entries = s.entries_before(before);
             if !entries.is_empty()
                 && replay
@@ -89,16 +90,16 @@ fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
     let Some((replay_idx, entries)) = replay else {
         return Vec::new();
     };
-    // Temporary capped m-join sharing the live modules. The replay input
-    // itself gets a detached module so nothing is double-inserted.
+    // Temporary capped m-join borrowing the live modules by id (transient:
+    // it never enters the graph, so it takes no arena references). The
+    // replay input is detached — its tuples only ever *arrive*, so it
+    // needs no module and nothing is double-inserted.
     let mut inputs: Vec<MJoinInput> = Vec::new();
     for (idx, input) in mj.inputs().iter().enumerate() {
         if idx == replay_idx {
             inputs.push(MJoinInput {
                 rels: input.rels.clone(),
-                module: Rc::new(RefCell::new(AccessModule::Stored(
-                    qsys_exec::access::StoredModule::new([]),
-                ))),
+                module: ModuleId::DETACHED,
                 epoch_cap: Some(before),
                 store_arrivals: false,
                 selection: None,
@@ -106,20 +107,20 @@ fn reconstruct_mjoin_history(mj: &MJoin, before: Epoch) -> Vec<Tuple> {
         } else {
             inputs.push(MJoinInput {
                 rels: input.rels.clone(),
-                module: Rc::clone(&input.module),
+                module: input.module,
                 epoch_cap: Some(before),
                 store_arrivals: false,
                 selection: input.selection.clone(),
             });
         }
     }
-    let mut temp = MJoin::new(inputs, mj.preds().to_vec());
+    let mut temp = MJoin::new(inputs, mj.preds().to_vec(), modules);
     // Free in-memory recomputation: scratch clock and scratch sources.
     let scratch_sources =
         qsys_source::Sources::new(SimClock::new(), qsys_types::CostProfile::default(), 0);
     let mut out = Vec::new();
     for t in entries {
-        out.extend(temp.insert(replay_idx, t, before, &scratch_sources));
+        out.extend(temp.insert(replay_idx, t, before, &scratch_sources, modules));
     }
     out
 }
@@ -155,63 +156,77 @@ pub fn recover_state(
         }
         NodeKind::MJoin(_) => {
             // Find the richest pre-epoch streaming input to replay; if none
-            // has history, nothing was missed.
-            let NodeKind::MJoin(mj) = &graph.node(root).kind else {
-                unreachable!()
-            };
-            let mut best: Option<(usize, usize)> = None; // (input, count)
-            for (idx, input) in mj.inputs().iter().enumerate() {
-                if !input.store_arrivals {
-                    continue;
-                }
-                if let AccessModule::Stored(s) = &*input.module.borrow() {
-                    let n = s.entries_before(epoch).len();
-                    if n > 0 && best.is_none_or(|(_, b)| n > b) {
-                        best = Some((idx, n));
-                    }
-                }
-            }
-            let Some((replay_idx, _)) = best else {
-                return false;
-            };
-            let (mut entries, rels) = {
-                let input = &mj.inputs()[replay_idx];
-                let AccessModule::Stored(s) = &*input.module.borrow() else {
+            // has history, nothing was missed. Collect everything needed
+            // from the live join first: building the recovery join takes
+            // arena references, which needs the graph borrow back.
+            let (replay_idx, mut entries, rels, input_specs, preds) = {
+                let NodeKind::MJoin(mj) = &graph.node(root).kind else {
                     unreachable!()
                 };
-                (s.entries_before(epoch), input.rels.clone())
+                let modules = graph.modules();
+                let mut best: Option<(usize, usize)> = None; // (input, count)
+                for (idx, input) in mj.inputs().iter().enumerate() {
+                    if !input.store_arrivals {
+                        continue;
+                    }
+                    let Some(module) = modules.module(input.module) else {
+                        continue;
+                    };
+                    if let AccessModule::Stored(s) = &*module.borrow() {
+                        let n = s.entries_before(epoch).len();
+                        if n > 0 && best.is_none_or(|(_, b)| n > b) {
+                            best = Some((idx, n));
+                        }
+                    }
+                }
+                let Some((replay_idx, _)) = best else {
+                    return false;
+                };
+                let (entries, rels) = {
+                    let input = &mj.inputs()[replay_idx];
+                    let module = modules.module(input.module).expect("chosen input is live");
+                    let AccessModule::Stored(s) = &*module.borrow() else {
+                        unreachable!()
+                    };
+                    (s.entries_before(epoch), input.rels.clone())
+                };
+                let input_specs: Vec<(Vec<qsys_types::RelId>, ModuleId, Option<_>)> = mj
+                    .inputs()
+                    .iter()
+                    .map(|i| (i.rels.clone(), i.module, i.selection.clone()))
+                    .collect();
+                (replay_idx, entries, rels, input_specs, mj.preds().to_vec())
             };
             // Replay must be nonincreasing in raw-score product for the
             // rank-merge threshold to be sound. Base-stream arrivals
             // already are; intermediate-component outputs arrive in
             // trigger order, so sort explicitly.
             entries.sort_by(|a, b| b.raw_score_product().total_cmp(&a.raw_score_product()));
-            // Build the recovery m-join: replay input detached, all other
-            // inputs shared and capped at the epoch.
+            // Build the recovery m-join: the replay input is detached
+            // (tuples only arrive on it), every other input shares the
+            // live module — graph-resident, so each takes an arena
+            // reference — capped at the epoch.
             let mut rec_inputs = Vec::new();
-            for (idx, input) in mj.inputs().iter().enumerate() {
+            for (idx, (in_rels, module_id, selection)) in input_specs.into_iter().enumerate() {
                 if idx == replay_idx {
                     rec_inputs.push(MJoinInput {
-                        rels: input.rels.clone(),
-                        module: Rc::new(RefCell::new(AccessModule::Stored(
-                            qsys_exec::access::StoredModule::new([]),
-                        ))),
+                        rels: in_rels,
+                        module: ModuleId::DETACHED,
                         epoch_cap: Some(epoch),
                         store_arrivals: false,
                         selection: None,
                     });
                 } else {
                     rec_inputs.push(MJoinInput {
-                        rels: input.rels.clone(),
-                        module: Rc::clone(&input.module),
+                        rels: in_rels,
+                        module: graph.modules_mut().retain(module_id),
                         epoch_cap: Some(epoch),
                         store_arrivals: false,
-                        selection: input.selection.clone(),
+                        selection,
                     });
                 }
             }
-            let preds = mj.preds().to_vec();
-            let rec_join = MJoin::new(rec_inputs, preds);
+            let rec_join = MJoin::new(rec_inputs, preds, graph.modules());
             let rec_join_id = graph.add_mjoin(rec_join, None);
 
             let replay_id = graph.add_stream(

@@ -13,9 +13,9 @@
 //! hardware while preserving the relative cost structure that drives the
 //! paper's results.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What an expenditure of simulated time was for (Figure 8 categories).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -117,6 +117,11 @@ pub struct CostProfile {
     /// Cost of routing one tuple through a split or into a rank-merge
     /// queue, µs.
     pub route_us: u64,
+    /// Stream fetch-ahead: tuples delivered per simulated network round.
+    /// The Poisson round-trip delay is charged once per round, so values
+    /// above 1 amortize it exactly the way the paper's JDBC sources set a
+    /// fetch size; 1 reproduces the original one-tuple-per-round model.
+    pub fetch_batch: usize,
 }
 
 impl Default for CostProfile {
@@ -127,6 +132,7 @@ impl Default for CostProfile {
             probe_us: 50,
             hash_op_us: 2,
             route_us: 1,
+            fetch_batch: 1,
         }
     }
 }
@@ -134,21 +140,24 @@ impl Default for CostProfile {
 /// A shared virtual clock.
 ///
 /// Cloning a `SimClock` yields a handle onto the *same* clock (interior
-/// `Rc`), so sources, operators, and the ATC all charge into one account.
-/// The engine is single-threaded by design (the ATC is a serial coordinator,
-/// exactly as in the paper), so `Rc<Cell>` suffices and keeps charging free
-/// of atomic traffic.
+/// `Arc`), so sources, operators, and the ATC all charge into one account.
+/// Each engine lane owns one clock and drives it from a single thread (the
+/// ATC is a serial coordinator, exactly as in the paper), but lanes
+/// themselves run on real threads — so the account is kept in relaxed
+/// atomics, making every clock handle `Send` without cross-lane
+/// coordination (there is none: no ordering between lanes is implied or
+/// needed).
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
-    inner: Rc<ClockInner>,
+    inner: Arc<ClockInner>,
 }
 
 #[derive(Debug, Default)]
 struct ClockInner {
-    stream_read_us: Cell<u64>,
-    random_access_us: Cell<u64>,
-    join_us: Cell<u64>,
-    optimize_us: Cell<u64>,
+    stream_read_us: AtomicU64,
+    random_access_us: AtomicU64,
+    join_us: AtomicU64,
+    optimize_us: AtomicU64,
 }
 
 impl SimClock {
@@ -166,7 +175,7 @@ impl SimClock {
             TimeCategory::Join => &self.inner.join_us,
             TimeCategory::Optimize => &self.inner.optimize_us,
         };
-        cell.set(cell.get() + us);
+        cell.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Current virtual time in microseconds.
@@ -177,10 +186,10 @@ impl SimClock {
     /// Snapshot of the per-category account.
     pub fn breakdown(&self) -> TimeBreakdown {
         TimeBreakdown {
-            stream_read_us: self.inner.stream_read_us.get(),
-            random_access_us: self.inner.random_access_us.get(),
-            join_us: self.inner.join_us.get(),
-            optimize_us: self.inner.optimize_us.get(),
+            stream_read_us: self.inner.stream_read_us.load(Ordering::Relaxed),
+            random_access_us: self.inner.random_access_us.load(Ordering::Relaxed),
+            join_us: self.inner.join_us.load(Ordering::Relaxed),
+            optimize_us: self.inner.optimize_us.load(Ordering::Relaxed),
         }
     }
 }

@@ -11,10 +11,8 @@ use qsys_source::{Table, TableProvider};
 use qsys_types::dist::{seeded_rng, Zipf};
 use qsys_types::{BaseTuple, RelId, Value};
 use rand::Rng;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How a relation's score attribute is distributed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,51 +60,62 @@ impl Default for TableGenSpec {
     }
 }
 
-/// Shared lazy table store; clones share the cache.
+/// Shared lazy table store; clones share the cache. `Send + Sync`: when
+/// clustered ATC lanes run on threads, every lane's source registry pulls
+/// from this one materialized dataset. The map lock is held only for slot
+/// lookup; generation happens under the relation's own `OnceLock`, so two
+/// lanes first-touching the *same* relation wait (generate-once) while
+/// first touches of *different* relations generate concurrently.
 #[derive(Clone)]
 pub struct SharedTables {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
+
+type TableSlot = Arc<std::sync::OnceLock<Arc<Table>>>;
 
 struct Inner {
     seed: u64,
     specs: HashMap<RelId, TableGenSpec>,
-    cache: RefCell<HashMap<RelId, Arc<Table>>>,
+    cache: Mutex<HashMap<RelId, TableSlot>>,
 }
 
 impl SharedTables {
     /// Build a store from per-relation specs.
     pub fn new(seed: u64, specs: HashMap<RelId, TableGenSpec>) -> SharedTables {
         SharedTables {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 seed,
                 specs,
-                cache: RefCell::new(HashMap::new()),
+                cache: Mutex::new(HashMap::new()),
             }),
         }
     }
 
     /// The table for `rel`, generating it deterministically on first use.
     pub fn table(&self, rel: RelId) -> Arc<Table> {
-        if let Some(t) = self.inner.cache.borrow().get(&rel) {
-            return Arc::clone(t);
-        }
-        let spec = self
-            .inner
-            .specs
-            .get(&rel)
-            .unwrap_or_else(|| panic!("no generation spec for {rel}"));
-        let table = Arc::new(generate_table(rel, spec, self.inner.seed));
-        self.inner
-            .cache
-            .borrow_mut()
-            .insert(rel, Arc::clone(&table));
-        table
+        let slot = {
+            let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(cache.entry(rel).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let spec = self
+                .inner
+                .specs
+                .get(&rel)
+                .unwrap_or_else(|| panic!("no generation spec for {rel}"));
+            Arc::new(generate_table(rel, spec, self.inner.seed))
+        }))
     }
 
     /// Number of currently materialized tables.
     pub fn materialized(&self) -> usize {
-        self.inner.cache.borrow().len()
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// Adapt into the `Sources` provider interface.

@@ -72,6 +72,28 @@ pub struct EngineConfig {
     pub share_probe_caches: bool,
     /// Base RNG seed for network delays.
     pub seed: u64,
+    /// Maximum lanes executing concurrently on OS threads. Only ATC-CL
+    /// produces multiple lanes (one per query cluster); they share no
+    /// mutable state, so running them in parallel changes wall time but
+    /// no result, statistic, or sharing decision. `1` preserves strictly
+    /// sequential lane order. Defaults to the `QSYS_LANE_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism.
+    pub lane_threads: usize,
+}
+
+/// Default lane-thread count: `QSYS_LANE_THREADS` override (the CI knob
+/// exercising the threaded path) or the machine's parallelism.
+fn default_lane_threads() -> usize {
+    if let Some(n) = std::env::var("QSYS_LANE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for EngineConfig {
@@ -88,12 +110,19 @@ impl Default for EngineConfig {
             scheduling: SchedulingPolicy::RoundRobin,
             share_probe_caches: true,
             seed: 0,
+            lane_threads: default_lane_threads(),
         }
     }
 }
 
 /// One execution lane: a plan graph, its ATC, and its gateway to the
 /// sources. ATC-CL runs several lanes; the other modes run one.
+///
+/// A lane is `Send` (checked below) and internally single-threaded: all
+/// state sharing happens *within* a lane (the plan graph's module arena,
+/// the shared interner), never across lanes — so the workload runner may
+/// move lanes onto worker threads and run them concurrently with no
+/// locks on the execution path.
 pub struct Lane {
     /// The QS manager owning this lane's plan graph.
     pub manager: QsManager,
@@ -104,6 +133,14 @@ pub struct Lane {
     /// Per-UQ statistics.
     pub stats: ExecStats,
 }
+
+/// Compile-time guarantee that lanes can move onto worker threads; if a
+/// thread-pinning type (`Rc`, bare `Cell` sharing, …) sneaks back into the
+/// executor, this is the line that fails to compile.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Lane>();
+};
 
 impl Lane {
     fn new(config: &EngineConfig, provider: TableProvider, lane_idx: u64) -> Lane {
@@ -361,6 +398,7 @@ mod tests {
         assert_eq!(c.batch_size, 5);
         assert_eq!(c.scheduling, SchedulingPolicy::RoundRobin);
         assert_eq!(c.eviction, EvictionPolicy::LruSizeTieBreak);
+        assert!(c.lane_threads >= 1, "at least one lane thread");
     }
 
     #[test]

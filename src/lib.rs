@@ -56,6 +56,12 @@
 //! those indices — candidates in an arena, the memo mapping state keys to
 //! plan-arena indices — with sharing decisions pinned bit-for-bit by the
 //! goldens in `tests/interner_invariants.rs`.
+//!
+//! Execution is organized into `Send` **lanes** (plan graph + ATC + source
+//! registry + clock); ATC-CL runs one lane per query cluster on worker
+//! threads capped by [`EngineConfig::lane_threads`], with results
+//! bit-identical to a sequential run (`tests/parallel_identity.rs`). See
+//! the `qsys-exec` crate docs for the threading model.
 
 pub mod engine;
 pub mod report;

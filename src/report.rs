@@ -6,11 +6,16 @@
 //! (Figure 8), conjunctive queries executed (Table 4), total tuples
 //! consumed (Figure 10), and optimizer statistics (Figure 11).
 
-use crate::engine::{batch_share, batches, graft_batch, make_lanes, EngineConfig, SharingMode};
+use crate::engine::{
+    batch_share, batches, graft_batch, make_lanes, EngineConfig, Lane, SharingMode,
+};
+use qsys_catalog::Catalog;
 use qsys_query::{CandidateGenerator, UserQuery};
 use qsys_types::{QsysResult, TimeBreakdown, UqId};
 use qsys_workload::Workload;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Per-user-query report line.
 #[derive(Debug, Clone)]
@@ -53,6 +58,10 @@ pub struct RunReport {
     pub per_uq: Vec<UqReport>,
     /// Number of plan graphs (lanes) used.
     pub lanes: usize,
+    /// Lane-thread cap the run executed under.
+    pub lane_threads: usize,
+    /// Host wall-clock µs each lane spent executing, by lane index.
+    pub lane_wall_us: Vec<u64>,
     /// Summed simulated time across lanes.
     pub breakdown: TimeBreakdown,
     /// Total input tuples consumed (Figure 10).
@@ -133,62 +142,31 @@ pub fn run_workload(
         .map(|uq| (uq.id, (uq.keywords.clone(), uq.cqs.len())))
         .collect();
 
-    let mut opt_events = Vec::new();
     // Partition the arrival-ordered script per lane, then process each
-    // lane's batches.
-    for (lane_idx, lane) in lanes.iter_mut().enumerate() {
-        let lane_uqs: Vec<UserQuery> = uqs
-            .iter()
-            .filter(|uq| assignment.get(&uq.id) == Some(&lane_idx))
-            .cloned()
-            .collect();
-        for batch in batches(&lane_uqs, config.batch_size) {
-            let submit = lane.sources.clock().now_us();
-            for uq in &batch {
-                lane.stats.submit(uq.id, submit);
-            }
-            match config.sharing {
-                // ATC-CQ / ATC-UQ: optimize each user query separately.
-                SharingMode::AtcCq | SharingMode::AtcUq => {
-                    for uq in &batch {
-                        let (_, opt) = graft_batch(&workload.catalog, lane, &[uq], config, share);
-                        opt_events.push(OptEvent {
-                            batch_cqs: uq.cqs.len(),
-                            candidates: opt.candidates,
-                            explored: opt.explored,
-                            opt_us: opt.explored as u64 * 15,
-                        });
-                        if matches!(config.sharing, SharingMode::AtcUq) {
-                            // Sharing stays within the user query.
-                            lane.manager.isolate();
-                        }
-                    }
-                }
-                // ATC-FULL / ATC-CL: one multi-query optimization per batch.
-                _ => {
-                    let n_cqs: usize = batch.iter().map(|uq| uq.cqs.len()).sum();
-                    let (_, opt) = graft_batch(&workload.catalog, lane, &batch, config, share);
-                    opt_events.push(OptEvent {
-                        batch_cqs: n_cqs,
-                        candidates: opt.candidates,
-                        explored: opt.explored,
-                        opt_us: opt.explored as u64 * 15,
-                    });
-                }
-            }
-            lane.atc
-                .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
-            lane.manager.unpin_all();
-            lane.manager.unlink_completed();
-            lane.manager.evict_to_budget();
-        }
-    }
+    // lane's batches. Lanes share no mutable state (own manager, sources,
+    // clock, stats), so with `lane_threads > 1` they run concurrently on
+    // scoped worker threads; results are merged by lane index either way,
+    // keeping every reported quantity bit-identical to a sequential run.
+    let lane_outcomes = run_lanes(
+        &mut lanes,
+        &uqs,
+        &assignment,
+        &workload.catalog,
+        config,
+        share,
+    );
 
-    // Assemble the report.
+    // Assemble the report. Optimizer events concatenate in lane order —
+    // the same order the old sequential loop emitted them in.
     let mut report = RunReport {
         config: config.sharing.label().to_string(),
         lanes: lanes.len(),
-        opt_events,
+        lane_threads: config.lane_threads.max(1),
+        opt_events: lane_outcomes
+            .iter()
+            .flat_map(|o| o.opt_events.iter().copied())
+            .collect(),
+        lane_wall_us: lane_outcomes.iter().map(|o| o.wall_us).collect(),
         skipped,
         ..RunReport::default()
     };
@@ -216,6 +194,126 @@ pub fn run_workload(
     }
     report.per_uq.sort_by_key(|u| u.uq);
     Ok(report)
+}
+
+/// What one lane produced, besides the state left in the lane itself.
+struct LaneOutcome {
+    /// Optimizer invocations, in this lane's batch order.
+    opt_events: Vec<OptEvent>,
+    /// Host wall-clock µs the lane spent executing its script.
+    wall_us: u64,
+}
+
+/// Drive every lane to completion — sequentially for `lane_threads <= 1`,
+/// otherwise on up to `lane_threads` scoped worker threads pulling lanes
+/// from a shared queue. Outcomes come back indexed by lane, so callers see
+/// the same ordering regardless of how execution was scheduled.
+fn run_lanes(
+    lanes: &mut [Lane],
+    uqs: &[UserQuery],
+    assignment: &HashMap<UqId, usize>,
+    catalog: &Catalog,
+    config: &EngineConfig,
+    share: bool,
+) -> Vec<LaneOutcome> {
+    let run_one = |lane_idx: usize, lane: &mut Lane| -> LaneOutcome {
+        let wall = std::time::Instant::now();
+        let lane_uqs: Vec<UserQuery> = uqs
+            .iter()
+            .filter(|uq| assignment.get(&uq.id) == Some(&lane_idx))
+            .cloned()
+            .collect();
+        let mut opt_events = Vec::new();
+        for batch in batches(&lane_uqs, config.batch_size) {
+            let submit = lane.sources.clock().now_us();
+            for uq in &batch {
+                lane.stats.submit(uq.id, submit);
+            }
+            match config.sharing {
+                // ATC-CQ / ATC-UQ: optimize each user query separately.
+                SharingMode::AtcCq | SharingMode::AtcUq => {
+                    for uq in &batch {
+                        let (_, opt) = graft_batch(catalog, lane, &[uq], config, share);
+                        opt_events.push(OptEvent {
+                            batch_cqs: uq.cqs.len(),
+                            candidates: opt.candidates,
+                            explored: opt.explored,
+                            opt_us: opt.explored as u64 * 15,
+                        });
+                        if matches!(config.sharing, SharingMode::AtcUq) {
+                            // Sharing stays within the user query.
+                            lane.manager.isolate();
+                        }
+                    }
+                }
+                // ATC-FULL / ATC-CL: one multi-query optimization per batch.
+                _ => {
+                    let n_cqs: usize = batch.iter().map(|uq| uq.cqs.len()).sum();
+                    let (_, opt) = graft_batch(catalog, lane, &batch, config, share);
+                    opt_events.push(OptEvent {
+                        batch_cqs: n_cqs,
+                        candidates: opt.candidates,
+                        explored: opt.explored,
+                        opt_us: opt.explored as u64 * 15,
+                    });
+                }
+            }
+            lane.atc
+                .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
+            lane.manager.unpin_all();
+            lane.manager.unlink_completed();
+            lane.manager.evict_to_budget();
+        }
+        LaneOutcome {
+            opt_events,
+            wall_us: wall.elapsed().as_micros() as u64,
+        }
+    };
+
+    let threads = config.lane_threads.max(1).min(lanes.len().max(1));
+    if threads <= 1 || lanes.len() <= 1 {
+        return lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(idx, lane)| run_one(idx, lane))
+            .collect();
+    }
+
+    // Work queue: each job hands exactly one worker exclusive `&mut Lane`
+    // access; outcome slots are per-lane, so no ordering is imposed on the
+    // workers and none is needed — lanes are fully independent.
+    let jobs: Vec<Mutex<Option<(usize, &mut Lane)>>> = lanes
+        .iter_mut()
+        .enumerate()
+        .map(|(idx, lane)| Mutex::new(Some((idx, lane))))
+        .collect();
+    let outcomes: Vec<Mutex<Option<LaneOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (idx, lane) = jobs[i]
+                    .lock()
+                    .expect("job slot")
+                    .take()
+                    .expect("each job is taken once");
+                let outcome = run_one(idx, lane);
+                *outcomes[i].lock().expect("outcome slot") = Some(outcome);
+            });
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot")
+                .expect("every lane ran")
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use qsys_catalog::{Catalog, CatalogBuilder, ColumnStats, EdgeKind, RelationStats};
-use qsys_exec::access::{AccessModule, StoredModule};
+use qsys_exec::access::{AccessModule, AccessModuleArena, StoredModule};
 use qsys_exec::mjoin::{JoinPred, MJoin, MJoinInput};
 use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
 use qsys_opt::{Optimizer, OptimizerConfig};
@@ -20,8 +20,6 @@ use qsys_state::QsManager;
 use qsys_types::{
     BaseTuple, CostProfile, CqId, Epoch, RelId, SimClock, Tuple, UqId, UserId, Value,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A randomly generated relation instance: (key, score) rows.
@@ -214,21 +212,24 @@ proptest! {
         b in rel_data(20, 5),
         seed in 0u64..1000,
     ) {
-        let stored = |rel: u32| MJoinInput {
+        let mut modules = AccessModuleArena::new();
+        let stored = |rel: u32, modules: &mut AccessModuleArena| MJoinInput {
             rels: vec![RelId::new(rel)],
-            module: Rc::new(RefCell::new(AccessModule::Stored(StoredModule::new([])))),
+            module: modules.alloc(AccessModule::Stored(StoredModule::new([]))),
             epoch_cap: None,
             store_arrivals: true,
             selection: None,
         };
+        let inputs = vec![stored(0, &mut modules), stored(1, &mut modules)];
         let mut mj = MJoin::new(
-            vec![stored(0), stored(1)],
+            inputs,
             vec![JoinPred {
                 left_rel: RelId::new(0),
                 left_col: 0,
                 right_rel: RelId::new(1),
                 right_col: 0,
             }],
+            &modules,
         );
         let sources = Sources::new(SimClock::new(), CostProfile::default(), 0);
         // Deterministic interleaving from the seed.
@@ -250,7 +251,7 @@ proptest! {
         }
         let mut produced = Vec::new();
         for (input, t) in order {
-            produced.extend(mj.insert(input, t, Epoch(0), &sources));
+            produced.extend(mj.insert(input, t, Epoch(0), &sources, &modules));
         }
         let expected: usize = a.rows.iter().map(|(ka, _)| {
             b.rows.iter().filter(|(kb, _)| ka == kb).count()
@@ -311,5 +312,50 @@ proptest! {
         for (g, w) in warm.iter().zip(want.iter()) {
             prop_assert!((g - w).abs() < 1e-12, "got {} want {}", g, w);
         }
+    }
+}
+
+proptest! {
+    /// Fetch-ahead batching amortizes network rounds without changing what
+    /// a stream delivers: the tuple sequence is identical at every
+    /// `fetch_batch`, the round count is exactly ⌈delivered / batch⌉, and
+    /// the virtual stream-read time never grows with batching.
+    #[test]
+    fn fetch_ahead_preserves_tuple_sequence(
+        a in rel_data(40, 6),
+        batch in 1usize..=40,
+    ) {
+        let read_all = |fetch_batch: usize| {
+            let cost = CostProfile {
+                fetch_batch,
+                ..CostProfile::default()
+            };
+            let sources = Sources::new(SimClock::new(), cost, 7);
+            let data = [a.clone()];
+            let table_sources = build_sources(&data);
+            sources.register_shared(table_sources.table(RelId::new(0)));
+            let mut stream = sources.open_stream(RelId::new(0), None);
+            let mut seq = Vec::new();
+            while let Some(t) = sources.read(&mut stream) {
+                seq.push(t.provenance());
+            }
+            (
+                seq,
+                sources.stream_rounds(),
+                sources.clock().breakdown().stream_read_us,
+            )
+        };
+        let (seq_unbatched, rounds_unbatched, us_unbatched) = read_all(1);
+        let (seq_batched, rounds_batched, us_batched) = read_all(batch);
+        prop_assert_eq!(&seq_unbatched, &seq_batched, "tuple sequence must not change");
+        prop_assert_eq!(rounds_unbatched, seq_unbatched.len() as u64);
+        prop_assert_eq!(rounds_batched, seq_unbatched.len().div_ceil(batch) as u64);
+        prop_assert!(rounds_batched <= rounds_unbatched);
+        prop_assert!(
+            us_batched <= us_unbatched,
+            "batched time {} must not exceed unbatched {}",
+            us_batched,
+            us_unbatched
+        );
     }
 }
