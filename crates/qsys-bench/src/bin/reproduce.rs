@@ -8,6 +8,9 @@
 //!
 //! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
 //! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
+//! Sweeps:      `fetch-batch [--batches 1,8,32] [--limit N]` — response-time
+//! shift from stream fetch-ahead on the figure workload (the ROADMAP's
+//! "quantify what fetch_batch buys" item; recorded in `BENCH_4.json`).
 //! Perf:        `bench [--iters N] [--baseline FILE] [--out FILE]` — measure
 //! the optimizer+graft hot path, end-to-end throughput, and the
 //! sequential-vs-threaded multi-cluster ATC-CL comparison, and emit the
@@ -112,6 +115,13 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            if !snapshot.warm_identical {
+                eprintln!(
+                    "CHECK FAILED: warm-started optimizer diverged from a cold optimizer \
+                     (the warm store is a cache — decisions must be bit-identical)"
+                );
+                std::process::exit(1);
+            }
             let mut decisions_ok = true;
             let json = match &baseline {
                 Some((before, b)) => {
@@ -126,8 +136,12 @@ fn main() {
                         100.0 * (1.0 - snapshot.opt_graft_us() / b.opt_graft_us.max(1e-9));
                     let opt_reduction =
                         100.0 * (1.0 - snapshot.optimize_us / b.optimize_us.max(1e-9));
+                    // The headline of the warm-start work: a warm batch's
+                    // optimize time against the baseline's cold figure.
+                    let warm_vs_baseline =
+                        100.0 * (1.0 - snapshot.warm_optimize_us / b.optimize_us.max(1e-9));
                     format!(
-                        "{{\n  \"bench\": \"optimizer+graft hot path (GUS seed 41, batch of 5 UQs) and end-to-end ATC-FULL workload\",\n  \"machine_note\": \"before/after measured back-to-back on the same machine and build flags\",\n  \"iters\": {iters},\n  \"before\": {before},\n  \"after\": {after},\n  \"optimize_reduction_pct\": {opt_reduction:.1},\n  \"opt_graft_reduction_pct\": {reduction:.1}\n}}\n"
+                        "{{\n  \"bench\": \"optimizer+graft hot path (GUS seed 41, batch of 5 UQs) and end-to-end ATC-FULL workload\",\n  \"machine_note\": \"before/after measured back-to-back on the same machine and build flags\",\n  \"iters\": {iters},\n  \"before\": {before},\n  \"after\": {after},\n  \"optimize_reduction_pct\": {opt_reduction:.1},\n  \"opt_graft_reduction_pct\": {reduction:.1},\n  \"warm_optimize_vs_baseline_reduction_pct\": {warm_vs_baseline:.1}\n}}\n"
                     )
                 }
                 // No baseline: emit the bare snapshot, usable as the
@@ -216,6 +230,29 @@ fn main() {
                 println!("{label:>8}: {probes} remote probes, mean response {mean:.3}s");
             }
         }
+        "fetch-batch" | "sweep-fetch-batch" => {
+            // `--batches 1,8,32` selects the fetch_batch values; `--limit N`
+            // truncates the workload (default: the full 15-UQ script).
+            let batches: Vec<usize> = flag_value(&args, "--batches")
+                .map(|s| {
+                    s.split(',')
+                        .map(|v| {
+                            v.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("--batches wants comma-separated positive integers");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|| vec![1, 4, 8, 16, 32]);
+            let limit: Option<usize> = flag_value(&args, "--limit").map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("--limit wants a positive integer");
+                    std::process::exit(2);
+                })
+            });
+            print_fetch_batch_sweep(&sweep_fetch_batch(seeds[0], scale, &batches, limit));
+        }
         "all" => {
             print_table4(&table4(&seeds, scale));
             println!();
@@ -255,7 +292,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

@@ -173,6 +173,203 @@ pub struct PerfSnapshot {
     pub atc_cl_tuples: u64,
     /// Host wall-clock µs per lane in the parallel arm, by lane index.
     pub lane_wall_us: Vec<u64>,
+    /// Mean wall-clock µs per `Optimizer::optimize_warm` call on a *warm*
+    /// batch: the reference batch re-optimized against a lane whose warm
+    /// store already recorded it (shape + residency validate → the winning
+    /// assignment replays; compare with `optimize_us`, the cold figure).
+    pub warm_optimize_us: f64,
+    /// Warm-plan replays observed during the warm measurement (one per
+    /// iteration when the memo behaves).
+    pub warm_plan_hits: usize,
+    /// Whether a warm-started optimizer produced bit-identical plans and
+    /// statistics to a cold optimizer over a multi-batch GUS stream (must
+    /// be true — the warm store is a cache, never a policy change).
+    pub warm_identical: bool,
+    /// Simulated stream-read network rounds of the end-to-end run
+    /// (`Sources::stream_rounds`, summed over lanes).
+    pub stream_rounds: u64,
+    /// Fetch-ahead sweep over the figure workload: how response time and
+    /// network rounds shift with `CostProfile::fetch_batch`.
+    pub fetch_batch_sweep: Vec<FetchBatchPoint>,
+}
+
+/// One point of the fetch-ahead sweep: the GUS figure workload run with
+/// `CostProfile::fetch_batch` set to `fetch_batch`. Tuple sequences are
+/// provably unchanged by batching (property-tested), so `tuples_consumed`
+/// must agree across points; rounds and response time shift.
+#[derive(Clone, Debug)]
+pub struct FetchBatchPoint {
+    /// `CostProfile::fetch_batch` for this run.
+    pub fetch_batch: usize,
+    /// Mean virtual response time across UQs, µs.
+    pub mean_response_us: f64,
+    /// Simulated stream-read network rounds.
+    pub stream_rounds: u64,
+    /// Input tuples consumed (identical across the sweep).
+    pub tuples_consumed: u64,
+}
+
+/// Run the fetch-ahead sweep: the seed-`seed` GUS workload under ATC-FULL
+/// (optionally truncated to `limit` UQs) at each `fetch_batch` value.
+pub fn sweep_fetch_batch(
+    seed: u64,
+    scale: Scale,
+    batches: &[usize],
+    limit: Option<usize>,
+) -> Vec<FetchBatchPoint> {
+    batches
+        .iter()
+        .map(|&fetch_batch| {
+            let w = gus_workload(seed, scale);
+            let mut engine = gus_engine(SharingMode::AtcFull, 5);
+            engine.cost_profile.fetch_batch = fetch_batch;
+            let r = run_workload(&w, &engine, limit).expect("runs");
+            FetchBatchPoint {
+                fetch_batch,
+                mean_response_us: r.mean_response_us(),
+                stream_rounds: r.stream_rounds,
+                tuples_consumed: r.tuples_consumed,
+            }
+        })
+        .collect()
+}
+
+/// Print the fetch-ahead sweep.
+pub fn print_fetch_batch_sweep(points: &[FetchBatchPoint]) {
+    println!("Fetch-ahead sweep: response-time shift from stream fetch batching");
+    println!(
+        "{:>11} {:>12} {:>12} {:>12} {:>9}",
+        "fetch_batch", "mean resp(s)", "rounds", "tuples", "resp Δ%"
+    );
+    let base = points.first().map(|p| p.mean_response_us).unwrap_or(0.0);
+    for p in points {
+        println!(
+            "{:>11} {:>12.3} {:>12} {:>12} {:>+9.1}",
+            p.fetch_batch,
+            p.mean_response_us / 1e6,
+            p.stream_rounds,
+            p.tuples_consumed,
+            100.0 * (p.mean_response_us - base) / base.max(1e-9),
+        );
+    }
+}
+
+/// One batch's decision fingerprint, as produced by
+/// [`optimize_decision_stream`]: everything the optimizer decided plus the
+/// diagnostic warm-hit count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionRow {
+    /// Full `PlanSpec` debug dump (pins plan shape and signatures).
+    pub spec_debug: String,
+    /// BestPlan states explored.
+    pub explored: usize,
+    /// BestPlan memo hits.
+    pub memo_hits: usize,
+    /// Multi-relation candidates entering the search.
+    pub candidates: usize,
+    /// Winning cost, bit-exact.
+    pub best_cost_bits: u64,
+    /// Warm-plan replays (diagnostic — excluded from identity compares).
+    pub warm_hits: usize,
+}
+
+impl DecisionRow {
+    /// The decision-relevant fields (everything except `warm_hits`).
+    pub fn decisions(&self) -> (&str, usize, usize, usize, u64) {
+        (
+            &self.spec_debug,
+            self.explored,
+            self.memo_hits,
+            self.candidates,
+            self.best_cost_bits,
+        )
+    }
+}
+
+/// Optimize a stream of batches against one live QS manager — warm-started
+/// or cold — and fingerprint every batch's decisions. This is **the**
+/// warm-vs-cold identity harness: [`warm_cold_identity`] (the `reproduce
+/// bench` gate) and `bench_warm_opt` (the CI micro-bench smoke) both
+/// compare its warm and cold outputs, so the two gates enforce one
+/// invariant by construction.
+pub fn optimize_decision_stream(
+    catalog: &qsys::catalog::Catalog,
+    opt_config: &OptimizerConfig,
+    batches: &[Vec<(&qsys::query::ConjunctiveQuery, &qsys::query::ScoreFn)>],
+    warm: bool,
+) -> Vec<DecisionRow> {
+    use qsys::state::QsManager;
+
+    let manager = QsManager::new(usize::MAX);
+    let optimizer = Optimizer::new(catalog, opt_config.clone());
+    let interner = manager.shared_interner();
+    let warm_cell = warm.then(|| manager.warm_cell());
+    batches
+        .iter()
+        .map(|batch| {
+            let oracle = manager.reuse_oracle();
+            let (spec, stats) =
+                optimizer.optimize_warm(batch, &oracle, None, &interner, warm_cell.as_deref());
+            DecisionRow {
+                spec_debug: format!("{spec:?}"),
+                explored: stats.explored,
+                memo_hits: stats.memo_hits,
+                candidates: stats.candidates,
+                best_cost_bits: stats.best_cost.to_bits(),
+                warm_hits: stats.warm_hits,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of the warm-vs-cold decision-identity check.
+pub struct WarmCheck {
+    /// Plans, costs, explored-state counts, and memo hits all
+    /// bit-identical per batch.
+    pub identical: bool,
+    /// Warm-plan replays the warm lane produced (> 0 once a batch shape
+    /// recurs).
+    pub plan_hits: usize,
+}
+
+/// Drive the first three 5-UQ batches of the seed-41 GUS stream — plus a
+/// repeat of the first batch, so the plan memo actually replays — through
+/// two lanes: one warm-started, one cold. Decisions must be bit-identical;
+/// this is the check the CI bench smoke gate enforces.
+pub fn warm_cold_identity() -> WarmCheck {
+    let workload = gus_workload(41, Scale::Small);
+    let engine = gus_engine(SharingMode::AtcFull, 5);
+    let (uqs, _) = qsys::generate_user_queries(&workload, &engine).expect("generates");
+    let opt_config = OptimizerConfig {
+        k: engine.k,
+        heuristics: engine.heuristics.clone(),
+        cost_profile: engine.cost_profile,
+        share_subexpressions: true,
+        ..OptimizerConfig::default()
+    };
+    let mut batches: Vec<Vec<(&qsys::query::ConjunctiveQuery, &qsys::query::ScoreFn)>> = uqs
+        .chunks(5)
+        .take(3)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+                .collect()
+        })
+        .collect();
+    let repeat = batches[0].clone();
+    batches.push(repeat);
+
+    let warm_side = optimize_decision_stream(&workload.catalog, &opt_config, &batches, true);
+    let cold_side = optimize_decision_stream(&workload.catalog, &opt_config, &batches, false);
+    let identical = warm_side
+        .iter()
+        .zip(cold_side.iter())
+        .all(|(w, c)| w.decisions() == c.decisions());
+    WarmCheck {
+        identical,
+        plan_hits: warm_side.iter().map(|w| w.warm_hits).sum(),
+    }
 }
 
 /// The multi-cluster ATC-CL reference workload: the seed-41 GUS instance
@@ -292,6 +489,34 @@ pub fn perf_snapshot(iters: usize, lane_threads_cap: Option<usize>) -> PerfSnaps
         warm_us += t0.elapsed().as_secs_f64() * 1e6;
     }
 
+    // Warm-start arm: one live manager + warm store. The priming call
+    // optimizes the reference batch cold and records it; every measured
+    // call re-optimizes the same batch, which validates (shape + residency
+    // unchanged — nothing executed in between) and replays.
+    let (warm_optimize_us, warm_plan_hits) = {
+        let manager = QsManager::new(usize::MAX);
+        let optimizer = Optimizer::new(&workload.catalog, opt_config.clone());
+        let interner = manager.shared_interner();
+        let warm = manager.warm_cell();
+        {
+            let oracle = manager.reuse_oracle();
+            optimizer.optimize_warm(&batch, &oracle, None, &interner, Some(&warm));
+        }
+        let mut hits = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..iters.max(1) {
+            let oracle = manager.reuse_oracle();
+            let (_, stats) = optimizer.optimize_warm(&batch, &oracle, None, &interner, Some(&warm));
+            hits += stats.warm_hits;
+        }
+        (t0.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64, hits)
+    };
+    let warm_check = warm_cold_identity();
+
+    // Fetch-ahead sweep: the response-time shift stream batching buys on
+    // the figure workload (10 UQs keep the sweep to seconds).
+    let fetch_batch_sweep = sweep_fetch_batch(41, Scale::Small, &[1, 8, 32], Some(10));
+
     // End to end: the full workload under ATC-FULL, wall-clocked.
     let t0 = std::time::Instant::now();
     let report = run_workload(&workload, &engine, None).expect("runs");
@@ -348,6 +573,11 @@ pub fn perf_snapshot(iters: usize, lane_threads_cap: Option<usize>) -> PerfSnaps
         atc_cl_identical,
         atc_cl_tuples: par.tuples_consumed,
         lane_wall_us: par.lane_wall_us,
+        warm_optimize_us,
+        warm_plan_hits,
+        warm_identical: warm_check.identical,
+        stream_rounds: report.stream_rounds,
+        fetch_batch_sweep,
     }
 }
 
@@ -362,27 +592,50 @@ impl PerfSnapshot {
         100.0 * (1.0 - self.atc_cl_par_ms / self.atc_cl_seq_ms.max(1e-9))
     }
 
+    /// Host-time reduction of a warm-batch optimize vs this run's cold
+    /// optimize, percent.
+    pub fn warm_optimize_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.warm_optimize_us / self.optimize_us.max(1e-9))
+    }
+
     /// Render as a JSON object (no external dependencies available).
     pub fn to_json(&self) -> String {
         let lane_wall: Vec<String> = self.lane_wall_us.iter().map(u64::to_string).collect();
+        let sweep: Vec<String> = self
+            .fetch_batch_sweep
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"fetch_batch\": {}, \"mean_response_us\": {:.1}, \
+                     \"stream_rounds\": {}, \"tuples_consumed\": {}}}",
+                    p.fetch_batch, p.mean_response_us, p.stream_rounds, p.tuples_consumed
+                )
+            })
+            .collect();
         format!(
             "{{\n    \"optimize_us\": {:.1},\n    \"graft_us\": {:.1},\n    \
              \"opt_graft_us\": {:.1},\n    \"opt_graft_warm_us\": {:.1},\n    \
+             \"warm_optimize_us\": {:.1},\n    \"warm_optimize_reduction_pct\": {:.1},\n    \
+             \"warm_plan_hits\": {},\n    \"warm_identical\": {},\n    \
              \"spec_nodes\": {},\n    \"spec_edges\": {},\n    \
              \"spec_stream_leaves\": {},\n    \"batch_cqs\": {},\n    \
              \"explored\": {},\n    \"memo_hits\": {},\n    \
              \"end_to_end_ms\": {:.1},\n    \"tuples_consumed\": {},\n    \
-             \"tuples_per_sec\": {:.0},\n    \
+             \"tuples_per_sec\": {:.0},\n    \"stream_rounds\": {},\n    \
              \"host_parallelism\": {},\n    \"lane_threads\": {},\n    \
              \"atc_cl_lanes\": {},\n    \"atc_cl_seq_ms\": {:.1},\n    \
              \"atc_cl_par_ms\": {:.1},\n    \"atc_cl_speedup_pct\": {:.1},\n    \
              \"atc_cl_speedup_bound\": {:.2},\n    \
              \"atc_cl_identical\": {},\n    \"atc_cl_tuples\": {},\n    \
-             \"lane_wall_us\": [{}]\n  }}",
+             \"lane_wall_us\": [{}],\n    \"fetch_batch_sweep\": [{}]\n  }}",
             self.optimize_us,
             self.graft_us,
             self.opt_graft_us(),
             self.opt_graft_warm_us,
+            self.warm_optimize_us,
+            self.warm_optimize_reduction_pct(),
+            self.warm_plan_hits,
+            self.warm_identical,
             self.spec_nodes,
             self.spec_edges,
             self.spec_stream_leaves,
@@ -392,6 +645,7 @@ impl PerfSnapshot {
             self.end_to_end_ms,
             self.tuples_consumed,
             self.tuples_per_sec,
+            self.stream_rounds,
             self.host_parallelism,
             self.lane_threads,
             self.atc_cl_lanes,
@@ -402,6 +656,7 @@ impl PerfSnapshot {
             self.atc_cl_identical,
             self.atc_cl_tuples,
             lane_wall.join(", "),
+            sweep.join(", "),
         )
     }
 }
@@ -540,6 +795,21 @@ pub fn print_fig7(runs: &[ConfigRun]) {
     for r in runs {
         let m: f64 = r.per_uq_secs.iter().sum::<f64>() / r.per_uq_secs.len().max(1) as f64;
         print!(" {m:>9.3}");
+    }
+    println!();
+    // End-of-run source/optimizer accounting: network rounds spent on
+    // stream reads (the quantity fetch-ahead amortizes) and batches the
+    // optimizer served from its cross-batch warm memo.
+    print!("rnds");
+    for r in runs {
+        let rounds: u64 = r.reports.iter().map(|rep| rep.stream_rounds).sum();
+        print!(" {rounds:>9}");
+    }
+    println!();
+    print!("warm");
+    for r in runs {
+        let hits: usize = r.reports.iter().map(|rep| rep.warm_hits()).sum();
+        print!(" {hits:>9}");
     }
     println!();
 }

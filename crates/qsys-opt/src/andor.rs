@@ -107,12 +107,33 @@ impl AndOrGraph {
         model: &CostModel<'_>,
         interner: &SigInterner,
     ) -> f64 {
+        self.cardinality_warm(sig, model, interner, None)
+    }
+
+    /// [`AndOrGraph::cardinality`] backed by the lane's warm store: a
+    /// cardinality already established in any earlier batch (the store is
+    /// keyed by the lane's stable [`SigId`]s) is reused instead of
+    /// recomputed from the deep signature. Genuinely read-only on the
+    /// store (shared reference, no hit accounting) — publishing facts is
+    /// the fingerprinted optimizer paths' job, so an AND-OR consumer can
+    /// never poison them with values computed under a different heuristics
+    /// configuration.
+    pub fn cardinality_warm(
+        &mut self,
+        sig: SigId,
+        model: &CostModel<'_>,
+        interner: &SigInterner,
+        warm: Option<&crate::warm::WarmStore>,
+    ) -> f64 {
         if let Some(n) = self.nodes.get(&sig) {
             if let Some(c) = n.cardinality {
                 return c;
             }
         }
-        let c = model.cardinality(interner.resolve(sig));
+        let c = match warm.and_then(|w| w.peek_fact(sig)) {
+            Some(f) => f.card,
+            None => model.cardinality(interner.resolve(sig)),
+        };
         if let Some(n) = self.nodes.get_mut(&sig) {
             n.cardinality = Some(c);
         }
@@ -282,6 +303,33 @@ mod tests {
         assert_eq!(c1, c2);
         assert!(c1 > 0.0);
         assert_eq!(g.node(sig).unwrap().cardinality, Some(c1));
+    }
+
+    #[test]
+    fn cardinality_warm_reads_the_lane_store() {
+        let cat = catalog();
+        let model = CostModel::new(&cat, CostProfile::default(), 50);
+        let mut interner = SigInterner::new();
+        let mut g = AndOrGraph::new(4);
+        let q = path_cq(0, &cat, 2);
+        let table = CqTable::from_queries([&q]);
+        g.register(&q, &mut interner, &table);
+        let sig = interner.of_cq(&q);
+        let mut store = crate::warm::WarmStore::new();
+        store.set_fact(
+            sig,
+            crate::warm::WarmFact {
+                card: 123.5,
+                streamed: true,
+                size: 2,
+            },
+        );
+        store.begin_batch();
+        let c = g.cardinality_warm(sig, &model, &interner, Some(&store));
+        assert_eq!(c, 123.5, "warm-cached cardinality served");
+        assert_eq!(store.batch_hits(), 0, "read-only path counts no hits");
+        // Memoized in the graph thereafter, store or not.
+        assert_eq!(g.cardinality(sig, &model, &interner), 123.5);
     }
 
     #[test]

@@ -49,7 +49,8 @@
 //! the search never touches a deep [`SubExprSig`](qsys_query::SubExprSig).
 
 use crate::cost::{CostModel, ReuseOracle};
-use crate::heuristics::{is_streamable, Candidate, HeuristicConfig};
+use crate::heuristics::{Candidate, HeuristicConfig};
+use crate::warm::WarmStore;
 use qsys_query::{ConjunctiveQuery, CqSet, CqTable, SigId, SigInterner};
 use std::collections::HashMap;
 
@@ -65,6 +66,13 @@ pub struct OptStats {
     pub memo_hits: usize,
     /// Cost of the winning plan (µs estimate).
     pub best_cost: f64,
+    /// Whole-batch warm-plan replays (0 or 1 per optimize; see the
+    /// [`warm`](crate::warm) module). Purely diagnostic: a replay returns
+    /// the recorded cold statistics for every other field.
+    pub warm_hits: usize,
+    /// Warm-store cache hits (per-signature cost inputs and candidate
+    /// enumerations) while this batch was optimized cold.
+    pub warm_fact_hits: usize,
 }
 
 /// A complete, valid input assignment `(I, 𝕀)`: each entry is an input
@@ -97,6 +105,10 @@ pub struct BestPlanSearch<'a> {
     config: &'a HeuristicConfig,
     interner: &'a mut SigInterner,
     reuse: &'a dyn ReuseOracle,
+    /// Lane-persistent warm store: per-signature cost inputs and the
+    /// canonical rank order survive across batches (residency is always
+    /// read live from `reuse`). `None` runs fully cold.
+    warm: Option<&'a mut WarmStore>,
     /// Candidate arena: every `(sig, queries)` the search ever names lives
     /// here exactly once; states reference candidates by [`CandIdx`].
     cands: Vec<CandData>,
@@ -144,9 +156,7 @@ struct CandData {
 }
 
 impl<'a> BestPlanSearch<'a> {
-    /// Set up a search over `queries`, precomputing every per-signature
-    /// fact the recursion will need and hoisting the all-defaults baseline
-    /// completion.
+    /// Set up a cold search over `queries` (no cross-batch warm store).
     pub fn new(
         model: &'a CostModel<'a>,
         reuse: &'a dyn ReuseOracle,
@@ -155,13 +165,37 @@ impl<'a> BestPlanSearch<'a> {
         interner: &'a mut SigInterner,
         table: &'a CqTable,
     ) -> BestPlanSearch<'a> {
+        BestPlanSearch::new_warm(model, reuse, config, queries, interner, table, None)
+    }
+
+    /// Set up a search over `queries`, precomputing every per-signature
+    /// fact the recursion will need and hoisting the all-defaults baseline
+    /// completion. With `warm`, batch-invariant facts and the canonical
+    /// default order come from (and extend) the lane's warm store; results
+    /// are bit-identical to a cold setup.
+    pub fn new_warm(
+        model: &'a CostModel<'a>,
+        reuse: &'a dyn ReuseOracle,
+        config: &'a HeuristicConfig,
+        queries: Vec<&'a ConjunctiveQuery>,
+        interner: &'a mut SigInterner,
+        table: &'a CqTable,
+        mut warm: Option<&'a mut WarmStore>,
+    ) -> BestPlanSearch<'a> {
         let n_cq = table.len();
         let mut cq_card = vec![0.0; n_cq];
         let mut defaults_of: Vec<Vec<(qsys_types::RelId, SigId)>> = vec![Vec::new(); n_cq];
         for cq in &queries {
             let whole = interner.of_cq(cq);
             let qi = table.idx(cq.id).index();
-            cq_card[qi] = model.cardinality(interner.resolve(whole));
+            cq_card[qi] = crate::heuristics::warm_fact_of(
+                warm.as_deref_mut(),
+                whole,
+                model,
+                config,
+                interner,
+            )
+            .card;
             defaults_of[qi] = cq
                 .atoms
                 .iter()
@@ -174,14 +208,21 @@ impl<'a> BestPlanSearch<'a> {
                 .collect();
         }
         // Canonical ordering of the default signatures (one deep sort, done
-        // before the exponential part begins).
+        // before the exponential part begins — or, warm, an integer sort by
+        // the persistent canonical rank, which provably agrees).
         let mut default_ids: Vec<SigId> = defaults_of
             .iter()
             .flat_map(|d| d.iter().map(|(_, s)| *s))
             .collect();
         default_ids.sort_unstable();
         default_ids.dedup();
-        default_ids.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b)));
+        match warm.as_deref_mut() {
+            Some(w) => {
+                w.ensure_ranked(default_ids.iter().copied(), interner);
+                default_ids.sort_unstable_by_key(|id| w.rank(*id));
+            }
+            None => default_ids.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b))),
+        }
         let default_rank: HashMap<SigId, usize> = default_ids
             .iter()
             .enumerate()
@@ -200,6 +241,7 @@ impl<'a> BestPlanSearch<'a> {
             config,
             interner,
             reuse,
+            warm,
             cands: Vec::new(),
             cand_ids: HashMap::new(),
             plans: Vec::new(),
@@ -247,7 +289,10 @@ impl<'a> BestPlanSearch<'a> {
         search
     }
 
-    /// Compute and cache the per-signature facts for `sig`.
+    /// Compute and cache the per-signature facts for `sig`. The
+    /// batch-invariant parts (cardinality, streamability, size) come from
+    /// the lane's warm store when present; residency (`already`) is always
+    /// read live — it tracks the mutable plan graph.
     fn seed_facts(&mut self, sig: SigId) {
         let slot = sig.index();
         if slot >= self.facts.len() {
@@ -256,17 +301,19 @@ impl<'a> BestPlanSearch<'a> {
         if self.facts[slot].is_some() {
             return;
         }
-        let resolved = self.interner.resolve(sig);
-        let facts = SigFacts {
-            card: self.model.cardinality(resolved),
-            streamed: resolved
-                .atoms
-                .iter()
-                .all(|(r, _)| is_streamable(self.model, *r, self.config)),
-            size: resolved.atoms.len(),
+        let f = crate::heuristics::warm_fact_of(
+            self.warm.as_deref_mut(),
+            sig,
+            self.model,
+            self.config,
+            self.interner,
+        );
+        self.facts[slot] = Some(SigFacts {
+            card: f.card,
+            streamed: f.streamed,
+            size: f.size as usize,
             already: self.reuse.streamed(sig).unwrap_or(0),
-        };
-        self.facts[slot] = Some(facts);
+        });
     }
 
     #[inline]

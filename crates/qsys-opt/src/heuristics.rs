@@ -21,6 +21,7 @@
 //! B-tree.
 
 use crate::cost::CostModel;
+use crate::warm::{WarmFact, WarmStore};
 use qsys_query::{enumerate_subexprs, ConjunctiveQuery, CqSet, CqTable, SigId, SigInterner};
 use qsys_types::RelId;
 use std::collections::HashMap;
@@ -82,6 +83,49 @@ pub fn is_streamable(model: &CostModel<'_>, rel: RelId, config: &HeuristicConfig
     r.has_score() || r.stats.cardinality < config.probe_threshold
 }
 
+/// A signature's batch-invariant cost inputs, computed from the catalog.
+fn compute_fact(
+    sig: SigId,
+    model: &CostModel<'_>,
+    config: &HeuristicConfig,
+    interner: &SigInterner,
+) -> WarmFact {
+    let resolved = interner.resolve(sig);
+    WarmFact {
+        card: model.cardinality(resolved),
+        streamed: resolved
+            .atoms
+            .iter()
+            .all(|(r, _)| is_streamable(model, *r, config)),
+        size: resolved.atoms.len() as u32,
+    }
+}
+
+/// Read-through of a signature's batch-invariant cost inputs: served from
+/// the warm store when cached there, computed (and, with a store,
+/// published) otherwise. The single definition every optimizer path —
+/// candidate enumeration and both BestPlan seeding sites — goes through,
+/// so cached facts cannot diverge between consumers.
+pub(crate) fn warm_fact_of(
+    warm: Option<&mut WarmStore>,
+    sig: SigId,
+    model: &CostModel<'_>,
+    config: &HeuristicConfig,
+    interner: &SigInterner,
+) -> WarmFact {
+    match warm {
+        Some(w) => {
+            if let Some(f) = w.fact(sig) {
+                return f;
+            }
+            let f = compute_fact(sig, model, config, interner);
+            w.set_fact(sig, f);
+            f
+        }
+        None => compute_fact(sig, model, config, interner),
+    }
+}
+
 /// Enumerate push-down candidates for a query batch, applying all pruning
 /// heuristics. Returns candidates sorted by descending sharing degree then
 /// ascending cardinality.
@@ -92,32 +136,88 @@ pub fn enumerate_candidates(
     interner: &mut SigInterner,
     table: &CqTable,
 ) -> Vec<Candidate> {
+    let whole_of: Vec<SigId> = queries.iter().map(|cq| interner.of_cq(cq)).collect();
+    enumerate_candidates_warm(queries, &whole_of, model, config, interner, table, None)
+}
+
+/// [`enumerate_candidates`] with a lane-persistent warm store: recurring
+/// query shapes (keyed by their whole-query signature, `whole_of[i]` for
+/// `queries[i]`) skip subexpression enumeration, and per-signature
+/// cardinalities, heuristic-3a verdicts, and the canonical processing
+/// order come from the store. The candidate list is bit-identical to a
+/// cold enumeration — every cached quantity is a pure function of the
+/// catalog and `config`, which the store fingerprints.
+pub fn enumerate_candidates_warm(
+    queries: &[&ConjunctiveQuery],
+    whole_of: &[SigId],
+    model: &CostModel<'_>,
+    config: &HeuristicConfig,
+    interner: &mut SigInterner,
+    table: &CqTable,
+    mut warm: Option<&mut WarmStore>,
+) -> Vec<Candidate> {
     // Pool subexpressions across queries via interned canonical signatures
     // (the AND-OR graph's OR-node sharing): sharing detection is a u32 map
     // probe per enumerated subexpression, and the sharer set is a bitmask
-    // insert.
+    // insert. The set of streamable subexpression signatures is determined
+    // by the whole-query signature alone, so a warm hit replays it without
+    // walking connected subgraphs (and without interning: a cache hit means
+    // every member signature already exists).
     let mut pool: HashMap<SigId, CqSet> = HashMap::new();
-    for cq in queries {
+    for (cq, &whole) in queries.iter().zip(whole_of) {
         let qi = table.idx(cq.id);
-        for sig in enumerate_subexprs(cq, 1, config.max_candidate_atoms) {
-            // Heuristic 2: every atom of a pushed-down candidate must be
-            // streamable, otherwise the source could not deliver results in
-            // score order without a full scan.
-            if !sig
-                .atoms
-                .iter()
-                .all(|(r, _)| is_streamable(model, *r, config))
-            {
-                continue;
+        let cached: Option<Vec<SigId>> = warm
+            .as_deref_mut()
+            .and_then(|w| w.cq_candidates(whole).map(|sigs| sigs.to_vec()));
+        match cached {
+            Some(sigs) => {
+                for sig in sigs {
+                    pool.entry(sig).or_default().insert(qi);
+                }
             }
-            pool.entry(interner.intern(sig)).or_default().insert(qi);
+            None => {
+                let mut sigs: Vec<SigId> = Vec::new();
+                for sig in enumerate_subexprs(cq, 1, config.max_candidate_atoms) {
+                    // Heuristic 2: every atom of a pushed-down candidate
+                    // must be streamable, otherwise the source could not
+                    // deliver results in score order without a full scan.
+                    if !sig
+                        .atoms
+                        .iter()
+                        .all(|(r, _)| is_streamable(model, *r, config))
+                    {
+                        continue;
+                    }
+                    sigs.push(interner.intern(sig));
+                }
+                for &sig in &sigs {
+                    pool.entry(sig).or_default().insert(qi);
+                }
+                if let Some(w) = warm.as_deref_mut() {
+                    sigs.sort_unstable();
+                    sigs.dedup();
+                    w.set_cq_candidates(whole, sigs.into());
+                }
+            }
         }
     }
     // Deterministic processing order (canonical signature order, as the
-    // deep-keyed B-tree pool produced): one deep sort per batch, after
-    // which everything downstream compares ids only.
+    // deep-keyed B-tree pool produced): one deep sort per batch — or, warm,
+    // an integer sort by the store's persistent canonical rank, which
+    // agrees with the deep order by construction.
     let mut pooled: Vec<(SigId, CqSet)> = pool.into_iter().collect();
-    pooled.sort_by(|(a, _), (b, _)| interner.resolve(*a).cmp(interner.resolve(*b)));
+    match warm.as_deref_mut() {
+        Some(w) => {
+            w.ensure_ranked(pooled.iter().map(|(s, _)| *s), interner);
+            pooled.sort_unstable_by_key(|(s, _)| w.rank(*s));
+        }
+        None => pooled.sort_by(|(a, _), (b, _)| interner.resolve(*a).cmp(interner.resolve(*b))),
+    }
+
+    // Batch-invariant cardinality, via the warm store when present.
+    let card_of = |sig: SigId, interner: &SigInterner, warm: &mut Option<&mut WarmStore>| {
+        warm_fact_of(warm.as_deref_mut(), sig, model, config, interner).card
+    };
 
     let mut out = Vec::new();
     for (sig, mut using) in pooled {
@@ -136,23 +236,35 @@ pub fn enumerate_candidates(
             });
             continue;
         }
-        // Heuristic 3a: drop candidates expensive to compute at the source.
-        let expensive = interner.resolve(sig).joins.iter().any(|(lr, lc, rr, rc)| {
-            match model.catalog().edge_between(*lr, *rr) {
-                Some(e) => {
-                    // Must be the same join columns to reuse the edge stats.
-                    let cols_match = (e.from == *lr && e.from_col == *lc && e.to_col == *rc)
-                        || (e.to == *lr && e.to_col == *lc && e.from_col == *rc);
-                    !cols_match || e.fanout > config.max_source_fanout
+        // Heuristic 3a: drop candidates expensive to compute at the source
+        // (a catalog/config-determined verdict, cached per signature).
+        let expensive = match warm.as_deref_mut().and_then(|w| w.expensive(sig)) {
+            Some(v) => v,
+            None => {
+                let v = interner.resolve(sig).joins.iter().any(|(lr, lc, rr, rc)| {
+                    match model.catalog().edge_between(*lr, *rr) {
+                        Some(e) => {
+                            // Must be the same join columns to reuse the
+                            // edge stats.
+                            let cols_match =
+                                (e.from == *lr && e.from_col == *lc && e.to_col == *rc)
+                                    || (e.to == *lr && e.to_col == *lc && e.from_col == *rc);
+                            !cols_match || e.fanout > config.max_source_fanout
+                        }
+                        None => true, // non key-key join
+                    }
+                });
+                if let Some(w) = warm.as_deref_mut() {
+                    w.set_expensive(sig, v);
                 }
-                None => true, // non key-key join
+                v
             }
-        });
+        };
         if expensive {
             continue;
         }
         // Heuristic 1/3b: keep if shared enough or cheap.
-        let card = model.cardinality(interner.resolve(sig));
+        let card = card_of(sig, interner, &mut warm);
         if using.len() < config.min_sharing && card > config.low_cardinality {
             continue;
         }
@@ -160,9 +272,8 @@ pub fn enumerate_candidates(
         // factoring for that query alone; keep only the sharers beyond it.
         if using.len() == 1 {
             let cq_id = table.id(using.first().expect("nonempty"));
-            if let Some(cq) = queries.iter().find(|c| c.id == cq_id) {
-                let whole = interner.of_cq(cq);
-                if model.cardinality(interner.resolve(whole)) < model.k() as f64 {
+            if let Some(pos) = queries.iter().position(|c| c.id == cq_id) {
+                if card_of(whole_of[pos], interner, &mut warm) < model.k() as f64 {
                     using = CqSet::new();
                 }
             }
@@ -182,7 +293,7 @@ pub fn enumerate_candidates(
     let mut multi: Vec<(Candidate, f64)> = multi
         .into_iter()
         .map(|c| {
-            let card = model.cardinality(interner.resolve(c.sig));
+            let card = card_of(c.sig, interner, &mut warm);
             (c, card)
         })
         .collect();

@@ -15,16 +15,24 @@
 //! operation: reuse-aware cost adjustment (via a [`ReuseOracle`] answered
 //! by the QS manager) and hierarchical user-query clustering.
 
+//!
+//! Across batches, the optimizer warm-starts from a lane-persistent reuse
+//! memo over the interner's child DAG (the [`warm`] module): cost inputs,
+//! candidate enumerations, and whole winning assignments recur across the
+//! query stream and are replayed — bit-identically — instead of re-derived.
+
 pub mod andor;
 pub mod bestplan;
 pub mod cluster;
 pub mod cost;
 pub mod heuristics;
 pub mod plan;
+pub mod warm;
 
 pub use andor::AndOrGraph;
 pub use bestplan::{BestPlanSearch, OptStats};
 pub use cluster::{cluster_user_queries, ClusterConfig};
 pub use cost::{CostModel, NoReuse, ReuseOracle};
-pub use heuristics::{enumerate_candidates, Candidate, HeuristicConfig};
+pub use heuristics::{enumerate_candidates, enumerate_candidates_warm, Candidate, HeuristicConfig};
 pub use plan::{CqPlan, Optimizer, OptimizerConfig, PlanSpec, PredSpec, SpecNode, SpecNodeKind};
+pub use warm::{shared_warm, SharedWarm, WarmCell, WarmStore};

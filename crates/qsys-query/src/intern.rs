@@ -244,6 +244,41 @@ impl SigInterner {
         self.arena[id.index()].children
     }
 
+    /// Monotone generation stamp of the arena: it advances exactly when a
+    /// new signature is interned and never otherwise. Cross-batch caches
+    /// keyed on [`SigId`] (the optimizer's warm store) record this stamp so
+    /// a stale entry — one naming ids this arena never issued, i.e. built
+    /// against a different interner — is detectable in O(1).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Transitive closure of `seeds` over the child DAG (each signature
+    /// plus, recursively, the ids it was [`combine`](SigInterner::combine)d
+    /// from), deduplicated and in ascending id order. This is the set a
+    /// cached sharing decision about `seeds` transitively depends on: if
+    /// any member's materialized state changed, ancestors built on it must
+    /// be re-costed.
+    pub fn children_closure(&self, seeds: impl IntoIterator<Item = SigId>) -> Vec<SigId> {
+        let mut out: Vec<SigId> = Vec::new();
+        let mut stack: Vec<SigId> = seeds.into_iter().collect();
+        let mut seen = vec![false; self.arena.len()];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            out.push(id);
+            if let Some((a, b)) = self.children(id) {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Whether two interned signatures cover at least one common relation
     /// (sorted-merge over the cached relation slices; no allocation).
     pub fn shares_relation(&self, a: SigId, b: SigId) -> bool {
@@ -345,6 +380,26 @@ mod tests {
         let by_cq = interner.of_cq(&cq);
         let by_sig = interner.intern(SubExprSig::of_cq(&cq));
         assert_eq!(by_cq, by_sig);
+    }
+
+    #[test]
+    fn children_closure_walks_the_dag() {
+        let mut interner = SigInterner::new();
+        let a = interner.relation(RelId::new(1), None);
+        let b = interner.relation(RelId::new(2), None);
+        let c = interner.relation(RelId::new(3), None);
+        let ab = interner.combine(a, b, &[(RelId::new(1), 1, RelId::new(2), 0)]);
+        let abc = interner.combine(ab, c, &[(RelId::new(2), 1, RelId::new(3), 0)]);
+        let gen_before = interner.generation();
+        // The closure reaches every ancestor-to-leaf dependency exactly once.
+        assert_eq!(interner.children_closure([abc]), vec![a, b, c, ab, abc]);
+        // Leaves close over themselves; duplicates collapse.
+        assert_eq!(interner.children_closure([a, a, b]), vec![a, b]);
+        // Walking never interns: the generation stamp is untouched.
+        assert_eq!(interner.generation(), gen_before);
+        // The stamp advances exactly with fresh interns.
+        interner.relation(RelId::new(9), None);
+        assert_eq!(interner.generation(), gen_before + 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use qsys_exec::rank_merge::{CqRegistration, RankMerge, StreamingInput};
 use qsys_exec::{NodeId, NodeKind, QueryPlanGraph, StreamBacking};
 use qsys_opt::cost::ReuseOracle;
 use qsys_opt::plan::{PlanSpec, PredSpec, SpecNodeKind};
+use qsys_opt::warm::{shared_warm, SharedWarm};
 use qsys_query::{shared_interner, SharedInterner, SigId, SubExprSig};
 use qsys_source::{JoinCond, Sources, SpjSpec};
 use qsys_types::{Epoch, RelId, UqId};
@@ -39,6 +40,11 @@ pub struct QsManager {
     /// the plan graph all name subexpressions by [`SigId`] through it, so
     /// ids stay stable across batches (the across-time sharing memo).
     interner: SharedInterner,
+    /// The lane's optimizer warm store (cross-batch plan/fact memo), owned
+    /// here next to the interner whose ids key it so the pin/evict index
+    /// can feed state changes back into it: evicting materialized state
+    /// drops the recorded plans, forcing affected batches to re-cost.
+    warm: SharedWarm,
     /// Pinned subexpressions (protected from eviction; Section 6.1).
     pinned: RefCell<BTreeSet<SigId>>,
     /// Last epoch each node was (re)used in, for LRU eviction.
@@ -68,6 +74,7 @@ impl QsManager {
         QsManager {
             graph: QueryPlanGraph::new(),
             interner: shared_interner(),
+            warm: shared_warm(),
             rank_merges: BTreeMap::new(),
             pinned: RefCell::new(BTreeSet::new()),
             last_used: HashMap::new(),
@@ -125,6 +132,15 @@ impl QsManager {
     /// it produces use the same ids this manager's indexes are keyed on.
     pub fn shared_interner(&self) -> SharedInterner {
         Arc::clone(&self.interner)
+    }
+
+    /// The lane's optimizer warm store. Hand this to
+    /// [`Optimizer::optimize_warm`](qsys_opt::Optimizer::optimize_warm) so
+    /// recurring batches warm-start from prior winning assignments; this
+    /// manager invalidates the plan memo whenever eviction reclaims
+    /// materialized state (see [`QsManager::evict_to_budget`]).
+    pub fn warm_cell(&self) -> SharedWarm {
+        Arc::clone(&self.warm)
     }
 
     /// Cumulative eviction statistics.
@@ -453,7 +469,13 @@ impl QsManager {
     }
 
     /// Evict detached, unpinned state until the graph fits the budget.
+    ///
+    /// Eviction feeds back into the optimizer's warm store: any reclaimed
+    /// node changes what the reuse oracle will answer, so the recorded
+    /// plan memo — whose residency snapshots assumed that state was live —
+    /// is dropped rather than left to fail validation one entry at a time.
     pub fn evict_to_budget(&mut self) {
+        let before = self.eviction_stats.evicted_nodes;
         crate::evict::evict_to_budget(
             &mut self.graph,
             self.budget,
@@ -462,6 +484,9 @@ impl QsManager {
             &self.last_used,
             &mut self.eviction_stats,
         );
+        if self.eviction_stats.evicted_nodes != before {
+            self.warm.borrow_mut().note_state_change();
+        }
     }
 
     /// Approximate resident bytes.

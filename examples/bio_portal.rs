@@ -44,8 +44,8 @@ fn main() {
     };
 
     println!(
-        "\n{:10} {:>9} {:>10} {:>10} {:>8} {:>6}",
-        "config", "mean(s)", "streamed", "probes", "opt(ms)", "lanes"
+        "\n{:10} {:>9} {:>10} {:>8} {:>10} {:>8} {:>6} {:>5}",
+        "config", "mean(s)", "streamed", "rounds", "probes", "opt(ms)", "lanes", "warm"
     );
     for mode in [
         SharingMode::AtcCq,
@@ -55,13 +55,15 @@ fn main() {
     ] {
         let report = run_workload(&workload, &engine(mode), None).expect("workload runs");
         println!(
-            "{:10} {:>9.3} {:>10} {:>10} {:>8.1} {:>6}",
+            "{:10} {:>9.3} {:>10} {:>8} {:>10} {:>8.1} {:>6} {:>5}",
             report.config,
             report.mean_response_us() / 1e6,
             report.tuples_streamed,
+            report.stream_rounds,
             report.probes,
             report.opt_us() as f64 / 1e3,
             report.lanes,
+            report.warm_hits(),
         );
     }
 

@@ -80,6 +80,12 @@ pub struct EngineConfig {
     /// environment variable if set, else the machine's available
     /// parallelism.
     pub lane_threads: usize,
+    /// Warm-start the optimizer from the lane's cross-batch reuse memo
+    /// (`qsys_opt::warm`). Decisions are bit-identical either way — the
+    /// memo is a cache, never a policy change — so this knob only trades
+    /// host time. Defaults to on; `QSYS_WARM_OPT=0` disables it (the CI
+    /// leg keeping the cold path exercised).
+    pub warm_opt: bool,
 }
 
 /// Default lane-thread count: `QSYS_LANE_THREADS` override (the CI knob
@@ -94,6 +100,12 @@ fn default_lane_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Default warm-start gate: on unless `QSYS_WARM_OPT=0` (the env knob CI
+/// uses to keep the cold optimizer path exercised by the whole suite).
+fn default_warm_opt() -> bool {
+    std::env::var("QSYS_WARM_OPT").map_or(true, |v| v != "0")
 }
 
 impl Default for EngineConfig {
@@ -111,6 +123,7 @@ impl Default for EngineConfig {
             share_probe_caches: true,
             seed: 0,
             lane_threads: default_lane_threads(),
+            warm_opt: default_warm_opt(),
         }
     }
 }
@@ -312,10 +325,19 @@ pub(crate) fn graft_batch(
     let optimizer = Optimizer::new(catalog, opt_config);
     let (spec, opt_stats) = {
         // The lane's shared interner: the spec's signature ids must be the
-        // ones the manager's reuse index is keyed on.
+        // ones the manager's reuse index is keyed on. The warm store rides
+        // along (same ids, invalidated by the manager on eviction) unless
+        // the config runs the optimizer cold.
         let interner = lane.manager.shared_interner();
+        let warm = config.warm_opt.then(|| lane.manager.warm_cell());
         let oracle = lane.manager.reuse_oracle();
-        optimizer.optimize(&batch, &oracle, Some(lane.sources.clock()), &interner)
+        optimizer.optimize_warm(
+            &batch,
+            &oracle,
+            Some(lane.sources.clock()),
+            &interner,
+            warm.as_deref(),
+        )
     };
     let outcome = lane.manager.graft(&spec, &lane.sources, config.k);
     (outcome, opt_stats)

@@ -57,6 +57,14 @@
 //! plan-arena indices — with sharing decisions pinned bit-for-bit by the
 //! goldens in `tests/interner_invariants.rs`.
 //!
+//! Across batches the optimizer **warm-starts** from a lane-persistent
+//! reuse memo over the interner's child DAG (`opt::warm`, owned by each
+//! lane's QS manager): recurring query shapes skip candidate enumeration,
+//! and a recurring batch whose residency snapshot still validates replays
+//! its recorded winning assignment outright — bit-identically, as the same
+//! goldens prove. `EngineConfig::warm_opt` / `QSYS_WARM_OPT=0` selects the
+//! cold path.
+//!
 //! Execution is organized into `Send` **lanes** (plan graph + ATC + source
 //! registry + clock); ATC-CL runs one lane per query cluster on worker
 //! threads capped by [`EngineConfig::lane_threads`], with results

@@ -47,6 +47,10 @@ pub struct OptEvent {
     pub explored: usize,
     /// Simulated optimization time, µs.
     pub opt_us: u64,
+    /// Whether this batch replayed a recorded warm plan instead of
+    /// searching (host-time only; `explored`/`opt_us` are the recorded
+    /// cold values either way).
+    pub warm_hits: usize,
 }
 
 /// The full outcome of one workload run.
@@ -68,6 +72,10 @@ pub struct RunReport {
     pub tuples_consumed: u64,
     /// Stream tuples read.
     pub tuples_streamed: u64,
+    /// Simulated network rounds spent on stream reads, summed over lanes
+    /// (equals `tuples_streamed` at `fetch_batch` 1; fetch-ahead divides
+    /// it by roughly the batch size).
+    pub stream_rounds: u64,
     /// Remote probes issued.
     pub probes: u64,
     /// Optimizer invocations.
@@ -92,6 +100,11 @@ impl RunReport {
     /// Total simulated optimization time, µs.
     pub fn opt_us(&self) -> u64 {
         self.opt_events.iter().map(|e| e.opt_us).sum()
+    }
+
+    /// Batches served by the optimizer's cross-batch warm memo.
+    pub fn warm_hits(&self) -> usize {
+        self.opt_events.iter().map(|e| e.warm_hits).sum()
     }
 }
 
@@ -178,6 +191,7 @@ pub fn run_workload(
         report.breakdown.optimize_us += b.optimize_us;
         report.tuples_consumed += lane.sources.tuples_consumed();
         report.tuples_streamed += lane.sources.tuples_streamed();
+        report.stream_rounds += lane.sources.stream_rounds();
         report.probes += lane.sources.probes();
         for s in lane.stats.all() {
             let (keywords, generated) = per_uq_meta.get(&s.uq).cloned().unwrap_or_default();
@@ -239,6 +253,7 @@ fn run_lanes(
                             candidates: opt.candidates,
                             explored: opt.explored,
                             opt_us: opt.explored as u64 * 15,
+                            warm_hits: opt.warm_hits,
                         });
                         if matches!(config.sharing, SharingMode::AtcUq) {
                             // Sharing stays within the user query.
@@ -255,6 +270,7 @@ fn run_lanes(
                         candidates: opt.candidates,
                         explored: opt.explored,
                         opt_us: opt.explored as u64 * 15,
+                        warm_hits: opt.warm_hits,
                     });
                 }
             }
@@ -352,13 +368,16 @@ mod tests {
             candidates: 1,
             explored: 10,
             opt_us: 150,
+            warm_hits: 0,
         });
         r.opt_events.push(OptEvent {
             batch_cqs: 2,
             candidates: 0,
             explored: 1,
             opt_us: 15,
+            warm_hits: 1,
         });
         assert_eq!(r.opt_us(), 165);
+        assert_eq!(r.warm_hits(), 1);
     }
 }

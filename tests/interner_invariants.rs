@@ -243,6 +243,98 @@ fn gus_batch_plan_shape_is_unchanged_by_interning() {
     }
 }
 
+/// Warm-start golden: over the first three 5-UQ batches of each pinned GUS
+/// stream — plus a repeat of batch 1, so the cross-batch plan memo
+/// actually replays — a warm-started optimizer is bit-identical to a cold
+/// one in plan shape, best cost, explored states, and memo hits; and the
+/// replayed batch reports exactly the cold statistics pinned above
+/// (`gus_batch_plan_shape_is_unchanged_by_interning`) with one warm hit.
+#[test]
+fn warm_start_replays_bit_identical_decisions() {
+    // (seed, explored, memo_hits, best_cost) of batch 1 — the same values
+    // the cold golden pins; the warm replay of that batch must reproduce
+    // them verbatim.
+    let pinned = [
+        (41u64, 23553usize, 19457usize, 170404502.165f64),
+        (48, 18049, 14465, 161185511.809),
+        (55, 18881, 15297, 127518989.104),
+    ];
+    for (seed, explored, memo_hits, best_cost) in pinned {
+        let workload = qsys_bench_like_workload(seed);
+        let engine = qsys_bench_like_engine();
+        let (uqs, _) = qsys::generate_user_queries(&workload, &engine).expect("generates");
+        let mut batches: Vec<Vec<_>> = uqs
+            .chunks(5)
+            .take(3)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+                    .collect()
+            })
+            .collect();
+        let repeat = batches[0].clone();
+        batches.push(repeat);
+        let config = OptimizerConfig {
+            k: engine.k,
+            heuristics: engine.heuristics.clone(),
+            cost_profile: engine.cost_profile,
+            share_subexpressions: true,
+            ..OptimizerConfig::default()
+        };
+        let run = |warm: bool| -> Vec<(String, usize, usize, usize, u64, usize)> {
+            let optimizer = Optimizer::new(&workload.catalog, config.clone());
+            let interner = SigCell::new(SigInterner::new());
+            let warm_cell = warm.then(qsys::opt::shared_warm);
+            batches
+                .iter()
+                .map(|batch| {
+                    let (spec, stats) = optimizer.optimize_warm(
+                        batch,
+                        &NoReuse,
+                        None,
+                        &interner,
+                        warm_cell.as_deref(),
+                    );
+                    (
+                        format!("{spec:?}"),
+                        stats.explored,
+                        stats.memo_hits,
+                        stats.candidates,
+                        stats.best_cost.to_bits(),
+                        stats.warm_hits,
+                    )
+                })
+                .collect()
+        };
+        let warm_side = run(true);
+        let cold_side = run(false);
+        for (i, (w, c)) in warm_side.iter().zip(cold_side.iter()).enumerate() {
+            assert_eq!(w.0, c.0, "seed {seed} batch {i}: plan spec diverged");
+            assert_eq!(
+                (w.1, w.2, w.3, w.4),
+                (c.1, c.2, c.3, c.4),
+                "seed {seed} batch {i}: search statistics diverged"
+            );
+        }
+        assert_eq!(
+            cold_side.iter().map(|c| c.5).sum::<usize>(),
+            0,
+            "seed {seed}: a cold lane never reports warm hits"
+        );
+        let replayed = warm_side.last().expect("repeat batch present");
+        assert_eq!(replayed.5, 1, "seed {seed}: repeat batch must warm-hit");
+        assert_eq!(replayed.1, explored, "seed {seed}: replayed explored");
+        assert_eq!(replayed.2, memo_hits, "seed {seed}: replayed memo hits");
+        // Same tolerance the cold golden uses (costs pinned to 3 decimals).
+        let replayed_cost = f64::from_bits(replayed.4);
+        assert!(
+            (replayed_cost - best_cost).abs() < 1e-3,
+            "seed {seed}: replayed best cost {replayed_cost} drifted from the golden {best_cost}"
+        );
+    }
+}
+
 /// The GUS workload `qsys-bench` uses (duplicated here because the bench
 /// crate depends on `qsys`, not the other way around).
 fn qsys_bench_like_workload(seed: u64) -> qsys_workload::Workload {

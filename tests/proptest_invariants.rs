@@ -316,6 +316,95 @@ proptest! {
 }
 
 proptest! {
+    /// A warm-started optimizer over a shuffled multi-batch stream of
+    /// conjunctive queries — with the first batch recurring at the end, so
+    /// the cross-batch plan memo actually replays — produces bit-identical
+    /// plans, costs, explored-state counts, and memo hits vs a cold
+    /// optimizer. The warm store is a cache, never a policy change.
+    #[test]
+    fn warm_start_is_decision_neutral(
+        lens in prop::collection::vec(2usize..=4, 6..=9),
+        shuffle_seed in 0u64..1000,
+    ) {
+        use qsys_opt::cost::NoReuse;
+        use qsys_query::shared_interner;
+
+        // A fixed 4-relation chain catalog; only its statistics matter to
+        // the optimizer, the rows are never read here.
+        let data: Vec<RelData> = (0..4)
+            .map(|r| RelData {
+                rows: (0..60).map(|i| ((i * (r + 3)) % 7, 0.5)).collect(),
+            })
+            .collect();
+        let catalog = chain_catalog(&data, 7);
+        // One chain CQ per length, ids in arrival order; chains share
+        // prefixes, so multi-relation candidates exist and the search has
+        // real decisions to replay.
+        let cqs: Vec<ConjunctiveQuery> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| chain_cq(i as u32, i as u32, &catalog, len))
+            .collect();
+        // Shuffle the stream (Fisher-Yates over an LCG), batch it, and
+        // repeat the first batch: recurring shapes are the memo's case.
+        let mut order: Vec<usize> = (0..cqs.len()).collect();
+        let mut state = shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut batches: Vec<Vec<usize>> = order.chunks(3).map(|c| c.to_vec()).collect();
+        batches.push(batches[0].clone());
+        let f = ScoreFn::discover(UserId::new(0), 4);
+
+        let run = |warm: bool| -> Vec<(String, usize, usize, usize, u64, usize)> {
+            let interner = shared_interner();
+            let warm_cell = warm.then(qsys_opt::warm::shared_warm);
+            let optimizer = Optimizer::new(&catalog, OptimizerConfig::default());
+            batches
+                .iter()
+                .map(|batch| {
+                    let b: Vec<_> = batch.iter().map(|&i| (&cqs[i], &f)).collect();
+                    let (spec, stats) = optimizer.optimize_warm(
+                        &b,
+                        &NoReuse,
+                        None,
+                        &interner,
+                        warm_cell.as_deref(),
+                    );
+                    (
+                        format!("{spec:?}"),
+                        stats.explored,
+                        stats.memo_hits,
+                        stats.candidates,
+                        stats.best_cost.to_bits(),
+                        stats.warm_hits,
+                    )
+                })
+                .collect()
+        };
+        let warm_side = run(true);
+        let cold_side = run(false);
+        for (w, c) in warm_side.iter().zip(cold_side.iter()) {
+            prop_assert_eq!(&w.0, &c.0, "plan spec diverged");
+            prop_assert_eq!(
+                (w.1, w.2, w.3, w.4),
+                (c.1, c.2, c.3, c.4),
+                "search statistics diverged"
+            );
+        }
+        prop_assert!(
+            warm_side.last().expect("nonempty").5 >= 1,
+            "the recurring batch must replay from the warm memo"
+        );
+        prop_assert_eq!(
+            cold_side.iter().map(|c| c.5).sum::<usize>(),
+            0,
+            "a cold lane never reports warm hits"
+        );
+    }
+
     /// Fetch-ahead batching amortizes network rounds without changing what
     /// a stream delivers: the tuple sequence is identical at every
     /// `fetch_batch`, the round count is exactly ⌈delivered / batch⌉, and
