@@ -122,6 +122,14 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            if !snapshot.session_api_identical {
+                eprintln!(
+                    "CHECK FAILED: incremental Engine/Session admission diverged from the \
+                     scripted run_workload driver (admission timing must be a scheduling \
+                     freedom, never a semantic one)"
+                );
+                std::process::exit(1);
+            }
             let mut decisions_ok = true;
             let json = match &baseline {
                 Some((before, b)) => {

@@ -169,6 +169,12 @@ pub struct PerfSnapshot {
     /// identical per-UQ statistics to the sequential arm (must be true —
     /// threading changes wall time, never results).
     pub atc_cl_identical: bool,
+    /// Whether driving the figure workload incrementally through the
+    /// sessionized `Engine`/`Session` API (submit one, step one) produced
+    /// bit-identical per-UQ statistics and optimizer decisions to the
+    /// scripted `run_workload` driver (must be true — admission timing is
+    /// a scheduling freedom, never a semantic one).
+    pub session_api_identical: bool,
     /// Tuples consumed by the ATC-CL workload (same in both arms).
     pub atc_cl_tuples: u64,
     /// Host wall-clock µs per lane in the parallel arm, by lane index.
@@ -550,6 +556,49 @@ pub fn perf_snapshot(iters: usize, lane_threads_cap: Option<usize>) -> PerfSnaps
                 && a.lane == b.lane
         });
 
+    // Sessionized-API arm: the same figure workload submitted one query
+    // at a time through per-user sessions, stepping after every arrival —
+    // the service-shaped drive must reproduce the scripted driver's
+    // decisions and statistics bit for bit.
+    let session_api_identical = {
+        let mut session_engine = qsys::Engine::for_workload(&workload, engine.clone());
+        for q in &workload.queries {
+            let mut session = session_engine.session(q.user);
+            if let Some(costs) = &q.edge_costs {
+                session = session.with_edge_costs(costs.clone());
+            }
+            let _ = session.submit(&q.keywords, q.arrival_us);
+            session_engine.step();
+        }
+        session_engine.run_until_idle();
+        let stepped = session_engine.report();
+        stepped.tuples_consumed == report.tuples_consumed
+            && stepped.tuples_streamed == report.tuples_streamed
+            && stepped.probes == report.probes
+            && stepped.breakdown == report.breakdown
+            && stepped.per_uq.len() == report.per_uq.len()
+            && stepped
+                .per_uq
+                .iter()
+                .zip(report.per_uq.iter())
+                .all(|(a, b)| {
+                    a.uq == b.uq
+                        && a.response_us == b.response_us
+                        && a.results == b.results
+                        && a.cqs_executed == b.cqs_executed
+                })
+            && stepped.opt_events.len() == report.opt_events.len()
+            && stepped
+                .opt_events
+                .iter()
+                .zip(report.opt_events.iter())
+                .all(|(a, b)| {
+                    a.batch_cqs == b.batch_cqs
+                        && a.candidates == b.candidates
+                        && a.explored == b.explored
+                })
+    };
+
     let secs = end_to_end.as_secs_f64().max(1e-9);
     PerfSnapshot {
         optimize_us: optimize_us / iters.max(1) as f64,
@@ -571,6 +620,7 @@ pub fn perf_snapshot(iters: usize, lane_threads_cap: Option<usize>) -> PerfSnaps
         atc_cl_par_ms,
         atc_cl_speedup_bound,
         atc_cl_identical,
+        session_api_identical,
         atc_cl_tuples: par.tuples_consumed,
         lane_wall_us: par.lane_wall_us,
         warm_optimize_us,
@@ -626,7 +676,8 @@ impl PerfSnapshot {
              \"atc_cl_lanes\": {},\n    \"atc_cl_seq_ms\": {:.1},\n    \
              \"atc_cl_par_ms\": {:.1},\n    \"atc_cl_speedup_pct\": {:.1},\n    \
              \"atc_cl_speedup_bound\": {:.2},\n    \
-             \"atc_cl_identical\": {},\n    \"atc_cl_tuples\": {},\n    \
+             \"atc_cl_identical\": {},\n    \"session_api_identical\": {},\n    \
+             \"atc_cl_tuples\": {},\n    \
              \"lane_wall_us\": [{}],\n    \"fetch_batch_sweep\": [{}]\n  }}",
             self.optimize_us,
             self.graft_us,
@@ -654,6 +705,7 @@ impl PerfSnapshot {
             self.atc_cl_speedup_pct(),
             self.atc_cl_speedup_bound,
             self.atc_cl_identical,
+            self.session_api_identical,
             self.atc_cl_tuples,
             lane_wall.join(", "),
             sweep.join(", "),

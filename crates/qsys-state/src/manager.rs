@@ -27,6 +27,11 @@ pub struct GraftOutcome {
     pub created_nodes: usize,
     /// Recovery queries (`CQ^e`) created by `RecoverState`.
     pub recovery_queries: usize,
+    /// The user query behind each recovery query, in creation order (one
+    /// entry per recovered CQ plan, so a UQ appears once per recovered
+    /// CQ). Lets the serving layer attribute recovery status to the
+    /// ticket that triggered it.
+    pub recovered_uqs: Vec<UqId>,
     /// The epoch this batch executes in.
     pub epoch: Epoch,
 }
@@ -303,6 +308,7 @@ impl QsManager {
             );
             if recovered {
                 outcome.recovery_queries += 1;
+                outcome.recovered_uqs.push(plan.uq);
             }
         }
 

@@ -3,24 +3,26 @@
 //! answers each refinement largely from the state the previous execution
 //! left in the plan graph, via grafting and `RecoverState`.
 //!
+//! Driven through one long-lived [`Session`]: each refinement is a fresh
+//! submission into the same engine, and the ticket's report shows how
+//! much of the answer came from recovered state.
+//!
 //! ```sh
 //! cargo run --release --example query_refinement
 //! ```
 
-use qsys::{EngineConfig, QSystem, SharingMode};
+use qsys::prelude::*;
 use qsys_query::CandidateConfig;
-use qsys_types::UserId;
 use qsys_workload::pfam::{self, PfamConfig};
 
 fn main() {
     // The Pfam/InterPro-style integrated protein-family database.
     let workload = pfam::generate(&PfamConfig::small(11));
-    let mut system = QSystem::new(
-        workload.catalog,
-        workload.index,
-        workload.tables.provider(),
+    let mut engine = Engine::for_workload(
+        &workload,
         EngineConfig {
             k: 15,
+            batch_size: 1, // interactive: every query dispatches immediately
             sharing: SharingMode::AtcFull,
             candidate: CandidateConfig {
                 max_cqs: 4, // the paper's Pfam setup yields 4 CQs per query
@@ -31,7 +33,7 @@ fn main() {
     );
 
     let user = UserId::new(0);
-    let session = [
+    let session_script = [
         "kinase domain",  // KQ1: initial exploration
         "kinase binding", // KQ2: pivot on the second concept
         "domain binding", // KQ3: drop 'kinase', refine
@@ -39,27 +41,34 @@ fn main() {
 
     println!("One user's refinement session over Pfam/InterPro:\n");
     let mut last_streamed = 0;
-    for (step, keywords) in session.iter().enumerate() {
-        let result = system.search(keywords, user).expect("query answers");
-        let streamed = system.sources().tuples_streamed();
+    for (step, keywords) in session_script.iter().enumerate() {
+        let ticket = engine
+            .session(user)
+            .submit_now(keywords)
+            .expect("query answers");
+        engine.step(); // batch_size 1: the window sealed on submission
+        let report = ticket.report().expect("executed");
+        let results = ticket.take_results().expect("executed");
+        let streamed = engine.sources().tuples_streamed();
         println!("KQ{}: \"{keywords}\"", step + 1);
         println!(
             "  {} CQs generated, {} executed | {} answers | {:.3} virtual s",
-            result.cqs_generated,
-            result.cqs_executed,
-            result.results.len(),
-            result.response_us as f64 / 1e6
+            report.cqs_generated,
+            report.cqs_executed,
+            results.len(),
+            report.response_us as f64 / 1e6
         );
         println!(
-            "  plan nodes reused: {} | new stream tuples read: {}",
-            result.reused_nodes,
+            "  plan nodes reused: {} | CQs recovered from prior state: {} | new stream tuples read: {}",
+            report.reused_nodes,
+            report.recovered_cqs,
             streamed - last_streamed
         );
-        if let Some((score, tuple)) = result.results.first() {
+        if let Some((score, tuple)) = results.first() {
             let rels: Vec<String> = tuple
                 .parts()
                 .iter()
-                .map(|p| system.catalog().relation(p.rel).name.clone())
+                .map(|p| engine.catalog().relation(p.rel).name.clone())
                 .collect();
             println!(
                 "  best answer: score {:.6} via {}",
@@ -74,7 +83,7 @@ fn main() {
     println!(
         "total network traffic: {} stream tuples, {} probes — later queries \
          lean on recovered state instead of re-reading the sources",
-        system.sources().tuples_streamed(),
-        system.sources().probes()
+        engine.sources().tuples_streamed(),
+        engine.sources().probes()
     );
 }

@@ -1,13 +1,12 @@
-//! Quickstart: stand up a Q System over a synthetic bioinformatics
-//! federation and pose a keyword query.
+//! Quickstart: serve keyword queries over a synthetic bioinformatics
+//! federation through the sessionized `Engine` API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use qsys::{EngineConfig, QSystem, SharingMode};
+use qsys::prelude::*;
 use qsys_query::CandidateConfig;
-use qsys_types::UserId;
 use qsys_workload::gus::{self, GusConfig};
 
 fn main() {
@@ -23,12 +22,12 @@ fn main() {
         workload.catalog.edges().len()
     );
 
-    let mut system = QSystem::new(
-        workload.catalog,
-        workload.index,
-        workload.tables.provider(),
+    // The long-lived service: admission queue, shared plan state, lanes.
+    let mut engine = Engine::for_workload(
+        &workload,
         EngineConfig {
             k: 10,
+            batch_size: 2,
             sharing: SharingMode::AtcFull,
             candidate: CandidateConfig {
                 max_cqs: 8,
@@ -38,25 +37,42 @@ fn main() {
         },
     );
 
-    // A biologist's exploratory query (Example 1 of the paper).
-    let result = system
-        .search("protein 'plasma membrane' gene", UserId::new(0))
+    // Two biologists pose overlapping queries (Example 1 of the paper).
+    // Submission is admission: each returns a ticket immediately; nothing
+    // executes until the admission window seals.
+    let alice = UserId::new(0);
+    let bob = UserId::new(1);
+    let t_alice = engine
+        .session(alice)
+        .submit("protein 'plasma membrane' gene", 0)
         .expect("keywords match the catalog");
+    let t_bob = engine
+        .session(bob)
+        .submit("protein gene", 250_000) // arrives 0.25 virtual s later
+        .expect("keywords match the catalog");
+    assert_eq!(t_alice.poll(), TicketStatus::Queued);
 
+    // batch_size = 2: Bob's arrival sealed the window; one step optimizes
+    // the batch as a unit (shared subexpressions planned once), grafts it,
+    // and runs it to completion.
+    engine.step();
+    assert_eq!(t_alice.poll(), TicketStatus::Completed);
+
+    let report = t_alice.report().expect("completed");
     println!(
-        "\n» \"protein 'plasma membrane' gene\" → {} candidate networks, {} executed",
-        result.cqs_generated, result.cqs_executed
+        "\n» \"{}\" → {} candidate networks, {} executed",
+        report.keywords, report.cqs_generated, report.cqs_executed
     );
     println!(
         "  top-{} answers in {:.3} virtual seconds:",
-        result.results.len(),
-        result.response_us as f64 / 1e6
+        report.results,
+        report.response_us as f64 / 1e6
     );
-    for (rank, (score, tuple)) in result.results.iter().enumerate() {
+    for (rank, (score, tuple)) in t_alice.take_results().expect("results").iter().enumerate() {
         let rels: Vec<String> = tuple
             .parts()
             .iter()
-            .map(|p| format!("{}#{}", system.catalog().relation(p.rel).name, p.row_id))
+            .map(|p| format!("{}#{}", engine.catalog().relation(p.rel).name, p.row_id))
             .collect();
         println!(
             "  {:2}. score {:.6}  {}",
@@ -66,11 +82,30 @@ fn main() {
         );
     }
 
+    // Per-user accounting without re-aggregating UqReports by hand.
+    let run = engine.report();
+    for (name, user) in [("alice", alice), ("bob", bob)] {
+        for line in run.per_user(user) {
+            println!(
+                "{name}: \"{}\" answered in {:.3}s — {} CQs executed, {} nodes reused",
+                line.keywords,
+                line.response_us as f64 / 1e6,
+                line.cqs_executed,
+                line.reused_nodes
+            );
+        }
+    }
+    let bob_line = run.per_ticket(&t_bob).expect("bob was served");
+    println!(
+        "bob's ticket: lane {}, {} recovered CQs",
+        bob_line.lane, bob_line.recovered_cqs
+    );
+
     // Work accounting: top-k processing reads only stream prefixes.
     println!(
         "\nwork: {} tuples streamed, {} remote probes, {}",
-        system.sources().tuples_streamed(),
-        system.sources().probes(),
-        system.sources().clock().breakdown()
+        engine.sources().tuples_streamed(),
+        engine.sources().probes(),
+        engine.sources().clock().breakdown()
     );
 }

@@ -8,9 +8,11 @@
 //! cargo run --release --example score_models
 //! ```
 
-use qsys::{EngineConfig, QSystem, SharingMode};
+// `QSystem` is the one-shot interactive facade — since the sessionized
+// redesign it admits each search through the same Engine/Session path the
+// service API uses, so this example exercises that path too.
+use qsys::prelude::*;
 use qsys_query::{CandidateConfig, ScoreModel};
-use qsys_types::UserId;
 use qsys_workload::gus::{self, GusConfig};
 
 fn main() {

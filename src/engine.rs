@@ -1,20 +1,22 @@
-//! The Q System engine: batcher, configurations, and the interactive API.
+//! Engine configuration, execution lanes, and the interactive facade.
 //!
-//! One [`QSystem`] wires the full pipeline of Figure 3: keyword query →
-//! candidate networks → batcher → optimizer (consulting the QS manager's
-//! reuse oracle) → graft → ATC execution → top-k answers. The
-//! [`SharingMode`] selects the paper's experimental configurations
-//! (Section 7.1).
+//! The pipeline of Figure 3 — keyword query → candidate networks →
+//! batcher → optimizer (consulting the QS manager's reuse oracle) →
+//! graft → ATC execution → top-k answers — is served by the sessionized
+//! [`Engine`] in [`crate::session`]; this module holds its configuration
+//! vocabulary ([`EngineConfig`], [`SharingMode`] selecting Section 7.1's
+//! experimental systems), the lane type the engine executes on, and
+//! [`QSystem`], the one-query-at-a-time interactive facade.
 
+use crate::session::Engine;
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
 use qsys_opt::cluster::ClusterConfig;
 use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
-use qsys_query::{CandidateConfig, CandidateGenerator, ScoreFn, UserQuery};
+use qsys_query::{CandidateConfig, ScoreFn, UserQuery};
 use qsys_source::{Sources, TableProvider};
 use qsys_state::{EvictionPolicy, QsManager};
 use qsys_types::{CostProfile, QsysResult, Score, SimClock, Tuple, UqId, UserId};
-use std::collections::HashMap;
 
 /// Which sharing configuration to run (Section 7.1's four systems).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -48,8 +50,16 @@ impl SharingMode {
 pub struct EngineConfig {
     /// Results per user query (paper: 50).
     pub k: usize,
-    /// User queries per optimization batch (paper: 5).
+    /// User queries per optimization batch (paper: 5). An admission
+    /// window seals into a dispatchable batch once it holds this many
+    /// queries.
     pub batch_size: usize,
+    /// Maximum virtual-time width of an admission window, µs: a query
+    /// arriving more than this long after the window's first query seals
+    /// the window early (a partially filled batch dispatches rather than
+    /// waiting forever). `None` (the default, and the paper's setup) seals
+    /// by count only.
+    pub arrival_window_us: Option<u64>,
     /// Sharing configuration.
     pub sharing: SharingMode,
     /// QS manager memory budget in bytes.
@@ -113,6 +123,7 @@ impl Default for EngineConfig {
         EngineConfig {
             k: 50,
             batch_size: 5,
+            arrival_window_us: None,
             sharing: SharingMode::AtcFull,
             memory_budget: usize::MAX,
             eviction: EvictionPolicy::default(),
@@ -133,18 +144,22 @@ impl Default for EngineConfig {
 ///
 /// A lane is `Send` (checked below) and internally single-threaded: all
 /// state sharing happens *within* a lane (the plan graph's module arena,
-/// the shared interner), never across lanes — so the workload runner may
-/// move lanes onto worker threads and run them concurrently with no
-/// locks on the execution path.
-pub struct Lane {
+/// the shared interner), never across lanes — so the engine may move
+/// lanes onto worker threads and run them concurrently with no locks on
+/// the execution path.
+///
+/// Lanes are an implementation detail of the [`Engine`] facade
+/// (`crate::Engine`), which is why neither the type nor its constructor
+/// is public: queries reach a lane only through admission.
+pub(crate) struct Lane {
     /// The QS manager owning this lane's plan graph.
-    pub manager: QsManager,
+    pub(crate) manager: QsManager,
     /// This lane's source gateway (own clock, own counters).
-    pub sources: Sources,
+    pub(crate) sources: Sources,
     /// The coordinator.
-    pub atc: Atc,
+    pub(crate) atc: Atc,
     /// Per-UQ statistics.
-    pub stats: ExecStats,
+    pub(crate) stats: ExecStats,
 }
 
 /// Compile-time guarantee that lanes can move onto worker threads; if a
@@ -156,7 +171,7 @@ const _: fn() = || {
 };
 
 impl Lane {
-    fn new(config: &EngineConfig, provider: TableProvider, lane_idx: u64) -> Lane {
+    pub(crate) fn new(config: &EngineConfig, provider: TableProvider, lane_idx: u64) -> Lane {
         let mut manager = QsManager::new(config.memory_budget).with_policy(config.eviction);
         if !config.share_probe_caches {
             manager = manager.with_private_probe_caches();
@@ -194,14 +209,17 @@ pub struct SearchResult {
     pub opt: OptStats,
 }
 
-/// The interactive Q System facade (single lane, full sharing by default).
+/// The interactive Q System facade: a single-lane [`Engine`] driven one
+/// keyword query at a time, with each search run to completion.
+///
+/// Since the sessionized redesign this is a thin wrapper over
+/// [`Engine::single_lane`]: `search` admits the query through the *same*
+/// admission code every batch run uses (submit → seal → optimize → graft
+/// → execute → publish), so the one-off path can no longer drift from
+/// workload execution. Service callers that want to interleave several
+/// users or control stepping should use [`Engine`] directly.
 pub struct QSystem {
-    catalog: Catalog,
-    index: KeywordIndex,
-    config: EngineConfig,
-    lane: Lane,
-    next_cq: u32,
-    next_uq: u32,
+    engine: Engine,
 }
 
 impl QSystem {
@@ -212,88 +230,52 @@ impl QSystem {
         provider: TableProvider,
         config: EngineConfig,
     ) -> QSystem {
-        let lane = Lane::new(&config, provider, 0);
         QSystem {
-            catalog,
-            index,
-            config,
-            lane,
-            next_cq: 0,
-            next_uq: 0,
+            engine: Engine::single_lane(catalog, index, provider, config),
         }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.engine.catalog()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The lane's source gateway (work counters, clock).
     pub fn sources(&self) -> &Sources {
-        &self.lane.sources
+        self.engine.sources()
+    }
+
+    /// The underlying sessionized engine, for callers that start
+    /// interactive and then need incremental admission.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
     }
 
     /// Pose a keyword query and run it to completion, reusing whatever
-    /// state previous searches left in the plan graph.
+    /// state previous searches left in the plan graph. Equivalent to
+    /// submitting through a [`Session`](crate::Session) and draining the
+    /// engine — that is literally what it does.
     pub fn search(&mut self, keywords: &str, user: UserId) -> QsysResult<SearchResult> {
-        let uq = self.generate(keywords, user)?;
-        let uq_id = uq.id;
-        let cqs_generated = uq.cqs.len();
-        let submit = self.lane.sources.clock().now_us();
-        self.lane.stats.submit(uq_id, submit);
-        let (outcome, opt) = graft_batch(
-            &self.catalog,
-            &mut self.lane,
-            &[&uq],
-            &self.config,
-            batch_share(&self.config.sharing),
-        );
-        self.lane.atc.run(
-            self.lane.manager.graph_mut(),
-            &self.lane.sources,
-            &mut self.lane.stats,
-        );
-        self.lane.manager.unpin_all();
-        let rm = self
-            .lane
-            .manager
-            .rank_merge_of(uq_id)
-            .expect("rank merge registered");
-        let results: Vec<(Score, Tuple)> = self
-            .lane
-            .manager
-            .graph()
-            .rank_merge(rm)
-            .results()
-            .iter()
-            .map(|r| (r.score, r.tuple.clone()))
-            .collect();
-        let stats = self.lane.stats.uq(uq_id).expect("submitted");
-        let out = SearchResult {
-            uq: uq_id,
+        let ticket = self.engine.session(user).submit_now(keywords)?;
+        self.engine.run_until_idle();
+        let report = ticket
+            .report()
+            .expect("a drained single-lane engine has executed every admitted query");
+        let results = ticket.take_results().unwrap_or_default();
+        Ok(SearchResult {
+            uq: ticket.id(),
             results,
-            cqs_generated,
-            cqs_executed: stats.cqs_executed.len(),
-            reused_nodes: outcome.reused_nodes,
-            response_us: stats.response_us().unwrap_or(0),
-            opt,
-        };
-        self.lane.manager.unlink_completed();
-        Ok(out)
-    }
-
-    /// Convert a keyword query into a user query (candidate networks).
-    pub fn generate(&mut self, keywords: &str, user: UserId) -> QsysResult<UserQuery> {
-        let generator =
-            CandidateGenerator::new(&self.catalog, &self.index, self.config.candidate.clone());
-        let uq = UqId::new(self.next_uq);
-        self.next_uq += 1;
-        generator.generate(keywords, uq, user, &mut self.next_cq, None)
+            cqs_generated: report.cqs_generated,
+            cqs_executed: report.cqs_executed,
+            reused_nodes: report.reused_nodes,
+            response_us: report.response_us,
+            opt: ticket.opt_stats().unwrap_or_default(),
+        })
     }
 }
 
@@ -343,53 +325,6 @@ pub(crate) fn graft_batch(
     (outcome, opt_stats)
 }
 
-/// Group user queries into arrival-ordered batches of `batch_size`.
-pub(crate) fn batches(uqs: &[UserQuery], batch_size: usize) -> Vec<Vec<&UserQuery>> {
-    uqs.chunks(batch_size.max(1))
-        .map(|chunk| chunk.iter().collect())
-        .collect()
-}
-
-/// Per-UQ relation reference counts (input to clustering).
-pub(crate) fn reference_map(
-    uqs: &[UserQuery],
-) -> std::collections::BTreeMap<UqId, Vec<qsys_types::RelId>> {
-    uqs.iter()
-        .map(|uq| {
-            let refs = uq.cqs.iter().flat_map(|(cq, _)| cq.rels()).collect();
-            (uq.id, refs)
-        })
-        .collect()
-}
-
-/// Build one lane per cluster (or a single lane for non-CL modes).
-pub(crate) fn make_lanes(
-    config: &EngineConfig,
-    provider: impl Fn() -> TableProvider,
-    uqs: &[UserQuery],
-) -> (Vec<Lane>, HashMap<UqId, usize>) {
-    match &config.sharing {
-        SharingMode::AtcCl(cluster_cfg) => {
-            let refs = reference_map(uqs);
-            let clusters = qsys_opt::cluster_user_queries(&refs, *cluster_cfg);
-            let mut lanes = Vec::new();
-            let mut assignment = HashMap::new();
-            for (idx, cluster) in clusters.iter().enumerate() {
-                lanes.push(Lane::new(config, provider(), idx as u64));
-                for uq in cluster {
-                    assignment.insert(*uq, idx);
-                }
-            }
-            (lanes, assignment)
-        }
-        _ => {
-            let lanes = vec![Lane::new(config, provider(), 0)];
-            let assignment = uqs.iter().map(|uq| (uq.id, 0usize)).collect();
-            (lanes, assignment)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +353,7 @@ mod tests {
         let c = EngineConfig::default();
         assert_eq!(c.k, 50);
         assert_eq!(c.batch_size, 5);
+        assert_eq!(c.arrival_window_us, None, "paper setup seals by count");
         assert_eq!(c.scheduling, SchedulingPolicy::RoundRobin);
         assert_eq!(c.eviction, EvictionPolicy::LruSizeTieBreak);
         assert!(c.lane_threads >= 1, "at least one lane thread");

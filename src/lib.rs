@@ -1,39 +1,59 @@
 //! # qsys — Sharing Work in Keyword Search over Databases
 //!
 //! A from-scratch Rust reproduction of the Q System's shared top-k query
-//! processing middleware (Jacob & Ives, SIGMOD 2011): keyword queries are
-//! converted into ranked sets of conjunctive queries (candidate networks),
-//! batched, multi-query-optimized with cost-based subexpression push-down,
-//! and executed by a fully pipelined plan graph of split / m-join /
-//! rank-merge operators under a novel coordinator, the **ATC**. Plan state
-//! persists between queries: later queries graft onto the running graph and
-//! recover already-read stream prefixes from the hash-table state instead
-//! of re-reading the network.
+//! processing middleware (Jacob & Ives, SIGMOD 2011), grown into a
+//! **multi-user search service**: keyword queries arrive continuously,
+//! are converted into ranked sets of conjunctive queries (candidate
+//! networks), admitted into arrival windows, multi-query-optimized with
+//! cost-based subexpression push-down, and executed by a fully pipelined
+//! plan graph of split / m-join / rank-merge operators under a novel
+//! coordinator, the **ATC**. Plan state persists between queries: later
+//! queries graft onto the running graph and recover already-read stream
+//! prefixes from the hash-table state instead of re-reading the network.
 //!
-//! ## Quick start
+//! ## Serving queries: the `Engine` / `Session` API
+//!
+//! The primary interface is a long-lived [`Engine`] serving per-user
+//! [`Session`]s. Submission is *admission*, not execution: each submitted
+//! query gets a [`QueryTicket`] immediately, batches form as arrivals
+//! accumulate, and the engine advances when you [`step`](Engine::step) it
+//! (or drain it with [`run_until_idle`](Engine::run_until_idle)).
 //!
 //! ```
-//! use qsys::{EngineConfig, QSystem, SharingMode};
+//! use qsys::prelude::*;
 //! use qsys_workload::gus::{self, GusConfig};
-//! use qsys_types::UserId;
 //!
 //! // A synthetic bioinformatics federation (358 relations).
 //! let mut cfg = GusConfig::small(42);
 //! cfg.min_rows = 200;
 //! cfg.max_rows = 400;
 //! let workload = gus::generate(&cfg);
-//! let mut system = QSystem::new(
-//!     workload.catalog,
-//!     workload.index,
-//!     workload.tables.provider(),
-//!     EngineConfig { k: 5, sharing: SharingMode::AtcFull, ..EngineConfig::default() },
+//! let mut engine = Engine::for_workload(
+//!     &workload,
+//!     EngineConfig { k: 5, batch_size: 2, ..EngineConfig::default() },
 //! );
-//! let answers = system.search("protein gene", UserId::new(0)).unwrap();
-//! assert!(answers.results.len() <= 5);
-//! // A refinement reuses the state the first search left behind.
-//! let refined = system.search("gene membrane", UserId::new(0)).unwrap();
-//! assert!(refined.reused_nodes > 0 || refined.results.is_empty());
+//!
+//! // Two biologists pose overlapping queries; admission batches them.
+//! let t1 = engine.session(UserId::new(0)).submit("protein gene", 0).unwrap();
+//! let t2 = engine.session(UserId::new(1)).submit("gene membrane", 1_000).unwrap();
+//! assert_eq!(t1.poll(), TicketStatus::Queued);
+//!
+//! // The window sealed at batch_size = 2; one step executes the batch.
+//! engine.step();
+//! assert_eq!(t1.poll(), TicketStatus::Completed);
+//! let answers = t1.take_results().unwrap();
+//! assert!(answers.len() <= 5);
+//! // Per-query accounting rides along on the ticket.
+//! let report = t2.report().unwrap();
+//! assert_eq!(report.user, UserId::new(1));
 //! ```
+//!
+//! For one-shot interactive use there is still [`QSystem`], now a thin
+//! wrapper that pushes each `search` through the same admission path; and
+//! for scripted experiments there is [`run_workload`], the
+//! reproduction/bench driver that admits a whole [`qsys_workload::Workload`]
+//! and drains the engine — bit-identical to the historical run-to-completion
+//! runner by construction.
 //!
 //! ## Crate map
 //!
@@ -66,16 +86,30 @@
 //! cold path.
 //!
 //! Execution is organized into `Send` **lanes** (plan graph + ATC + source
-//! registry + clock); ATC-CL runs one lane per query cluster on worker
+//! registry + clock), an implementation detail behind the engine's
+//! admission boundary; ATC-CL runs one lane per query cluster on worker
 //! threads capped by [`EngineConfig::lane_threads`], with results
-//! bit-identical to a sequential run (`tests/parallel_identity.rs`). See
-//! the `qsys-exec` crate docs for the threading model.
+//! bit-identical to a sequential run (`tests/parallel_identity.rs`,
+//! `tests/session_api.rs`). See the `qsys-exec` crate docs for the
+//! threading model.
 
 pub mod engine;
 pub mod report;
+pub mod session;
 
 pub use engine::{EngineConfig, QSystem, SearchResult, SharingMode};
 pub use report::{generate_user_queries, run_workload, OptEvent, RunReport, UqReport};
+pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
+
+/// One-stop imports for serving queries: the engine facade, its
+/// configuration vocabulary, the reporting types, and the id newtypes the
+/// API speaks in.
+pub mod prelude {
+    pub use crate::engine::{EngineConfig, QSystem, SearchResult, SharingMode};
+    pub use crate::report::{run_workload, OptEvent, RunReport, UqReport};
+    pub use crate::session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
+    pub use qsys_types::{Score, Tuple, UqId, UserId};
+}
 
 // Re-export the subsystem crates under one roof.
 pub use qsys_catalog as catalog;

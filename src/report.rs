@@ -1,29 +1,36 @@
-//! Workload runner and reporting: the engine behind every experiment.
+//! Experiment reporting, and the scripted workload driver.
 //!
-//! [`run_workload`] executes a scripted workload under one [`EngineConfig`]
-//! and returns the quantities the paper's evaluation section plots:
-//! per-user-query response times (Figures 7, 9, 12), time breakdowns
-//! (Figure 8), conjunctive queries executed (Table 4), total tuples
-//! consumed (Figure 10), and optimizer statistics (Figure 11).
+//! [`RunReport`] carries the quantities the paper's evaluation section
+//! plots: per-user-query response times (Figures 7, 9, 12), time
+//! breakdowns (Figure 8), conjunctive queries executed (Table 4), total
+//! tuples consumed (Figure 10), and optimizer statistics (Figure 11).
+//!
+//! [`run_workload`] is the reproduction/bench driver: a thin compatibility
+//! shim that admits a whole scripted [`Workload`] into a sessionized
+//! [`Engine`] and drains it. Interactive service callers
+//! should use the [`Engine`]/[`Session`](crate::Session)
+//! API directly; this driver exists so that every experiment, bench, and
+//! golden keeps one canonical run-to-completion entry point — and it is
+//! bit-identical to the historical scripted runner by construction, since
+//! admission forms exactly the batches the old per-lane loop formed.
 
-use crate::engine::{
-    batch_share, batches, graft_batch, make_lanes, EngineConfig, Lane, SharingMode,
-};
-use qsys_catalog::Catalog;
+use crate::engine::EngineConfig;
+use crate::session::{Engine, QueryTicket};
 use qsys_query::{CandidateGenerator, UserQuery};
-use qsys_types::{QsysResult, TimeBreakdown, UqId};
+use qsys_types::{QsysResult, TimeBreakdown, UqId, UserId};
 use qsys_workload::Workload;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Per-user-query report line.
 #[derive(Debug, Clone)]
 pub struct UqReport {
     /// The user query.
     pub uq: UqId,
+    /// The submitting user.
+    pub user: UserId,
     /// The keyword text.
     pub keywords: String,
+    /// Virtual arrival time the query was admitted with, µs.
+    pub arrival_us: u64,
     /// Virtual response time in µs (graft → top-k complete).
     pub response_us: u64,
     /// Results returned.
@@ -34,6 +41,12 @@ pub struct UqReport {
     pub cqs_executed: usize,
     /// Which lane (plan graph) served it.
     pub lane: usize,
+    /// Plan-graph nodes its batch reused from earlier state (batch-level:
+    /// every member of a multi-query batch reports the batch's total).
+    pub reused_nodes: usize,
+    /// How many of this query's CQs ran a `RecoverState` recovery query
+    /// over pre-existing stream state (Section 6.2).
+    pub recovered_cqs: usize,
 }
 
 /// One optimizer invocation (Figure 11's data points).
@@ -53,7 +66,9 @@ pub struct OptEvent {
     pub warm_hits: usize,
 }
 
-/// The full outcome of one workload run.
+/// The full outcome of one workload run (or of everything an
+/// [`Engine`] has executed so far — see
+/// [`Engine::report`](crate::Engine::report)).
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Configuration label ("ATC-CQ" …).
@@ -106,6 +121,22 @@ impl RunReport {
     pub fn warm_hits(&self) -> usize {
         self.opt_events.iter().map(|e| e.warm_hits).sum()
     }
+
+    /// This user's report lines, in UQ order — the per-session view a
+    /// service caller would otherwise re-aggregate by hand.
+    pub fn per_user(&self, user: UserId) -> Vec<&UqReport> {
+        self.per_uq.iter().filter(|u| u.user == user).collect()
+    }
+
+    /// The report line behind one [`QueryTicket`].
+    pub fn per_ticket(&self, ticket: &QueryTicket) -> Option<&UqReport> {
+        self.per_uq_id(ticket.id())
+    }
+
+    /// The report line for one user-query id.
+    pub fn per_uq_id(&self, uq: UqId) -> Option<&UqReport> {
+        self.per_uq.iter().find(|u| u.uq == uq)
+    }
 }
 
 /// Generate the user queries of a workload (shared by the runner, the
@@ -138,6 +169,14 @@ pub fn generate_user_queries(
 
 /// Run `workload` (optionally truncated to its first `limit` user queries)
 /// under `config`, returning the experiment report.
+///
+/// This is the scripted compatibility driver over the sessionized
+/// [`Engine`]: pre-generate the script's candidate networks
+/// (preserving the historical UQ/CQ id assignment, including ids consumed
+/// by skipped queries), admit everything, drain the engine, and read its
+/// report. Admission seals batches exactly where the old per-lane loop
+/// chunked them, so every reported quantity is bit-identical to the
+/// pre-sessionized runner.
 pub fn run_workload(
     workload: &Workload,
     config: &EngineConfig,
@@ -147,194 +186,50 @@ pub fn run_workload(
     if let Some(n) = limit {
         uqs.truncate(n);
     }
-    let provider = || workload.tables.provider();
-    let (mut lanes, assignment) = make_lanes(config, provider, &uqs);
-    let share = batch_share(&config.sharing);
-    let per_uq_meta: HashMap<UqId, (String, usize)> = uqs
-        .iter()
-        .map(|uq| (uq.id, (uq.keywords.clone(), uq.cqs.len())))
-        .collect();
-
-    // Partition the arrival-ordered script per lane, then process each
-    // lane's batches. Lanes share no mutable state (own manager, sources,
-    // clock, stats), so with `lane_threads > 1` they run concurrently on
-    // scoped worker threads; results are merged by lane index either way,
-    // keeping every reported quantity bit-identical to a sequential run.
-    let lane_outcomes = run_lanes(
-        &mut lanes,
-        &uqs,
-        &assignment,
-        &workload.catalog,
-        config,
-        share,
-    );
-
-    // Assemble the report. Optimizer events concatenate in lane order —
-    // the same order the old sequential loop emitted them in.
-    let mut report = RunReport {
-        config: config.sharing.label().to_string(),
-        lanes: lanes.len(),
-        lane_threads: config.lane_threads.max(1),
-        opt_events: lane_outcomes
-            .iter()
-            .flat_map(|o| o.opt_events.iter().copied())
-            .collect(),
-        lane_wall_us: lane_outcomes.iter().map(|o| o.wall_us).collect(),
-        skipped,
-        ..RunReport::default()
-    };
-    for (lane_idx, lane) in lanes.iter().enumerate() {
-        let b = lane.sources.clock().breakdown();
-        report.breakdown.stream_read_us += b.stream_read_us;
-        report.breakdown.random_access_us += b.random_access_us;
-        report.breakdown.join_us += b.join_us;
-        report.breakdown.optimize_us += b.optimize_us;
-        report.tuples_consumed += lane.sources.tuples_consumed();
-        report.tuples_streamed += lane.sources.tuples_streamed();
-        report.stream_rounds += lane.sources.stream_rounds();
-        report.probes += lane.sources.probes();
-        for s in lane.stats.all() {
-            let (keywords, generated) = per_uq_meta.get(&s.uq).cloned().unwrap_or_default();
-            report.per_uq.push(UqReport {
-                uq: s.uq,
-                keywords,
-                response_us: s.response_us().unwrap_or(0),
-                results: s.results,
-                cqs_generated: generated,
-                cqs_executed: s.cqs_executed.len(),
-                lane: lane_idx,
-            });
-        }
+    let mut engine = Engine::for_workload(workload, config.clone());
+    // The report reads counts, not payloads — skip the per-ticket clones.
+    engine.discard_results();
+    for kw in &skipped {
+        engine.note_skipped(kw);
     }
-    report.per_uq.sort_by_key(|u| u.uq);
-    Ok(report)
-}
-
-/// What one lane produced, besides the state left in the lane itself.
-struct LaneOutcome {
-    /// Optimizer invocations, in this lane's batch order.
-    opt_events: Vec<OptEvent>,
-    /// Host wall-clock µs the lane spent executing its script.
-    wall_us: u64,
-}
-
-/// Drive every lane to completion — sequentially for `lane_threads <= 1`,
-/// otherwise on up to `lane_threads` scoped worker threads pulling lanes
-/// from a shared queue. Outcomes come back indexed by lane, so callers see
-/// the same ordering regardless of how execution was scheduled.
-fn run_lanes(
-    lanes: &mut [Lane],
-    uqs: &[UserQuery],
-    assignment: &HashMap<UqId, usize>,
-    catalog: &Catalog,
-    config: &EngineConfig,
-    share: bool,
-) -> Vec<LaneOutcome> {
-    let run_one = |lane_idx: usize, lane: &mut Lane| -> LaneOutcome {
-        let wall = std::time::Instant::now();
-        let lane_uqs: Vec<UserQuery> = uqs
-            .iter()
-            .filter(|uq| assignment.get(&uq.id) == Some(&lane_idx))
-            .cloned()
-            .collect();
-        let mut opt_events = Vec::new();
-        for batch in batches(&lane_uqs, config.batch_size) {
-            let submit = lane.sources.clock().now_us();
-            for uq in &batch {
-                lane.stats.submit(uq.id, submit);
-            }
-            match config.sharing {
-                // ATC-CQ / ATC-UQ: optimize each user query separately.
-                SharingMode::AtcCq | SharingMode::AtcUq => {
-                    for uq in &batch {
-                        let (_, opt) = graft_batch(catalog, lane, &[uq], config, share);
-                        opt_events.push(OptEvent {
-                            batch_cqs: uq.cqs.len(),
-                            candidates: opt.candidates,
-                            explored: opt.explored,
-                            opt_us: opt.explored as u64 * 15,
-                            warm_hits: opt.warm_hits,
-                        });
-                        if matches!(config.sharing, SharingMode::AtcUq) {
-                            // Sharing stays within the user query.
-                            lane.manager.isolate();
-                        }
-                    }
-                }
-                // ATC-FULL / ATC-CL: one multi-query optimization per batch.
-                _ => {
-                    let n_cqs: usize = batch.iter().map(|uq| uq.cqs.len()).sum();
-                    let (_, opt) = graft_batch(catalog, lane, &batch, config, share);
-                    opt_events.push(OptEvent {
-                        batch_cqs: n_cqs,
-                        candidates: opt.candidates,
-                        explored: opt.explored,
-                        opt_us: opt.explored as u64 * 15,
-                        warm_hits: opt.warm_hits,
-                    });
-                }
-            }
-            lane.atc
-                .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
-            lane.manager.unpin_all();
-            lane.manager.unlink_completed();
-            lane.manager.evict_to_budget();
-        }
-        LaneOutcome {
-            opt_events,
-            wall_us: wall.elapsed().as_micros() as u64,
-        }
-    };
-
-    let threads = config.lane_threads.max(1).min(lanes.len().max(1));
-    if threads <= 1 || lanes.len() <= 1 {
-        return lanes
-            .iter_mut()
-            .enumerate()
-            .map(|(idx, lane)| run_one(idx, lane))
-            .collect();
+    for uq in uqs {
+        // generate_user_queries assigns UqId = script index (skipped
+        // queries consume ids too); resolve the arrival through that
+        // invariant and fail loudly if it ever drifts — a silent arrival
+        // of 0 would re-shape batches under a configured arrival window.
+        let script = workload
+            .queries
+            .get(uq.id.index())
+            .expect("UqId indexes the workload script");
+        assert_eq!(
+            script.keywords, uq.keywords,
+            "UqId/script alignment drifted in generate_user_queries"
+        );
+        engine.admit(uq, script.arrival_us);
     }
-
-    // Work queue: each job hands exactly one worker exclusive `&mut Lane`
-    // access; outcome slots are per-lane, so no ordering is imposed on the
-    // workers and none is needed — lanes are fully independent.
-    let jobs: Vec<Mutex<Option<(usize, &mut Lane)>>> = lanes
-        .iter_mut()
-        .enumerate()
-        .map(|(idx, lane)| Mutex::new(Some((idx, lane))))
-        .collect();
-    let outcomes: Vec<Mutex<Option<LaneOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (idx, lane) = jobs[i]
-                    .lock()
-                    .expect("job slot")
-                    .take()
-                    .expect("each job is taken once");
-                let outcome = run_one(idx, lane);
-                *outcomes[i].lock().expect("outcome slot") = Some(outcome);
-            });
-        }
-    });
-    outcomes
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("outcome slot")
-                .expect("every lane ran")
-        })
-        .collect()
+    engine.run_until_idle();
+    Ok(engine.report())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn line(uq: u32, user: u32, us: u64) -> UqReport {
+        UqReport {
+            uq: UqId::new(uq),
+            user: UserId::new(user),
+            keywords: String::new(),
+            arrival_us: 0,
+            response_us: us,
+            results: 1,
+            cqs_generated: 1,
+            cqs_executed: 1,
+            lane: 0,
+            reused_nodes: 0,
+            recovered_cqs: 0,
+        }
+    }
 
     #[test]
     fn mean_response_handles_empty() {
@@ -346,18 +241,23 @@ mod tests {
     #[test]
     fn mean_response_averages() {
         let mut r = RunReport::default();
-        for (i, us) in [100u64, 300].iter().enumerate() {
-            r.per_uq.push(UqReport {
-                uq: UqId::new(i as u32),
-                keywords: String::new(),
-                response_us: *us,
-                results: 1,
-                cqs_generated: 1,
-                cqs_executed: 1,
-                lane: 0,
-            });
-        }
+        r.per_uq.push(line(0, 0, 100));
+        r.per_uq.push(line(1, 0, 300));
         assert_eq!(r.mean_response_us(), 200.0);
+    }
+
+    #[test]
+    fn per_user_filters_and_per_uq_id_finds() {
+        let mut r = RunReport::default();
+        r.per_uq.push(line(0, 7, 100));
+        r.per_uq.push(line(1, 3, 200));
+        r.per_uq.push(line(2, 7, 300));
+        let u7 = r.per_user(UserId::new(7));
+        assert_eq!(u7.len(), 2);
+        assert!(u7.iter().all(|l| l.user == UserId::new(7)));
+        assert_eq!(r.per_user(UserId::new(9)).len(), 0);
+        assert_eq!(r.per_uq_id(UqId::new(1)).unwrap().response_us, 200);
+        assert!(r.per_uq_id(UqId::new(42)).is_none());
     }
 
     #[test]

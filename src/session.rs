@@ -1,0 +1,890 @@
+//! The sessionized engine: incremental query admission behind an
+//! [`Engine`]/[`Session`] facade.
+//!
+//! The paper's premise is a *continuously arriving* stream of user queries
+//! whose subexpressions overlap across concurrent users — a multi-user
+//! search service, not a scripted benchmark. This module is that service
+//! boundary:
+//!
+//! - [`Engine`] is the long-lived system: it owns the catalog, the source
+//!   provider, and the execution **lanes** (plan graph + shared interner +
+//!   warm store + eviction state + ATC), and drives them — on worker
+//!   threads when more than one lane has work.
+//! - [`Engine::session`] opens a lightweight per-user [`Session`];
+//!   [`Session::submit`] converts a keyword query into candidate networks
+//!   and *admits* it, returning a [`QueryTicket`] immediately.
+//! - Admitted queries accumulate in per-lane **admission windows**: a
+//!   window seals into a dispatchable batch when it reaches
+//!   [`EngineConfig::batch_size`] queries, when a new arrival falls outside
+//!   [`EngineConfig::arrival_window_us`], or when the caller flushes.
+//! - [`Engine::step`] advances the system by at most one sealed batch per
+//!   lane (optimize → graft → execute to completion on the virtual clock);
+//!   [`Engine::run_until_idle`] seals everything pending and drains it.
+//! - [`QueryTicket::poll`] / [`QueryTicket::take_results`] observe and
+//!   collect a query's ranked answers and its per-query [`UqReport`] as
+//!   they materialize, without holding any borrow of the engine.
+//!
+//! ## Equivalence with the scripted driver
+//!
+//! [`run_workload`](crate::run_workload) is a thin compatibility driver
+//! over this API: it admits a whole workload script and calls
+//! [`Engine::run_until_idle`]. Admission is carefully arranged so that the
+//! driver reproduces the historical run-to-completion semantics **bit for
+//! bit** (same batches, same lane clocks, same optimizer decisions, same
+//! tuples): batches are formed per lane in arrival order, sealed at
+//! `batch_size`, and processed in order, with each lane's state evolving
+//! exactly as the old sequential loop evolved it. The goldens in
+//! `tests/parallel_identity.rs`, `tests/interner_invariants.rs`, and
+//! `tests/session_api.rs` pin this equivalence.
+//!
+//! ATC-CL clustering needs a population of queries to cluster, so lanes for
+//! that mode are created at the first flush from everything admitted so
+//! far; queries admitted *after* the lanes exist are routed incrementally
+//! to the lane whose cluster footprint they overlap most (a fresh lane when
+//! they overlap none).
+
+use crate::engine::{batch_share, graft_batch, EngineConfig, Lane, SharingMode};
+use crate::report::{OptEvent, RunReport, UqReport};
+use qsys_catalog::{Catalog, KeywordIndex};
+use qsys_opt::OptStats;
+use qsys_query::{CandidateGenerator, UserQuery};
+use qsys_source::TableProvider;
+use qsys_state::EvictionStats;
+use qsys_types::{QsysResult, RelId, Score, Tuple, UqId, UserId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Factory handing each lane its own gateway to the (simulated) remote
+/// tables. ATC-CL creates lanes on demand, so the engine owns the factory,
+/// not a single provider.
+pub type ProviderFactory = Box<dyn Fn() -> TableProvider + Send>;
+
+/// Where a submitted query currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// Admitted; waiting in an admission window or a sealed batch.
+    Queued,
+    /// Its batch ran to completion: results and the [`UqReport`] are ready.
+    Completed,
+    /// Results were already collected with [`QueryTicket::take_results`]
+    /// (or were never retained — the scripted driver discards payloads
+    /// and reads only the aggregate report).
+    Drained,
+}
+
+/// One admitted query's slot in the shared ledger.
+#[derive(Debug, Default)]
+struct TicketSlot {
+    completed: bool,
+    results: Option<Vec<(Score, Tuple)>>,
+    report: Option<UqReport>,
+    opt: Option<OptStats>,
+}
+
+/// The engine↔ticket mailbox: worker threads publish each query's results
+/// here the moment its batch completes; tickets read without borrowing the
+/// engine.
+#[derive(Debug, Default)]
+struct Ledger {
+    slots: BTreeMap<UqId, TicketSlot>,
+}
+
+type SharedLedger = Arc<Mutex<Ledger>>;
+
+fn ledger_lock(ledger: &Mutex<Ledger>) -> std::sync::MutexGuard<'_, Ledger> {
+    ledger.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A handle to one submitted query: poll it, then take the ranked answers
+/// and per-query report once its batch has executed. Tickets are detached
+/// from the engine's borrow — hold as many as you like across
+/// [`Engine::step`] calls.
+#[derive(Clone)]
+pub struct QueryTicket {
+    uq: UqId,
+    user: UserId,
+    ledger: SharedLedger,
+}
+
+impl std::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTicket")
+            .field("uq", &self.uq)
+            .field("user", &self.user)
+            .field("status", &self.poll())
+            .finish()
+    }
+}
+
+impl QueryTicket {
+    /// The user-query id this ticket tracks.
+    pub fn id(&self) -> UqId {
+        self.uq
+    }
+
+    /// The submitting user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Where the query is right now.
+    pub fn poll(&self) -> TicketStatus {
+        let ledger = ledger_lock(&self.ledger);
+        match ledger.slots.get(&self.uq) {
+            Some(slot) if slot.completed => {
+                if slot.results.is_some() {
+                    TicketStatus::Completed
+                } else {
+                    TicketStatus::Drained
+                }
+            }
+            _ => TicketStatus::Queued,
+        }
+    }
+
+    /// Move the ranked answers out (best first). `None` until the query's
+    /// batch completes, and again after they have been taken once.
+    pub fn take_results(&self) -> Option<Vec<(Score, Tuple)>> {
+        ledger_lock(&self.ledger)
+            .slots
+            .get_mut(&self.uq)
+            .and_then(|slot| slot.results.take())
+    }
+
+    /// The per-query report line (response time, work, eviction/recovery
+    /// status). Available once the query's batch completes; cloning, so it
+    /// can be read any number of times.
+    pub fn report(&self) -> Option<UqReport> {
+        ledger_lock(&self.ledger)
+            .slots
+            .get(&self.uq)
+            .and_then(|slot| slot.report.clone())
+    }
+
+    /// Optimizer statistics of the batch that planned this query.
+    pub fn opt_stats(&self) -> Option<OptStats> {
+        ledger_lock(&self.ledger)
+            .slots
+            .get(&self.uq)
+            .and_then(|slot| slot.opt)
+    }
+}
+
+/// A query admitted but not yet dispatched: the generated candidate
+/// networks plus its virtual arrival time (drives window sealing).
+struct Admitted {
+    uq: UserQuery,
+    arrival_us: u64,
+}
+
+/// One execution lane plus its admission state: the open (unsealed)
+/// arrival window, the queue of sealed batches awaiting dispatch, and the
+/// quantities the lane has produced so far.
+struct LaneSlot {
+    lane: Lane,
+    /// The open admission window (seals into `ready`).
+    open: Vec<Admitted>,
+    /// Sealed batches, dispatched in order by [`Engine::step`].
+    ready: VecDeque<Vec<Admitted>>,
+    /// Optimizer invocations, in this lane's batch order.
+    opt_events: Vec<OptEvent>,
+    /// Host wall-clock µs spent executing on this lane.
+    wall_us: u64,
+    /// Relations referenced by queries routed here (ATC-CL's cluster
+    /// footprint; drives incremental routing of late arrivals).
+    footprint: BTreeSet<RelId>,
+}
+
+impl LaneSlot {
+    fn new(lane: Lane) -> LaneSlot {
+        LaneSlot {
+            lane,
+            open: Vec::new(),
+            ready: VecDeque::new(),
+            opt_events: Vec::new(),
+            wall_us: 0,
+            footprint: BTreeSet::new(),
+        }
+    }
+
+    fn seal(&mut self) {
+        if !self.open.is_empty() {
+            self.ready.push_back(std::mem::take(&mut self.open));
+        }
+    }
+}
+
+/// The long-lived Q System service: admit keyword queries incrementally
+/// through per-user [`Session`]s, advance execution with [`Engine::step`]
+/// or [`Engine::run_until_idle`], and observe per-query progress through
+/// [`QueryTicket`]s. See the [module docs](self) for the full lifecycle.
+pub struct Engine {
+    catalog: Catalog,
+    index: KeywordIndex,
+    config: EngineConfig,
+    provider: ProviderFactory,
+    lanes: Vec<LaneSlot>,
+    /// ATC-CL queries admitted before the first flush (no lanes exist yet
+    /// to route onto); clustered en masse when lanes are created.
+    unrouted: Vec<Admitted>,
+    /// Pin the engine to exactly one lane (the interactive [`QSystem`]
+    /// facade, built from a single provider): clustering is skipped and
+    /// every query routes to lane 0.
+    single_lane: bool,
+    next_uq: u32,
+    next_cq: u32,
+    ledger: SharedLedger,
+    /// Keyword queries that matched no candidate network.
+    skipped: Vec<String>,
+    /// Whether batch execution clones each query's ranked tuples into the
+    /// ledger for its ticket (the default). The scripted driver opts out:
+    /// it reads only the aggregate report, and the pre-sessionized runner
+    /// never materialized result payloads either.
+    retain_results: bool,
+}
+
+impl Engine {
+    /// Stand up an engine over a catalog, keyword index, and a provider
+    /// factory (one provider per lane).
+    pub fn new(
+        catalog: Catalog,
+        index: KeywordIndex,
+        provider: ProviderFactory,
+        config: EngineConfig,
+    ) -> Engine {
+        let mut engine = Engine {
+            catalog,
+            index,
+            config,
+            provider,
+            lanes: Vec::new(),
+            unrouted: Vec::new(),
+            single_lane: false,
+            next_uq: 0,
+            next_cq: 0,
+            ledger: Arc::default(),
+            skipped: Vec::new(),
+            retain_results: true,
+        };
+        // Non-clustered modes always run one lane; create it eagerly so
+        // admission can seal windows against it immediately. ATC-CL defers
+        // lane creation to the first flush (clustering needs queries).
+        if !matches!(engine.config.sharing, SharingMode::AtcCl(_)) {
+            let lane = Lane::new(&engine.config, (engine.provider)(), 0);
+            engine.lanes.push(LaneSlot::new(lane));
+        }
+        engine
+    }
+
+    /// An engine over a generated [`Workload`](qsys_workload::Workload)'s
+    /// catalog, index, and shared table store.
+    pub fn for_workload(workload: &qsys_workload::Workload, config: EngineConfig) -> Engine {
+        let tables = workload.tables.clone();
+        Engine::new(
+            workload.catalog.clone(),
+            workload.index.clone(),
+            Box::new(move || tables.provider()),
+            config,
+        )
+    }
+
+    /// An engine pinned to exactly one lane, built from a single table
+    /// provider. This is the interactive [`QSystem`](crate::QSystem)
+    /// substrate: clustering is disabled and every query is served by lane
+    /// 0, whatever the sharing mode says.
+    pub fn single_lane(
+        catalog: Catalog,
+        index: KeywordIndex,
+        provider: TableProvider,
+        config: EngineConfig,
+    ) -> Engine {
+        let lane = Lane::new(&config, provider, 0);
+        Engine {
+            catalog,
+            index,
+            config,
+            provider: Box::new(|| unreachable!("single-lane engine never adds lanes")),
+            lanes: vec![LaneSlot::new(lane)],
+            unrouted: Vec::new(),
+            single_lane: true,
+            next_uq: 0,
+            next_cq: 0,
+            ledger: Arc::default(),
+            skipped: Vec::new(),
+            retain_results: true,
+        }
+    }
+
+    /// Stop retaining per-ticket result payloads: tickets will report and
+    /// poll as usual, but `take_results` has nothing to hand out. The
+    /// scripted driver uses this — it only reads the aggregate report.
+    pub(crate) fn discard_results(&mut self) {
+        self.retain_results = false;
+    }
+
+    /// Open a session for one user. Sessions are lightweight handles;
+    /// open and drop them freely — the [`QueryTicket`]s they hand out
+    /// outlive them.
+    pub fn session(&mut self, user: UserId) -> Session<'_> {
+        Session {
+            engine: self,
+            user,
+            edge_costs: None,
+        }
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of execution lanes currently live (0 for ATC-CL before the
+    /// first flush).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Queries admitted but not yet executed (open windows + sealed
+    /// batches + unrouted ATC-CL arrivals).
+    pub fn pending(&self) -> usize {
+        self.unrouted.len()
+            + self
+                .lanes
+                .iter()
+                .map(|slot| slot.open.len() + slot.ready.iter().map(Vec::len).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Current virtual time, µs: the frontmost lane clock (lane 0), or 0
+    /// before any lane exists. Lanes run independent clocks; per-lane time
+    /// is what response times are measured on.
+    pub fn now_us(&self) -> u64 {
+        self.lanes
+            .first()
+            .map(|slot| slot.lane.sources.clock().now_us())
+            .unwrap_or(0)
+    }
+
+    /// Lane 0's source gateway (work counters, clock) — the interactive
+    /// single-lane facade reads its traffic accounting here.
+    ///
+    /// # Panics
+    ///
+    /// For an ATC-CL engine before its lanes exist (lanes are born at the
+    /// first flush, once there are queries to cluster) — check
+    /// [`Engine::lanes`] first, or use [`Engine::report`], which
+    /// aggregates traffic across all lanes without panicking.
+    pub fn sources(&self) -> &qsys_source::Sources {
+        &self
+            .lanes
+            .first()
+            .expect("no lanes yet: an ATC-CL engine creates them at the first flush")
+            .lane
+            .sources
+    }
+
+    /// Cumulative eviction statistics, summed over lanes.
+    pub fn eviction_stats(&self) -> EvictionStats {
+        let mut total = EvictionStats::default();
+        for slot in &self.lanes {
+            let s = slot.lane.manager.eviction_stats();
+            total.evicted_nodes += s.evicted_nodes;
+            total.reclaimed_bytes += s.reclaimed_bytes;
+        }
+        total
+    }
+
+    /// Record a keyword query that matched no candidate network (reported
+    /// as skipped, like a real service reporting "no results").
+    pub(crate) fn note_skipped(&mut self, keywords: &str) {
+        self.skipped.push(keywords.to_string());
+    }
+
+    /// Admit an already-generated user query at a virtual arrival time,
+    /// returning its ticket. [`Session::submit`] is the keyword-level
+    /// entry; this one exists for drivers that generate candidate networks
+    /// themselves (the workload runner, benches).
+    ///
+    /// The caller is responsible for id discipline: `uq.id` must be unique
+    /// for the lifetime of the engine. The engine's own id allocator is
+    /// bumped past `uq.id`, so interleaving `admit` with
+    /// [`Session::submit`] on one engine can never collide.
+    pub fn admit(&mut self, uq: UserQuery, arrival_us: u64) -> QueryTicket {
+        self.next_uq = self.next_uq.max(uq.id.0.saturating_add(1));
+        let ticket = QueryTicket {
+            uq: uq.id,
+            user: uq.user,
+            ledger: Arc::clone(&self.ledger),
+        };
+        ledger_lock(&self.ledger).slots.entry(uq.id).or_default();
+        let admitted = Admitted { uq, arrival_us };
+        if self.lanes.is_empty() {
+            // ATC-CL before the first flush: hold for clustering.
+            self.unrouted.push(admitted);
+        } else {
+            let lane = self.route(&admitted);
+            self.enqueue(lane, admitted);
+        }
+        ticket
+    }
+
+    /// Pick the lane for a query once lanes exist: lane 0 unless ATC-CL,
+    /// where late arrivals go to the lane whose cluster footprint they
+    /// overlap most (ties to the lowest lane index; a fresh lane when no
+    /// footprint overlaps).
+    fn route(&mut self, admitted: &Admitted) -> usize {
+        if self.single_lane || !matches!(self.config.sharing, SharingMode::AtcCl(_)) {
+            return 0;
+        }
+        let refs: BTreeSet<RelId> = admitted
+            .uq
+            .cqs
+            .iter()
+            .flat_map(|(cq, _)| cq.rels())
+            .collect();
+        let (best, overlap) = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| (idx, slot.footprint.intersection(&refs).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap_or((0, 0));
+        if overlap > 0 {
+            return best;
+        }
+        let idx = self.lanes.len();
+        let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
+        self.lanes.push(LaneSlot::new(lane));
+        idx
+    }
+
+    /// Append a query to a lane's open admission window, sealing by
+    /// arrival window and by batch size.
+    fn enqueue(&mut self, lane: usize, admitted: Admitted) {
+        let window = self.config.arrival_window_us;
+        let batch_size = self.config.batch_size.max(1);
+        let grow_footprint = matches!(self.config.sharing, SharingMode::AtcCl(_));
+        let slot = &mut self.lanes[lane];
+        if let (Some(w), Some(first)) = (window, slot.open.first()) {
+            if admitted.arrival_us.saturating_sub(first.arrival_us) > w {
+                slot.seal();
+            }
+        }
+        if grow_footprint {
+            // Only ATC-CL routing reads the cluster footprint.
+            slot.footprint
+                .extend(admitted.uq.cqs.iter().flat_map(|(cq, _)| cq.rels()));
+        }
+        slot.open.push(admitted);
+        if slot.open.len() >= batch_size {
+            slot.seal();
+        }
+    }
+
+    /// Seal every open admission window into a dispatchable batch. For
+    /// ATC-CL's first flush this is also where lanes are born: everything
+    /// admitted so far is clustered (Section 6.1) and routed en masse —
+    /// exactly the shape the scripted driver has always produced.
+    pub fn flush(&mut self) {
+        self.route_unrouted();
+        for slot in &mut self.lanes {
+            slot.seal();
+        }
+    }
+
+    /// ATC-CL lane birth: cluster everything still unrouted and route it
+    /// (windows then seal lane by lane as usual). No-op once lanes exist —
+    /// later arrivals route incrementally at admission.
+    fn route_unrouted(&mut self) {
+        if !self.unrouted.is_empty() {
+            let cluster_cfg = match &self.config.sharing {
+                SharingMode::AtcCl(c) => *c,
+                _ => unreachable!("only ATC-CL defers routing"),
+            };
+            let refs: BTreeMap<UqId, Vec<RelId>> = self
+                .unrouted
+                .iter()
+                .map(|a| {
+                    let rels = a.uq.cqs.iter().flat_map(|(cq, _)| cq.rels()).collect();
+                    (a.uq.id, rels)
+                })
+                .collect();
+            let clusters = qsys_opt::cluster_user_queries(&refs, cluster_cfg);
+            let mut assignment: HashMap<UqId, usize> = HashMap::new();
+            for (idx, cluster) in clusters.iter().enumerate() {
+                let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
+                self.lanes.push(LaneSlot::new(lane));
+                for uq in cluster {
+                    assignment.insert(*uq, idx);
+                }
+            }
+            for admitted in std::mem::take(&mut self.unrouted) {
+                let lane = assignment[&admitted.uq.id];
+                self.enqueue(lane, admitted);
+            }
+        }
+    }
+
+    /// Advance the system: execute at most one sealed batch per lane, in
+    /// parallel across lanes (capped by [`EngineConfig::lane_threads`]).
+    /// Open admission windows are *not* sealed — partial batches keep
+    /// waiting for more arrivals until [`Engine::flush`] or
+    /// [`Engine::run_until_idle`]. Returns the number of batches executed
+    /// (0 = idle).
+    ///
+    /// An ATC-CL engine defers lane creation until there are queries to
+    /// cluster; so that the plain submit/step service loop never stalls,
+    /// a step with at least one full window's worth of unclustered
+    /// arrivals clusters and routes what has accumulated so far (fewer
+    /// than that keeps waiting, exactly like a partial window).
+    pub fn step(&mut self) -> usize {
+        if self.lanes.is_empty() && self.unrouted.len() >= self.config.batch_size.max(1) {
+            self.route_unrouted();
+        }
+        self.dispatch(false)
+    }
+
+    /// Seal everything pending (including ATC-CL's initial clustering) and
+    /// drain every lane to completion. Returns the number of batches
+    /// executed.
+    pub fn run_until_idle(&mut self) -> usize {
+        self.flush();
+        self.dispatch(true)
+    }
+
+    /// Run sealed batches: one per lane (`drain = false`) or every queued
+    /// batch (`drain = true`). Lanes share no mutable state, so lanes with
+    /// work run concurrently on scoped worker threads; all published
+    /// quantities are per-lane or per-query, keeping results bit-identical
+    /// to sequential execution.
+    fn dispatch(&mut self, drain: bool) -> usize {
+        let catalog = &self.catalog;
+        let config = &self.config;
+        let share = batch_share(&config.sharing);
+        let retain_results = self.retain_results;
+        let ledger = &self.ledger;
+        let run_slot = |lane_idx: usize, slot: &mut LaneSlot| -> usize {
+            let mut ran = 0;
+            while let Some(batch) = slot.ready.pop_front() {
+                run_batch(
+                    catalog,
+                    config,
+                    share,
+                    retain_results,
+                    lane_idx,
+                    slot,
+                    batch,
+                    ledger,
+                );
+                ran += 1;
+                if !drain {
+                    break;
+                }
+            }
+            ran
+        };
+
+        let mut jobs: Vec<(usize, &mut LaneSlot)> = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, slot)| !slot.ready.is_empty())
+            .collect();
+        let threads = self.config.lane_threads.max(1).min(jobs.len().max(1));
+        if threads <= 1 || jobs.len() <= 1 {
+            return jobs
+                .iter_mut()
+                .map(|(idx, slot)| run_slot(*idx, slot))
+                .sum();
+        }
+
+        // Work queue: each entry hands exactly one worker exclusive
+        // `&mut LaneSlot` access; no ordering is imposed on the workers and
+        // none is needed — lanes are fully independent.
+        let queue: Vec<Mutex<Option<(usize, &mut LaneSlot)>>> =
+            jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+        let ran = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queue.len() {
+                        break;
+                    }
+                    let (idx, slot) = queue[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("each job is taken once");
+                    ran.fetch_add(run_slot(idx, slot), Ordering::Relaxed);
+                });
+            }
+        });
+        ran.into_inner()
+    }
+
+    /// Whether any admitted query still awaits execution.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Drop a completed query's ledger slot — results, report, optimizer
+    /// stats. Slots are otherwise retained for the engine's lifetime so
+    /// [`Engine::report`] can assemble the full run; a service consuming
+    /// an unbounded query stream should forget each query once its
+    /// ticket's payload has been collected and accounted for. Returns
+    /// whether a slot was dropped. Outstanding tickets for a forgotten
+    /// query read as [`TicketStatus::Queued`] again — forget only what
+    /// you are done observing.
+    pub fn forget(&mut self, uq: UqId) -> bool {
+        ledger_lock(&self.ledger).slots.remove(&uq).is_some()
+    }
+
+    /// Assemble the experiment report from everything executed so far:
+    /// per-query lines in UQ order, lane wall times, the virtual-time
+    /// breakdown, and total work, exactly as the scripted runner has
+    /// always reported them.
+    pub fn report(&self) -> RunReport {
+        let mut report = RunReport {
+            config: self.config.sharing.label().to_string(),
+            lanes: self.lanes.len(),
+            lane_threads: self.config.lane_threads.max(1),
+            opt_events: self
+                .lanes
+                .iter()
+                .flat_map(|slot| slot.opt_events.iter().copied())
+                .collect(),
+            lane_wall_us: self.lanes.iter().map(|slot| slot.wall_us).collect(),
+            skipped: self.skipped.clone(),
+            ..RunReport::default()
+        };
+        for slot in &self.lanes {
+            let b = slot.lane.sources.clock().breakdown();
+            report.breakdown.stream_read_us += b.stream_read_us;
+            report.breakdown.random_access_us += b.random_access_us;
+            report.breakdown.join_us += b.join_us;
+            report.breakdown.optimize_us += b.optimize_us;
+            report.tuples_consumed += slot.lane.sources.tuples_consumed();
+            report.tuples_streamed += slot.lane.sources.tuples_streamed();
+            report.stream_rounds += slot.lane.sources.stream_rounds();
+            report.probes += slot.lane.sources.probes();
+        }
+        let ledger = ledger_lock(&self.ledger);
+        report.per_uq = ledger
+            .slots
+            .values()
+            .filter_map(|slot| slot.report.clone())
+            .collect();
+        report.per_uq.sort_by_key(|u| u.uq);
+        report
+    }
+
+    /// Generate candidate networks for a keyword query, consuming the
+    /// engine's UQ/CQ id sequences (shared by every admission path, so
+    /// single-query and scripted execution can no longer drift).
+    fn generate(
+        &mut self,
+        keywords: &str,
+        user: UserId,
+        edge_costs: Option<&HashMap<qsys_catalog::EdgeId, f64>>,
+    ) -> QsysResult<UserQuery> {
+        let generator =
+            CandidateGenerator::new(&self.catalog, &self.index, self.config.candidate.clone());
+        let uq = UqId::new(self.next_uq);
+        self.next_uq += 1;
+        generator.generate(keywords, uq, user, &mut self.next_cq, edge_costs)
+    }
+}
+
+/// A per-user handle for submitting queries to an [`Engine`]. Obtained
+/// from [`Engine::session`]; borrows the engine, so interleave submission
+/// and stepping through the engine itself. A session may carry the user's
+/// learned edge-cost model (Q System scoring, Section 2.1), applied to
+/// every query it submits.
+pub struct Session<'e> {
+    engine: &'e mut Engine,
+    user: UserId,
+    edge_costs: Option<HashMap<qsys_catalog::EdgeId, f64>>,
+}
+
+impl Session<'_> {
+    /// The session's user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Attach the user's learned per-edge cost overrides: candidate
+    /// networks submitted through this session are scored with them.
+    pub fn with_edge_costs(mut self, costs: HashMap<qsys_catalog::EdgeId, f64>) -> Self {
+        self.edge_costs = Some(costs);
+        self
+    }
+
+    /// Submit a keyword query arriving at virtual time `arrival_us`:
+    /// generate its candidate networks and admit it. Returns a
+    /// [`QueryTicket`] immediately — execution happens on a later
+    /// [`Engine::step`] / [`Engine::run_until_idle`], once the query's
+    /// admission window seals.
+    ///
+    /// A query whose keywords match no candidate network is recorded as
+    /// skipped and reported as an error (a real service answers "no
+    /// results" without failing anyone else's batch).
+    pub fn submit(&mut self, keywords: &str, arrival_us: u64) -> QsysResult<QueryTicket> {
+        match self
+            .engine
+            .generate(keywords, self.user, self.edge_costs.as_ref())
+        {
+            Ok(uq) => Ok(self.engine.admit(uq, arrival_us)),
+            Err(e) => {
+                self.engine.note_skipped(keywords);
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit at the engine's current virtual time (interactive callers
+    /// that don't simulate arrivals).
+    pub fn submit_now(&mut self, keywords: &str) -> QsysResult<QueryTicket> {
+        let now = self.engine.now_us();
+        self.submit(keywords, now)
+    }
+}
+
+/// Execute one sealed batch on a lane: optimize (per the sharing mode),
+/// graft, run the ATC to completion, publish each member query's results
+/// and report to the ledger, then release completed state and enforce the
+/// memory budget. This is *the* execution path — the scripted driver, the
+/// interactive facade, and incremental stepping all come through here.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    catalog: &Catalog,
+    config: &EngineConfig,
+    share: bool,
+    retain_results: bool,
+    lane_idx: usize,
+    slot: &mut LaneSlot,
+    batch: Vec<Admitted>,
+    ledger: &Mutex<Ledger>,
+) {
+    let wall = std::time::Instant::now();
+    let lane = &mut slot.lane;
+    let submit = lane.sources.clock().now_us();
+    for admitted in &batch {
+        lane.stats.submit(admitted.uq.id, submit);
+    }
+
+    // Optimize + graft, remembering which queries each graft covered so
+    // reuse/recovery status can be attributed per ticket.
+    let mut grafts: Vec<(qsys_state::GraftOutcome, OptStats, Vec<UqId>)> = Vec::new();
+    match config.sharing {
+        // ATC-CQ / ATC-UQ: optimize each user query separately.
+        SharingMode::AtcCq | SharingMode::AtcUq => {
+            for admitted in &batch {
+                let uq = &admitted.uq;
+                let (outcome, opt) = graft_batch(catalog, lane, &[uq], config, share);
+                slot.opt_events.push(OptEvent {
+                    batch_cqs: uq.cqs.len(),
+                    candidates: opt.candidates,
+                    explored: opt.explored,
+                    opt_us: opt.explored as u64 * 15,
+                    warm_hits: opt.warm_hits,
+                });
+                grafts.push((outcome, opt, vec![uq.id]));
+                if matches!(config.sharing, SharingMode::AtcUq) {
+                    // Sharing stays within the user query.
+                    lane.manager.isolate();
+                }
+            }
+        }
+        // ATC-FULL / ATC-CL: one multi-query optimization per batch.
+        _ => {
+            let uqs: Vec<&UserQuery> = batch.iter().map(|a| &a.uq).collect();
+            let n_cqs: usize = uqs.iter().map(|uq| uq.cqs.len()).sum();
+            let (outcome, opt) = graft_batch(catalog, lane, &uqs, config, share);
+            slot.opt_events.push(OptEvent {
+                batch_cqs: n_cqs,
+                candidates: opt.candidates,
+                explored: opt.explored,
+                opt_us: opt.explored as u64 * 15,
+                warm_hits: opt.warm_hits,
+            });
+            let ids = uqs.iter().map(|uq| uq.id).collect();
+            grafts.push((outcome, opt, ids));
+        }
+    }
+
+    lane.atc
+        .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
+    lane.manager.unpin_all();
+
+    // Harvest results before completed rank-merges are unlinked. The
+    // per-query slots are assembled outside the ledger lock — concurrent
+    // lanes contend only on the final inserts, not on the O(k) clones.
+    let published: Vec<(UqId, TicketSlot)> = batch
+        .iter()
+        .map(|admitted| {
+            let id = admitted.uq.id;
+            let (outcome, opt) = grafts
+                .iter()
+                .find(|(_, _, ids)| ids.contains(&id))
+                .map(|(o, s, _)| (o, *s))
+                .expect("every batch member was grafted");
+            // Result payloads are cloned only when a ticket can read them
+            // (the scripted driver opts out: it reports counts, and the
+            // old runner never materialized tuples either).
+            let results: Option<Vec<(Score, Tuple)>> = retain_results.then(|| {
+                lane.manager
+                    .rank_merge_of(id)
+                    .map(|rm| {
+                        lane.manager
+                            .graph()
+                            .rank_merge(rm)
+                            .results()
+                            .iter()
+                            .map(|r| (r.score, r.tuple.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            });
+            let stats = lane.stats.uq(id).expect("submitted above");
+            let report = UqReport {
+                uq: id,
+                user: admitted.uq.user,
+                keywords: admitted.uq.keywords.clone(),
+                arrival_us: admitted.arrival_us,
+                response_us: stats.response_us().unwrap_or(0),
+                results: stats.results,
+                cqs_generated: admitted.uq.cqs.len(),
+                cqs_executed: stats.cqs_executed.len(),
+                lane: lane_idx,
+                reused_nodes: outcome.reused_nodes,
+                recovered_cqs: outcome.recovered_uqs.iter().filter(|u| **u == id).count(),
+            };
+            (
+                id,
+                TicketSlot {
+                    completed: true,
+                    results,
+                    report: Some(report),
+                    opt: Some(opt),
+                },
+            )
+        })
+        .collect();
+    let mut ledger = ledger_lock(ledger);
+    for (id, slot_data) in published {
+        ledger.slots.insert(id, slot_data);
+    }
+    drop(ledger);
+
+    lane.manager.unlink_completed();
+    lane.manager.evict_to_budget();
+    slot.wall_us += wall.elapsed().as_micros() as u64;
+}
