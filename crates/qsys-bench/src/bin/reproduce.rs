@@ -8,6 +8,10 @@
 //!
 //! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
 //! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
+//! Chaos:       `chaos [--out BENCH_5.json]` — fault-rate sweep (0 / 1% / 5%
+//! transient, plus one hard outage) over the fault-injection layer: degraded
+//! and failed ticket counts, retries, breaker trips, and p50/p99 response,
+//! gated on "no tuple loss on unfaulted relations".
 //! Sweeps:      `fetch-batch [--batches 1,8,32] [--limit N]` — response-time
 //! shift from stream fetch-ahead on the figure workload (the ROADMAP's
 //! "quantify what fetch_batch buys" item; recorded in `BENCH_4.json`).
@@ -204,6 +208,28 @@ fn main() {
                 }
             }
         }
+        "chaos" => {
+            // Resilience sweep: fault-free baseline, 1% / 5% transient
+            // error rates, and a hard outage of one relation — with the
+            // "no tuple loss on unfaulted relations" gate. `--out FILE`
+            // writes the BENCH_5.json trajectory point.
+            let sweep = chaos_sweep(seeds[0], scale);
+            print_chaos(&sweep);
+            let json = chaos_json(&sweep);
+            if let Some(path) = flag_value(&args, "--out") {
+                std::fs::write(&path, &json).expect("write chaos output");
+                eprintln!("wrote {path}");
+            }
+            if sweep.arms.iter().any(|a| a.gate_violations > 0) {
+                eprintln!(
+                    "CHECK FAILED: tuple loss on unfaulted relations (degradation must be \
+                     strictly per-query: Complete answers bit-identical to the fault-free \
+                     run, non-readers of the outaged relation untouched)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("gate ok: no tuple loss on unfaulted relations");
+        }
         "table4" => print_table4(&table4(&seeds, scale)),
         "fig7" => print_fig7(&fig7_runs(&seeds, scale, None)),
         "fig8" => print_fig8(&fig7_runs(&seeds, scale, None)),
@@ -300,7 +326,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench chaos fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

@@ -1212,3 +1212,250 @@ pub fn ablation_eviction(seed: u64, scale: Scale) -> Vec<(String, u64)> {
     }
     out
 }
+
+// ---------------------------------------------------------------------------
+// Chaos sweep: resilience under deterministic fault schedules (BENCH_5.json).
+// ---------------------------------------------------------------------------
+
+/// Per-query outcome + exact answer fingerprint (score bits, tuple text).
+type ChaosAnswers =
+    std::collections::BTreeMap<qsys::types::UqId, (qsys::QueryOutcome, Vec<(u64, String)>)>;
+
+/// One arm of the chaos sweep: a fault schedule, the run's resilience
+/// counters, and its tuple-loss gate result.
+pub struct ChaosArm {
+    /// Arm name ("fault-free", "transient-1pct", …).
+    pub label: &'static str,
+    /// The `QSYS_FAULTS` schedule string (`None` = fault-free baseline).
+    pub spec: Option<String>,
+    /// Full run report (resilience counters under `report.faults`).
+    pub report: RunReport,
+    /// Gate failures: queries that resolved `Complete` with answers
+    /// drifted from the fault-free run, or — for relation-scoped arms —
+    /// degraded/failed without reading the faulted relation.
+    pub gate_violations: usize,
+}
+
+/// The full sweep: one fault-free baseline plus transient-rate and
+/// hard-outage arms over the same workload.
+pub struct ChaosSweep {
+    /// The relation the outage arm takes dark at t = 0.
+    pub victim: u32,
+    /// How many of the workload's user queries read the victim.
+    pub victim_readers: usize,
+    /// Arms in sweep order (index 0 is the fault-free baseline).
+    pub arms: Vec<ChaosArm>,
+}
+
+/// Session-driven run capturing per-ticket outcomes and answers (the
+/// scripted driver discards payloads, and the gate needs them).
+fn chaos_run(w: &Workload, spec: Option<&str>) -> (RunReport, ChaosAnswers) {
+    let mut cfg = gus_engine(SharingMode::AtcFull, 5);
+    cfg.faults = spec.map(|s| qsys::source::FaultSpec::parse(s).expect("valid fault spec"));
+    let mut engine = qsys::Engine::for_workload(w, cfg);
+    let mut tickets = Vec::new();
+    for q in &w.queries {
+        let mut session = engine.session(q.user);
+        if let Some(costs) = &q.edge_costs {
+            session = session.with_edge_costs(costs.clone());
+        }
+        if let Ok(t) = session.submit(&q.keywords, q.arrival_us) {
+            tickets.push(t);
+        }
+    }
+    engine.run_until_idle();
+    let answers = tickets
+        .iter()
+        .map(|t| {
+            let outcome = t.outcome().expect("drained engine resolves every ticket");
+            let tuples = t
+                .take_results()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(s, tu)| (s.get().to_bits(), format!("{tu:?}")))
+                .collect();
+            (t.id(), (outcome, tuples))
+        })
+        .collect();
+    (engine.report(), answers)
+}
+
+/// The outage victim: the most-read relation that still has non-readers,
+/// so the arm both bites and leaves bystanders to check.
+fn chaos_victim(w: &Workload) -> (u32, std::collections::BTreeSet<qsys::types::UqId>) {
+    let (uqs, _) = qsys::generate_user_queries(w, &gus_engine(SharingMode::AtcFull, 5))
+        .expect("workload generates");
+    let mut readers: std::collections::BTreeMap<
+        u32,
+        std::collections::BTreeSet<qsys::types::UqId>,
+    > = std::collections::BTreeMap::new();
+    for uq in &uqs {
+        for (cq, _) in &uq.cqs {
+            for rel in cq.rels() {
+                readers.entry(rel.0).or_default().insert(uq.id);
+            }
+        }
+    }
+    readers
+        .into_iter()
+        .filter(|(_, r)| r.len() < uqs.len())
+        .max_by_key(|(rel, r)| (r.len(), std::cmp::Reverse(*rel)))
+        .expect("some relation has a minority of readers")
+}
+
+/// The sweep's gate — "no tuple loss on unfaulted relations": a query the
+/// engine reports `Complete` must answer bit-identically to the fault-free
+/// run, and under a relation-scoped schedule a query that never reads the
+/// faulted relation must resolve `Complete`.
+fn chaos_gate(
+    base: &ChaosAnswers,
+    arm: &ChaosAnswers,
+    faulted_readers: Option<&std::collections::BTreeSet<qsys::types::UqId>>,
+) -> usize {
+    let mut violations = 0;
+    for (uq, (outcome, tuples)) in arm {
+        let clean = &base[uq];
+        match outcome {
+            qsys::QueryOutcome::Complete => {
+                if tuples != &clean.1 {
+                    violations += 1;
+                }
+            }
+            _ => {
+                if faulted_readers.is_some_and(|r| !r.contains(uq)) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Run the chaos sweep: fault-free baseline, 1% and 5% transient-error
+/// rates, and a hard outage of one relation from t = 0. All schedules are
+/// seeded, so the sweep replays identically.
+pub fn chaos_sweep(seed: u64, scale: Scale) -> ChaosSweep {
+    use qsys_workload::faults::FaultPlan;
+    let w = gus_workload(seed, scale);
+    let (victim, victim_readers) = chaos_victim(&w);
+    let (base_report, base) = chaos_run(&w, None);
+    let mut arms = vec![ChaosArm {
+        label: "fault-free",
+        spec: None,
+        report: base_report,
+        gate_violations: 0,
+    }];
+    let cases: [(&'static str, String, bool); 3] = [
+        (
+            "transient-1pct",
+            FaultPlan::new(1009).transient(0.01).build(),
+            false,
+        ),
+        (
+            "transient-5pct",
+            FaultPlan::new(1009).transient(0.05).build(),
+            false,
+        ),
+        (
+            "hard-outage",
+            FaultPlan::new(1009).outage(victim, 0, None).build(),
+            true,
+        ),
+    ];
+    for (label, spec, scoped) in cases {
+        let (report, answers) = chaos_run(&w, Some(&spec));
+        let gate_violations = chaos_gate(&base, &answers, scoped.then_some(&victim_readers));
+        arms.push(ChaosArm {
+            label,
+            spec: Some(spec),
+            report,
+            gate_violations,
+        });
+    }
+    ChaosSweep {
+        victim,
+        victim_readers: victim_readers.len(),
+        arms,
+    }
+}
+
+/// Print the sweep as a table.
+pub fn print_chaos(sweep: &ChaosSweep) {
+    println!(
+        "Chaos sweep: fault-rate vs resilience (GUS; outage victim R{}, {} readers)",
+        sweep.victim, sweep.victim_readers
+    );
+    println!(
+        "{:>15} {:>9} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10} {:>10} {:>5}",
+        "arm",
+        "complete",
+        "degraded",
+        "failed",
+        "retries",
+        "breaker",
+        "exhausted",
+        "p50(ms)",
+        "p99(ms)",
+        "gate"
+    );
+    for arm in &sweep.arms {
+        let f = &arm.report.faults;
+        let complete = arm.report.per_uq.len() - f.degraded - f.failed;
+        println!(
+            "{:>15} {:>9} {:>8} {:>7} {:>8} {:>7} {:>9} {:>10.1} {:>10.1} {:>5}",
+            arm.label,
+            complete,
+            f.degraded,
+            f.failed,
+            f.source.retries,
+            f.source.breaker_trips,
+            f.source.exhausted_fetches,
+            arm.report.response_percentile_us(50.0) as f64 / 1e3,
+            arm.report.response_percentile_us(99.0) as f64 / 1e3,
+            if arm.gate_violations == 0 {
+                "ok"
+            } else {
+                "FAIL"
+            },
+        );
+    }
+}
+
+/// Render the sweep as the repo's `BENCH_5.json` trajectory point.
+pub fn chaos_json(sweep: &ChaosSweep) -> String {
+    let mut arms = String::new();
+    for (i, arm) in sweep.arms.iter().enumerate() {
+        if i > 0 {
+            arms.push_str(",\n");
+        }
+        let f = &arm.report.faults;
+        let spec = match &arm.spec {
+            Some(s) => format!("\"{s}\""),
+            None => "null".to_string(),
+        };
+        arms.push_str(&format!(
+            "    {{\n      \"arm\": \"{}\",\n      \"spec\": {spec},\n      \"queries\": {},\n      \"degraded\": {},\n      \"failed\": {},\n      \"retries\": {},\n      \"transient_errors\": {},\n      \"outage_errors\": {},\n      \"timeouts\": {},\n      \"breaker_trips\": {},\n      \"breaker_fast_fails\": {},\n      \"exhausted_fetches\": {},\n      \"quarantined_streams\": {},\n      \"failed_probes\": {},\n      \"p50_response_us\": {},\n      \"p99_response_us\": {},\n      \"gate_violations\": {}\n    }}",
+            arm.label,
+            arm.report.per_uq.len(),
+            f.degraded,
+            f.failed,
+            f.source.retries,
+            f.source.transient_errors,
+            f.source.outage_errors,
+            f.source.timeouts,
+            f.source.breaker_trips,
+            f.source.breaker_fast_fails,
+            f.source.exhausted_fetches,
+            f.source.quarantined_streams,
+            f.source.failed_probes,
+            arm.report.response_percentile_us(50.0),
+            arm.report.response_percentile_us(99.0),
+            arm.gate_violations,
+        ));
+    }
+    let gate_ok = sweep.arms.iter().all(|a| a.gate_violations == 0);
+    format!(
+        "{{\n  \"bench\": \"chaos sweep: deterministic fault injection vs per-query degradation (ATC-FULL)\",\n  \"gate\": \"no tuple loss on unfaulted relations; Complete answers bit-identical to the fault-free run\",\n  \"outage_victim_rel\": {},\n  \"outage_victim_readers\": {},\n  \"gate_ok\": {gate_ok},\n  \"arms\": [\n{arms}\n  ]\n}}\n",
+        sweep.victim, sweep.victim_readers,
+    )
+}

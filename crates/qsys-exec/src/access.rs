@@ -297,6 +297,42 @@ impl RemoteModule {
         tuples
     }
 
+    /// Like [`RemoteModule::probe`], but the network hop goes through the
+    /// governor's retry/breaker loop when one is supplied and faults are
+    /// configured. A probe that gives up returns no matches and is *not*
+    /// cached (the source may recover; a cached empty answer would be a
+    /// silent permanent data loss), and the failure is recorded against
+    /// the batch so affected queries resolve as degraded.
+    pub fn probe_governed(
+        &mut self,
+        column: usize,
+        value: &Value,
+        sources: &Sources,
+        governor: Option<&crate::govern::SourceGovernor>,
+    ) -> Arc<[Tuple]> {
+        let Some(governor) = governor.filter(|_| sources.faults_enabled()) else {
+            return self.probe(column, value, sources);
+        };
+        let key = (column, value.clone());
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits += 1;
+            sources.clock().charge(TimeCategory::Join, 2);
+            return Arc::clone(hit);
+        }
+        match governor.probe(sources, self.rel, column, value) {
+            Ok(rows) => {
+                self.remote_probes += 1;
+                let tuples: Arc<[Tuple]> = rows.into_iter().map(Tuple::single).collect();
+                self.cache.insert(key, Arc::clone(&tuples));
+                tuples
+            }
+            Err(_) => {
+                governor.note_failed_probe(self.rel);
+                Vec::new().into()
+            }
+        }
+    }
+
     /// Probes served from cache so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits

@@ -10,6 +10,7 @@
 //! The greedy-threshold alternative the paper explored is kept as an
 //! ablation ([`SchedulingPolicy::GreedyThreshold`]).
 
+use crate::govern::{RetryPolicy, SourceGovernor};
 use crate::graph::QueryPlanGraph;
 use crate::node::NodeId;
 use crate::stats::ExecStats;
@@ -43,9 +44,28 @@ impl Atc {
         }
     }
 
-    /// Drive the graph until every rank-merge is done.
+    /// Drive the graph until every rank-merge is done, with a throwaway
+    /// default-policy governor (equivalent to [`Atc::run_governed`] when
+    /// no faults are configured — the usual case for tests and tools).
     pub fn run(&mut self, graph: &mut QueryPlanGraph, sources: &Sources, stats: &mut ExecStats) {
-        while self.round(graph, sources, stats) {}
+        let governor = SourceGovernor::new(RetryPolicy::default());
+        self.run_governed(graph, sources, &governor, stats);
+    }
+
+    /// Drive the graph until every rank-merge is done, fetching through
+    /// `governor`'s retry/timeout/breaker loop. A stream whose fetch gives
+    /// up is quarantined (only the user queries reading that relation
+    /// degrade; the rest of the batch completes normally), and each
+    /// completion records which of its relations failed.
+    pub fn run_governed(
+        &mut self,
+        graph: &mut QueryPlanGraph,
+        sources: &Sources,
+        governor: &SourceGovernor,
+        stats: &mut ExecStats,
+    ) {
+        governor.begin_batch();
+        while self.round(graph, sources, governor, stats) {}
     }
 
     /// One scheduling round. Returns `false` when no rank-merge made
@@ -54,6 +74,7 @@ impl Atc {
         &mut self,
         graph: &mut QueryPlanGraph,
         sources: &Sources,
+        governor: &SourceGovernor,
         stats: &mut ExecStats,
     ) -> bool {
         let mut rms = graph.rank_merge_ids();
@@ -81,17 +102,20 @@ impl Atc {
         }
         let mut progress = false;
         for rm in rms {
-            progress |= Self::service(graph, sources, stats, rm);
+            progress |= Self::service(graph, sources, governor, stats, rm);
         }
         progress
     }
 
     /// Serve one rank-merge: run its maintenance cycle, read from its
     /// preferred stream, and record completion. Returns whether any work
-    /// happened.
+    /// happened. A failed governed read quarantines the stream (its bound
+    /// drops to zero), so the immediate re-maintenance below lets the
+    /// operator finish degraded instead of waiting on a dead source.
     fn service(
         graph: &mut QueryPlanGraph,
         sources: &Sources,
+        governor: &SourceGovernor,
         stats: &mut ExecStats,
         rm_id: NodeId,
     ) -> bool {
@@ -103,7 +127,7 @@ impl Atc {
         let rm = graph.rank_merge_mut(rm_id);
         rm.maintain(&bounds, now);
         if rm.is_done() {
-            Self::record_completion(graph, sources, stats, rm_id);
+            Self::record_completion(graph, sources, governor, stats, rm_id);
             return true;
         }
         let Some(stream) = graph.rank_merge(rm_id).choose_read(&bounds) else {
@@ -114,18 +138,18 @@ impl Atc {
             let rm = graph.rank_merge_mut(rm_id);
             rm.maintain(&bounds, now);
             if rm.is_done() {
-                Self::record_completion(graph, sources, stats, rm_id);
+                Self::record_completion(graph, sources, governor, stats, rm_id);
                 return true;
             }
             return false;
         };
-        graph.read_stream(stream, sources);
+        graph.read_stream_governed(stream, sources, governor);
         let bounds = graph.stream_bounds();
         let now = sources.clock().now_us();
         let rm = graph.rank_merge_mut(rm_id);
         rm.maintain(&bounds, now);
         if rm.is_done() {
-            Self::record_completion(graph, sources, stats, rm_id);
+            Self::record_completion(graph, sources, governor, stats, rm_id);
         }
         true
     }
@@ -133,15 +157,22 @@ impl Atc {
     fn record_completion(
         graph: &QueryPlanGraph,
         sources: &Sources,
+        governor: &SourceGovernor,
         stats: &mut ExecStats,
         rm_id: NodeId,
     ) {
         let rm = graph.rank_merge(rm_id);
+        let missing = if governor.any_batch_failures() {
+            governor.failed_among(&rm.rels())
+        } else {
+            Vec::new()
+        };
         stats.complete(
             rm.uq(),
             sources.clock().now_us(),
             rm.results().len(),
             rm.activated(),
+            missing,
         );
     }
 }

@@ -8,12 +8,25 @@
 //! batches, so insertion and removal never invalidate other nodes.
 
 use crate::access::AccessModuleArena;
+use crate::govern::SourceGovernor;
 use crate::node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
 use crate::rank_merge::RankMerge;
 use qsys_query::SigId;
-use qsys_source::Sources;
+use qsys_source::{SourceError, Sources};
 use qsys_types::{Epoch, TimeCategory, Tuple};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Outcome of one governed stream read.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamRead {
+    /// A tuple was delivered and routed.
+    Delivered,
+    /// The stream has nothing left (or is already quarantined).
+    Exhausted,
+    /// The fetch gave up past its retry budget; the leaf is now
+    /// quarantined and its bound reads as zero.
+    Failed(SourceError),
+}
 
 /// The executable plan graph for one ATC.
 #[derive(Debug, Default)]
@@ -183,6 +196,31 @@ impl QueryPlanGraph {
         self.sig_index.get(&sig).copied()
     }
 
+    /// Whether `id` or any producer upstream of it is a quarantined stream
+    /// leaf. Grafting consults this before merging new queries into
+    /// existing state: a subtree fed by a failed source would pin every new
+    /// consumer to the dead leaf's zero bound, whereas a fresh stream gives
+    /// the (possibly recovered) source another chance.
+    pub fn subtree_quarantined(&self, id: NodeId) -> bool {
+        let mut stack = vec![id];
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        while let Some(nid) = stack.pop() {
+            if !seen.insert(nid) {
+                continue;
+            }
+            let Some(node) = self.try_node(nid) else {
+                continue;
+            };
+            if let NodeKind::Stream(leaf) = &node.kind {
+                if leaf.quarantined {
+                    return true;
+                }
+            }
+            stack.extend(node.parents.iter().copied());
+        }
+        false
+    }
+
     /// Forget every signature mapping, making existing state invisible to
     /// future grafts. The ATC-UQ configuration uses this to confine sharing
     /// to a single user query.
@@ -216,20 +254,23 @@ impl QueryPlanGraph {
         }
     }
 
-    /// Current raw-product bounds of every stream leaf.
+    /// Current raw-product bounds of every stream leaf (zero for
+    /// quarantined leaves, so the threshold machinery drains around them).
     pub fn stream_bounds(&self) -> HashMap<NodeId, f64> {
         self.nodes
             .iter()
             .flatten()
             .filter_map(|n| match &n.kind {
-                NodeKind::Stream(leaf) => Some((n.id, leaf.backing.bound())),
+                NodeKind::Stream(leaf) => Some((n.id, leaf.effective_bound())),
                 _ => None,
             })
             .collect()
     }
 
     /// Read one tuple from the stream leaf `id` and route it through the
-    /// graph. Returns `false` if the stream was exhausted.
+    /// graph. Returns `false` if the stream was exhausted. Infallible —
+    /// fault injection applies only through
+    /// [`QueryPlanGraph::read_stream_governed`].
     pub fn read_stream(&mut self, id: NodeId, sources: &Sources) -> bool {
         let epoch = self.epoch;
         let tuple = {
@@ -248,6 +289,70 @@ impl QueryPlanGraph {
         let Some(tuple) = tuple else {
             return false;
         };
+        self.route_from(id, tuple, sources, None);
+        true
+    }
+
+    /// Fault-aware stream read: fetch through the governor's retry/breaker
+    /// loop; on a fetch that gives up, quarantine the leaf (bound drops to
+    /// zero, the failure is recorded against the batch) and report
+    /// [`StreamRead::Failed`]. Downstream joins of a delivered tuple probe
+    /// through the governor too.
+    pub fn read_stream_governed(
+        &mut self,
+        id: NodeId,
+        sources: &Sources,
+        governor: &SourceGovernor,
+    ) -> StreamRead {
+        let epoch = self.epoch;
+        let tuple = {
+            let node = self.nodes[id.index()].as_mut().expect("live node");
+            match &mut node.kind {
+                NodeKind::Stream(leaf) => {
+                    if leaf.quarantined {
+                        return StreamRead::Exhausted;
+                    }
+                    let read = match &mut leaf.backing {
+                        StreamBacking::Remote(s) => governor.read_stream(sources, s),
+                        replay => Ok(replay.read(sources)),
+                    };
+                    match read {
+                        Ok(Some(t)) => {
+                            leaf.archive.push((t.clone(), epoch));
+                            t
+                        }
+                        Ok(None) => return StreamRead::Exhausted,
+                        Err(e) => {
+                            leaf.quarantined = true;
+                            // Blame the relation named by the error, not the
+                            // leaf's whole rel set: a pushdown leaf over
+                            // {A, B} dying because B is faulted must not mark
+                            // A failed for queries reading A through healthy
+                            // leaves. Every consumer of this leaf reads
+                            // `e.rel()` too, so they still degrade.
+                            governor.note_quarantined(&[e.rel()]);
+                            return StreamRead::Failed(e);
+                        }
+                    }
+                }
+                other => panic!("{id} is a {}, not a stream", other.label()),
+            }
+        };
+        self.route_from(id, tuple, sources, Some(governor));
+        StreamRead::Delivered
+    }
+
+    /// Route a tuple delivered by leaf `id` through the graph (BFS over
+    /// consumer edges, charging routing time per hop). Joins probe through
+    /// `governor` when one is supplied.
+    fn route_from(
+        &mut self,
+        id: NodeId,
+        tuple: Tuple,
+        sources: &Sources,
+        governor: Option<&SourceGovernor>,
+    ) {
+        let epoch = self.epoch;
         let start: Vec<(NodeId, usize)> = self.node(id).children.clone();
         let mut queue: VecDeque<(NodeId, usize, Tuple)> = start
             .into_iter()
@@ -263,7 +368,9 @@ impl QueryPlanGraph {
                 let node = self.nodes[nid.index()].as_mut().expect("live node");
                 match &mut node.kind {
                     NodeKind::Split => vec![t],
-                    NodeKind::MJoin(mj) => mj.insert(idx, t, epoch, sources, modules),
+                    NodeKind::MJoin(mj) => {
+                        mj.insert_governed(idx, t, epoch, sources, governor, modules)
+                    }
                     NodeKind::RankMerge(rm) => {
                         rm.accept(idx, t);
                         Vec::new()
@@ -283,7 +390,6 @@ impl QueryPlanGraph {
                 }
             }
         }
-        true
     }
 
     /// Human-readable plan dump (an `EXPLAIN` for the running graph):
@@ -296,9 +402,14 @@ impl QueryPlanGraph {
         for node in self.nodes.iter().flatten() {
             let detail = match &node.kind {
                 NodeKind::Stream(leaf) => format!(
-                    "{} delivered, bound {:.4}",
+                    "{} delivered, bound {:.4}{}",
                     leaf.backing.delivered(),
-                    leaf.backing.bound()
+                    leaf.backing.bound(),
+                    if leaf.quarantined {
+                        " [quarantined]"
+                    } else {
+                        ""
+                    }
                 ),
                 NodeKind::MJoin(mj) => {
                     format!("{} inputs over {:?}", mj.inputs().len(), mj.output_rels())
@@ -489,6 +600,21 @@ mod tests {
         g.remove_node(s0);
         assert_eq!(g.find_sig(sig), None);
         assert!(g.try_node(s0).is_none());
+    }
+
+    #[test]
+    fn quarantine_is_visible_downstream() {
+        let sources = sources_with_tables();
+        let (mut g, s0, s1, rmn) = small_graph(&sources);
+        assert!(!g.subtree_quarantined(rmn));
+        if let NodeKind::Stream(leaf) = &mut g.node_mut(s0).kind {
+            leaf.quarantined = true;
+        }
+        assert!(g.subtree_quarantined(s0));
+        // The rank-merge sits downstream of both streams, so the poisoned
+        // leaf taints it; the sibling stream on its own stays clean.
+        assert!(g.subtree_quarantined(rmn));
+        assert!(!g.subtree_quarantined(s1));
     }
 
     #[test]

@@ -37,9 +37,25 @@
 //! the lane's signature interner is behind an uncontended `RwLock`. The
 //! invariant to preserve when extending the executor: state may be shared
 //! *within* a lane through the arena, never *across* lanes.
+//!
+//! ## Failure semantics
+//!
+//! When a fault schedule is configured (see `qsys_source::fault`), the
+//! lane fetches through a [`SourceGovernor`] ([`govern`]): bounded retries
+//! with exponential backoff and deterministic jitter, a per-fetch timeout,
+//! and a per-relation circuit breaker — all charged to the virtual clock.
+//! A fetch that gives up quarantines only its stream leaf: the leaf's
+//! bound collapses to zero, so the rank-merge threshold machinery drains
+//! the surviving streams and completes the affected user queries with
+//! whatever is provable (recorded per-UQ as
+//! [`missing_rels`](UqStats::missing_rels)), while every query not reading
+//! the failed relation is untouched. With no faults configured the
+//! governor is a pass-through and execution is byte-identical to the
+//! fault-free build.
 
 pub mod access;
 pub mod atc;
+pub mod govern;
 pub mod graph;
 pub mod mjoin;
 pub mod node;
@@ -48,7 +64,8 @@ pub mod stats;
 
 pub use access::{AccessModule, AccessModuleArena, ModuleId, RemoteModule, StoredModule};
 pub use atc::{Atc, SchedulingPolicy};
-pub use graph::QueryPlanGraph;
+pub use govern::{FaultStats, RetryPolicy, SourceGovernor};
+pub use graph::{QueryPlanGraph, StreamRead};
 pub use mjoin::{MJoin, MJoinInput};
 pub use node::{Node, NodeId, NodeKind, StreamBacking, StreamLeaf};
 pub use rank_merge::{CqRegistration, RankMerge, TopKResult};

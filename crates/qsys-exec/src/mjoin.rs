@@ -188,13 +188,30 @@ impl MJoin {
     /// Handle a tuple arriving on `input_idx`: store it (unless the input is
     /// a replay), then probe the other access modules following the
     /// adaptive probe sequence. Returns complete join results covering
-    /// [`Self::output_rels`].
+    /// [`Self::output_rels`]. Infallible: remote probes bypass fault
+    /// injection (see [`MJoin::insert_governed`] for the fault-aware path).
     pub fn insert(
         &mut self,
         input_idx: usize,
         tuple: Tuple,
         epoch: Epoch,
         sources: &Sources,
+        modules: &AccessModuleArena,
+    ) -> Vec<Tuple> {
+        self.insert_governed(input_idx, tuple, epoch, sources, None, modules)
+    }
+
+    /// Like [`MJoin::insert`], but remote probes go through `governor`'s
+    /// retry/breaker loop when one is supplied: a probe that gives up
+    /// contributes no matches (the loss is recorded against the batch so
+    /// affected queries resolve as degraded) instead of panicking the lane.
+    pub fn insert_governed(
+        &mut self,
+        input_idx: usize,
+        tuple: Tuple,
+        epoch: Epoch,
+        sources: &Sources,
+        governor: Option<&crate::govern::SourceGovernor>,
         modules: &AccessModuleArena,
     ) -> Vec<Tuple> {
         debug_assert!(input_idx < self.inputs.len());
@@ -226,7 +243,7 @@ impl MJoin {
                 return Vec::new();
             };
             remaining.retain(|&i| i != pick);
-            partials = self.probe_step(pick, covered, partials, sources, modules);
+            partials = self.probe_step(pick, covered, partials, sources, governor, modules);
             covered |= 1 << pick;
         }
         partials
@@ -259,6 +276,7 @@ impl MJoin {
         covered: u64,
         partials: Vec<Tuple>,
         sources: &Sources,
+        governor: Option<&crate::govern::SourceGovernor>,
         modules: &AccessModuleArena,
     ) -> Vec<Tuple> {
         let conds: Vec<(RelId, usize, RelId, usize)> = self
@@ -286,7 +304,9 @@ impl MJoin {
                     epoch_cap,
                     sources.clock(),
                 ),
-                AccessModule::Remote(r) => r.probe(probe_cond.3, key, sources).to_vec(),
+                AccessModule::Remote(r) => r
+                    .probe_governed(probe_cond.3, key, sources, governor)
+                    .to_vec(),
             };
             self.stats[target].probes += 1;
             // Disjoint field borrows: the residual selection is read through

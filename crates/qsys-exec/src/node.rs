@@ -124,6 +124,13 @@ pub struct StreamLeaf {
     /// maintenance needs the *all-time* maximum of other inputs, not the
     /// current bound, because future results may join old tuples.
     pub initial_bound: f64,
+    /// Set when a governed fetch gave up on this leaf (retry budget
+    /// exhausted or breaker open). A quarantined leaf reports a bound of
+    /// zero — the rank-merge bounds machinery then drains around it and
+    /// completes the affected queries with whatever is provable — and is
+    /// never reused by grafting (the source may have recovered; new
+    /// queries deserve a fresh stream).
+    pub quarantined: bool,
 }
 
 impl StreamLeaf {
@@ -134,6 +141,17 @@ impl StreamLeaf {
             backing,
             archive: Vec::new(),
             initial_bound,
+            quarantined: false,
+        }
+    }
+
+    /// The bound the threshold machinery should see: zero once
+    /// quarantined, the backing's live bound otherwise.
+    pub fn effective_bound(&self) -> f64 {
+        if self.quarantined {
+            0.0
+        } else {
+            self.backing.bound()
         }
     }
 

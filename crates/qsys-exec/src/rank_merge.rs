@@ -235,6 +235,27 @@ impl RankMerge {
         ids
     }
 
+    /// Every relation any registered CQ touches — streamed or probed —
+    /// sorted and deduplicated. Degradation is judged against this scope:
+    /// a source failure only affects the user queries whose rank-merge
+    /// actually reads that relation.
+    pub fn rels(&self) -> Vec<RelId> {
+        let mut rels: Vec<RelId> = self
+            .cqs
+            .iter()
+            .flat_map(|s| {
+                s.reg
+                    .streaming
+                    .iter()
+                    .flat_map(|j| j.rels.iter().copied())
+                    .chain(s.reg.probed.iter().map(|(r, _)| *r))
+            })
+            .collect();
+        rels.sort();
+        rels.dedup();
+        rels
+    }
+
     /// The highest score any not-yet-seen result could achieve: active CQs
     /// contribute their TA threshold, inactive ones their full `U_run`.
     pub fn overall_threshold(&self, bounds: &HashMap<NodeId, f64>) -> f64 {

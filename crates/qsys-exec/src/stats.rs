@@ -4,7 +4,7 @@
 //! conjunctive queries executed; Figure 10 reports total input tuples
 //! consumed. The ATC feeds this ledger.
 
-use qsys_types::{CqId, UqId};
+use qsys_types::{CqId, RelId, UqId};
 use std::collections::BTreeMap;
 
 /// Per-user-query statistics.
@@ -20,6 +20,11 @@ pub struct UqStats {
     pub results: usize,
     /// Conjunctive queries the ATC actually activated (Table 4 metric).
     pub cqs_executed: Vec<CqId>,
+    /// Relations this query reads that failed during its batch (empty on a
+    /// clean run). Non-empty means the top-k is degraded: correct over
+    /// everything the surviving sources delivered, but possibly missing
+    /// answers that needed the failed relations.
+    pub missing_rels: Vec<RelId>,
 }
 
 impl UqStats {
@@ -50,16 +55,27 @@ impl ExecStats {
             completed_us: None,
             results: 0,
             cqs_executed: Vec::new(),
+            missing_rels: Vec::new(),
         });
     }
 
     /// Record completion (idempotent: the first completion wins).
-    pub fn complete(&mut self, uq: UqId, now_us: u64, results: usize, cqs: Vec<CqId>) {
+    /// `missing_rels` lists relations the query reads that failed during
+    /// its batch — empty means a full-fidelity top-k.
+    pub fn complete(
+        &mut self,
+        uq: UqId,
+        now_us: u64,
+        results: usize,
+        cqs: Vec<CqId>,
+        missing_rels: Vec<RelId>,
+    ) {
         if let Some(s) = self.uqs.get_mut(&uq) {
             if s.completed_us.is_none() {
                 s.completed_us = Some(now_us);
                 s.results = results;
                 s.cqs_executed = cqs;
+                s.missing_rels = missing_rels;
             }
         }
     }
@@ -97,7 +113,7 @@ mod tests {
         let mut st = ExecStats::new();
         st.submit(UqId::new(1), 100);
         assert!(!st.all_complete());
-        st.complete(UqId::new(1), 500, 10, vec![CqId::new(0)]);
+        st.complete(UqId::new(1), 500, 10, vec![CqId::new(0)], vec![]);
         let s = st.uq(UqId::new(1)).unwrap();
         assert_eq!(s.response_us(), Some(400));
         assert_eq!(s.results, 10);
@@ -108,8 +124,14 @@ mod tests {
     fn completion_is_idempotent() {
         let mut st = ExecStats::new();
         st.submit(UqId::new(1), 0);
-        st.complete(UqId::new(1), 100, 5, vec![]);
-        st.complete(UqId::new(1), 999, 7, vec![CqId::new(3)]);
+        st.complete(UqId::new(1), 100, 5, vec![], vec![]);
+        st.complete(
+            UqId::new(1),
+            999,
+            7,
+            vec![CqId::new(3)],
+            vec![RelId::new(4)],
+        );
         let s = st.uq(UqId::new(1)).unwrap();
         assert_eq!(s.completed_us, Some(100));
         assert_eq!(s.results, 5);
@@ -121,7 +143,7 @@ mod tests {
         a.submit(UqId::new(1), 0);
         let mut b = ExecStats::new();
         b.submit(UqId::new(2), 10);
-        b.complete(UqId::new(2), 20, 1, vec![]);
+        b.complete(UqId::new(2), 20, 1, vec![], vec![]);
         a.merge(b);
         assert!(a.uq(UqId::new(2)).is_some());
         assert!(!a.all_complete());

@@ -20,11 +20,20 @@
 //! the source" (Section 5.1); the result is exposed as just another
 //! score-ordered stream.
 
+//! **Failure semantics** ([`fault`]): a deterministic, seeded
+//! [`FaultInjector`] can schedule transient errors, slow rounds, and hard
+//! outages per relation over simulated time; the governed fetch path
+//! ([`Sources::try_read`]/[`Sources::try_probe`]) then returns
+//! [`SourceError`] instead of panicking. With no injector installed every
+//! fetch is infallible and byte-identical to the fault-free build.
+
+pub mod fault;
 pub mod pushdown;
 pub mod registry;
 pub mod stream;
 pub mod table;
 
+pub use fault::{FaultInjector, FaultSpec, RelFaults, SourceError, Verdict};
 pub use pushdown::{JoinCond, SpjSpec};
 pub use registry::{Sources, TableProvider};
 pub use stream::{SourceStream, StreamKind};

@@ -6,6 +6,7 @@
 //! (mean 2 ms, Section 7 of the paper) and maintains the work counters that
 //! Figure 10 reports ("total number of input tuples consumed").
 
+use crate::fault::{FaultInjector, SourceError, Verdict};
 use crate::pushdown::SpjSpec;
 use crate::stream::SourceStream;
 use crate::table::Table;
@@ -39,6 +40,14 @@ pub struct Sources {
     stream_rounds: Cell<u64>,
     probes: Cell<u64>,
     probe_result_tuples: Cell<u64>,
+    /// Optional fault schedule. `None` (the default) keeps every fetch
+    /// infallible and byte-identical to the fault-free build; faults apply
+    /// only through [`Sources::try_read`]/[`Sources::try_probe`] — the
+    /// legacy [`Sources::read`]/[`Sources::probe`] never consult it (used
+    /// by recovery replay and legacy tests, which model local work).
+    injector: Option<FaultInjector>,
+    /// Per-fetch timeout applied to fault-inflated (slow) rounds only.
+    fetch_timeout_us: Cell<Option<u64>>,
 }
 
 impl Sources {
@@ -55,7 +64,34 @@ impl Sources {
             stream_rounds: Cell::new(0),
             probes: Cell::new(0),
             probe_result_tuples: Cell::new(0),
+            injector: None,
+            fetch_timeout_us: Cell::new(None),
         }
+    }
+
+    /// Install a fault injector. Fetches via [`Sources::try_read`] and
+    /// [`Sources::try_probe`] become fallible according to its schedule.
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Whether a fault schedule is installed (the governed fetch path uses
+    /// this to skip all fault bookkeeping on clean builds).
+    pub fn faults_enabled(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Set the per-fetch timeout (virtual µs) applied to fault-inflated
+    /// rounds. Normal rounds are never timed out — only a `slow` schedule
+    /// can push a fetch past the limit, so an unfaulted relation can never
+    /// exhaust a retry budget.
+    pub fn set_fetch_timeout(&self, timeout_us: Option<u64>) {
+        self.fetch_timeout_us.set(timeout_us);
     }
 
     /// Build a registry that materializes tables lazily via `provider`.
@@ -142,6 +178,58 @@ impl Sources {
         out
     }
 
+    /// Fallible stream read: like [`Sources::read`], but consults the fault
+    /// injector when one is installed. The injector rules once per fetch
+    /// *round* — batched mid-round reads are already paid for and local, so
+    /// they cannot fail. A failed round charges a fixed round-trip (the
+    /// mean network delay — no RNG, so fault schedules never perturb the
+    /// delay sequence of clean relations) and leaves the cursor untouched:
+    /// a retry fetches the same tuple. With no injector this is exactly
+    /// `Ok(self.read(stream))`.
+    pub fn try_read(&self, stream: &mut SourceStream) -> Result<Option<Tuple>, SourceError> {
+        let Some(inj) = &self.injector else {
+            return Ok(self.read(stream));
+        };
+        if stream.exhausted() {
+            return Ok(None);
+        }
+        let opens_round = stream.round_credit == 0;
+        let mut slow = None;
+        if opens_round && !inj.all_clear(stream.rels()) {
+            match inj.verdict(stream.rels(), self.clock.now_us()) {
+                Verdict::Clear => {}
+                Verdict::Slow { rel, mult } => slow = Some((rel, mult)),
+                Verdict::Fail(e) => {
+                    self.clock
+                        .charge(TimeCategory::StreamRead, self.cost.mean_network_delay_us);
+                    return Err(e);
+                }
+            }
+        }
+        let mut us = self.cost.stream_tuple_us;
+        if opens_round {
+            let mut delay = self.network_delay();
+            if let Some((rel, mult)) = slow {
+                delay = (delay as f64 * mult).round() as u64;
+                if let Some(limit) = self.fetch_timeout_us.get() {
+                    if delay > limit {
+                        // The wait up to the timeout is real simulated time;
+                        // the tuple stays at the source for the retry.
+                        self.clock.charge(TimeCategory::StreamRead, limit);
+                        return Err(SourceError::Timeout { rel });
+                    }
+                }
+            }
+            us += delay;
+            self.stream_rounds.set(self.stream_rounds.get() + 1);
+            stream.round_credit = self.cost.fetch_batch.max(1);
+        }
+        stream.round_credit -= 1;
+        self.clock.charge(TimeCategory::StreamRead, us);
+        self.tuples_streamed.set(self.tuples_streamed.get() + 1);
+        Ok(stream.advance())
+    }
+
     /// Probe `rel` for rows whose `column` equals `value` — a remote
     /// two-way semijoin. Charges random-access time plus a network delay.
     pub fn probe(&self, rel: RelId, column: usize, value: &Value) -> Vec<Arc<BaseTuple>> {
@@ -152,6 +240,51 @@ impl Sources {
         self.probe_result_tuples
             .set(self.probe_result_tuples.get() + hits.len() as u64);
         hits
+    }
+
+    /// Fallible probe: like [`Sources::probe`], but consults the fault
+    /// injector when one is installed (every probe is its own network
+    /// round). Failed probes charge a fixed round-trip; timed-out probes
+    /// charge exactly the timeout. With no injector this is exactly
+    /// `Ok(self.probe(rel, column, value))`.
+    pub fn try_probe(
+        &self,
+        rel: RelId,
+        column: usize,
+        value: &Value,
+    ) -> Result<Vec<Arc<BaseTuple>>, SourceError> {
+        let Some(inj) = &self.injector else {
+            return Ok(self.probe(rel, column, value));
+        };
+        let mut slow = None;
+        if !inj.all_clear(&[rel]) {
+            match inj.verdict(&[rel], self.clock.now_us()) {
+                Verdict::Clear => {}
+                Verdict::Slow { rel, mult } => slow = Some((rel, mult)),
+                Verdict::Fail(e) => {
+                    self.clock
+                        .charge(TimeCategory::RandomAccess, self.cost.mean_network_delay_us);
+                    return Err(e);
+                }
+            }
+        }
+        let mut delay = self.network_delay();
+        if let Some((rel, mult)) = slow {
+            delay = (delay as f64 * mult).round() as u64;
+            if let Some(limit) = self.fetch_timeout_us.get() {
+                if delay > limit {
+                    self.clock.charge(TimeCategory::RandomAccess, limit);
+                    return Err(SourceError::Timeout { rel });
+                }
+            }
+        }
+        self.clock
+            .charge(TimeCategory::RandomAccess, self.cost.probe_us + delay);
+        self.probes.set(self.probes.get() + 1);
+        let hits = self.table(rel).probe(column, value);
+        self.probe_result_tuples
+            .set(self.probe_result_tuples.get() + hits.len() as u64);
+        Ok(hits)
     }
 
     fn network_delay(&self) -> u64 {
@@ -319,6 +452,96 @@ mod tests {
         assert!(us4 < us1, "fewer rounds, less simulated time");
         // Per-tuple CPU still charged for every tuple.
         assert!(us4 >= 9 * CostProfile::default().stream_tuple_us);
+    }
+
+    #[test]
+    fn try_read_without_injector_matches_read() {
+        let a = sources();
+        let b = sources();
+        let mut sa = a.open_stream(RelId::new(0), None);
+        let mut sb = b.open_stream(RelId::new(0), None);
+        loop {
+            let x = a.read(&mut sa);
+            let y = b.try_read(&mut sb).expect("infallible without injector");
+            assert_eq!(x.is_none(), y.is_none());
+            if x.is_none() {
+                break;
+            }
+        }
+        assert_eq!(
+            a.clock().breakdown().stream_read_us,
+            b.clock().breakdown().stream_read_us
+        );
+    }
+
+    #[test]
+    fn unfaulted_rel_sees_identical_delays_under_injector() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let plain = sources();
+        let mut chaotic = sources();
+        // Faults scheduled only for rel 1; rel 0 must be untouched.
+        let spec = FaultSpec::parse("seed=5; rel1:transient=0.9").unwrap();
+        chaotic.set_injector(FaultInjector::new(spec, 0));
+        let mut sp = plain.open_stream(RelId::new(0), None);
+        let mut sc = chaotic.open_stream(RelId::new(0), None);
+        while plain.read(&mut sp).is_some() {
+            chaotic.try_read(&mut sc).unwrap().unwrap();
+        }
+        assert_eq!(
+            plain.clock().breakdown().stream_read_us,
+            chaotic.clock().breakdown().stream_read_us,
+            "a schedule on rel 1 must not perturb rel 0's virtual time"
+        );
+    }
+
+    #[test]
+    fn outage_fails_fetches_and_leaves_the_cursor() {
+        use crate::fault::{FaultInjector, FaultSpec, SourceError};
+        let mut s = sources();
+        let spec = FaultSpec::parse("rel0:outage=0..").unwrap();
+        s.set_injector(FaultInjector::new(spec, 0));
+        let mut stream = s.open_stream(RelId::new(0), None);
+        for _ in 0..3 {
+            assert_eq!(
+                s.try_read(&mut stream),
+                Err(SourceError::Outage { rel: RelId::new(0) })
+            );
+        }
+        assert_eq!(stream.delivered(), 0, "failed rounds deliver nothing");
+        assert_eq!(s.tuples_streamed(), 0);
+        // Each failed round still burned a round-trip of simulated time.
+        assert_eq!(
+            s.clock().breakdown().stream_read_us,
+            3 * CostProfile::default().mean_network_delay_us
+        );
+        // Probes fail too.
+        assert!(s.try_probe(RelId::new(0), 0, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn slow_rounds_time_out_only_with_a_timeout_set() {
+        use crate::fault::{FaultInjector, FaultSpec, SourceError};
+        let build = || {
+            let mut s = sources();
+            let spec = FaultSpec::parse("rel0:slow=1x1000").unwrap();
+            s.set_injector(FaultInjector::new(spec, 0));
+            s
+        };
+        // No timeout: the slow round delivers, just late.
+        let s = build();
+        let mut stream = s.open_stream(RelId::new(0), None);
+        assert!(s.try_read(&mut stream).unwrap().is_some());
+        assert!(s.clock().breakdown().stream_read_us > 100_000);
+        // Tight timeout: the same schedule times out and charges the cap.
+        let s = build();
+        s.set_fetch_timeout(Some(10_000));
+        let mut stream = s.open_stream(RelId::new(0), None);
+        assert_eq!(
+            s.try_read(&mut stream),
+            Err(SourceError::Timeout { rel: RelId::new(0) })
+        );
+        assert_eq!(s.clock().breakdown().stream_read_us, 10_000);
+        assert_eq!(stream.delivered(), 0);
     }
 
     #[test]

@@ -98,7 +98,14 @@ impl Table {
     }
 
     fn index_for(&self, column: usize) -> ColumnIndex {
-        if let Some(idx) = self.indexes.read().expect("index lock").get(&column) {
+        // Index maps are write-once per column: a poisoned lock can only
+        // hold a fully-built (or absent) entry, so recover and read on.
+        if let Some(idx) = self
+            .indexes
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&column)
+        {
             return Arc::clone(idx);
         }
         let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
@@ -112,7 +119,7 @@ impl Table {
         let arc = Arc::new(map);
         self.indexes
             .write()
-            .expect("index lock")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(column, Arc::clone(&arc));
         arc
     }

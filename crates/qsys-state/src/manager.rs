@@ -203,8 +203,16 @@ impl QsManager {
         let mut planned: Vec<Planned> = Vec::with_capacity(spec.nodes.len());
         let mut pending: HashMap<SigId, usize> = HashMap::new();
         for (idx, spec_node) in spec.nodes.iter().enumerate() {
+            // A live node is only a merge target while no quarantined
+            // stream feeds it: grafting onto a subtree whose source failed
+            // would pin the new query to a zero-bound leaf, while a fresh
+            // instantiation re-opens the (possibly recovered) source.
+            let reusable = self
+                .graph
+                .find_sig(spec_node.sig)
+                .filter(|&id| !self.graph.subtree_quarantined(id));
             let action = if spec_node.share {
-                if let Some(id) = self.graph.find_sig(spec_node.sig) {
+                if let Some(id) = reusable {
                     Planned::Graph(id)
                 } else if let Some(&first) = pending.get(&spec_node.sig) {
                     Planned::Spec(first)
@@ -526,6 +534,12 @@ pub struct GraphReuse<'a> {
 impl ReuseOracle for GraphReuse<'_> {
     fn streamed(&self, sig: SigId) -> Option<u64> {
         let node = self.manager.graph.find_sig(sig)?;
+        // Never advertise quarantined state to the optimizer: the graft
+        // below would refuse to merge with it anyway, so a reuse bonus here
+        // would steer plans toward state they cannot actually share.
+        if self.manager.graph.subtree_quarantined(node) {
+            return None;
+        }
         match &self.manager.graph.try_node(node)?.kind {
             NodeKind::Stream(leaf) => Some(leaf.archive.len() as u64),
             NodeKind::MJoin(mj) => {

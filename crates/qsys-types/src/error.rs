@@ -8,9 +8,13 @@ pub type QsysResult<T> = Result<T, QsysError>;
 
 /// Errors surfaced by the Q System reproduction.
 ///
-/// The system is a middleware layer: most "errors" in the paper's setting are
-/// resource or planning failures rather than I/O failures, and the simulated
-/// sources are infallible, so this enum is deliberately small.
+/// The system is a middleware layer: most "errors" in the paper's setting
+/// are resource or planning failures rather than I/O failures, so this enum
+/// is deliberately small. Source-level fetch failures (transient errors,
+/// outages, timeouts — injected by `qsys-source`'s deterministic fault
+/// layer) are a separate channel: they are handled by the executor's
+/// retry/breaker loop and surface as per-query *degradation*, never as a
+/// `QsysError`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QsysError {
     /// A query references a relation the catalog does not know.

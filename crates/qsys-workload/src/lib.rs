@@ -11,11 +11,17 @@
 //!
 //! Both produce a [`Workload`]: catalog + keyword index + shared lazy table
 //! store + the query script.
+//!
+//! [`faults`] rides along for chaos experiments: it generates the
+//! deterministic `QSYS_FAULTS` schedule strings the engine's fault
+//! injector consumes.
 
+pub mod faults;
 pub mod gus;
 pub mod pfam;
 pub mod tables;
 
+pub use faults::FaultPlan;
 pub use gus::GusConfig;
 pub use pfam::PfamConfig;
 pub use tables::{ScoreKind, SharedTables, TableGenSpec};

@@ -10,11 +10,11 @@
 
 use crate::session::Engine;
 use qsys_catalog::{Catalog, KeywordIndex};
-use qsys_exec::{Atc, ExecStats, SchedulingPolicy};
+use qsys_exec::{Atc, ExecStats, RetryPolicy, SchedulingPolicy, SourceGovernor};
 use qsys_opt::cluster::ClusterConfig;
 use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
 use qsys_query::{CandidateConfig, ScoreFn, UserQuery};
-use qsys_source::{Sources, TableProvider};
+use qsys_source::{FaultInjector, FaultSpec, Sources, TableProvider};
 use qsys_state::{EvictionPolicy, QsManager};
 use qsys_types::{CostProfile, QsysResult, Score, SimClock, Tuple, UqId, UserId};
 
@@ -96,6 +96,15 @@ pub struct EngineConfig {
     /// host time. Defaults to on; `QSYS_WARM_OPT=0` disables it (the CI
     /// leg keeping the cold path exercised).
     pub warm_opt: bool,
+    /// Deterministic fault schedule for the source layer (chaos testing).
+    /// `None` — the default when `QSYS_FAULTS` is unset — leaves every
+    /// fetch infallible and execution byte-identical to a build without
+    /// the fault machinery. See `qsys_source::fault::FaultSpec` for the
+    /// schedule grammar.
+    pub faults: Option<FaultSpec>,
+    /// Retry / timeout / circuit-breaker policy applied when `faults` is
+    /// active (inert otherwise).
+    pub retry: RetryPolicy,
 }
 
 /// Default lane-thread count: `QSYS_LANE_THREADS` override (the CI knob
@@ -135,6 +144,8 @@ impl Default for EngineConfig {
             seed: 0,
             lane_threads: default_lane_threads(),
             warm_opt: default_warm_opt(),
+            faults: FaultSpec::from_env(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -160,6 +171,9 @@ pub(crate) struct Lane {
     pub(crate) atc: Atc,
     /// Per-UQ statistics.
     pub(crate) stats: ExecStats,
+    /// Retry/breaker state for this lane's fetches. A strict pass-through
+    /// while the lane's sources carry no fault injector.
+    pub(crate) governor: SourceGovernor,
 }
 
 /// Compile-time guarantee that lanes can move onto worker threads; if a
@@ -176,16 +190,22 @@ impl Lane {
         if !config.share_probe_caches {
             manager = manager.with_private_probe_caches();
         }
+        let mut sources = Sources::with_provider(
+            SimClock::new(),
+            config.cost_profile,
+            config.seed ^ (lane_idx.wrapping_mul(0x517c_c1b7_2722_0a95)),
+            provider,
+        );
+        if let Some(spec) = &config.faults {
+            sources.set_injector(FaultInjector::new(spec.clone(), lane_idx as usize));
+            sources.set_fetch_timeout(config.retry.fetch_timeout_us);
+        }
         Lane {
             manager,
-            sources: Sources::with_provider(
-                SimClock::new(),
-                config.cost_profile,
-                config.seed ^ (lane_idx.wrapping_mul(0x517c_c1b7_2722_0a95)),
-                provider,
-            ),
+            sources,
             atc: Atc::new(config.scheduling),
             stats: ExecStats::new(),
+            governor: SourceGovernor::new(config.retry),
         }
     }
 }

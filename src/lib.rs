@@ -98,7 +98,9 @@ pub mod report;
 pub mod session;
 
 pub use engine::{EngineConfig, QSystem, SearchResult, SharingMode};
-pub use report::{generate_user_queries, run_workload, OptEvent, RunReport, UqReport};
+pub use report::{
+    generate_user_queries, run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
+};
 pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
 
 /// One-stop imports for serving queries: the engine facade, its
@@ -106,7 +108,9 @@ pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
 /// API speaks in.
 pub mod prelude {
     pub use crate::engine::{EngineConfig, QSystem, SearchResult, SharingMode};
-    pub use crate::report::{run_workload, OptEvent, RunReport, UqReport};
+    pub use crate::report::{
+        run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
+    };
     pub use crate::session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
     pub use qsys_types::{Score, Tuple, UqId, UserId};
 }

@@ -16,9 +16,46 @@
 
 use crate::engine::EngineConfig;
 use crate::session::{Engine, QueryTicket};
+use qsys_exec::FaultStats;
 use qsys_query::{CandidateGenerator, UserQuery};
-use qsys_types::{QsysResult, TimeBreakdown, UqId, UserId};
+use qsys_types::{QsysResult, RelId, TimeBreakdown, UqId, UserId};
 use qsys_workload::Workload;
+
+/// How one user query's execution ended. Every outcome other than
+/// [`QueryOutcome::Complete`] exists only when the caller used the
+/// cancel/deadline API or a fault schedule was active — a clean run is
+/// all-`Complete` by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Full-fidelity top-k.
+    #[default]
+    Complete,
+    /// The top-k is correct over what the surviving sources delivered, but
+    /// the listed relations failed mid-batch, so answers needing them may
+    /// be missing.
+    Degraded {
+        /// Relations this query reads that were lost to faults.
+        missing_rels: Vec<RelId>,
+    },
+    /// The query produced nothing — its lane panicked (or was already
+    /// poisoned by an earlier panic) before results could be published.
+    Failed {
+        /// Human-readable cause (the panic payload, or "lane poisoned").
+        reason: String,
+    },
+    /// Cancelled by the caller before its batch ran.
+    Cancelled,
+    /// Its deadline passed: either before its batch started (no results)
+    /// or during execution (results are retained — late, not wrong).
+    DeadlineExceeded,
+}
+
+impl QueryOutcome {
+    /// Whether the query delivered its full-fidelity top-k on time.
+    pub fn is_complete(&self) -> bool {
+        *self == QueryOutcome::Complete
+    }
+}
 
 /// Per-user-query report line.
 #[derive(Debug, Clone)]
@@ -47,6 +84,8 @@ pub struct UqReport {
     /// How many of this query's CQs ran a `RecoverState` recovery query
     /// over pre-existing stream state (Section 6.2).
     pub recovered_cqs: usize,
+    /// How execution ended (`Complete` on every clean run).
+    pub outcome: QueryOutcome,
 }
 
 /// One optimizer invocation (Figure 11's data points).
@@ -97,6 +136,31 @@ pub struct RunReport {
     pub opt_events: Vec<OptEvent>,
     /// Keyword queries that matched no candidate network (skipped).
     pub skipped: Vec<String>,
+    /// Fault/resilience accounting (all zero on a clean run).
+    pub faults: FaultSummary,
+}
+
+/// Run-level fault accounting: the source governors' counters summed over
+/// lanes, plus how many queries ended in each non-`Complete` outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Retry/timeout/breaker counters summed across lane governors.
+    pub source: FaultStats,
+    /// Queries that completed with a degraded (partial) top-k.
+    pub degraded: usize,
+    /// Queries that failed outright (lane panic).
+    pub failed: usize,
+    /// Queries cancelled before execution.
+    pub cancelled: usize,
+    /// Queries whose deadline passed.
+    pub deadline_exceeded: usize,
+}
+
+impl FaultSummary {
+    /// Whether anything at all deviated from a clean run.
+    pub fn any(&self) -> bool {
+        *self != FaultSummary::default()
+    }
 }
 
 impl RunReport {
@@ -110,6 +174,20 @@ impl RunReport {
             .map(|u| u.response_us as f64)
             .sum::<f64>()
             / self.per_uq.len() as f64
+    }
+
+    /// Response-time percentile across UQs in µs, nearest-rank: `p` in
+    /// (0, 100]; `response_percentile_us(50.0)` is the median,
+    /// `response_percentile_us(99.0)` the tail the degradation curves
+    /// plot. 0 when no query has run.
+    pub fn response_percentile_us(&self, p: f64) -> u64 {
+        if self.per_uq.is_empty() {
+            return 0;
+        }
+        let mut times: Vec<u64> = self.per_uq.iter().map(|u| u.response_us).collect();
+        times.sort_unstable();
+        let rank = ((p / 100.0) * times.len() as f64).ceil() as usize;
+        times[rank.clamp(1, times.len()) - 1]
     }
 
     /// Total simulated optimization time, µs.
@@ -228,6 +306,7 @@ mod tests {
             lane: 0,
             reused_nodes: 0,
             recovered_cqs: 0,
+            outcome: QueryOutcome::Complete,
         }
     }
 
@@ -258,6 +337,19 @@ mod tests {
         assert_eq!(r.per_user(UserId::new(9)).len(), 0);
         assert_eq!(r.per_uq_id(UqId::new(1)).unwrap().response_us, 200);
         assert!(r.per_uq_id(UqId::new(42)).is_none());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = RunReport::default();
+        assert_eq!(r.response_percentile_us(50.0), 0);
+        for (i, us) in [100u64, 200, 300, 400].iter().enumerate() {
+            r.per_uq.push(line(i as u32, 0, *us));
+        }
+        assert_eq!(r.response_percentile_us(50.0), 200);
+        assert_eq!(r.response_percentile_us(99.0), 400);
+        assert_eq!(r.response_percentile_us(25.0), 100);
+        assert!(!r.faults.any());
     }
 
     #[test]

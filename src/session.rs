@@ -44,7 +44,7 @@
 //! they overlap none).
 
 use crate::engine::{batch_share, graft_batch, EngineConfig, Lane, SharingMode};
-use crate::report::{OptEvent, RunReport, UqReport};
+use crate::report::{OptEvent, QueryOutcome, RunReport, UqReport};
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_opt::OptStats;
 use qsys_query::{CandidateGenerator, UserQuery};
@@ -52,6 +52,7 @@ use qsys_source::TableProvider;
 use qsys_state::EvictionStats;
 use qsys_types::{QsysResult, RelId, Score, Tuple, UqId, UserId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -77,6 +78,12 @@ pub enum TicketStatus {
 #[derive(Debug, Default)]
 struct TicketSlot {
     completed: bool,
+    /// Caller asked for this query to be dropped before its batch runs.
+    cancelled: bool,
+    /// Virtual-time deadline: at batch start an expired member is skipped;
+    /// a member finishing past it keeps its results but reports
+    /// [`QueryOutcome::DeadlineExceeded`].
+    deadline_us: Option<u64>,
     results: Option<Vec<(Score, Tuple)>>,
     report: Option<UqReport>,
     opt: Option<OptStats>,
@@ -169,6 +176,17 @@ impl QueryTicket {
             .get(&self.uq)
             .and_then(|slot| slot.opt)
     }
+
+    /// How execution ended — `None` until the query's batch has been
+    /// dispatched. [`QueryOutcome::Complete`] on every clean run; the
+    /// other states surface cancellation, deadlines, degraded top-ks
+    /// (source faults), and lane panics.
+    pub fn outcome(&self) -> Option<QueryOutcome> {
+        ledger_lock(&self.ledger)
+            .slots
+            .get(&self.uq)
+            .and_then(|slot| slot.report.as_ref().map(|r| r.outcome.clone()))
+    }
 }
 
 /// A query admitted but not yet dispatched: the generated candidate
@@ -194,6 +212,11 @@ struct LaneSlot {
     /// Relations referenced by queries routed here (ATC-CL's cluster
     /// footprint; drives incremental routing of late arrivals).
     footprint: BTreeSet<RelId>,
+    /// Set when a batch panicked on this lane: its plan graph and clocks
+    /// can no longer be trusted, so later batches routed here fail fast
+    /// with [`QueryOutcome::Failed`] instead of executing on poisoned
+    /// state. Other lanes — and the engine — keep serving.
+    poisoned: Option<String>,
 }
 
 impl LaneSlot {
@@ -205,6 +228,7 @@ impl LaneSlot {
             opt_events: Vec::new(),
             wall_us: 0,
             footprint: BTreeSet::new(),
+            poisoned: None,
         }
     }
 
@@ -572,16 +596,36 @@ impl Engine {
         let run_slot = |lane_idx: usize, slot: &mut LaneSlot| -> usize {
             let mut ran = 0;
             while let Some(batch) = slot.ready.pop_front() {
-                run_batch(
-                    catalog,
-                    config,
-                    share,
-                    retain_results,
-                    lane_idx,
-                    slot,
-                    batch,
-                    ledger,
-                );
+                match slot.poisoned.clone() {
+                    // A lane that panicked once fails its later batches
+                    // fast: its graph/clock state is unknown, and silently
+                    // wrong answers would be worse than loud failures.
+                    Some(earlier) => publish_failed(
+                        lane_idx,
+                        &batch,
+                        &format!("lane poisoned by an earlier panic: {earlier}"),
+                        ledger,
+                    ),
+                    None => {
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            run_batch(
+                                catalog,
+                                config,
+                                share,
+                                retain_results,
+                                lane_idx,
+                                slot,
+                                &batch,
+                                ledger,
+                            )
+                        }));
+                        if let Err(payload) = run {
+                            let reason = panic_reason(payload);
+                            publish_failed(lane_idx, &batch, &reason, ledger);
+                            slot.poisoned = Some(reason);
+                        }
+                    }
+                }
                 ran += 1;
                 if !drain {
                     break;
@@ -647,6 +691,31 @@ impl Engine {
         ledger_lock(&self.ledger).slots.remove(&uq).is_some()
     }
 
+    /// Cancel an admitted query that has not yet executed. Its batch skips
+    /// it at dispatch (the ticket resolves to [`QueryOutcome::Cancelled`]
+    /// with no results); the other members run normally. Returns `false`
+    /// when the query is unknown, already executed, or already cancelled —
+    /// cancellation is advisory, never an error.
+    pub fn cancel(&mut self, uq: UqId) -> bool {
+        let mut ledger = ledger_lock(&self.ledger);
+        match ledger.slots.get_mut(&uq) {
+            Some(slot) if !slot.completed && !slot.cancelled => {
+                slot.cancelled = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a lane was poisoned by a panicking batch (its queries fail
+    /// fast; the rest of the engine keeps serving).
+    pub fn poisoned_lanes(&self) -> usize {
+        self.lanes
+            .iter()
+            .filter(|slot| slot.poisoned.is_some())
+            .count()
+    }
+
     /// Assemble the experiment report from everything executed so far:
     /// per-query lines in UQ order, lane wall times, the virtual-time
     /// breakdown, and total work, exactly as the scripted runner has
@@ -675,6 +744,7 @@ impl Engine {
             report.tuples_streamed += slot.lane.sources.tuples_streamed();
             report.stream_rounds += slot.lane.sources.stream_rounds();
             report.probes += slot.lane.sources.probes();
+            report.faults.source.absorb(&slot.lane.governor.snapshot());
         }
         let ledger = ledger_lock(&self.ledger);
         report.per_uq = ledger
@@ -682,7 +752,17 @@ impl Engine {
             .values()
             .filter_map(|slot| slot.report.clone())
             .collect();
+        drop(ledger);
         report.per_uq.sort_by_key(|u| u.uq);
+        for u in &report.per_uq {
+            match &u.outcome {
+                QueryOutcome::Complete => {}
+                QueryOutcome::Degraded { .. } => report.faults.degraded += 1,
+                QueryOutcome::Failed { .. } => report.faults.failed += 1,
+                QueryOutcome::Cancelled => report.faults.cancelled += 1,
+                QueryOutcome::DeadlineExceeded => report.faults.deadline_exceeded += 1,
+            }
+        }
         report
     }
 
@@ -755,6 +835,85 @@ impl Session<'_> {
         let now = self.engine.now_us();
         self.submit(keywords, now)
     }
+
+    /// Submit with a virtual-time deadline. A query whose deadline has
+    /// passed when its batch dispatches is skipped (no results, outcome
+    /// [`QueryOutcome::DeadlineExceeded`]); one that merely *finishes*
+    /// past it keeps its results but reports the same outcome — late, not
+    /// wrong. Queries without deadlines in the same batch are unaffected.
+    pub fn submit_with_deadline(
+        &mut self,
+        keywords: &str,
+        arrival_us: u64,
+        deadline_us: u64,
+    ) -> QsysResult<QueryTicket> {
+        let ticket = self.submit(keywords, arrival_us)?;
+        if let Some(slot) = ledger_lock(&self.engine.ledger).slots.get_mut(&ticket.id()) {
+            slot.deadline_us = Some(deadline_us);
+        }
+        Ok(ticket)
+    }
+
+    /// Cancel one of this user's tickets — sugar for
+    /// [`Engine::cancel`]; same advisory semantics.
+    pub fn cancel(&mut self, ticket: &QueryTicket) -> bool {
+        self.engine.cancel(ticket.id())
+    }
+}
+
+/// Render a panic payload for [`QueryOutcome::Failed`] reporting.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "lane panicked".to_string()
+    }
+}
+
+/// Ledger slot for a query its batch never executed (cancelled, expired,
+/// or failed): completed with no results, carrying only its outcome.
+fn unran_slot(admitted: &Admitted, lane_idx: usize, outcome: QueryOutcome) -> TicketSlot {
+    TicketSlot {
+        completed: true,
+        cancelled: matches!(outcome, QueryOutcome::Cancelled),
+        deadline_us: None,
+        results: None,
+        report: Some(UqReport {
+            uq: admitted.uq.id,
+            user: admitted.uq.user,
+            keywords: admitted.uq.keywords.clone(),
+            arrival_us: admitted.arrival_us,
+            response_us: 0,
+            results: 0,
+            cqs_generated: admitted.uq.cqs.len(),
+            cqs_executed: 0,
+            lane: lane_idx,
+            reused_nodes: 0,
+            recovered_cqs: 0,
+            outcome,
+        }),
+        opt: None,
+    }
+}
+
+/// Resolve every member of a batch as [`QueryOutcome::Failed`] — the lane
+/// panicked under it (or was already poisoned).
+fn publish_failed(lane_idx: usize, batch: &[Admitted], reason: &str, ledger: &Mutex<Ledger>) {
+    let mut guard = ledger_lock(ledger);
+    for admitted in batch {
+        guard.slots.insert(
+            admitted.uq.id,
+            unran_slot(
+                admitted,
+                lane_idx,
+                QueryOutcome::Failed {
+                    reason: reason.to_string(),
+                },
+            ),
+        );
+    }
 }
 
 /// Execute one sealed batch on a lane: optimize (per the sharing mode),
@@ -770,12 +929,50 @@ fn run_batch(
     retain_results: bool,
     lane_idx: usize,
     slot: &mut LaneSlot,
-    batch: Vec<Admitted>,
+    full_batch: &[Admitted],
     ledger: &Mutex<Ledger>,
 ) {
     let wall = std::time::Instant::now();
     let lane = &mut slot.lane;
     let submit = lane.sources.clock().now_us();
+
+    // Members cancelled (or already past their deadline) before dispatch
+    // drop out here: their slots resolve immediately and the survivors run
+    // exactly as if the batch had been admitted without them.
+    let mut deadlines: HashMap<UqId, u64> = HashMap::new();
+    let mut batch: Vec<&Admitted> = Vec::with_capacity(full_batch.len());
+    {
+        let mut guard = ledger_lock(ledger);
+        for admitted in full_batch {
+            let id = admitted.uq.id;
+            let (cancelled, deadline) = guard
+                .slots
+                .get(&id)
+                .map(|s| (s.cancelled, s.deadline_us))
+                .unwrap_or((false, None));
+            let verdict = if cancelled {
+                Some(QueryOutcome::Cancelled)
+            } else if deadline.is_some_and(|d| submit >= d) {
+                Some(QueryOutcome::DeadlineExceeded)
+            } else {
+                if let Some(d) = deadline {
+                    deadlines.insert(id, d);
+                }
+                batch.push(admitted);
+                None
+            };
+            if let Some(outcome) = verdict {
+                guard
+                    .slots
+                    .insert(id, unran_slot(admitted, lane_idx, outcome));
+            }
+        }
+    }
+    if batch.is_empty() {
+        slot.wall_us += wall.elapsed().as_micros() as u64;
+        return;
+    }
+
     for admitted in &batch {
         lane.stats.submit(admitted.uq.id, submit);
     }
@@ -820,8 +1017,12 @@ fn run_batch(
         }
     }
 
-    lane.atc
-        .run(lane.manager.graph_mut(), &lane.sources, &mut lane.stats);
+    lane.atc.run_governed(
+        lane.manager.graph_mut(),
+        &lane.sources,
+        &lane.governor,
+        &mut lane.stats,
+    );
     lane.manager.unpin_all();
 
     // Harvest results before completed rank-merges are unlinked. The
@@ -854,6 +1055,19 @@ fn run_batch(
                     .unwrap_or_default()
             });
             let stats = lane.stats.uq(id).expect("submitted above");
+            // Outcome, worst first: finishing past a deadline trumps
+            // degradation (the results are retained either way), and any
+            // relation lost mid-batch marks the top-k degraded.
+            let completed_us = stats.completed_us.unwrap_or(submit);
+            let query_outcome = if deadlines.get(&id).is_some_and(|d| completed_us > *d) {
+                QueryOutcome::DeadlineExceeded
+            } else if !stats.missing_rels.is_empty() {
+                QueryOutcome::Degraded {
+                    missing_rels: stats.missing_rels.clone(),
+                }
+            } else {
+                QueryOutcome::Complete
+            };
             let report = UqReport {
                 uq: id,
                 user: admitted.uq.user,
@@ -866,11 +1080,14 @@ fn run_batch(
                 lane: lane_idx,
                 reused_nodes: outcome.reused_nodes,
                 recovered_cqs: outcome.recovered_uqs.iter().filter(|u| **u == id).count(),
+                outcome: query_outcome,
             };
             (
                 id,
                 TicketSlot {
                     completed: true,
+                    cancelled: false,
+                    deadline_us: None,
                     results,
                     report: Some(report),
                     opt: Some(opt),

@@ -25,6 +25,9 @@ fn engine(mode: SharingMode) -> EngineConfig {
         k: 8,
         batch_size: 3,
         sharing: mode,
+        // Cross-mode golden equalities: pinned fault-free even under the
+        // CI chaos leg (fault coverage for these paths lives in chaos.rs).
+        faults: None,
         candidate: CandidateConfig {
             max_cqs: 5,
             max_atoms: 5,

@@ -346,6 +346,9 @@ fn qsys_bench_like_engine() -> qsys::EngineConfig {
         k: 50,
         batch_size: 5,
         sharing: SharingMode::AtcFull,
+        // Plan-shape and warm-start goldens: pinned fault-free even under
+        // the CI chaos leg (fault coverage lives in chaos.rs).
+        faults: None,
         candidate: qsys::query::CandidateConfig {
             max_cqs: 20,
             max_atoms: 6,

@@ -40,6 +40,14 @@ fn engine(lane_threads: usize) -> EngineConfig {
     }
 }
 
+/// True when the CI chaos leg injects faults through `QSYS_FAULTS`. The
+/// lane injector is seeded per lane index, not per thread, so the 1-vs-N
+/// thread identity must survive chaos; only the absolute golden numbers
+/// are skipped, since retried rounds shift timing-sensitive counters.
+fn chaos_active() -> bool {
+    std::env::var_os("QSYS_FAULTS").is_some_and(|v| !v.is_empty())
+}
+
 /// Every reported quantity except host wall times must match.
 fn assert_identical(seq: &RunReport, par: &RunReport, seed: u64) {
     assert_eq!(seq.lanes, par.lanes, "seed {seed}: lane count");
@@ -93,10 +101,12 @@ fn atc_cl_threaded_lanes_are_bit_identical_to_sequential() {
         let w = workload(seed);
         let seq = run_workload(&w, &engine(1), None).unwrap();
         assert_eq!(seq.lanes, lanes, "seed {seed}: golden lane count");
-        assert_eq!(
-            seq.tuples_consumed, tuples,
-            "seed {seed}: golden tuples consumed"
-        );
+        if !chaos_active() {
+            assert_eq!(
+                seq.tuples_consumed, tuples,
+                "seed {seed}: golden tuples consumed"
+            );
+        }
         assert!(
             seq.lanes > 1,
             "seed {seed}: the identity test needs a genuinely clustered workload"

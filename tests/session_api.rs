@@ -40,6 +40,15 @@ fn engine_cfg(lane_threads: usize) -> EngineConfig {
     }
 }
 
+/// True when the CI chaos leg injects faults through `QSYS_FAULTS`. The
+/// cross-drive equivalence invariants must hold even then (the injector is
+/// deterministic per lane, so identical schedules see identical faults);
+/// only the absolute golden numbers are skipped, since retried rounds
+/// shift timing-sensitive counters.
+fn chaos_active() -> bool {
+    std::env::var_os("QSYS_FAULTS").is_some_and(|v| !v.is_empty())
+}
+
 /// How the driver interleaves submission and execution.
 #[derive(Clone, Copy)]
 enum Drive {
@@ -127,9 +136,11 @@ fn interleaved_submission_is_bit_identical_to_scripted_runs() {
             let (all, fp_all) = run_session(&w, engine_cfg(lane_threads), Drive::SubmitAllThenRun);
             let (one, fp_one) = run_session(&w, engine_cfg(lane_threads), Drive::SubmitOneStepOne);
 
-            assert_eq!(all.tuples_consumed, tuples, "{label}: golden tuples");
-            let total: usize = all.per_uq.iter().map(|u| u.results).sum();
-            assert_eq!(total, results, "{label}: golden result count");
+            if !chaos_active() {
+                assert_eq!(all.tuples_consumed, tuples, "{label}: golden tuples");
+                let total: usize = all.per_uq.iter().map(|u| u.results).sum();
+                assert_eq!(total, results, "{label}: golden result count");
+            }
 
             assert_reports_identical(&scripted, &all, &format!("{label}: scripted vs all"));
             assert_reports_identical(&all, &one, &format!("{label}: all vs stepped"));
