@@ -8,6 +8,12 @@
 //!
 //! Experiments: `table4 fig7 fig8 fig9 fig10 fig11 fig12`
 //! Ablations:   `ablation-atc ablation-recovery ablation-eviction`
+//! Restart:     `restart [--out BENCH_6.json] [--check] [--iters N]` —
+//! warm-state persistence sweep: cold vs warm-in-process vs
+//! warm-from-snapshot optimize time for a recurring batch, snapshot
+//! size/write/load cost, and a full engine restart, gated on decision
+//! identity. `restart --phase prime --dir D` then `--phase reload --dir D`
+//! split the restart across two OS processes (the CI smoke).
 //! Chaos:       `chaos [--out BENCH_5.json]` — fault-rate sweep (0 / 1% / 5%
 //! transient, plus one hard outage) over the fault-injection layer: degraded
 //! and failed ticket counts, retries, breaker trips, and p50/p99 response,
@@ -230,6 +236,108 @@ fn main() {
             }
             eprintln!("gate ok: no tuple loss on unfaulted relations");
         }
+        "restart" => {
+            // Warm-state persistence sweep: cold vs warm-in-process vs
+            // warm-from-snapshot optimize time for a recurring batch, plus
+            // a full engine restart. `--out FILE` writes the BENCH_6.json
+            // trajectory point; `--check` gates on decision identity.
+            //
+            // `--phase prime --dir D` / `--phase reload --dir D` split the
+            // restart across two *processes* (the CI smoke): prime runs
+            // with persistence rooted at D and exits; reload starts from
+            // nothing but D's snapshot file and self-gates.
+            match flag_value(&args, "--phase").as_deref() {
+                Some(phase @ ("prime" | "reload")) => {
+                    let Some(dir) = flag_value(&args, "--dir") else {
+                        eprintln!("--phase requires --dir DIR (shared across both phases)");
+                        std::process::exit(2);
+                    };
+                    let dir = std::path::PathBuf::from(dir);
+                    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+                    let reload = phase == "reload";
+                    let p = restart_phase(seeds[0], scale, &dir, reload);
+                    println!(
+                        "phase {phase}: snapshot_writes={} bytes_on_disk={} loaded={} \
+                         lanes_loaded={} first_batch_warm_hits={}",
+                        p.writes,
+                        p.bytes_on_disk,
+                        p.loaded,
+                        p.lanes_loaded,
+                        p.first_batch_warm_hits
+                    );
+                    if !reload {
+                        if p.writes == 0 || p.bytes_on_disk == 0 {
+                            eprintln!("CHECK FAILED: priming run published no snapshot");
+                            std::process::exit(1);
+                        }
+                        eprintln!("prime ok: snapshot published for the reload phase");
+                    } else {
+                        if !p.loaded {
+                            eprintln!(
+                                "CHECK FAILED: restarted process did not rehydrate from the \
+                                 snapshot ({})",
+                                p.reason.as_deref().unwrap_or("no reason recorded")
+                            );
+                            std::process::exit(1);
+                        }
+                        if p.first_batch_warm_hits == 0 {
+                            eprintln!(
+                                "CHECK FAILED: first post-restart batch did not replay the \
+                                 warm plan (restart must skip the cold search)"
+                            );
+                            std::process::exit(1);
+                        }
+                        if !p.identical {
+                            eprintln!(
+                                "CHECK FAILED: restarted run diverged from a cold run \
+                                 (rehydrated warm state must be decision-invisible)"
+                            );
+                            std::process::exit(1);
+                        }
+                        eprintln!(
+                            "reload ok: rehydrated warm, first batch replayed, decisions \
+                             identical to cold"
+                        );
+                    }
+                }
+                Some(other) => {
+                    eprintln!("unknown --phase '{other}' (choose: prime reload)");
+                    std::process::exit(2);
+                }
+                None => {
+                    let iters: usize = flag_value(&args, "--iters")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(10);
+                    let sweep = restart_sweep(seeds[0], scale, iters);
+                    print_restart(&sweep);
+                    let json = restart_json(&sweep);
+                    if let Some(path) = flag_value(&args, "--out") {
+                        std::fs::write(&path, &json).expect("write restart output");
+                        eprintln!("wrote {path}");
+                    }
+                    let ok = sweep.identical
+                        && sweep.engine.loaded
+                        && sweep.engine.identical
+                        && sweep.engine.first_batch_warm_hits > 0;
+                    if !ok {
+                        eprintln!(
+                            "CHECK FAILED: restart sweep gate (decisions_identical={} \
+                             engine.loaded={} engine.identical={} first_batch_warm_hits={}) — \
+                             warm state is a cache; persisting it must never change a decision",
+                            sweep.identical,
+                            sweep.engine.loaded,
+                            sweep.engine.identical,
+                            sweep.engine.first_batch_warm_hits
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "gate ok: decisions identical cold/warm/snapshot and across an \
+                         engine restart"
+                    );
+                }
+            }
+        }
         "table4" => print_table4(&table4(&seeds, scale)),
         "fig7" => print_fig7(&fig7_runs(&seeds, scale, None)),
         "fig8" => print_fig8(&fig7_runs(&seeds, scale, None)),
@@ -326,7 +434,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench chaos fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench chaos restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

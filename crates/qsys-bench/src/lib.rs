@@ -1459,3 +1459,383 @@ pub fn chaos_json(sweep: &ChaosSweep) -> String {
         sweep.victim, sweep.victim_readers,
     )
 }
+
+// ---------------------------------------------------------------------------
+// Restart sweep: cold vs warm vs warm-from-snapshot (BENCH_6.json).
+// ---------------------------------------------------------------------------
+
+/// One arm of the restart sweep: how long the probe batch (a repeat of
+/// batch 0 after three primed batches) took to optimize, and what the
+/// optimizer decided.
+pub struct RestartArm {
+    /// `cold` / `warm` / `snapshot`.
+    pub label: &'static str,
+    /// Host µs optimizing the probe batch (min over the measured iters).
+    pub probe_us: u128,
+    /// Warm-plan replays the probe produced.
+    pub warm_hits: usize,
+    /// The probe's decision fingerprint (identity-gated across arms).
+    pub row: DecisionRow,
+}
+
+/// The full-`Engine` restart leg: run a workload with persistence on,
+/// "restart" (a second engine over the same directory), and compare
+/// against a fresh engine with persistence off.
+pub struct EngineRestart {
+    /// The restarted engine rehydrated from the snapshot.
+    pub loaded: bool,
+    /// Lanes that came back warm.
+    pub lanes_loaded: usize,
+    /// Snapshots the priming run published.
+    pub writes: usize,
+    /// Warm-plan replays in the restarted run's *first* batch — the
+    /// restart actually skipping the cold search.
+    pub first_batch_warm_hits: usize,
+    /// Restarted run bit-identical (per-query times, results, work, and
+    /// optimizer decisions) to the cold run.
+    pub identical: bool,
+}
+
+/// Outcome of [`restart_sweep`].
+pub struct RestartSweep {
+    /// Probe-batch arms: cold search, in-process warm memo, warm memo
+    /// rehydrated from disk in a fresh manager.
+    pub cold: RestartArm,
+    pub warm: RestartArm,
+    pub snap: RestartArm,
+    /// All three arms made bit-identical decisions.
+    pub identical: bool,
+    /// Published snapshot size, bytes.
+    pub snapshot_bytes: u64,
+    /// Host µs to publish (encode + write + fsync + rename).
+    pub write_us: u128,
+    /// Host µs to load + validate + rebuild.
+    pub load_us: u64,
+    /// Sections admitted by the loader.
+    pub sections_salvaged: usize,
+    /// The full-`Engine` restart leg.
+    pub engine: EngineRestart,
+}
+
+/// A scratch directory for snapshot benches (under the system temp dir;
+/// removed by the caller).
+fn restart_tmp_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("qsys-restart-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir
+}
+
+/// Like [`optimize_decision_stream`], but keeps the manager (so its warm
+/// state can be snapshotted) and times each batch's optimize call.
+#[allow(clippy::type_complexity)]
+fn drive_decision_stream(
+    catalog: &qsys::catalog::Catalog,
+    opt_config: &OptimizerConfig,
+    batches: &[Vec<(&qsys::query::ConjunctiveQuery, &qsys::query::ScoreFn)>],
+    warm: bool,
+) -> (qsys::state::QsManager, Vec<(DecisionRow, u128)>) {
+    use qsys::state::QsManager;
+
+    let manager = QsManager::new(usize::MAX);
+    let optimizer = Optimizer::new(catalog, opt_config.clone());
+    let interner = manager.shared_interner();
+    let warm_cell = warm.then(|| manager.warm_cell());
+    let rows = batches
+        .iter()
+        .map(|batch| {
+            let oracle = manager.reuse_oracle();
+            let t = std::time::Instant::now();
+            let (spec, stats) =
+                optimizer.optimize_warm(batch, &oracle, None, &interner, warm_cell.as_deref());
+            let us = t.elapsed().as_micros();
+            (
+                DecisionRow {
+                    spec_debug: format!("{spec:?}"),
+                    explored: stats.explored,
+                    memo_hits: stats.memo_hits,
+                    candidates: stats.candidates,
+                    best_cost_bits: stats.best_cost.to_bits(),
+                    warm_hits: stats.warm_hits,
+                },
+                us,
+            )
+        })
+        .collect();
+    (manager, rows)
+}
+
+/// Cold vs warm-in-process vs warm-from-snapshot optimize time for a
+/// recurring batch, plus the full-`Engine` restart comparison — the
+/// `reproduce restart` sweep behind `BENCH_6.json`.
+///
+/// The probe is a repeat of batch 0 after three primed 5-UQ batches of the
+/// seed-`seed` GUS stream; each arm's probe optimize is re-measured
+/// `iters` times (state-idempotent — replaying a warm plan records the
+/// same plan) and the minimum is reported, since the comparison is about
+/// the code path, not scheduler noise.
+pub fn restart_sweep(seed: u64, scale: Scale, iters: usize) -> RestartSweep {
+    use qsys::snapshot::{
+        catalog_fingerprint, load_snapshot, write_snapshot, LaneImage, SnapshotImage,
+    };
+
+    let workload = gus_workload(seed, scale);
+    let engine_cfg = gus_engine(SharingMode::AtcFull, 5);
+    let (uqs, _) = qsys::generate_user_queries(&workload, &engine_cfg).expect("generates");
+    let opt_config = OptimizerConfig {
+        k: engine_cfg.k,
+        heuristics: engine_cfg.heuristics.clone(),
+        cost_profile: engine_cfg.cost_profile,
+        share_subexpressions: true,
+        ..OptimizerConfig::default()
+    };
+    let prime: Vec<Vec<(&qsys::query::ConjunctiveQuery, &qsys::query::ScoreFn)>> = uqs
+        .chunks(5)
+        .take(3)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .flat_map(|uq| uq.cqs.iter().map(|(cq, f)| (cq, f)))
+                .collect()
+        })
+        .collect();
+    let probe = prime[0].clone();
+    let iters = iters.max(1);
+
+    // Measure one arm's probe time: prime the manager, then optimize the
+    // probe batch `iters` times and keep the fastest.
+    let measure = |manager: &qsys::state::QsManager, warm: bool| -> (DecisionRow, u128) {
+        let optimizer = Optimizer::new(&workload.catalog, opt_config.clone());
+        let interner = manager.shared_interner();
+        let warm_cell = warm.then(|| manager.warm_cell());
+        let mut best_us = u128::MAX;
+        let mut row = None;
+        for _ in 0..iters {
+            let oracle = manager.reuse_oracle();
+            let t = std::time::Instant::now();
+            let (spec, stats) =
+                optimizer.optimize_warm(&probe, &oracle, None, &interner, warm_cell.as_deref());
+            best_us = best_us.min(t.elapsed().as_micros());
+            row = Some(DecisionRow {
+                spec_debug: format!("{spec:?}"),
+                explored: stats.explored,
+                memo_hits: stats.memo_hits,
+                candidates: stats.candidates,
+                best_cost_bits: stats.best_cost.to_bits(),
+                warm_hits: stats.warm_hits,
+            });
+        }
+        (row.expect("iters >= 1"), best_us)
+    };
+
+    // Arm 1 — cold: primed interner, no warm store, full search each time.
+    let (cold_mgr, _) = drive_decision_stream(&workload.catalog, &opt_config, &prime, false);
+    let (cold_row, cold_us) = measure(&cold_mgr, false);
+
+    // Arm 2 — warm in-process: the same lane keeps its warm memo.
+    let (warm_mgr, _) = drive_decision_stream(&workload.catalog, &opt_config, &prime, true);
+    let (warm_row, warm_us) = measure(&warm_mgr, true);
+
+    // Arm 3 — warm from snapshot: persist arm 2's state, reload it into a
+    // fresh manager (a restarted process), and optimize there.
+    let fp = opt_config.warm_fingerprint();
+    let image = SnapshotImage {
+        engine_fingerprint: fp.clone(),
+        catalog_fingerprint: catalog_fingerprint(&workload.catalog),
+        lanes: vec![LaneImage {
+            interner: warm_mgr.shared_interner().borrow().export_entries(),
+            warm: warm_mgr.warm_cell().borrow().export(),
+        }],
+    };
+    let dir = restart_tmp_dir("sweep");
+    let t = std::time::Instant::now();
+    let snapshot_bytes = write_snapshot(&dir, &image, None).expect("publish snapshot");
+    let write_us = t.elapsed().as_micros();
+    let (mut lanes, summary) = load_snapshot(&dir, &fp, &workload.catalog, None);
+    assert!(
+        summary.loaded && summary.reason.is_none(),
+        "clean snapshot must load cleanly: {summary:?}"
+    );
+    let loaded = lanes
+        .first_mut()
+        .and_then(Option::take)
+        .expect("one lane in the image");
+    let snap_mgr = qsys::state::QsManager::new(usize::MAX);
+    *snap_mgr.shared_interner().borrow_mut() = loaded.interner;
+    *snap_mgr.warm_cell().borrow_mut() = loaded.warm;
+    let (snap_row, snap_us) = measure(&snap_mgr, true);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let identical = cold_row.decisions() == warm_row.decisions()
+        && cold_row.decisions() == snap_row.decisions();
+
+    // The full-Engine leg: prime with persistence on, "restart" (second
+    // engine over the same directory), compare against persistence off.
+    let engine = {
+        let dir = restart_tmp_dir("engine");
+        let mut cfg = gus_engine(SharingMode::AtcFull, 5);
+        cfg.snapshot_dir = Some(dir.clone());
+        let primed = run_workload(&workload, &cfg, Some(15)).expect("priming run");
+        let restarted = run_workload(&workload, &cfg, Some(15)).expect("restarted run");
+        let mut cold_cfg = gus_engine(SharingMode::AtcFull, 5);
+        cold_cfg.snapshot_dir = None;
+        let baseline = run_workload(&workload, &cold_cfg, Some(15)).expect("baseline run");
+        let _ = std::fs::remove_dir_all(&dir);
+        EngineRestart {
+            loaded: restarted.snapshot.loaded,
+            lanes_loaded: restarted.snapshot.lanes_loaded,
+            writes: primed.snapshot.writes,
+            first_batch_warm_hits: restarted
+                .opt_events
+                .first()
+                .map(|e| e.warm_hits)
+                .unwrap_or(0),
+            identical: reports_identical(&restarted, &baseline),
+        }
+    };
+
+    RestartSweep {
+        cold: RestartArm {
+            label: "cold",
+            probe_us: cold_us,
+            warm_hits: cold_row.warm_hits,
+            row: cold_row,
+        },
+        warm: RestartArm {
+            label: "warm",
+            probe_us: warm_us,
+            warm_hits: warm_row.warm_hits,
+            row: warm_row,
+        },
+        snap: RestartArm {
+            label: "snapshot",
+            probe_us: snap_us,
+            warm_hits: snap_row.warm_hits,
+            row: snap_row,
+        },
+        identical,
+        snapshot_bytes,
+        write_us,
+        load_us: summary.load_us,
+        sections_salvaged: summary.sections_salvaged,
+        engine,
+    }
+}
+
+/// Decision-level equality of two runs: per-query outcomes and the
+/// optimizer's work/decision counters (host wall time excluded).
+pub fn reports_identical(a: &RunReport, b: &RunReport) -> bool {
+    a.tuples_consumed == b.tuples_consumed
+        && a.per_uq.len() == b.per_uq.len()
+        && a.per_uq.iter().zip(&b.per_uq).all(|(x, y)| {
+            x.uq == y.uq
+                && x.response_us == y.response_us
+                && x.results == y.results
+                && x.cqs_executed == y.cqs_executed
+                && x.reused_nodes == y.reused_nodes
+        })
+        && a.opt_events.len() == b.opt_events.len()
+        && a.opt_events.iter().zip(&b.opt_events).all(|(x, y)| {
+            x.batch_cqs == y.batch_cqs && x.candidates == y.candidates && x.explored == y.explored
+        })
+}
+
+/// Human-readable restart sweep.
+pub fn print_restart(sweep: &RestartSweep) {
+    println!("Restart sweep: probe = repeat of batch 0 after 3 primed 5-UQ batches");
+    println!("  arm            optimize_us   warm_plan_replays");
+    for arm in [&sweep.cold, &sweep.warm, &sweep.snap] {
+        println!(
+            "  {:<12} {:>12}   {:>5}",
+            arm.label, arm.probe_us, arm.warm_hits
+        );
+    }
+    println!(
+        "  decisions identical across arms: {}",
+        if sweep.identical { "yes" } else { "NO" }
+    );
+    println!(
+        "  snapshot: {} bytes, write {} µs, load+validate {} µs, {} sections",
+        sweep.snapshot_bytes, sweep.write_us, sweep.load_us, sweep.sections_salvaged
+    );
+    let e = &sweep.engine;
+    println!(
+        "  engine restart: loaded={} lanes={} writes={} first_batch_warm_hits={} identical={}",
+        e.loaded, e.lanes_loaded, e.writes, e.first_batch_warm_hits, e.identical
+    );
+}
+
+/// The `BENCH_6.json` document for a restart sweep.
+pub fn restart_json(sweep: &RestartSweep) -> String {
+    let ratio = sweep.snap.probe_us as f64 / (sweep.warm.probe_us as f64).max(1.0);
+    let e = &sweep.engine;
+    format!(
+        "{{\n  \"bench\": \"restart sweep: cold vs warm-in-process vs warm-from-snapshot optimize time (GUS seed 41, repeat of batch 0 after 3 primed 5-UQ batches; min of measured iters)\",\n  \"gate\": \"decisions bit-identical across all arms and across an engine restart; first post-restart batch replays the warm plan\",\n  \"cold_optimize_us\": {},\n  \"warm_optimize_us\": {},\n  \"snapshot_optimize_us\": {},\n  \"snapshot_vs_warm_ratio\": {ratio:.2},\n  \"snapshot_bytes\": {},\n  \"snapshot_write_us\": {},\n  \"snapshot_load_us\": {},\n  \"sections_salvaged\": {},\n  \"decisions_identical\": {},\n  \"engine_restart\": {{\n    \"loaded\": {},\n    \"lanes_loaded\": {},\n    \"snapshot_writes\": {},\n    \"first_batch_warm_hits\": {},\n    \"identical\": {}\n  }}\n}}\n",
+        sweep.cold.probe_us,
+        sweep.warm.probe_us,
+        sweep.snap.probe_us,
+        sweep.snapshot_bytes,
+        sweep.write_us,
+        sweep.load_us,
+        sweep.sections_salvaged,
+        sweep.identical,
+        e.loaded,
+        e.lanes_loaded,
+        e.writes,
+        e.first_batch_warm_hits,
+        e.identical,
+    )
+}
+
+/// One half of the cross-process restart check: CI runs `--phase prime`
+/// and `--phase reload` as *separate processes* over the same directory,
+/// so the reload genuinely starts from nothing but the snapshot file.
+pub struct RestartPhase {
+    /// Snapshots this run published.
+    pub writes: usize,
+    /// Size of the snapshot file on disk after the run.
+    pub bytes_on_disk: u64,
+    /// (reload only) the engine rehydrated from the snapshot.
+    pub loaded: bool,
+    /// (reload only) lanes that came back warm.
+    pub lanes_loaded: usize,
+    /// (reload only) warm-plan replays in the first post-restart batch.
+    pub first_batch_warm_hits: usize,
+    /// (reload only) run bit-identical to a cold run with persistence off.
+    pub identical: bool,
+    /// (reload only) the loader's rejection reason, if any.
+    pub reason: Option<String>,
+}
+
+/// Run the seed-`seed` GUS workload with warm-state persistence rooted at
+/// `dir`. With `reload` the run is expected to rehydrate from a snapshot a
+/// *previous process* published there, and is compared against a fresh
+/// persistence-off run for decision identity.
+pub fn restart_phase(seed: u64, scale: Scale, dir: &std::path::Path, reload: bool) -> RestartPhase {
+    let workload = gus_workload(seed, scale);
+    let mut cfg = gus_engine(SharingMode::AtcFull, 5);
+    cfg.snapshot_dir = Some(dir.to_path_buf());
+    let report = run_workload(&workload, &cfg, Some(15)).expect("persistence run");
+    let bytes_on_disk = std::fs::metadata(dir.join("qsys.snapshot"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let identical = if reload {
+        let mut cold_cfg = gus_engine(SharingMode::AtcFull, 5);
+        cold_cfg.snapshot_dir = None;
+        let baseline = run_workload(&workload, &cold_cfg, Some(15)).expect("baseline run");
+        reports_identical(&report, &baseline)
+    } else {
+        true
+    };
+    RestartPhase {
+        writes: report.snapshot.writes,
+        bytes_on_disk,
+        loaded: report.snapshot.loaded,
+        lanes_loaded: report.snapshot.lanes_loaded,
+        first_batch_warm_hits: report.opt_events.first().map(|e| e.warm_hits).unwrap_or(0),
+        identical,
+        reason: report.snapshot.reason.clone(),
+    }
+}

@@ -35,4 +35,4 @@ pub use cluster::{cluster_user_queries, ClusterConfig};
 pub use cost::{CostModel, NoReuse, ReuseOracle};
 pub use heuristics::{enumerate_candidates, enumerate_candidates_warm, Candidate, HeuristicConfig};
 pub use plan::{CqPlan, Optimizer, OptimizerConfig, PlanSpec, PredSpec, SpecNode, SpecNodeKind};
-pub use warm::{shared_warm, SharedWarm, WarmCell, WarmStore};
+pub use warm::{shared_warm, SharedWarm, WarmCell, WarmExport, WarmFact, WarmPlan, WarmStore};

@@ -144,6 +144,22 @@ impl Default for OptimizerConfig {
     }
 }
 
+impl OptimizerConfig {
+    /// Fingerprint of every configuration input a cached warm quantity
+    /// depends on; [`WarmStore::ensure_config`] resets a lane's store on
+    /// mismatch, and the snapshot layer stamps it into the file header so
+    /// a snapshot recorded under a different configuration is rejected at
+    /// load time instead of silently reset on first use. (The catalog is
+    /// not included here — it is fingerprinted separately by the snapshot
+    /// header, and a live lane keeps one catalog for life.)
+    pub fn warm_fingerprint(&self) -> String {
+        format!(
+            "{:?}|{:?}|k={}|share={}",
+            self.heuristics, self.cost_profile, self.k, self.share_subexpressions
+        )
+    }
+}
+
 /// The multiple-query optimizer.
 pub struct Optimizer<'a> {
     catalog: &'a Catalog,
@@ -319,13 +335,7 @@ impl<'a> Optimizer<'a> {
     /// depends on; a mismatch resets the lane's store. (The catalog is not
     /// included — a lane keeps one catalog for life, like its interner.)
     fn fingerprint(&self) -> String {
-        format!(
-            "{:?}|{:?}|k={}|share={}",
-            self.config.heuristics,
-            self.config.cost_profile,
-            self.config.k,
-            self.config.share_subexpressions
-        )
+        self.config.warm_fingerprint()
     }
 
     /// Record a cold batch's outcome in the warm store: the winning

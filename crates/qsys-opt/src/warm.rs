@@ -278,6 +278,133 @@ impl WarmStore {
     pub fn note_state_change(&mut self) {
         self.plans.clear();
     }
+
+    /// Export the store's cross-batch state as a serializable image with
+    /// deterministic ordering (hash-map sections sorted by key, so equal
+    /// stores export byte-equal snapshots). Per-batch transients
+    /// (`batch_hits`, `fresh_facts`) are not part of the image.
+    pub fn export(&self) -> WarmExport {
+        let mut facts: Vec<(SigId, WarmFact)> = self
+            .facts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|f| (SigId(i as u32), f)))
+            .collect();
+        facts.sort_unstable_by_key(|(id, _)| *id);
+        let mut expensive: Vec<(SigId, bool)> =
+            self.expensive.iter().map(|(k, v)| (*k, *v)).collect();
+        expensive.sort_unstable_by_key(|(id, _)| *id);
+        let mut cq_candidates: Vec<(SigId, Box<[SigId]>)> = self
+            .cq_candidates
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        cq_candidates.sort_unstable_by_key(|(id, _)| *id);
+        let mut plans: Vec<(Box<[SigId]>, WarmPlan)> = self
+            .plans
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        plans.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        WarmExport {
+            fingerprint: self.fingerprint.clone(),
+            facts,
+            expensive,
+            cq_candidates,
+            canon_order: self.canon_order.clone(),
+            plans,
+        }
+    }
+
+    /// Rebuild a store from an exported image, validating every id against
+    /// the (already rebuilt) interner instead of trusting the bytes: ids
+    /// must be below the arena length, the canonical order must really be
+    /// in strictly increasing deep order, and every plan's generation
+    /// stamp must not exceed the interner's. A violated invariant returns
+    /// an error — snapshot recovery treats it as corruption and cold-starts
+    /// the section rather than admitting state that could change decisions.
+    pub fn from_export(export: WarmExport, interner: &SigInterner) -> Result<WarmStore, String> {
+        let len = interner.len();
+        let in_bounds = |id: SigId| id.index() < len;
+        let mut store = WarmStore {
+            fingerprint: export.fingerprint,
+            ..WarmStore::default()
+        };
+        for (id, fact) in export.facts {
+            if !in_bounds(id) {
+                return Err(format!("fact id {id} out of arena bounds ({len})"));
+            }
+            store.set_fact(id, fact);
+        }
+        store.fresh_facts.clear();
+        for (id, verdict) in export.expensive {
+            if !in_bounds(id) {
+                return Err(format!("expensive id {id} out of arena bounds ({len})"));
+            }
+            store.expensive.insert(id, verdict);
+        }
+        for (whole, sigs) in export.cq_candidates {
+            if !in_bounds(whole) || !sigs.iter().all(|&s| in_bounds(s)) {
+                return Err(format!("candidate ids for {whole} out of arena bounds"));
+            }
+            store.cq_candidates.insert(whole, sigs);
+        }
+        if !export.canon_order.iter().all(|&id| in_bounds(id)) {
+            return Err("canonical order names ids out of arena bounds".into());
+        }
+        let deep_sorted = export
+            .canon_order
+            .windows(2)
+            .all(|w| interner.resolve(w[0]) < interner.resolve(w[1]));
+        if !deep_sorted {
+            return Err("canonical order is not in deep canonical order".into());
+        }
+        store.canon_order = export.canon_order;
+        for (rank, id) in store.canon_order.iter().enumerate() {
+            store.canon_rank.insert(*id, rank as u32);
+        }
+        for (shape, plan) in export.plans {
+            if plan.generation > interner.generation() {
+                return Err(format!(
+                    "plan generation {} exceeds interner generation {}",
+                    plan.generation,
+                    interner.generation()
+                ));
+            }
+            let ids_ok = shape.iter().all(|&s| in_bounds(s))
+                && plan.cand_sigs.iter().all(|&s| in_bounds(s))
+                && plan.assignment.iter().all(|(s, _)| in_bounds(*s))
+                && plan.snapshot.iter().all(|(s, _)| in_bounds(*s));
+            if !ids_ok {
+                return Err("plan names ids out of arena bounds".into());
+            }
+            if store.plans.len() >= MAX_PLANS {
+                return Err(format!("more than {MAX_PLANS} plans in export"));
+            }
+            store.plans.insert(shape, plan);
+        }
+        Ok(store)
+    }
+}
+
+/// A serializable image of a [`WarmStore`]'s cross-batch state, produced
+/// by [`WarmStore::export`] and consumed by [`WarmStore::from_export`].
+/// All fields are public so the snapshot layer can encode them without the
+/// store giving up field privacy in its live form.
+#[derive(Clone, Debug, Default)]
+pub struct WarmExport {
+    /// Configuration fingerprint the cached values were computed under.
+    pub fingerprint: Option<String>,
+    /// Per-signature cost inputs, sorted by id.
+    pub facts: Vec<(SigId, WarmFact)>,
+    /// Heuristic-3a verdicts, sorted by id.
+    pub expensive: Vec<(SigId, bool)>,
+    /// Whole-query signature → candidate enumeration, sorted by key.
+    pub cq_candidates: Vec<(SigId, Box<[SigId]>)>,
+    /// All ranked signatures in deep canonical order (ranks are positions).
+    pub canon_order: Vec<SigId>,
+    /// Batch shape → recorded winning plan, sorted by shape.
+    pub plans: Vec<(Box<[SigId]>, WarmPlan)>,
 }
 
 /// Shared-ownership cell around the warm store, mirroring
@@ -316,7 +443,7 @@ pub fn shared_warm() -> SharedWarm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsys_query::SubExprSig;
+    use qsys_query::{CqIdx, SubExprSig};
     use qsys_types::RelId;
 
     fn sig(rels: &[u32]) -> SubExprSig {
@@ -401,6 +528,96 @@ mod tests {
         store.ensure_config("b");
         assert_eq!(store.plan_count(), 0);
         assert!(store.fact(SigId(0)).is_none());
+    }
+
+    #[test]
+    fn export_roundtrip_preserves_every_section() {
+        let mut interner = SigInterner::new();
+        let ids: Vec<SigId> = [&[5][..], &[1, 2], &[3], &[1], &[2, 9]]
+            .iter()
+            .map(|rels| interner.intern(sig(rels)))
+            .collect();
+        let mut store = WarmStore::new();
+        store.ensure_config("cfg");
+        store.ensure_ranked(ids.iter().copied(), &interner);
+        store.set_fact(
+            ids[0],
+            WarmFact {
+                card: 12.5,
+                streamed: true,
+                size: 1,
+            },
+        );
+        store.set_expensive(ids[1], true);
+        store.set_cq_candidates(ids[1], Box::new([ids[0], ids[2]]));
+        store.record_plan(
+            Box::new([ids[1]]),
+            WarmPlan {
+                cand_sigs: Box::new([ids[0]]),
+                assignment: Box::new([(ids[0], CqSet::from_indices([CqIdx(0)]))]),
+                stats: OptStats::default(),
+                snapshot: Box::new([(ids[0], 0)]),
+                generation: interner.generation(),
+            },
+        );
+        let export = store.export();
+        let mut rebuilt = WarmStore::from_export(export, &interner).expect("valid export");
+        rebuilt.begin_batch();
+        assert_eq!(rebuilt.fingerprint.as_deref(), Some("cfg"));
+        let f = rebuilt.fact(ids[0]).expect("fact survives");
+        assert_eq!(f.card, 12.5);
+        assert_eq!(
+            rebuilt.batch_hits(),
+            1,
+            "rehydrated facts count as cross-batch warmth"
+        );
+        assert_eq!(rebuilt.expensive(ids[1]), Some(true));
+        assert_eq!(rebuilt.cq_candidates(ids[1]), Some(&[ids[0], ids[2]][..]));
+        for id in &ids {
+            assert_eq!(rebuilt.rank(*id), store.rank(*id));
+        }
+        assert_eq!(rebuilt.plan_count(), 1);
+        assert!(rebuilt.plan(&[ids[1]]).is_some());
+        // ensure_config with the same fingerprint keeps the loaded state.
+        rebuilt.ensure_config("cfg");
+        assert_eq!(rebuilt.plan_count(), 1);
+    }
+
+    #[test]
+    fn from_export_rejects_out_of_bounds_and_misordered_state() {
+        let mut interner = SigInterner::new();
+        let a = interner.intern(sig(&[1]));
+        let b = interner.intern(sig(&[2]));
+
+        let mut oob = WarmExport::default();
+        oob.facts.push((
+            SigId(99),
+            WarmFact {
+                card: 1.0,
+                streamed: false,
+                size: 1,
+            },
+        ));
+        assert!(WarmStore::from_export(oob, &interner).is_err());
+
+        let misordered = WarmExport {
+            canon_order: vec![b, a], // deep order is [1] < [2]
+            ..WarmExport::default()
+        };
+        assert!(WarmStore::from_export(misordered, &interner).is_err());
+
+        let mut stale = WarmExport::default();
+        stale.plans.push((
+            Box::new([a]),
+            WarmPlan {
+                cand_sigs: Box::new([]),
+                assignment: Box::new([]),
+                stats: OptStats::default(),
+                snapshot: Box::new([]),
+                generation: interner.generation() + 1,
+            },
+        ));
+        assert!(WarmStore::from_export(stale, &interner).is_err());
     }
 
     #[test]

@@ -279,6 +279,74 @@ impl SigInterner {
         out
     }
 
+    /// Export the arena in id order for snapshot serialization: each
+    /// entry's canonical signature plus the child pair it was combined
+    /// from. Feeding the result to [`SigInterner::from_entries`] rebuilds
+    /// an interner that issues the exact same [`SigId`] for every
+    /// signature, which is what lets snapshot-loaded caches keyed on ids
+    /// stay valid.
+    pub fn export_entries(&self) -> Vec<(SubExprSig, Option<(SigId, SigId)>)> {
+        self.arena
+            .iter()
+            .map(|e| (e.sig.clone(), e.children))
+            .collect()
+    }
+
+    /// Rebuild an interner from exported entries, re-checking every
+    /// hash-consing invariant instead of trusting the bytes: each
+    /// signature must be in canonical form (atoms sorted; joins oriented
+    /// left ≤ right, sorted, deduplicated) and distinct from all earlier
+    /// entries, and any recorded children must name in-range ids with
+    /// strictly fewer atoms than their parent (a signature first seen
+    /// underived adopts its first derivation, so a child's *id* may be
+    /// larger than its parent's — the atom count is what keeps the DAG
+    /// acyclic). A violated invariant returns an error — the caller
+    /// (snapshot recovery) treats that as corruption and falls back to a
+    /// cold interner rather than constructing one whose id assignment
+    /// disagrees with what live interning would produce.
+    pub fn from_entries(
+        entries: Vec<(SubExprSig, Option<(SigId, SigId)>)>,
+    ) -> Result<SigInterner, String> {
+        let mut interner = SigInterner::new();
+        let mut pairs = Vec::with_capacity(entries.len());
+        for (index, (sig, children)) in entries.into_iter().enumerate() {
+            if !sig.atoms.is_sorted() {
+                return Err(format!("entry {index}: atoms not in canonical order"));
+            }
+            let joins_canonical =
+                sig.joins.iter().all(|j| j.0 <= j.2) && sig.joins.windows(2).all(|w| w[0] < w[1]);
+            if !joins_canonical {
+                return Err(format!("entry {index}: joins not in canonical order"));
+            }
+            if interner.map.contains_key(&sig) {
+                return Err(format!("entry {index}: duplicate signature"));
+            }
+            pairs.push(children);
+            let id = interner.intern_canonical(sig, None);
+            debug_assert_eq!(id.index(), index);
+        }
+        // Child pairs may point forward in id order, so they can only be
+        // checked once the whole arena exists.
+        let len = interner.arena.len();
+        for (index, children) in pairs.into_iter().enumerate() {
+            if let Some((a, b)) = children {
+                if a.index() >= len || b.index() >= len {
+                    return Err(format!("entry {index}: children {a}/{b} out of range"));
+                }
+                let parent_atoms = interner.arena[index].sig.atoms.len();
+                if interner.arena[a.index()].sig.atoms.len() >= parent_atoms
+                    || interner.arena[b.index()].sig.atoms.len() >= parent_atoms
+                {
+                    return Err(format!(
+                        "entry {index}: children {a}/{b} are not strictly smaller"
+                    ));
+                }
+                interner.arena[index].children = Some((a, b));
+            }
+        }
+        Ok(interner)
+    }
+
     /// Whether two interned signatures cover at least one common relation
     /// (sorted-merge over the cached relation slices; no allocation).
     pub fn shares_relation(&self, a: SigId, b: SigId) -> bool {
@@ -400,6 +468,74 @@ mod tests {
         // The stamp advances exactly with fresh interns.
         interner.relation(RelId::new(9), None);
         assert_eq!(interner.generation(), gen_before + 1);
+    }
+
+    #[test]
+    fn export_roundtrip_reissues_identical_ids() {
+        let mut interner = SigInterner::new();
+        let a = interner.relation(RelId::new(1), None);
+        let b = interner.relation(RelId::new(2), Some(Selection::eq(0, Value::str("kw"))));
+        let ab = interner.combine(a, b, &[(RelId::new(2), 0, RelId::new(1), 1)]);
+        let rebuilt = SigInterner::from_entries(interner.export_entries()).expect("valid export");
+        assert_eq!(rebuilt.len(), interner.len());
+        assert_eq!(rebuilt.generation(), interner.generation());
+        for id in [a, b, ab] {
+            assert_eq!(rebuilt.resolve(id), interner.resolve(id));
+            assert_eq!(rebuilt.children(id), interner.children(id));
+            assert_eq!(rebuilt.get(interner.resolve(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn export_roundtrip_keeps_late_adopted_children() {
+        // A signature first interned underived (subexpression enumeration)
+        // adopts the first derivation that reaches it — which can name
+        // children with *larger* ids. The roundtrip must keep that DAG.
+        let mut interner = SigInterner::new();
+        let union = interner.intern(sig(&[1, 2]));
+        let a = interner.relation(RelId::new(1), None);
+        let b = interner.relation(RelId::new(2), None);
+        let ab = interner.combine(a, b, &[]);
+        assert_eq!(ab, union);
+        assert_eq!(interner.children(union), Some((a, b)));
+        assert!(a.0 > union.0 && b.0 > union.0);
+        let rebuilt = SigInterner::from_entries(interner.export_entries()).expect("valid export");
+        assert_eq!(rebuilt.children(union), Some((a, b)));
+    }
+
+    #[test]
+    fn from_entries_rejects_broken_invariants() {
+        let mut interner = SigInterner::new();
+        let a = interner.relation(RelId::new(1), None);
+        let b = interner.relation(RelId::new(2), None);
+        interner.combine(a, b, &[(RelId::new(1), 0, RelId::new(2), 0)]);
+        let good = interner.export_entries();
+
+        // A child that is the entry itself (equal atom count — a cycle).
+        let mut cyc = good.clone();
+        cyc[2].1 = Some((SigId(2), SigId(0)));
+        assert!(SigInterner::from_entries(cyc).is_err());
+
+        // A child id the arena never issued.
+        let mut oob = good.clone();
+        oob[2].1 = Some((SigId(0), SigId(99)));
+        assert!(SigInterner::from_entries(oob).is_err());
+
+        // Duplicate signature.
+        let mut dup = good.clone();
+        dup.push((good[0].0.clone(), None));
+        assert!(SigInterner::from_entries(dup).is_err());
+
+        // Non-canonical atoms.
+        let mut unsorted = good.clone();
+        unsorted[2].0.atoms.reverse();
+        assert!(SigInterner::from_entries(unsorted).is_err());
+
+        // Mis-oriented join.
+        let mut flipped = good;
+        let j = flipped[2].0.joins[0];
+        flipped[2].0.joins[0] = (j.2, j.3, j.0, j.1);
+        assert!(SigInterner::from_entries(flipped).is_err());
     }
 
     #[test]

@@ -42,6 +42,14 @@
 //! - `rel<N>:` scopes a clause to one relation. A relation with any scoped
 //!   clause starts from a clean slate (the defaults do not apply to it).
 //! - `outage=<start>..<end?>` may repeat for multiple windows.
+//! - `snap:` scopes a clause to warm-state snapshot I/O (see
+//!   [`SnapFaults`]): `snap:torn=<k>` truncates the snapshot tmp file to
+//!   `k` bytes before it is published, `snap:shortread=<k>` makes loads
+//!   see only the first `k` bytes, `snap:bitflip=<k>` flips the low bit of
+//!   byte `k` after checksums are computed, `snap:renamefail` fails the
+//!   tmp → final rename, and `snap:crash` panics after the tmp write
+//!   (the write-time crash hook). These are exact, deterministic
+//!   corruptions — no RNG — so recovery tests replay byte-identically.
 
 use qsys_types::dist::seeded_rng;
 use qsys_types::RelId;
@@ -139,6 +147,43 @@ impl RelFaults {
     }
 }
 
+/// Deterministic corruptions of warm-state snapshot I/O (`snap:` clauses).
+///
+/// Unlike the per-relation faults, these draw no RNG: each is an exact
+/// byte-level corruption (torn write at byte *k*, short read to *k* bytes,
+/// bit flip at byte *k*), a publication failure (`renamefail`), or a
+/// write-time crash hook (`crash`) — so every recovery scenario replays
+/// byte-identically and the snapshot loader's fallback path can be pinned
+/// in tests. Consumed by `qsys-snapshot`'s writer and loader.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapFaults {
+    /// Truncate the snapshot tmp file to this many bytes before it is
+    /// published — a torn write that still gets renamed into place.
+    pub torn_write: Option<u64>,
+    /// Loads observe only the first `k` bytes of the file.
+    pub short_read: Option<u64>,
+    /// Flip the lowest bit of byte `k` *after* checksums are computed.
+    pub bit_flip: Option<u64>,
+    /// The tmp → final rename fails; the previous snapshot (if any)
+    /// survives untouched.
+    pub rename_fail: bool,
+    /// Panic after the tmp write, before the rename — simulates a crash
+    /// mid-publication (the tmp file is left behind; the published
+    /// snapshot is never half-written).
+    pub crash_after_write: bool,
+}
+
+impl SnapFaults {
+    /// Whether no snapshot fault is configured.
+    pub fn is_clear(&self) -> bool {
+        self.torn_write.is_none()
+            && self.short_read.is_none()
+            && self.bit_flip.is_none()
+            && !self.rename_fail
+            && !self.crash_after_write
+    }
+}
+
 /// A complete, serializable fault schedule (see the module docs for the
 /// text grammar). `Display` re-emits the canonical spec string, so specs
 /// round-trip through `parse`.
@@ -150,6 +195,8 @@ pub struct FaultSpec {
     pub default_faults: RelFaults,
     /// Scoped per-relation faults (these *replace* the defaults).
     pub per_rel: BTreeMap<u32, RelFaults>,
+    /// Snapshot-I/O corruptions (`snap:` clauses).
+    pub snap: SnapFaults,
 }
 
 impl FaultSpec {
@@ -163,6 +210,10 @@ impl FaultSpec {
                 continue;
             }
             let (scope, body) = match clause.split_once(':') {
+                Some((scope, body)) if scope.trim() == "snap" => {
+                    parse_snap_clause(&mut out.snap, body.trim(), clause)?;
+                    continue;
+                }
                 Some((rel, body)) => {
                     let id: u32 = rel
                         .trim()
@@ -236,14 +287,26 @@ impl FaultSpec {
         Ok(out)
     }
 
-    /// Read and parse `QSYS_FAULTS`, if set. Panics on a malformed spec —
-    /// a silently ignored chaos schedule would be worse than a crash.
-    pub fn from_env() -> Option<FaultSpec> {
-        let spec = std::env::var("QSYS_FAULTS").ok()?;
-        if spec.trim().is_empty() {
-            return None;
+    /// Read and parse `QSYS_FAULTS`, if set. A malformed spec comes back
+    /// as `Err` with the offending clause — the engine's config layer
+    /// captures it and surfaces it through `EngineConfig::validate`, so a
+    /// bad chaos schedule fails the run with a diagnosable reason instead
+    /// of panicking inside a `Default` impl (and is never silently
+    /// ignored).
+    pub fn from_env() -> Result<Option<FaultSpec>, String> {
+        FaultSpec::from_env_value(std::env::var("QSYS_FAULTS").ok())
+    }
+
+    /// [`FaultSpec::from_env`] with the variable's value passed explicitly
+    /// (unset = `None`) — separable from process environment for tests.
+    pub fn from_env_value(value: Option<String>) -> Result<Option<FaultSpec>, String> {
+        match value {
+            None => Ok(None),
+            Some(spec) if spec.trim().is_empty() => Ok(None),
+            Some(spec) => FaultSpec::parse(&spec)
+                .map(Some)
+                .map_err(|e| format!("QSYS_FAULTS: {e}")),
         }
-        Some(FaultSpec::parse(&spec).unwrap_or_else(|e| panic!("QSYS_FAULTS: {e}")))
     }
 
     /// The faults in force for `rel`.
@@ -255,6 +318,34 @@ impl FaultSpec {
     pub fn scoped_rels(&self) -> impl Iterator<Item = RelId> + '_ {
         self.per_rel.keys().map(|&id| RelId::new(id))
     }
+}
+
+fn parse_snap_clause(snap: &mut SnapFaults, body: &str, clause: &str) -> Result<(), String> {
+    match body {
+        "renamefail" => {
+            snap.rename_fail = true;
+            return Ok(());
+        }
+        "crash" => {
+            snap.crash_after_write = true;
+            return Ok(());
+        }
+        _ => {}
+    }
+    let (key, value) = body
+        .split_once('=')
+        .ok_or_else(|| format!("expected `snap:<kind>=<byte>` in `{clause}`"))?;
+    let at: u64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte offset `{value}` in `{clause}`"))?;
+    match key.trim() {
+        "torn" => snap.torn_write = Some(at),
+        "shortread" => snap.short_read = Some(at),
+        "bitflip" => snap.bit_flip = Some(at),
+        k => return Err(format!("unknown snapshot fault `{k}` in `{clause}`")),
+    }
+    Ok(())
 }
 
 fn parse_rate(v: &str, clause: &str) -> Result<f64, String> {
@@ -293,6 +384,21 @@ impl fmt::Display for FaultSpec {
         fmt_faults(f, "", &self.default_faults)?;
         for (id, faults) in &self.per_rel {
             fmt_faults(f, &format!("rel{id}:"), faults)?;
+        }
+        if let Some(k) = self.snap.torn_write {
+            write!(f, ";snap:torn={k}")?;
+        }
+        if let Some(k) = self.snap.short_read {
+            write!(f, ";snap:shortread={k}")?;
+        }
+        if let Some(k) = self.snap.bit_flip {
+            write!(f, ";snap:bitflip={k}")?;
+        }
+        if self.snap.rename_fail {
+            write!(f, ";snap:renamefail")?;
+        }
+        if self.snap.crash_after_write {
+            write!(f, ";snap:crash")?;
         }
         Ok(())
     }
@@ -394,7 +500,8 @@ mod tests {
 
     #[test]
     fn spec_parses_and_round_trips() {
-        let s = "seed=7; transient=0.01; rel3:outage=0..; rel5:slow=0.2x6; rel9:panic";
+        let s = "seed=7; transient=0.01; rel3:outage=0..; rel5:slow=0.2x6; rel9:panic; \
+                 snap:torn=512; snap:bitflip=40; snap:renamefail";
         let spec = FaultSpec::parse(s).unwrap();
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.default_faults.transient, 0.01);
@@ -402,8 +509,39 @@ mod tests {
         assert_eq!(spec.per_rel[&5].slow_rate, 0.2);
         assert_eq!(spec.per_rel[&5].slow_mult, 6.0);
         assert!(spec.per_rel[&9].panic_on_fetch);
+        assert_eq!(spec.snap.torn_write, Some(512));
+        assert_eq!(spec.snap.bit_flip, Some(40));
+        assert!(spec.snap.rename_fail);
+        assert!(!spec.snap.crash_after_write);
+        assert!(!spec.snap.is_clear());
         let reparsed = FaultSpec::parse(&spec.to_string()).unwrap();
         assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn snap_clauses_parse_and_round_trip() {
+        let spec = FaultSpec::parse("snap:shortread=128; snap:crash").unwrap();
+        assert_eq!(spec.snap.short_read, Some(128));
+        assert!(spec.snap.crash_after_write);
+        assert!(spec.default_faults.is_clear());
+        let reparsed = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn from_env_value_returns_structured_errors() {
+        assert_eq!(FaultSpec::from_env_value(None), Ok(None));
+        assert_eq!(FaultSpec::from_env_value(Some("  ".into())), Ok(None));
+        let ok = FaultSpec::from_env_value(Some("seed=3; transient=0.1".into()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ok.seed, 3);
+        let err = FaultSpec::from_env_value(Some("transient=oops".into())).unwrap_err();
+        assert!(
+            err.contains("QSYS_FAULTS"),
+            "error names the variable: {err}"
+        );
+        assert!(err.contains("oops"), "error names the bad clause: {err}");
     }
 
     #[test]
@@ -425,6 +563,9 @@ mod tests {
             "relx:transient=0.1",
             "rel1:seed=4",
             "frobnicate=1",
+            "snap:torn=notanumber",
+            "snap:frobnicate=1",
+            "snap:panic",
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "`{bad}` should not parse");
         }

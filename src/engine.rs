@@ -105,7 +105,54 @@ pub struct EngineConfig {
     /// Retry / timeout / circuit-breaker policy applied when `faults` is
     /// active (inert otherwise).
     pub retry: RetryPolicy,
+    /// Directory holding the lane warm-state snapshot (crash-safe
+    /// persistence of the interner arena + warm store, `qsys_snapshot`).
+    /// When set, the engine rehydrates from `<dir>/qsys.snapshot` at
+    /// construction and re-publishes on batch boundaries (see
+    /// [`EngineConfig::snapshot_every`]). `None` — the default when
+    /// `QSYS_SNAPSHOT_DIR` is unset — disables persistence entirely.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Auto-snapshot cadence when [`EngineConfig::snapshot_dir`] is set:
+    /// publish a fresh snapshot after every this-many dispatched batches
+    /// (callers can force one any time with `Engine::snapshot()`).
+    /// Defaults to 1 — every batch boundary — overridable via
+    /// `QSYS_SNAPSHOT_EVERY`. Must be ≥ 1.
+    pub snapshot_every: usize,
+    /// Environment parse failures captured by `Default` (a malformed
+    /// `QSYS_FAULTS` or `QSYS_SNAPSHOT_EVERY`). `Default` must stay
+    /// infallible, so instead of panicking mid-construction the errors are
+    /// recorded here, [`EngineConfig::validate`] surfaces them as
+    /// structured [`ConfigError`]s, and an engine built from an
+    /// un-validated bad config runs with the offending knob disabled and
+    /// reports the error in its `RunReport` rather than ignoring it.
+    pub env_errors: Vec<ConfigError>,
 }
+
+/// A structured configuration error: which field is bad and why.
+///
+/// Produced by [`EngineConfig::validate`] — both for environment parse
+/// failures captured at `Default` time (`QSYS_FAULTS`,
+/// `QSYS_SNAPSHOT_EVERY`) and for invariant violations in
+/// programmatically-built configs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The `EngineConfig` field (or environment variable) at fault.
+    pub field: &'static str,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid engine config ({}): {}",
+            self.field, self.message
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Default lane-thread count: `QSYS_LANE_THREADS` override (the CI knob
 /// exercising the threaded path) or the machine's parallelism.
@@ -127,8 +174,39 @@ fn default_warm_opt() -> bool {
     std::env::var("QSYS_WARM_OPT").map_or(true, |v| v != "0")
 }
 
+/// Parse a `QSYS_SNAPSHOT_EVERY` value (unset = the default cadence of 1).
+/// Split out from the environment read so malformed values are unit-testable
+/// without mutating process state.
+pub(crate) fn parse_snapshot_every(value: Option<String>) -> Result<usize, String> {
+    match value {
+        None => Ok(1),
+        Some(v) if v.trim().is_empty() => Ok(1),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(n) => Err(format!("QSYS_SNAPSHOT_EVERY: cadence {n} must be ≥ 1")),
+            Err(_) => Err(format!("QSYS_SNAPSHOT_EVERY: `{v}` is not a batch count")),
+        },
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
+        let mut env_errors = Vec::new();
+        let faults = FaultSpec::from_env().unwrap_or_else(|e| {
+            env_errors.push(ConfigError {
+                field: "faults",
+                message: e,
+            });
+            None
+        });
+        let snapshot_every = parse_snapshot_every(std::env::var("QSYS_SNAPSHOT_EVERY").ok())
+            .unwrap_or_else(|e| {
+                env_errors.push(ConfigError {
+                    field: "snapshot_every",
+                    message: e,
+                });
+                1
+            });
         EngineConfig {
             k: 50,
             batch_size: 5,
@@ -144,9 +222,66 @@ impl Default for EngineConfig {
             seed: 0,
             lane_threads: default_lane_threads(),
             warm_opt: default_warm_opt(),
-            faults: FaultSpec::from_env(),
+            faults,
             retry: RetryPolicy::default(),
+            snapshot_dir: std::env::var("QSYS_SNAPSHOT_DIR")
+                .ok()
+                .filter(|d| !d.trim().is_empty())
+                .map(std::path::PathBuf::from),
+            snapshot_every,
+            env_errors,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Validate the configuration, surfacing the first problem as a
+    /// structured [`ConfigError`]: environment parse failures captured at
+    /// `Default` time (a malformed `QSYS_FAULTS` schedule no longer
+    /// panics — it lands here) and basic invariants of the numeric knobs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(err) = self.env_errors.first() {
+            return Err(err.clone());
+        }
+        let invariant = |ok: bool, field: &'static str, message: String| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError { field, message })
+            }
+        };
+        invariant(self.k >= 1, "k", "top-k must be ≥ 1".into())?;
+        invariant(
+            self.batch_size >= 1,
+            "batch_size",
+            "batches hold at least one query".into(),
+        )?;
+        invariant(
+            self.lane_threads >= 1,
+            "lane_threads",
+            "at least one lane thread".into(),
+        )?;
+        invariant(
+            self.snapshot_every >= 1,
+            "snapshot_every",
+            "snapshot cadence must be ≥ 1 batch".into(),
+        )?;
+        Ok(())
+    }
+
+    /// The optimizer-configuration fingerprint warm state computed under
+    /// this engine config carries (stamped into snapshot headers; a
+    /// mismatch at load time rejects the snapshot before any state is
+    /// admitted).
+    pub(crate) fn warm_fingerprint(&self) -> String {
+        OptimizerConfig {
+            k: self.k,
+            heuristics: self.heuristics.clone(),
+            cost_profile: self.cost_profile,
+            share_subexpressions: batch_share(&self.sharing),
+            ..OptimizerConfig::default()
+        }
+        .warm_fingerprint()
     }
 }
 
@@ -377,6 +512,42 @@ mod tests {
         assert_eq!(c.scheduling, SchedulingPolicy::RoundRobin);
         assert_eq!(c.eviction, EvictionPolicy::LruSizeTieBreak);
         assert!(c.lane_threads >= 1, "at least one lane thread");
+    }
+
+    #[test]
+    fn snapshot_every_parses_or_explains() {
+        assert_eq!(parse_snapshot_every(None), Ok(1));
+        assert_eq!(parse_snapshot_every(Some("".into())), Ok(1));
+        assert_eq!(parse_snapshot_every(Some(" 8 ".into())), Ok(8));
+        for bad in ["0", "-1", "five", "1.5"] {
+            let err = parse_snapshot_every(Some(bad.into())).expect_err(bad);
+            assert!(
+                err.contains("QSYS_SNAPSHOT_EVERY"),
+                "error for '{bad}' must name the knob: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_surfaces_env_errors_first() {
+        let mut config = EngineConfig {
+            env_errors: vec![ConfigError {
+                field: "faults",
+                message: "QSYS_FAULTS: bad clause".into(),
+            }],
+            ..EngineConfig::default()
+        };
+        // A captured environment error outranks field checks…
+        config.snapshot_every = 0;
+        let err = config.validate().expect_err("env error fails validation");
+        assert_eq!(err.field, "faults");
+        assert!(err.to_string().contains("bad clause"));
+        // …and once it is cleared, the field invariant reports.
+        config.env_errors.clear();
+        let err = config.validate().expect_err("cadence 0 is invalid");
+        assert_eq!(err.field, "snapshot_every");
+        config.snapshot_every = 1;
+        config.validate().expect("clean config validates");
     }
 
     #[test]

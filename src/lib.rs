@@ -97,7 +97,7 @@ pub mod engine;
 pub mod report;
 pub mod session;
 
-pub use engine::{EngineConfig, QSystem, SearchResult, SharingMode};
+pub use engine::{ConfigError, EngineConfig, QSystem, SearchResult, SharingMode};
 pub use report::{
     generate_user_queries, run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
 };
@@ -107,11 +107,12 @@ pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
 /// configuration vocabulary, the reporting types, and the id newtypes the
 /// API speaks in.
 pub mod prelude {
-    pub use crate::engine::{EngineConfig, QSystem, SearchResult, SharingMode};
+    pub use crate::engine::{ConfigError, EngineConfig, QSystem, SearchResult, SharingMode};
     pub use crate::report::{
         run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
     };
     pub use crate::session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
+    pub use qsys_snapshot::SnapshotSummary;
     pub use qsys_types::{Score, Tuple, UqId, UserId};
 }
 
@@ -120,6 +121,7 @@ pub use qsys_catalog as catalog;
 pub use qsys_exec as exec;
 pub use qsys_opt as opt;
 pub use qsys_query as query;
+pub use qsys_snapshot as snapshot;
 pub use qsys_source as source;
 pub use qsys_state as state;
 pub use qsys_types as types;

@@ -138,6 +138,13 @@ pub struct RunReport {
     pub skipped: Vec<String>,
     /// Fault/resilience accounting (all zero on a clean run).
     pub faults: FaultSummary,
+    /// Warm-state snapshot recovery/publication accounting (default when
+    /// `EngineConfig::snapshot_dir` is unset).
+    pub snapshot: qsys_snapshot::SnapshotSummary,
+    /// Environment/config errors the engine ran with — a malformed
+    /// `QSYS_FAULTS` or `QSYS_SNAPSHOT_EVERY` disables that knob and is
+    /// reported here instead of panicking (see `EngineConfig::validate`).
+    pub config_errors: Vec<String>,
 }
 
 /// Run-level fault accounting: the source governors' counters summed over

@@ -48,7 +48,11 @@ use crate::report::{OptEvent, QueryOutcome, RunReport, UqReport};
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_opt::OptStats;
 use qsys_query::{CandidateGenerator, UserQuery};
-use qsys_source::TableProvider;
+use qsys_snapshot::{
+    catalog_fingerprint, load_snapshot, write_snapshot, LaneImage, LoadedLane, SnapshotImage,
+    SnapshotSummary,
+};
+use qsys_source::{SnapFaults, TableProvider};
 use qsys_state::EvictionStats;
 use qsys_types::{QsysResult, RelId, Score, Tuple, UqId, UserId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -266,6 +270,49 @@ pub struct Engine {
     /// it reads only the aggregate report, and the pre-sessionized runner
     /// never materialized result payloads either.
     retain_results: bool,
+    /// Lanes rehydrated from the warm-state snapshot at construction,
+    /// waiting to be installed as lanes are created (index = lane index at
+    /// recording time; ATC-CL may create lanes lazily, long after load).
+    thawed: Vec<Option<LoadedLane>>,
+    /// What snapshot recovery and publication have done so far (surfaced
+    /// through [`Engine::report`]).
+    snapshot: SnapshotSummary,
+    /// Batches dispatched since the last auto-snapshot
+    /// ([`EngineConfig::snapshot_every`] cadence).
+    batches_since_snapshot: usize,
+}
+
+/// The snapshot-I/O fault schedule, when one is configured and non-empty.
+fn snap_faults(config: &EngineConfig) -> Option<&SnapFaults> {
+    config
+        .faults
+        .as_ref()
+        .map(|f| &f.snap)
+        .filter(|s| !s.is_clear())
+}
+
+/// Rehydrate warm state from `config.snapshot_dir`, when set. Every
+/// failure mode degrades to cold lanes recorded in the summary; recovery
+/// never panics and never blocks construction.
+fn thaw(config: &EngineConfig, catalog: &Catalog) -> (Vec<Option<LoadedLane>>, SnapshotSummary) {
+    match &config.snapshot_dir {
+        Some(dir) => load_snapshot(
+            dir,
+            &config.warm_fingerprint(),
+            catalog,
+            snap_faults(config),
+        ),
+        None => (Vec::new(), SnapshotSummary::default()),
+    }
+}
+
+/// Install rehydrated state into a freshly created lane. Must run before
+/// the lane interns anything: the snapshot's `SigId`s are positional, so
+/// the arena has to be rebuilt onto an empty interner for the ids to mean
+/// what the warm store thinks they mean.
+fn install(lane: &Lane, loaded: LoadedLane) {
+    *lane.manager.shared_interner().borrow_mut() = loaded.interner;
+    *lane.manager.warm_cell().borrow_mut() = loaded.warm;
 }
 
 impl Engine {
@@ -277,6 +324,7 @@ impl Engine {
         provider: ProviderFactory,
         config: EngineConfig,
     ) -> Engine {
+        let (thawed, snapshot) = thaw(&config, &catalog);
         let mut engine = Engine {
             catalog,
             index,
@@ -290,13 +338,15 @@ impl Engine {
             ledger: Arc::default(),
             skipped: Vec::new(),
             retain_results: true,
+            thawed,
+            snapshot,
+            batches_since_snapshot: 0,
         };
         // Non-clustered modes always run one lane; create it eagerly so
         // admission can seal windows against it immediately. ATC-CL defers
         // lane creation to the first flush (clustering needs queries).
         if !matches!(engine.config.sharing, SharingMode::AtcCl(_)) {
-            let lane = Lane::new(&engine.config, (engine.provider)(), 0);
-            engine.lanes.push(LaneSlot::new(lane));
+            engine.add_lane();
         }
         engine
     }
@@ -323,7 +373,11 @@ impl Engine {
         provider: TableProvider,
         config: EngineConfig,
     ) -> Engine {
+        let (mut thawed, snapshot) = thaw(&config, &catalog);
         let lane = Lane::new(&config, provider, 0);
+        if let Some(loaded) = thawed.get_mut(0).and_then(Option::take) {
+            install(&lane, loaded);
+        }
         Engine {
             catalog,
             index,
@@ -337,7 +391,24 @@ impl Engine {
             ledger: Arc::default(),
             skipped: Vec::new(),
             retain_results: true,
+            thawed,
+            snapshot,
+            batches_since_snapshot: 0,
         }
+    }
+
+    /// Create the next lane (index = current lane count), installing any
+    /// rehydrated snapshot state for that index before the lane can intern
+    /// its first signature. All lane creation funnels through here so a
+    /// loaded snapshot warms every lane topology the engine can grow.
+    fn add_lane(&mut self) -> usize {
+        let idx = self.lanes.len();
+        let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
+        if let Some(loaded) = self.thawed.get_mut(idx).and_then(Option::take) {
+            install(&lane, loaded);
+        }
+        self.lanes.push(LaneSlot::new(lane));
+        idx
     }
 
     /// Stop retaining per-ticket result payloads: tickets will report and
@@ -482,10 +553,7 @@ impl Engine {
         if overlap > 0 {
             return best;
         }
-        let idx = self.lanes.len();
-        let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
-        self.lanes.push(LaneSlot::new(lane));
-        idx
+        self.add_lane()
     }
 
     /// Append a query to a lane's open admission window, sealing by
@@ -541,9 +609,8 @@ impl Engine {
                 .collect();
             let clusters = qsys_opt::cluster_user_queries(&refs, cluster_cfg);
             let mut assignment: HashMap<UqId, usize> = HashMap::new();
-            for (idx, cluster) in clusters.iter().enumerate() {
-                let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
-                self.lanes.push(LaneSlot::new(lane));
+            for cluster in clusters.iter() {
+                let idx = self.add_lane();
                 for uq in cluster {
                     assignment.insert(*uq, idx);
                 }
@@ -571,7 +638,9 @@ impl Engine {
         if self.lanes.is_empty() && self.unrouted.len() >= self.config.batch_size.max(1) {
             self.route_unrouted();
         }
-        self.dispatch(false)
+        let ran = self.dispatch(false);
+        self.auto_snapshot(ran);
+        ran
     }
 
     /// Seal everything pending (including ATC-CL's initial clustering) and
@@ -579,7 +648,83 @@ impl Engine {
     /// executed.
     pub fn run_until_idle(&mut self) -> usize {
         self.flush();
-        self.dispatch(true)
+        let ran = self.dispatch(true);
+        self.auto_snapshot(ran);
+        ran
+    }
+
+    /// Publish a warm-state snapshot after dispatch, on the configured
+    /// cadence. Publication failures are recorded in the summary and never
+    /// fail the step — persistence is best-effort, execution is not.
+    fn auto_snapshot(&mut self, ran: usize) {
+        if ran == 0 || self.config.snapshot_dir.is_none() {
+            return;
+        }
+        self.batches_since_snapshot += ran;
+        if self.batches_since_snapshot >= self.config.snapshot_every.max(1) {
+            self.batches_since_snapshot = 0;
+            let _ = self.snapshot(); // errors land in `snapshot.write_errors`
+        }
+    }
+
+    /// Serialize every lane's warm state (interner arena + warm store)
+    /// into an image ready for [`qsys_snapshot::write_snapshot`].
+    fn snapshot_image(&self) -> SnapshotImage {
+        SnapshotImage {
+            engine_fingerprint: self.config.warm_fingerprint(),
+            catalog_fingerprint: catalog_fingerprint(&self.catalog),
+            lanes: self
+                .lanes
+                .iter()
+                .map(|slot| {
+                    let interner_cell = slot.lane.manager.shared_interner();
+                    let warm_cell = slot.lane.manager.warm_cell();
+                    let interner = interner_cell.borrow();
+                    let warm = warm_cell.borrow();
+                    LaneImage {
+                        interner: interner.export_entries(),
+                        warm: warm.export(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Publish a crash-safe warm-state snapshot to
+    /// [`EngineConfig::snapshot_dir`] right now (the engine also publishes
+    /// automatically every [`EngineConfig::snapshot_every`] dispatched
+    /// batches). Returns the published byte count.
+    ///
+    /// The write is atomic (tmp + fsync + rename): a crash mid-publish
+    /// leaves the previous snapshot intact. Failures are also recorded in
+    /// the report's [`SnapshotSummary::write_errors`].
+    ///
+    /// # Panics
+    ///
+    /// Only under an injected `snap:crash` fault (`QSYS_FAULTS`), which
+    /// deliberately simulates the process dying between the tmp write and
+    /// the rename — restart-chaos tests catch the unwind.
+    pub fn snapshot(&mut self) -> Result<u64, String> {
+        let Some(dir) = self.config.snapshot_dir.clone() else {
+            return Err("engine has no snapshot_dir configured".into());
+        };
+        let image = self.snapshot_image();
+        match write_snapshot(&dir, &image, snap_faults(&self.config)) {
+            Ok(bytes) => {
+                self.snapshot.writes += 1;
+                Ok(bytes)
+            }
+            Err(e) => {
+                self.snapshot.write_errors.push(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// What snapshot recovery and publication have done so far (also in
+    /// [`Engine::report`]).
+    pub fn snapshot_summary(&self) -> &SnapshotSummary {
+        &self.snapshot
     }
 
     /// Run sealed batches: one per lane (`drain = false`) or every queued
@@ -732,6 +877,13 @@ impl Engine {
                 .collect(),
             lane_wall_us: self.lanes.iter().map(|slot| slot.wall_us).collect(),
             skipped: self.skipped.clone(),
+            snapshot: self.snapshot.clone(),
+            config_errors: self
+                .config
+                .env_errors
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
             ..RunReport::default()
         };
         for slot in &self.lanes {
