@@ -18,6 +18,10 @@
 //! transient, plus one hard outage) over the fault-injection layer: degraded
 //! and failed ticket counts, retries, breaker trips, and p50/p99 response,
 //! gated on "no tuple loss on unfaulted relations".
+//! Sharding:    `shard [--out BENCH_7.json] [--check]` — oversized-cluster
+//! sharding sweep (unsharded vs shard caps 2 / 4 / 8): per-lane walls,
+//! Σ/max balance, and the parallel speedup bound before/after, gated on
+//! per-UQ answer-multiset identity with the unsharded run.
 //! Sweeps:      `fetch-batch [--batches 1,8,32] [--limit N]` — response-time
 //! shift from stream fetch-ahead on the figure workload (the ROADMAP's
 //! "quantify what fetch_batch buys" item; recorded in `BENCH_4.json`).
@@ -236,6 +240,41 @@ fn main() {
             }
             eprintln!("gate ok: no tuple loss on unfaulted relations");
         }
+        "shard" => {
+            // Lane-sharding sweep: the unsharded ATC-CL reference run
+            // against shard caps 2 / 4 / 8 at a one-UQ-equivalent
+            // threshold, gated on per-UQ answer-multiset identity.
+            // `--out FILE` writes the BENCH_7.json trajectory point;
+            // `--check` additionally requires the balance improvement.
+            let sweep = shard_sweep();
+            print_shard(&sweep);
+            let json = shard_json(&sweep);
+            if let Some(path) = flag_value(&args, "--out") {
+                std::fs::write(&path, &json).expect("write shard output");
+                eprintln!("wrote {path}");
+            }
+            if sweep.arms.iter().any(|a| a.gate_violations > 0) {
+                eprintln!(
+                    "CHECK FAILED: sharding changed answers (the split is a physical \
+                     routing decision; per-UQ result multisets must be identical to \
+                     the unsharded run at every shard cap)"
+                );
+                std::process::exit(1);
+            }
+            if args.iter().any(|a| a == "--check") && sweep.bound_sharded < sweep.bound_unsharded {
+                eprintln!(
+                    "CHECK FAILED: sharding worsened the speedup bound ({:.2}x -> {:.2}x); \
+                     splitting oversized clusters must not concentrate work further",
+                    sweep.bound_unsharded, sweep.bound_sharded
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "gate ok: answer multisets identical at every shard cap \
+                 (speedup bound {:.2}x -> {:.2}x)",
+                sweep.bound_unsharded, sweep.bound_sharded
+            );
+        }
         "restart" => {
             // Warm-state persistence sweep: cold vs warm-in-process vs
             // warm-from-snapshot optimize time for a recurring batch, plus
@@ -434,7 +473,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench chaos restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench chaos shard restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

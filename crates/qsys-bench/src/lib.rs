@@ -87,6 +87,9 @@ pub fn gus_engine(mode: SharingMode, batch_size: usize) -> EngineConfig {
             ..CandidateConfig::default()
         },
         lane_threads: lane_threads(),
+        // Explicit, not inherited from the environment: the shard sweep
+        // opts in per arm, every other experiment stays unsharded.
+        sharding: qsys::ShardConfig::off(),
         ..EngineConfig::default()
     }
 }
@@ -105,6 +108,7 @@ pub fn pfam_engine(mode: SharingMode) -> EngineConfig {
             ..CandidateConfig::default()
         },
         lane_threads: lane_threads(),
+        sharding: qsys::ShardConfig::off(),
         ..EngineConfig::default()
     }
 }
@@ -1838,4 +1842,244 @@ pub fn restart_phase(seed: u64, scale: Scale, dir: &std::path::Path, reload: boo
         identical,
         reason: report.snapshot.reason.clone(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shard sweep: oversized-cluster sharding vs lane balance (BENCH_7.json).
+// ---------------------------------------------------------------------------
+
+/// One arm of the shard sweep: a shard cap, the run, and the identity
+/// gate against the unsharded baseline.
+pub struct ShardArm {
+    /// Arm name ("unsharded", "shards<=2", …).
+    pub label: &'static str,
+    /// `max_shards` for the arm (0 = sharding off).
+    pub max_shards: usize,
+    /// Full run report (per-lane ancestry under `report.lane_summaries`).
+    pub report: RunReport,
+    /// Lanes that are shards of a split cluster.
+    pub sharded_lanes: usize,
+    /// Queries whose answer multiset drifted from the unsharded run.
+    pub gate_violations: usize,
+}
+
+/// The full sweep: the unsharded baseline plus shard caps 2 / 4 / 8 at a
+/// threshold of one UQ-equivalent (every multi-UQ cluster splits).
+pub struct ShardSweep {
+    /// Arms in sweep order (index 0 is the unsharded baseline).
+    pub arms: Vec<ShardArm>,
+    /// Σ/max of per-lane walls without sharding — the parallel speedup
+    /// the unsharded lane topology can ever reach.
+    pub bound_unsharded: f64,
+    /// The best post-sharding Σ/max across arms — the same bound after
+    /// splitting oversized clusters (comparable before/after).
+    pub bound_sharded: f64,
+}
+
+/// Session-driven run of the ATC-CL reference workload under `sharding`,
+/// capturing per-ticket answers as *sorted* multisets (the correctness
+/// bar is multiset identity; shard interleaving may reorder equal-score
+/// answers).
+fn shard_run(w: &Workload, sharding: qsys::ShardConfig) -> (RunReport, ChaosAnswers) {
+    let mut cfg = atc_cl_reference_engine(1);
+    cfg.sharding = sharding;
+    let mut engine = qsys::Engine::for_workload(w, cfg);
+    let mut tickets = Vec::new();
+    for q in &w.queries {
+        let mut session = engine.session(q.user);
+        if let Some(costs) = &q.edge_costs {
+            session = session.with_edge_costs(costs.clone());
+        }
+        if let Ok(t) = session.submit(&q.keywords, q.arrival_us) {
+            tickets.push(t);
+        }
+    }
+    engine.run_until_idle();
+    let answers = tickets
+        .iter()
+        .map(|t| {
+            let outcome = t.outcome().expect("drained engine resolves every ticket");
+            let mut tuples: Vec<(u64, String)> = t
+                .take_results()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(s, tu)| (s.get().to_bits(), format!("{tu:?}")))
+                .collect();
+            tuples.sort();
+            (t.id(), (outcome, tuples))
+        })
+        .collect();
+    (engine.report(), answers)
+}
+
+/// The sweep's gate — sharding must be invisible in results: every query
+/// resolves with the same outcome and the same answer multiset as the
+/// unsharded run.
+/// Tie-aware answer equivalence: outcomes match, score multisets match
+/// bit-for-bit, and every tuple scored strictly above the k-th (minimum
+/// returned) score matches exactly. Tuples *at* the boundary score only
+/// need matching counts: when more than k-boundary candidates tie at the
+/// cut, the top-k set is inherently non-unique, and a different lane
+/// composition may surface a different — equally ranked — tied subset.
+pub fn answers_equivalent(want: &[(u64, String)], got: &[(u64, String)]) -> bool {
+    if want.len() != got.len() {
+        return false;
+    }
+    let scores = |v: &[(u64, String)]| {
+        let mut s: Vec<u64> = v.iter().map(|(b, _)| *b).collect();
+        s.sort_unstable();
+        s
+    };
+    if scores(want) != scores(got) {
+        return false;
+    }
+    let boundary = want
+        .iter()
+        .map(|(b, _)| f64::from_bits(*b))
+        .fold(f64::INFINITY, f64::min);
+    fn above(v: &[(u64, String)], boundary: f64) -> Vec<&(u64, String)> {
+        let mut s: Vec<&(u64, String)> = v
+            .iter()
+            .filter(|(b, _)| f64::from_bits(*b) > boundary)
+            .collect();
+        s.sort();
+        s
+    }
+    above(want, boundary) == above(got, boundary)
+}
+
+fn shard_gate(base: &ChaosAnswers, arm: &ChaosAnswers) -> usize {
+    arm.iter()
+        .filter(|(uq, got)| match base.get(uq) {
+            Some(want) => want.0 != got.0 || !answers_equivalent(&want.1, &got.1),
+            None => true,
+        })
+        .count()
+}
+
+/// Run the shard sweep on the multi-cluster ATC-CL reference workload:
+/// unsharded baseline, then shard caps 2 / 4 / 8 at threshold 1.0 (one
+/// UQ-equivalent, so every multi-UQ cluster splits up to the cap). Lanes
+/// run sequentially (`lane_threads = 1`) so per-lane walls attribute
+/// cleanly and Σ/max is the achievable parallel speedup bound.
+pub fn shard_sweep() -> ShardSweep {
+    let w = atc_cl_reference_workload();
+    let (base_report, base) = shard_run(&w, qsys::ShardConfig::off());
+    let bound_unsharded = base_report.lane_balance();
+    let mut arms = vec![ShardArm {
+        label: "unsharded",
+        max_shards: 0,
+        report: base_report,
+        sharded_lanes: 0,
+        gate_violations: 0,
+    }];
+    let cases: [(&'static str, usize); 3] = [("shards<=2", 2), ("shards<=4", 4), ("shards<=8", 8)];
+    for (label, cap) in cases {
+        let mut sharding = qsys::ShardConfig::at(1.0);
+        sharding.max_shards = cap;
+        let (report, answers) = shard_run(&w, sharding);
+        let gate_violations = shard_gate(&base, &answers);
+        let sharded_lanes = report
+            .lane_summaries
+            .iter()
+            .filter(|l| l.shard_of.is_some())
+            .count();
+        arms.push(ShardArm {
+            label,
+            max_shards: cap,
+            report,
+            sharded_lanes,
+            gate_violations,
+        });
+    }
+    let bound_sharded = arms
+        .iter()
+        .skip(1)
+        .map(|a| a.report.lane_balance())
+        .fold(bound_unsharded, f64::max);
+    ShardSweep {
+        arms,
+        bound_unsharded,
+        bound_sharded,
+    }
+}
+
+/// Print the sweep as a table.
+pub fn print_shard(sweep: &ShardSweep) {
+    println!(
+        "Shard sweep: oversized-cluster sharding vs lane balance \
+         (ATC-CL reference workload, lane_threads = 1)"
+    );
+    println!(
+        "{:>11} {:>6} {:>7} {:>12} {:>12} {:>9} {:>10} {:>5}",
+        "arm", "lanes", "shards", "max-wall(ms)", "sum-wall(ms)", "balance", "tuples", "gate"
+    );
+    for arm in &sweep.arms {
+        let walls = &arm.report.lane_wall_us;
+        let max = walls.iter().copied().max().unwrap_or(0);
+        let sum: u64 = walls.iter().sum();
+        println!(
+            "{:>11} {:>6} {:>7} {:>12.1} {:>12.1} {:>9.2} {:>10} {:>5}",
+            arm.label,
+            arm.report.lanes,
+            arm.sharded_lanes,
+            max as f64 / 1e3,
+            sum as f64 / 1e3,
+            arm.report.lane_balance(),
+            arm.report.tuples_consumed,
+            if arm.gate_violations == 0 {
+                "ok"
+            } else {
+                "FAIL"
+            },
+        );
+    }
+    println!(
+        "speedup bound: {:.2}x unsharded -> {:.2}x best sharded",
+        sweep.bound_unsharded, sweep.bound_sharded
+    );
+}
+
+/// Render the sweep as the repo's `BENCH_7.json` trajectory point.
+pub fn shard_json(sweep: &ShardSweep) -> String {
+    let mut arms = String::new();
+    for (i, arm) in sweep.arms.iter().enumerate() {
+        if i > 0 {
+            arms.push_str(",\n");
+        }
+        let walls: Vec<String> = arm.report.lane_wall_us.iter().map(u64::to_string).collect();
+        let lanes: Vec<String> = arm
+            .report
+            .lane_summaries
+            .iter()
+            .map(|l| {
+                let shard = match l.shard_of {
+                    Some((i, n)) => format!("\"{}/{}\"", i + 1, n),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "        {{\"lane\": {}, \"cluster\": {}, \"shard\": {shard}, \"wall_us\": {}, \"uqs\": {}, \"tuples_consumed\": {}}}",
+                    l.lane, l.cluster, l.wall_us, l.uqs, l.tuples_consumed,
+                )
+            })
+            .collect();
+        arms.push_str(&format!(
+            "    {{\n      \"arm\": \"{}\",\n      \"max_shards\": {},\n      \"lanes\": {},\n      \"sharded_lanes\": {},\n      \"lane_wall_us\": [{}],\n      \"lane_balance\": {:.2},\n      \"tuples_consumed\": {},\n      \"tuples_streamed\": {},\n      \"gate_violations\": {},\n      \"lane_summaries\": [\n{}\n      ]\n    }}",
+            arm.label,
+            arm.max_shards,
+            arm.report.lanes,
+            arm.sharded_lanes,
+            walls.join(", "),
+            arm.report.lane_balance(),
+            arm.report.tuples_consumed,
+            arm.report.tuples_streamed,
+            arm.gate_violations,
+            lanes.join(",\n"),
+        ));
+    }
+    let gate_ok = sweep.arms.iter().all(|a| a.gate_violations == 0);
+    format!(
+        "{{\n  \"bench\": \"shard sweep: oversized-cluster sharding vs lane balance (ATC-CL)\",\n  \"gate\": \"per-UQ answer multisets identical to the unsharded run at every shard cap (up to ties at the k-th score)\",\n  \"shard_threshold\": 1.0,\n  \"gate_ok\": {gate_ok},\n  \"atc_cl_speedup_bound_unsharded\": {:.2},\n  \"atc_cl_speedup_bound_sharded\": {:.2},\n  \"arms\": [\n{arms}\n  ]\n}}\n",
+        sweep.bound_unsharded, sweep.bound_sharded,
+    )
 }

@@ -27,6 +27,7 @@ pub mod cluster;
 pub mod cost;
 pub mod heuristics;
 pub mod plan;
+pub mod shard;
 pub mod warm;
 
 pub use andor::AndOrGraph;
@@ -35,4 +36,7 @@ pub use cluster::{cluster_user_queries, ClusterConfig};
 pub use cost::{CostModel, NoReuse, ReuseOracle};
 pub use heuristics::{enumerate_candidates, enumerate_candidates_warm, Candidate, HeuristicConfig};
 pub use plan::{CqPlan, Optimizer, OptimizerConfig, PlanSpec, PredSpec, SpecNode, SpecNodeKind};
+pub use shard::{
+    estimate_uq_cost, normalize_weights, shard_cluster, shard_cluster_affine, ShardConfig,
+};
 pub use warm::{shared_warm, SharedWarm, WarmCell, WarmExport, WarmFact, WarmPlan, WarmStore};

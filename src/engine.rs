@@ -12,6 +12,7 @@ use crate::session::Engine;
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_exec::{Atc, ExecStats, RetryPolicy, SchedulingPolicy, SourceGovernor};
 use qsys_opt::cluster::ClusterConfig;
+use qsys_opt::shard::ShardConfig;
 use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
 use qsys_query::{CandidateConfig, ScoreFn, UserQuery};
 use qsys_source::{FaultInjector, FaultSpec, Sources, TableProvider};
@@ -112,6 +113,18 @@ pub struct EngineConfig {
     /// [`EngineConfig::snapshot_every`]). `None` — the default when
     /// `QSYS_SNAPSHOT_DIR` is unset — disables persistence entirely.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Oversized-cluster sharding (ATC-CL only): when a cluster's
+    /// estimated work exceeds `sharding.threshold` UQ-equivalents at lane
+    /// birth, its UQ bitset is split by cost-balanced bin-packing into up
+    /// to `sharding.max_shards` sub-lanes, each re-planned through the
+    /// warm optimizer path; late arrivals route to the least-loaded live
+    /// shard of their cluster. Sharding trades intra-cluster *sharing*
+    /// for lane-wall *balance* but never changes any query's result
+    /// multiset. Off by default (`threshold: None`) — lane topology is
+    /// then byte-identical to the pre-sharding engine. Environment knobs:
+    /// `QSYS_SHARD_THRESHOLD` (a work estimate ≥ 1, or `off`/`0`) and
+    /// `QSYS_SHARD_MAX` (shard cap, default 8).
+    pub sharding: ShardConfig,
     /// Auto-snapshot cadence when [`EngineConfig::snapshot_dir`] is set:
     /// publish a fresh snapshot after every this-many dispatched batches
     /// (callers can force one any time with `Engine::snapshot()`).
@@ -189,6 +202,40 @@ pub(crate) fn parse_snapshot_every(value: Option<String>) -> Result<usize, Strin
     }
 }
 
+/// Parse a `QSYS_SHARD_THRESHOLD` value: unset, empty, `off`, or `0`
+/// disable sharding; anything else must be a finite work estimate ≥ 1
+/// (in UQ-equivalents). Split out like [`parse_snapshot_every`] so
+/// malformed values are unit-testable without mutating process state.
+pub(crate) fn parse_shard_threshold(value: Option<String>) -> Result<Option<f64>, String> {
+    let Some(v) = value else { return Ok(None) };
+    let v = v.trim();
+    if v.is_empty() || v == "off" || v == "0" {
+        return Ok(None);
+    }
+    match v.parse::<f64>() {
+        Ok(t) if t.is_finite() && t >= 1.0 => Ok(Some(t)),
+        Ok(t) => Err(format!(
+            "QSYS_SHARD_THRESHOLD: {t} must be a finite work estimate ≥ 1 (or `off`)"
+        )),
+        Err(_) => Err(format!(
+            "QSYS_SHARD_THRESHOLD: `{v}` is not a work estimate"
+        )),
+    }
+}
+
+/// Parse a `QSYS_SHARD_MAX` value (unset = the default cap).
+pub(crate) fn parse_shard_max(value: Option<String>) -> Result<usize, String> {
+    match value {
+        None => Ok(ShardConfig::DEFAULT_MAX_SHARDS),
+        Some(v) if v.trim().is_empty() => Ok(ShardConfig::DEFAULT_MAX_SHARDS),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(n) => Err(format!("QSYS_SHARD_MAX: cap {n} must be ≥ 1 shard")),
+            Err(_) => Err(format!("QSYS_SHARD_MAX: `{v}` is not a shard count")),
+        },
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         let mut env_errors = Vec::new();
@@ -207,6 +254,23 @@ impl Default for EngineConfig {
                 });
                 1
             });
+        // A malformed shard knob disables sharding (the conservative
+        // topology) and reports, mirroring the other env knobs.
+        let shard_threshold = parse_shard_threshold(std::env::var("QSYS_SHARD_THRESHOLD").ok())
+            .unwrap_or_else(|e| {
+                env_errors.push(ConfigError {
+                    field: "sharding.threshold",
+                    message: e,
+                });
+                None
+            });
+        let shard_max = parse_shard_max(std::env::var("QSYS_SHARD_MAX").ok()).unwrap_or_else(|e| {
+            env_errors.push(ConfigError {
+                field: "sharding.max_shards",
+                message: e,
+            });
+            ShardConfig::DEFAULT_MAX_SHARDS
+        });
         EngineConfig {
             k: 50,
             batch_size: 5,
@@ -228,6 +292,10 @@ impl Default for EngineConfig {
                 .ok()
                 .filter(|d| !d.trim().is_empty())
                 .map(std::path::PathBuf::from),
+            sharding: ShardConfig {
+                threshold: shard_threshold,
+                max_shards: shard_max,
+            },
             snapshot_every,
             env_errors,
         }
@@ -265,6 +333,18 @@ impl EngineConfig {
             self.snapshot_every >= 1,
             "snapshot_every",
             "snapshot cadence must be ≥ 1 batch".into(),
+        )?;
+        if let Some(t) = self.sharding.threshold {
+            invariant(
+                t.is_finite() && t >= 1.0,
+                "sharding.threshold",
+                "shard threshold must be a finite work estimate ≥ 1 UQ-equivalent".into(),
+            )?;
+        }
+        invariant(
+            self.sharding.max_shards >= 1,
+            "sharding.max_shards",
+            "a cluster splits into at least one shard".into(),
         )?;
         Ok(())
     }
@@ -526,6 +606,64 @@ mod tests {
                 "error for '{bad}' must name the knob: {err}"
             );
         }
+    }
+
+    #[test]
+    fn shard_knobs_parse_or_explain() {
+        // Threshold: unset / empty / off / 0 disable; ≥ 1 enables.
+        assert_eq!(parse_shard_threshold(None), Ok(None));
+        assert_eq!(parse_shard_threshold(Some("".into())), Ok(None));
+        assert_eq!(parse_shard_threshold(Some("off".into())), Ok(None));
+        assert_eq!(parse_shard_threshold(Some("0".into())), Ok(None));
+        assert_eq!(parse_shard_threshold(Some(" 4 ".into())), Ok(Some(4.0)));
+        assert_eq!(parse_shard_threshold(Some("1.5".into())), Ok(Some(1.5)));
+        for bad in ["0.5", "-3", "NaN", "inf", "many"] {
+            let err = parse_shard_threshold(Some(bad.into())).expect_err(bad);
+            assert!(
+                err.contains("QSYS_SHARD_THRESHOLD"),
+                "error for '{bad}' must name the knob: {err}"
+            );
+        }
+        // Max shards: unset/empty default, ≥ 1 required.
+        assert_eq!(parse_shard_max(None), Ok(ShardConfig::DEFAULT_MAX_SHARDS));
+        assert_eq!(
+            parse_shard_max(Some(" ".into())),
+            Ok(ShardConfig::DEFAULT_MAX_SHARDS)
+        );
+        assert_eq!(parse_shard_max(Some("4".into())), Ok(4));
+        for bad in ["0", "-2", "2.5", "lots"] {
+            let err = parse_shard_max(Some(bad.into())).expect_err(bad);
+            assert!(
+                err.contains("QSYS_SHARD_MAX"),
+                "error for '{bad}' must name the knob: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_checks_shard_invariants() {
+        let mut config = EngineConfig {
+            env_errors: Vec::new(),
+            ..EngineConfig::default()
+        };
+        config.sharding = ShardConfig::at(0.25);
+        let err = config.validate().expect_err("sub-unit threshold invalid");
+        assert_eq!(err.field, "sharding.threshold");
+        config.sharding = ShardConfig {
+            threshold: Some(f64::NAN),
+            max_shards: 4,
+        };
+        assert!(config.validate().is_err(), "NaN threshold invalid");
+        config.sharding = ShardConfig {
+            threshold: Some(8.0),
+            max_shards: 0,
+        };
+        let err = config.validate().expect_err("zero shard cap invalid");
+        assert_eq!(err.field, "sharding.max_shards");
+        config.sharding = ShardConfig::at(8.0);
+        config.validate().expect("sane sharding validates");
+        config.sharding = ShardConfig::off();
+        config.validate().expect("default-off sharding validates");
     }
 
     #[test]

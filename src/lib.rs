@@ -98,8 +98,10 @@ pub mod report;
 pub mod session;
 
 pub use engine::{ConfigError, EngineConfig, QSystem, SearchResult, SharingMode};
+pub use qsys_opt::shard::ShardConfig;
 pub use report::{
-    generate_user_queries, run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
+    generate_user_queries, run_workload, FaultSummary, LaneSummary, OptEvent, QueryOutcome,
+    RunReport, UqReport,
 };
 pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
 
@@ -109,9 +111,10 @@ pub use session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
 pub mod prelude {
     pub use crate::engine::{ConfigError, EngineConfig, QSystem, SearchResult, SharingMode};
     pub use crate::report::{
-        run_workload, FaultSummary, OptEvent, QueryOutcome, RunReport, UqReport,
+        run_workload, FaultSummary, LaneSummary, OptEvent, QueryOutcome, RunReport, UqReport,
     };
     pub use crate::session::{Engine, ProviderFactory, QueryTicket, Session, TicketStatus};
+    pub use qsys_opt::shard::ShardConfig;
     pub use qsys_snapshot::SnapshotSummary;
     pub use qsys_types::{Score, Tuple, UqId, UserId};
 }

@@ -88,6 +88,32 @@ pub struct UqReport {
     pub outcome: QueryOutcome,
 }
 
+/// Per-lane execution summary: how work actually spread across plan
+/// graphs, including shard ancestry when lane sharding split an
+/// oversized ATC-CL cluster. This is how lane imbalance is observed in
+/// production runs, not just in the bench harness's `lane_wall_us`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneSummary {
+    /// Lane index (matches `UqReport::lane`).
+    pub lane: usize,
+    /// The logical ATC-CL cluster this lane serves; shards of one split
+    /// cluster share the id. Always 0 for single-graph modes.
+    pub cluster: usize,
+    /// `(shard index, shard count)` when this lane was born by splitting
+    /// an oversized cluster; `None` for unsharded lanes.
+    pub shard_of: Option<(usize, usize)>,
+    /// Host wall-clock µs spent executing on this lane.
+    pub wall_us: u64,
+    /// Input tuples this lane's sources consumed.
+    pub tuples_consumed: u64,
+    /// Stream tuples this lane read.
+    pub tuples_streamed: u64,
+    /// User queries served by this lane.
+    pub uqs: usize,
+    /// Whether a panicking batch poisoned the lane.
+    pub poisoned: bool,
+}
+
 /// One optimizer invocation (Figure 11's data points).
 #[derive(Debug, Clone, Copy)]
 pub struct OptEvent {
@@ -120,6 +146,8 @@ pub struct RunReport {
     pub lane_threads: usize,
     /// Host wall-clock µs each lane spent executing, by lane index.
     pub lane_wall_us: Vec<u64>,
+    /// Per-lane wall/tuple/shard-ancestry summaries, by lane index.
+    pub lane_summaries: Vec<LaneSummary>,
     /// Summed simulated time across lanes.
     pub breakdown: TimeBreakdown,
     /// Total input tuples consumed (Figure 10).
@@ -221,6 +249,18 @@ impl RunReport {
     /// The report line for one user-query id.
     pub fn per_uq_id(&self, uq: UqId) -> Option<&UqReport> {
         self.per_uq.iter().find(|u| u.uq == uq)
+    }
+
+    /// Σ/max lane-wall balance: 1.0 when one lane does all the work,
+    /// approaching the lane count as walls even out — the quantity that
+    /// bounds parallel lane speedup (and the lane-sharding target
+    /// metric). 1.0 when nothing has executed.
+    pub fn lane_balance(&self) -> f64 {
+        let max = self.lane_wall_us.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        self.lane_wall_us.iter().sum::<u64>() as f64 / max as f64
     }
 }
 

@@ -50,6 +50,7 @@ fn engine_cfg(faults: Option<&str>) -> EngineConfig {
         // Explicit, not inherited from the environment: these tests pin
         // their own schedules even under the CI chaos leg.
         faults: faults.map(|s| FaultSpec::parse(s).expect("valid fault spec")),
+        sharding: qsys::ShardConfig::off(),
         ..EngineConfig::default()
     }
 }

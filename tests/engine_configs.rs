@@ -34,6 +34,7 @@ fn engine(mode: SharingMode) -> EngineConfig {
             matches_per_keyword: 2,
             ..CandidateConfig::default()
         },
+        sharding: qsys::ShardConfig::off(),
         ..EngineConfig::default()
     }
 }

@@ -36,6 +36,9 @@ fn engine_cfg(lane_threads: usize) -> EngineConfig {
             ..CandidateConfig::default()
         },
         lane_threads,
+        // Explicit, not inherited from the environment: the CI sharding
+        // leg must not re-shape the golden lane topology.
+        sharding: qsys::ShardConfig::off(),
         ..EngineConfig::default()
     }
 }
