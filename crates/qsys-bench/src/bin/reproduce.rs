@@ -22,6 +22,11 @@
 //! sharding sweep (unsharded vs shard caps 2 / 4 / 8): per-lane walls,
 //! Σ/max balance, and the parallel speedup bound before/after, gated on
 //! per-UQ answer-multiset identity with the unsharded run.
+//! Adaptive:    `adaptive [--out BENCH_8.json] [--check]` — mid-flight
+//! re-optimization sweep (static vs drift thresholds 1.25 / 1.5 / 2.0 on a
+//! drift-heavy catalog): mean/p99 response, drift checks, replans, and
+//! corrected cardinalities, gated on per-UQ answer-multiset identity with
+//! the static run (`--check` also requires ≥1 replan and an improvement).
 //! Sweeps:      `fetch-batch [--batches 1,8,32] [--limit N]` — response-time
 //! shift from stream fetch-ahead on the figure workload (the ROADMAP's
 //! "quantify what fetch_batch buys" item; recorded in `BENCH_4.json`).
@@ -275,6 +280,59 @@ fn main() {
                 sweep.bound_unsharded, sweep.bound_sharded
             );
         }
+        "adaptive" => {
+            // Adaptive re-optimization sweep: static plans vs mid-flight
+            // re-planning at drift thresholds 1.25 / 1.5 / 2.0 on a
+            // drift-heavy workload (catalog priors skewed well below the
+            // true cardinalities), gated on per-UQ answer-multiset
+            // identity with the static run. `--out FILE` writes the
+            // BENCH_8.json trajectory point; `--check` additionally
+            // requires at least one mid-batch replan and a mean-response
+            // improvement. Runs the fixed drift-regime instance
+            // (`ADAPTIVE_SEED`) rather than `--seeds`: the sweep needs an
+            // instance where the skewed priors genuinely mislead the
+            // plan search, and most small instances are insensitive.
+            let sweep = adaptive_sweep(ADAPTIVE_SEED);
+            print_adaptive(&sweep);
+            let json = adaptive_json(&sweep);
+            if let Some(path) = flag_value(&args, "--out") {
+                std::fs::write(&path, &json).expect("write adaptive output");
+                eprintln!("wrote {path}");
+            }
+            if sweep.arms.iter().any(|a| a.gate_violations > 0) {
+                eprintln!(
+                    "CHECK FAILED: adaptive re-planning changed answers (a replan is a \
+                     physical decision; per-UQ result multisets must be identical to \
+                     the static run at every drift threshold)"
+                );
+                std::process::exit(1);
+            }
+            if args.iter().any(|a| a == "--check") {
+                if sweep.total_replans() == 0 {
+                    eprintln!(
+                        "CHECK FAILED: no adaptive arm performed a mid-batch replan \
+                         on the drift-heavy workload (the feedback loop never fired)"
+                    );
+                    std::process::exit(1);
+                }
+                if sweep.mean_best_us() >= sweep.mean_static_us() {
+                    eprintln!(
+                        "CHECK FAILED: adaptive re-planning did not improve mean response \
+                         ({:.1}us static vs {:.1}us best adaptive)",
+                        sweep.mean_static_us(),
+                        sweep.mean_best_us()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            eprintln!(
+                "gate ok: answer multisets identical at every drift threshold \
+                 (mean response {:.1}us static -> {:.1}us best adaptive, {} replans)",
+                sweep.mean_static_us(),
+                sweep.mean_best_us(),
+                sweep.total_replans()
+            );
+        }
         "restart" => {
             // Warm-state persistence sweep: cold vs warm-in-process vs
             // warm-from-snapshot optimize time for a recurring batch, plus
@@ -473,7 +531,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench chaos shard restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench chaos shard adaptive restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

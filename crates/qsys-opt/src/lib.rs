@@ -21,6 +21,7 @@
 //! candidate enumerations, and whole winning assignments recur across the
 //! query stream and are replayed — bit-identically — instead of re-derived.
 
+pub mod adaptive;
 pub mod andor;
 pub mod bestplan;
 pub mod cluster;
@@ -30,6 +31,10 @@ pub mod plan;
 pub mod shard;
 pub mod warm;
 
+pub use adaptive::{
+    apply_observed, detect_drift, AdaptiveConfig, AdaptiveSummary, DriftReport, ObservedCard,
+    ObservedStats,
+};
 pub use andor::AndOrGraph;
 pub use bestplan::{BestPlanSearch, OptStats};
 pub use cluster::{cluster_user_queries, ClusterConfig};

@@ -22,6 +22,7 @@
 //! weights: ties in the LPT ordering break on the dense UQ index, ties in
 //! bin loads break on the lowest bin index.
 
+use crate::adaptive::ObservedStats;
 use crate::warm::WarmStore;
 use qsys_query::cqset::{CqIdx, CqSet};
 use qsys_query::{SigInterner, SubExprSig, UserQuery};
@@ -90,11 +91,20 @@ const DEFAULT_LEAF_COST: f64 = 1.0;
 
 /// Estimate one UQ's stream-leaf cost from the warm store's cost inputs:
 /// the summed cardinality of its distinct stream leaves (relation +
-/// selection signatures), looked up without interning anything. A leaf
-/// with no recorded fact charges [`DEFAULT_LEAF_COST`], so a cold engine
-/// weighs UQs by their distinct-leaf count; a leafless UQ falls back to
+/// selection signatures), looked up without interning anything. When the
+/// lane has runtime observations ([`ObservedStats`]), they refine the
+/// frozen facts — an exhausted leaf's observed count is *exact* and
+/// overrides, a live leaf's archive is a lower bound and only raises —
+/// so shard packing of warm lanes weighs by what the executor actually
+/// saw instead of the catalog's guess. A leaf with neither a fact nor an
+/// observation charges [`DEFAULT_LEAF_COST`], so a cold engine weighs
+/// UQs by their distinct-leaf count; a leafless UQ falls back to
 /// [`FALLBACK_UQ_COST`].
-pub fn estimate_uq_cost(uq: &UserQuery, state: Option<(&SigInterner, &WarmStore)>) -> f64 {
+pub fn estimate_uq_cost(
+    uq: &UserQuery,
+    state: Option<(&SigInterner, &WarmStore)>,
+    observed: Option<&ObservedStats>,
+) -> f64 {
     let mut seen: BTreeSet<SubExprSig> = BTreeSet::new();
     let mut total = 0.0;
     for (cq, _) in &uq.cqs {
@@ -104,10 +114,17 @@ pub fn estimate_uq_cost(uq: &UserQuery, state: Option<(&SigInterner, &WarmStore)
                 continue;
             }
             let card = state.and_then(|(interner, warm)| {
-                interner
-                    .get(&sig)
-                    .and_then(|id| warm.peek_fact(id))
-                    .map(|fact| fact.card.max(0.0))
+                interner.get(&sig).and_then(|id| {
+                    let fact = warm.peek_fact(id).map(|fact| fact.card.max(0.0));
+                    let obs = observed.and_then(|o| o.card(id));
+                    match (fact, obs) {
+                        (_, Some(oc)) if oc.exhausted => Some(oc.tuples as f64),
+                        (Some(card), Some(oc)) => Some(card.max(oc.tuples as f64)),
+                        (Some(card), None) => Some(card),
+                        (None, Some(oc)) => Some((oc.tuples as f64).max(DEFAULT_LEAF_COST)),
+                        (None, None) => None,
+                    }
+                })
             });
             total += card.unwrap_or(DEFAULT_LEAF_COST);
         }
@@ -367,12 +384,12 @@ mod tests {
             keywords: "x".into(),
             cqs: vec![(cq, ScoreFn::discover(UserId::new(0), 1))],
         };
-        assert_eq!(estimate_uq_cost(&uq, None), FALLBACK_UQ_COST);
+        assert_eq!(estimate_uq_cost(&uq, None, None), FALLBACK_UQ_COST);
         // An empty interner/warm pair also resolves nothing.
         let interner = SigInterner::new();
         let warm = WarmStore::default();
         assert_eq!(
-            estimate_uq_cost(&uq, Some((&interner, &warm))),
+            estimate_uq_cost(&uq, Some((&interner, &warm)), None),
             FALLBACK_UQ_COST
         );
     }
@@ -409,6 +426,73 @@ mod tests {
             keywords: "x".into(),
             cqs: vec![(cq, ScoreFn::discover(UserId::new(0), 1))],
         };
-        assert_eq!(estimate_uq_cost(&uq, Some((&interner, &warm))), 250.0);
+        assert_eq!(estimate_uq_cost(&uq, Some((&interner, &warm)), None), 250.0);
+    }
+
+    #[test]
+    fn cost_estimator_prefers_observed_cards() {
+        use crate::warm::WarmFact;
+        use qsys_query::ScoreFn;
+        use qsys_types::{CqId, RelId, UqId, UserId};
+        let mut interner = SigInterner::new();
+        let sig = interner.relation(RelId::new(7), None);
+        let mut warm = WarmStore::default();
+        warm.set_fact(
+            sig,
+            WarmFact {
+                card: 250.0,
+                streamed: true,
+                size: 40,
+            },
+        );
+        let cq = qsys_query::ConjunctiveQuery {
+            id: CqId::new(0),
+            uq: UqId::new(0),
+            user: UserId::new(0),
+            atoms: vec![qsys_query::CqAtom {
+                rel: RelId::new(7),
+                selection: None,
+            }],
+            joins: vec![],
+        };
+        let uq = UserQuery {
+            id: UqId::new(0),
+            user: UserId::new(0),
+            keywords: "x".into(),
+            cqs: vec![(cq, ScoreFn::discover(UserId::new(0), 1))],
+        };
+        // An exhausted observation is exact: it overrides the frozen
+        // fact in either direction.
+        let mut observed = ObservedStats::new();
+        observed.note_stream(sig, 40, true);
+        assert_eq!(
+            estimate_uq_cost(&uq, Some((&interner, &warm)), Some(&observed)),
+            40.0
+        );
+        // A live observation is a lower bound: it raises a stale fact…
+        let mut live = ObservedStats::new();
+        live.note_stream(sig, 900, false);
+        assert_eq!(
+            estimate_uq_cost(&uq, Some((&interner, &warm)), Some(&live)),
+            900.0
+        );
+        // …but never lowers one that may still be right.
+        let mut small = ObservedStats::new();
+        small.note_stream(sig, 10, false);
+        assert_eq!(
+            estimate_uq_cost(&uq, Some((&interner, &warm)), Some(&small)),
+            250.0
+        );
+        // Observation without a warm fact still weighs the leaf.
+        let bare = SigInterner::new();
+        let mut bare_interner = bare;
+        let bare_sig = bare_interner.relation(RelId::new(7), None);
+        let cold = WarmStore::default();
+        let mut obs_only = ObservedStats::new();
+        obs_only.note_stream(bare_sig, 33, false);
+        assert_eq!(
+            estimate_uq_cost(&uq, Some((&bare_interner, &cold)), Some(&obs_only)),
+            33.0
+        );
     }
 }

@@ -34,7 +34,7 @@
 pub mod wire;
 
 use qsys_catalog::Catalog;
-use qsys_opt::{OptStats, WarmExport, WarmFact, WarmPlan, WarmStore};
+use qsys_opt::{ObservedCard, ObservedStats, OptStats, WarmExport, WarmFact, WarmPlan, WarmStore};
 use qsys_query::{SigId, SigInterner, SubExprSig};
 use qsys_source::SnapFaults;
 use std::fs;
@@ -48,8 +48,13 @@ pub const SNAPSHOT_FILE: &str = "qsys.snapshot";
 pub const SNAPSHOT_TMP: &str = "qsys.snapshot.tmp";
 /// Magic tag opening every snapshot file.
 pub const MAGIC: &[u8; 8] = b"QSYSSNAP";
-/// Current format version; older or newer files are rejected whole.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 2 added the observed-cardinality
+/// section ([`SEC_OBSERVED`]); files back to [`MIN_FORMAT_VERSION`] still
+/// load (a v1 file simply rehydrates with no observations). Newer or
+/// pre-v1 files are rejected whole.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version this loader still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 const SEC_HEADER: u8 = 0x01;
 const SEC_INTERNER: u8 = 0x10;
@@ -58,6 +63,7 @@ const SEC_EXPENSIVE: u8 = 0x12;
 const SEC_CANDIDATES: u8 = 0x13;
 const SEC_RANK: u8 = 0x14;
 const SEC_PLANS: u8 = 0x15;
+const SEC_OBSERVED: u8 = 0x16;
 const SEC_LANE_END: u8 = 0x1F;
 
 /// Sanity bound on the header's lane count (a corrupt count must not
@@ -100,6 +106,9 @@ pub struct LaneImage {
     pub interner: Vec<(SubExprSig, Option<(SigId, SigId)>)>,
     /// The warm store's exportable state.
     pub warm: WarmExport,
+    /// Observed per-leaf cardinalities learned by the adaptive loop
+    /// (empty unless adaptive execution ran); id-sorted.
+    pub observed: Vec<(SigId, ObservedCard)>,
 }
 
 /// Serializable image of a whole engine's warm state.
@@ -121,6 +130,9 @@ pub struct LoadedLane {
     pub interner: SigInterner,
     /// Rebuilt warm store, validated against that interner.
     pub warm: WarmStore,
+    /// Rehydrated observed cardinalities, validated against that
+    /// interner (empty for v1 snapshots or when nothing was observed).
+    pub observed: ObservedStats,
 }
 
 /// Stable fingerprint of a catalog: FNV-1a over the debug rendering of its
@@ -231,6 +243,17 @@ fn encode_plans(warm: &WarmExport) -> Vec<u8> {
     e.into_bytes()
 }
 
+fn encode_observed(lane: &LaneImage) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(lane.observed.len() as u32);
+    for (id, oc) in &lane.observed {
+        e.sig_id(*id);
+        e.u64(oc.tuples);
+        e.u8(oc.exhausted as u8);
+    }
+    e.into_bytes()
+}
+
 /// Serialize an image to the wire format (magic, checksummed header,
 /// per-lane checksummed sections).
 pub fn encode_snapshot(image: &SnapshotImage) -> Vec<u8> {
@@ -249,6 +272,7 @@ pub fn encode_snapshot(image: &SnapshotImage) -> Vec<u8> {
         push_section(&mut out, SEC_CANDIDATES, &encode_candidates(&lane.warm));
         push_section(&mut out, SEC_RANK, &encode_rank(&lane.warm));
         push_section(&mut out, SEC_PLANS, &encode_plans(&lane.warm));
+        push_section(&mut out, SEC_OBSERVED, &encode_observed(lane));
         push_section(&mut out, SEC_LANE_END, &[]);
     }
     out
@@ -341,6 +365,7 @@ impl<'a> Iterator for Sections<'a> {
                 | SEC_CANDIDATES
                 | SEC_RANK
                 | SEC_PLANS
+                | SEC_OBSERVED
                 | SEC_LANE_END
         );
         if !known {
@@ -449,6 +474,20 @@ fn decode_rank(body: &[u8]) -> Result<Vec<SigId>, String> {
     Ok(order)
 }
 
+fn decode_observed(body: &[u8]) -> Result<Vec<(SigId, ObservedCard)>, String> {
+    let mut d = Dec::new(body);
+    let n = d.count(13)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = d.sig_id()?;
+        let tuples = d.u64()?;
+        let exhausted = d.u8()? != 0;
+        out.push((id, ObservedCard { tuples, exhausted }));
+    }
+    d.finish()?;
+    Ok(out)
+}
+
 fn decode_plans(body: &[u8]) -> Result<PlanRows, String> {
     let mut d = Dec::new(body);
     let n = d.count(4)?;
@@ -497,6 +536,7 @@ fn decode_plans(body: &[u8]) -> Result<PlanRows, String> {
 struct LaneBuild {
     interner: Option<SigInterner>,
     export: WarmExport,
+    observed: Vec<(SigId, ObservedCard)>,
     salvaged: usize,
 }
 
@@ -596,10 +636,10 @@ fn parse_snapshot(
             return Vec::new();
         }
     };
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         note_reject(
             summary,
-            format!("format version {version} (expected {FORMAT_VERSION})"),
+            format!("format version {version} (accepted {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"),
         );
         return Vec::new();
     }
@@ -689,6 +729,13 @@ fn parse_snapshot(
                 }
                 Err(e) => note_reject(summary, format!("plans section: {e}")),
             },
+            SEC_OBSERVED => match decode_observed(section.body) {
+                Ok(observed) => {
+                    build.observed = observed;
+                    build.salvaged += 1;
+                }
+                Err(e) => note_reject(summary, format!("observed section: {e}")),
+            },
             SEC_LANE_END => {
                 lanes.push(finish_lane(
                     std::mem::take(&mut build),
@@ -739,7 +786,7 @@ fn finish_lane(
     expected_fingerprint: &str,
     summary: &mut SnapshotSummary,
 ) -> Option<LoadedLane> {
-    let salvaged = build.salvaged;
+    let mut salvaged = build.salvaged;
     let Some(interner) = build.interner else {
         summary.sections_rejected += salvaged; // sections without their interner
         summary
@@ -772,8 +819,22 @@ fn finish_lane(
             }
         }
     };
+    // Observed cards are hints, not decisions: an image that fails the
+    // interner-bounds check drops just this section, never the lane.
+    let observed = match ObservedStats::from_export(build.observed, &interner) {
+        Ok(observed) => observed,
+        Err(e) => {
+            note_reject(summary, format!("observed section validation: {e}"));
+            salvaged = salvaged.saturating_sub(1); // it was counted on decode
+            ObservedStats::new()
+        }
+    };
     summary.sections_salvaged += salvaged;
-    Some(LoadedLane { interner, warm })
+    Some(LoadedLane {
+        interner,
+        warm,
+        observed,
+    })
 }
 
 #[cfg(test)]
@@ -828,8 +889,38 @@ mod tests {
             lanes: vec![LaneImage {
                 interner: interner.export_entries(),
                 warm: warm.export(),
+                observed: vec![(
+                    a,
+                    ObservedCard {
+                        tuples: 42,
+                        exhausted: true,
+                    },
+                )],
             }],
         }
+    }
+
+    /// Encode `image` in the version-1 wire layout: v1 header, no
+    /// observed section — what a pre-adaptive build would have written.
+    fn encode_v1(image: &SnapshotImage) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        let mut header = Enc::new();
+        header.u32(1);
+        header.str(&image.engine_fingerprint);
+        header.u64(image.catalog_fingerprint);
+        header.u32(image.lanes.len() as u32);
+        push_section(&mut out, SEC_HEADER, &header.into_bytes());
+        for lane in &image.lanes {
+            push_section(&mut out, SEC_INTERNER, &encode_interner(lane));
+            push_section(&mut out, SEC_FACTS, &encode_facts(&lane.warm));
+            push_section(&mut out, SEC_EXPENSIVE, &encode_expensive(&lane.warm));
+            push_section(&mut out, SEC_CANDIDATES, &encode_candidates(&lane.warm));
+            push_section(&mut out, SEC_RANK, &encode_rank(&lane.warm));
+            push_section(&mut out, SEC_PLANS, &encode_plans(&lane.warm));
+            push_section(&mut out, SEC_LANE_END, &[]);
+        }
+        out
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -863,6 +954,62 @@ mod tests {
         let mut warm = WarmStore::from_export(lane.warm.export(), &lane.interner).unwrap();
         warm.begin_batch();
         assert!(warm.fact(SigId(2)).is_some());
+        assert_eq!(
+            lane.observed.card(SigId(0)),
+            Some(ObservedCard {
+                tuples: 42,
+                exhausted: true
+            }),
+            "observed cards survive the roundtrip"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_1_snapshot_still_loads_without_observations() {
+        let cat = catalog();
+        let img = image(&cat);
+        let dir = tmp_dir("v1compat");
+        fs::write(dir.join(SNAPSHOT_FILE), encode_v1(&img)).unwrap();
+        let (lanes, summary) = load_snapshot(&dir, "fp", &cat, None);
+        assert_eq!(summary.reason, None, "{summary:?}");
+        assert!(summary.loaded);
+        let lane = lanes[0].as_ref().unwrap();
+        assert_eq!(lane.interner.len(), 3);
+        assert!(
+            lane.observed.is_empty(),
+            "a pre-adaptive snapshot carries no observations"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_observed_section_drops_only_the_hints() {
+        let cat = catalog();
+        let mut img = image(&cat);
+        // Out-of-bounds id: decodes fine, fails interner validation.
+        img.lanes[0].observed = vec![(
+            SigId(999),
+            ObservedCard {
+                tuples: 1,
+                exhausted: false,
+            },
+        )];
+        let dir = tmp_dir("obsbad");
+        write_snapshot(&dir, &img, None).unwrap();
+        let (lanes, summary) = load_snapshot(&dir, "fp", &cat, None);
+        assert!(summary.loaded, "the lane itself still rehydrates");
+        assert!(summary
+            .reason
+            .as_deref()
+            .unwrap()
+            .contains("observed section validation"));
+        let lane = lanes[0].as_ref().unwrap();
+        assert!(lane.observed.is_empty());
+        assert!(
+            lane.warm.peek_fact(SigId(2)).is_some(),
+            "warm facts are untouched by the dropped hints"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -11,6 +11,7 @@
 use crate::session::Engine;
 use qsys_catalog::{Catalog, KeywordIndex};
 use qsys_exec::{Atc, ExecStats, RetryPolicy, SchedulingPolicy, SourceGovernor};
+use qsys_opt::adaptive::{AdaptiveConfig, AdaptiveSummary, ObservedStats};
 use qsys_opt::cluster::ClusterConfig;
 use qsys_opt::shard::ShardConfig;
 use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
@@ -125,6 +126,22 @@ pub struct EngineConfig {
     /// `QSYS_SHARD_THRESHOLD` (a work estimate ≥ 1, or `off`/`0`) and
     /// `QSYS_SHARD_MAX` (shard cap, default 8).
     pub sharding: ShardConfig,
+    /// Adaptive mid-flight re-optimization: when enabled
+    /// (`adaptive.drift` set), each sharing lane periodically compares
+    /// runtime observations (per-leaf delivered cardinality, m-join
+    /// state growth) against the frozen warm-store cost inputs during
+    /// batch execution; past the drift ratio it folds the observed
+    /// cards back into the warm store and re-plans the *remaining*
+    /// queries (those that have emitted nothing yet) through the warm
+    /// path, re-grafting them onto the live state. The result multiset
+    /// per query is identical to the static plan's
+    /// (`tests/adaptive_identity.rs`). Off by default — no observation,
+    /// no drift checks, goldens byte-identical. Environment knobs:
+    /// `QSYS_ADAPT_DRIFT` (a ratio > 1, or `off`/`0`) and
+    /// `QSYS_ADAPT_MIN_REMAINING` (fraction of the batch that must
+    /// still be re-plannable, default 0.25). Requires `warm_opt` (the
+    /// corrected facts live in the warm store) — inert without it.
+    pub adaptive: AdaptiveConfig,
     /// Auto-snapshot cadence when [`EngineConfig::snapshot_dir`] is set:
     /// publish a fresh snapshot after every this-many dispatched batches
     /// (callers can force one any time with `Engine::snapshot()`).
@@ -223,6 +240,41 @@ pub(crate) fn parse_shard_threshold(value: Option<String>) -> Result<Option<f64>
     }
 }
 
+/// Parse a `QSYS_ADAPT_DRIFT` value: unset, empty, `off`, or `0`
+/// disable adaptive re-optimization; anything else must be a finite
+/// drift ratio > 1 (an observation/estimate divergence factor).
+pub(crate) fn parse_adapt_drift(value: Option<String>) -> Result<Option<f64>, String> {
+    let Some(v) = value else { return Ok(None) };
+    let v = v.trim();
+    if v.is_empty() || v == "off" || v == "0" {
+        return Ok(None);
+    }
+    match v.parse::<f64>() {
+        Ok(t) if t.is_finite() && t > 1.0 => Ok(Some(t)),
+        Ok(t) => Err(format!(
+            "QSYS_ADAPT_DRIFT: {t} must be a finite drift ratio > 1 (or `off`)"
+        )),
+        Err(_) => Err(format!("QSYS_ADAPT_DRIFT: `{v}` is not a drift ratio")),
+    }
+}
+
+/// Parse a `QSYS_ADAPT_MIN_REMAINING` value (unset = the default
+/// fraction): how much of a batch must still be re-plannable for a
+/// mid-batch replan to pay, as a fraction in [0, 1].
+pub(crate) fn parse_adapt_min_remaining(value: Option<String>) -> Result<f64, String> {
+    match value {
+        None => Ok(AdaptiveConfig::DEFAULT_MIN_REMAINING),
+        Some(v) if v.trim().is_empty() => Ok(AdaptiveConfig::DEFAULT_MIN_REMAINING),
+        Some(v) => match v.trim().parse::<f64>() {
+            Ok(f) if f.is_finite() && (0.0..=1.0).contains(&f) => Ok(f),
+            Ok(f) => Err(format!(
+                "QSYS_ADAPT_MIN_REMAINING: {f} must be a fraction in [0, 1]"
+            )),
+            Err(_) => Err(format!("QSYS_ADAPT_MIN_REMAINING: `{v}` is not a fraction")),
+        },
+    }
+}
+
 /// Parse a `QSYS_SHARD_MAX` value (unset = the default cap).
 pub(crate) fn parse_shard_max(value: Option<String>) -> Result<usize, String> {
     match value {
@@ -271,6 +323,25 @@ impl Default for EngineConfig {
             });
             ShardConfig::DEFAULT_MAX_SHARDS
         });
+        // A malformed adaptive knob disables re-planning (the
+        // conservative, static behaviour) and reports.
+        let adapt_drift =
+            parse_adapt_drift(std::env::var("QSYS_ADAPT_DRIFT").ok()).unwrap_or_else(|e| {
+                env_errors.push(ConfigError {
+                    field: "adaptive.drift",
+                    message: e,
+                });
+                None
+            });
+        let adapt_min_remaining =
+            parse_adapt_min_remaining(std::env::var("QSYS_ADAPT_MIN_REMAINING").ok())
+                .unwrap_or_else(|e| {
+                    env_errors.push(ConfigError {
+                        field: "adaptive.min_remaining",
+                        message: e,
+                    });
+                    AdaptiveConfig::DEFAULT_MIN_REMAINING
+                });
         EngineConfig {
             k: 50,
             batch_size: 5,
@@ -295,6 +366,10 @@ impl Default for EngineConfig {
             sharding: ShardConfig {
                 threshold: shard_threshold,
                 max_shards: shard_max,
+            },
+            adaptive: AdaptiveConfig {
+                drift: adapt_drift,
+                min_remaining: adapt_min_remaining,
             },
             snapshot_every,
             env_errors,
@@ -346,6 +421,19 @@ impl EngineConfig {
             "sharding.max_shards",
             "a cluster splits into at least one shard".into(),
         )?;
+        if let Some(d) = self.adaptive.drift {
+            invariant(
+                d.is_finite() && d > 1.0,
+                "adaptive.drift",
+                "drift ratio must be finite and > 1".into(),
+            )?;
+        }
+        invariant(
+            self.adaptive.min_remaining.is_finite()
+                && (0.0..=1.0).contains(&self.adaptive.min_remaining),
+            "adaptive.min_remaining",
+            "remaining-work fraction must be in [0, 1]".into(),
+        )?;
         Ok(())
     }
 
@@ -389,6 +477,20 @@ pub(crate) struct Lane {
     /// Retry/breaker state for this lane's fetches. A strict pass-through
     /// while the lane's sources carry no fault injector.
     pub(crate) governor: SourceGovernor,
+    /// Adaptive-execution state: accumulated runtime observations plus
+    /// the lane's drift/replan counters. Untouched (default-empty) when
+    /// `EngineConfig::adaptive` is off.
+    pub(crate) adaptive: AdaptiveState,
+}
+
+/// A lane's adaptive-execution state (see [`EngineConfig::adaptive`]).
+#[derive(Debug, Default)]
+pub(crate) struct AdaptiveState {
+    /// Runtime observations, monotone across the lane's lifetime (and
+    /// rehydrated from a snapshot's observed-stats section).
+    pub(crate) observed: ObservedStats,
+    /// Drift/replan counters, reported per lane and merged into the run.
+    pub(crate) summary: AdaptiveSummary,
 }
 
 /// Compile-time guarantee that lanes can move onto worker threads; if a
@@ -421,6 +523,7 @@ impl Lane {
             atc: Atc::new(config.scheduling),
             stats: ExecStats::new(),
             governor: SourceGovernor::new(config.retry),
+            adaptive: AdaptiveState::default(),
         }
     }
 }
@@ -520,13 +623,17 @@ pub(crate) fn batch_share(mode: &SharingMode) -> bool {
 }
 
 /// Optimize and graft a set of user queries as one batch onto a lane.
-/// Returns the combined graft outcome and optimizer stats.
+/// Returns the combined graft outcome and optimizer stats. `replan`
+/// marks an adaptive mid-batch re-graft: the manager then instantiates
+/// CQ roots fresh instead of merging them back onto the abandoned
+/// plan's roots (whose signatures they necessarily share).
 pub(crate) fn graft_batch(
     catalog: &Catalog,
     lane: &mut Lane,
     uqs: &[&UserQuery],
     config: &EngineConfig,
     share: bool,
+    replan: bool,
 ) -> (qsys_state::GraftOutcome, OptStats) {
     let batch: Vec<(&qsys_query::ConjunctiveQuery, &ScoreFn)> = uqs
         .iter()
@@ -556,7 +663,11 @@ pub(crate) fn graft_batch(
             warm.as_deref(),
         )
     };
-    let outcome = lane.manager.graft(&spec, &lane.sources, config.k);
+    let outcome = if replan {
+        lane.manager.graft_replan(&spec, &lane.sources, config.k)
+    } else {
+        lane.manager.graft(&spec, &lane.sources, config.k)
+    };
     (outcome, opt_stats)
 }
 
@@ -638,6 +749,69 @@ mod tests {
                 "error for '{bad}' must name the knob: {err}"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_knobs_parse_or_explain() {
+        // Drift: unset / empty / off / 0 disable; > 1 enables.
+        assert_eq!(parse_adapt_drift(None), Ok(None));
+        assert_eq!(parse_adapt_drift(Some("".into())), Ok(None));
+        assert_eq!(parse_adapt_drift(Some("off".into())), Ok(None));
+        assert_eq!(parse_adapt_drift(Some("0".into())), Ok(None));
+        assert_eq!(parse_adapt_drift(Some(" 2 ".into())), Ok(Some(2.0)));
+        assert_eq!(parse_adapt_drift(Some("1.5".into())), Ok(Some(1.5)));
+        for bad in ["1", "0.5", "-3", "NaN", "inf", "lots"] {
+            let err = parse_adapt_drift(Some(bad.into())).expect_err(bad);
+            assert!(
+                err.contains("QSYS_ADAPT_DRIFT"),
+                "error for '{bad}' must name the knob: {err}"
+            );
+        }
+        // Min remaining: unset/empty default, fraction in [0, 1].
+        assert_eq!(
+            parse_adapt_min_remaining(None),
+            Ok(AdaptiveConfig::DEFAULT_MIN_REMAINING)
+        );
+        assert_eq!(
+            parse_adapt_min_remaining(Some(" ".into())),
+            Ok(AdaptiveConfig::DEFAULT_MIN_REMAINING)
+        );
+        assert_eq!(parse_adapt_min_remaining(Some("0".into())), Ok(0.0));
+        assert_eq!(parse_adapt_min_remaining(Some("0.5".into())), Ok(0.5));
+        assert_eq!(parse_adapt_min_remaining(Some("1".into())), Ok(1.0));
+        for bad in ["1.5", "-0.1", "NaN", "half"] {
+            let err = parse_adapt_min_remaining(Some(bad.into())).expect_err(bad);
+            assert!(
+                err.contains("QSYS_ADAPT_MIN_REMAINING"),
+                "error for '{bad}' must name the knob: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_checks_adaptive_invariants() {
+        let mut config = EngineConfig {
+            env_errors: Vec::new(),
+            ..EngineConfig::default()
+        };
+        config.adaptive = AdaptiveConfig::at(1.0);
+        let err = config.validate().expect_err("ratio 1 never drifts");
+        assert_eq!(err.field, "adaptive.drift");
+        config.adaptive = AdaptiveConfig {
+            drift: Some(f64::INFINITY),
+            ..AdaptiveConfig::off()
+        };
+        assert!(config.validate().is_err(), "infinite ratio invalid");
+        config.adaptive = AdaptiveConfig {
+            drift: Some(2.0),
+            min_remaining: 1.5,
+        };
+        let err = config.validate().expect_err("fraction above 1 invalid");
+        assert_eq!(err.field, "adaptive.min_remaining");
+        config.adaptive = AdaptiveConfig::at(2.0);
+        config.validate().expect("sane adaptive validates");
+        config.adaptive = AdaptiveConfig::off();
+        config.validate().expect("default-off adaptive validates");
     }
 
     #[test]

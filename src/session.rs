@@ -327,9 +327,10 @@ fn thaw(config: &EngineConfig, catalog: &Catalog) -> (Vec<Option<LoadedLane>>, S
 /// the lane interns anything: the snapshot's `SigId`s are positional, so
 /// the arena has to be rebuilt onto an empty interner for the ids to mean
 /// what the warm store thinks they mean.
-fn install(lane: &Lane, loaded: LoadedLane) {
+fn install(lane: &mut Lane, loaded: LoadedLane) {
     *lane.manager.shared_interner().borrow_mut() = loaded.interner;
     *lane.manager.warm_cell().borrow_mut() = loaded.warm;
+    lane.adaptive.observed = loaded.observed;
 }
 
 impl Engine {
@@ -392,9 +393,9 @@ impl Engine {
         config: EngineConfig,
     ) -> Engine {
         let (mut thawed, snapshot) = thaw(&config, &catalog);
-        let lane = Lane::new(&config, provider, 0);
+        let mut lane = Lane::new(&config, provider, 0);
         if let Some(loaded) = thawed.get_mut(0).and_then(Option::take) {
-            install(&lane, loaded);
+            install(&mut lane, loaded);
         }
         Engine {
             catalog,
@@ -422,9 +423,9 @@ impl Engine {
     /// loaded snapshot warms every lane topology the engine can grow.
     fn add_lane(&mut self) -> usize {
         let idx = self.lanes.len();
-        let lane = Lane::new(&self.config, (self.provider)(), idx as u64);
+        let mut lane = Lane::new(&self.config, (self.provider)(), idx as u64);
         if let Some(loaded) = self.thawed.get_mut(idx).and_then(Option::take) {
-            install(&lane, loaded);
+            install(&mut lane, loaded);
         }
         self.lanes.push(LaneSlot::new(lane));
         idx
@@ -569,7 +570,11 @@ impl Engine {
         let warm_cell = slot.lane.manager.warm_cell();
         let interner = interner_cell.borrow();
         let warm = warm_cell.borrow();
-        estimate_uq_cost(uq, Some((&interner, &warm)))
+        estimate_uq_cost(
+            uq,
+            Some((&interner, &warm)),
+            Some(&slot.lane.adaptive.observed),
+        )
     }
 
     /// Pick the lane for a query once lanes exist: lane 0 unless ATC-CL,
@@ -702,7 +707,11 @@ impl Engine {
                 let raw: Vec<f64> = uq_ids
                     .iter()
                     .map(|id| {
-                        estimate_uq_cost(by_id[id], warm_state.map(|l| (&l.interner, &l.warm)))
+                        estimate_uq_cost(
+                            by_id[id],
+                            warm_state.map(|l| (&l.interner, &l.warm)),
+                            warm_state.map(|l| &l.observed),
+                        )
                     })
                     .collect();
                 let weights = normalize_weights(&raw);
@@ -841,6 +850,7 @@ impl Engine {
                     LaneImage {
                         interner: interner.export_entries(),
                         warm: warm.export(),
+                        observed: slot.lane.adaptive.observed.export(),
                     }
                 })
                 .collect(),
@@ -1046,6 +1056,7 @@ impl Engine {
                     tuples_streamed: slot.lane.sources.tuples_streamed(),
                     uqs: 0,
                     poisoned: slot.poisoned.is_some(),
+                    adaptive: slot.lane.adaptive.summary,
                 })
                 .collect(),
             skipped: self.skipped.clone(),
@@ -1069,6 +1080,7 @@ impl Engine {
             report.stream_rounds += slot.lane.sources.stream_rounds();
             report.probes += slot.lane.sources.probes();
             report.faults.source.absorb(&slot.lane.governor.snapshot());
+            report.adaptive.absorb(&slot.lane.adaptive.summary);
         }
         let ledger = ledger_lock(&self.ledger);
         report.per_uq = ledger
@@ -1312,7 +1324,7 @@ fn run_batch(
         SharingMode::AtcCq | SharingMode::AtcUq => {
             for admitted in &batch {
                 let uq = &admitted.uq;
-                let (outcome, opt) = graft_batch(catalog, lane, &[uq], config, share);
+                let (outcome, opt) = graft_batch(catalog, lane, &[uq], config, share, false);
                 slot.opt_events.push(OptEvent {
                     batch_cqs: uq.cqs.len(),
                     candidates: opt.candidates,
@@ -1331,7 +1343,7 @@ fn run_batch(
         _ => {
             let uqs: Vec<&UserQuery> = batch.iter().map(|a| &a.uq).collect();
             let n_cqs: usize = uqs.iter().map(|uq| uq.cqs.len()).sum();
-            let (outcome, opt) = graft_batch(catalog, lane, &uqs, config, share);
+            let (outcome, opt) = graft_batch(catalog, lane, &uqs, config, share, false);
             slot.opt_events.push(OptEvent {
                 batch_cqs: n_cqs,
                 candidates: opt.candidates,
@@ -1344,12 +1356,24 @@ fn run_batch(
         }
     }
 
-    lane.atc.run_governed(
-        lane.manager.graph_mut(),
-        &lane.sources,
-        &lane.governor,
-        &mut lane.stats,
-    );
+    // The adaptive loop needs the warm store (corrections live there) and
+    // cross-query sharing semantics (a re-graft must merge back onto the
+    // live leaves); ATC-CQ shares nothing and ATC-UQ isolates its
+    // signature index between queries, so both run the static path.
+    let adaptive_on = config.adaptive.enabled()
+        && config.warm_opt
+        && share
+        && !matches!(config.sharing, SharingMode::AtcCq | SharingMode::AtcUq);
+    if adaptive_on {
+        adaptive_drive(catalog, config, share, lane, &batch, &mut slot.opt_events);
+    } else {
+        lane.atc.run_governed(
+            lane.manager.graph_mut(),
+            &lane.sources,
+            &lane.governor,
+            &mut lane.stats,
+        );
+    }
     lane.manager.unpin_all();
 
     // Harvest results before completed rank-merges are unlinked. The
@@ -1431,4 +1455,138 @@ fn run_batch(
     lane.manager.unlink_completed();
     lane.manager.evict_to_budget();
     slot.wall_us += wall.elapsed().as_micros() as u64;
+}
+
+/// Rounds between drift checks in the adaptive drive loop: frequent
+/// enough to catch drift while most of a batch is still ahead, rare
+/// enough that observation never dominates a round.
+const DRIFT_CHECK_INTERVAL: u64 = 4;
+
+/// Mid-batch replans one batch may perform. Corrections persist in the
+/// warm store (and are re-applied wholesale at batch end), so one
+/// surgery per batch captures nearly all of the correction's value;
+/// every further replan re-pays the optimize charge for marginal
+/// fact deltas — churn, not adaptation.
+const MAX_REPLANS_PER_BATCH: u64 = 1;
+
+/// Drive one batch's ATC with the adaptive feedback loop (see
+/// [`EngineConfig::adaptive`](crate::EngineConfig)): run scheduling
+/// rounds exactly like `Atc::run_governed`, but every
+/// [`DRIFT_CHECK_INTERVAL`] rounds tap the live graph's observed
+/// cardinalities and compare them against the frozen warm-store facts.
+/// When drift exceeds the configured ratio and enough of the batch is
+/// still re-plannable, fold the observations into the warm store,
+/// detach every member that has emitted nothing, and re-graft those
+/// members through the warm optimizer path — their fresh rank-merges
+/// rebuild from the archived state via `RecoverState` (the same
+/// machinery a late-arriving query uses), so no tuple is lost and, with
+/// nothing yet emitted, none can be duplicated.
+fn adaptive_drive(
+    catalog: &Catalog,
+    config: &EngineConfig,
+    share: bool,
+    lane: &mut Lane,
+    batch: &[&Admitted],
+    opt_events: &mut Vec<OptEvent>,
+) {
+    let drift = config
+        .adaptive
+        .drift
+        .expect("adaptive drive requires a threshold");
+    lane.governor.begin_batch();
+    let mut rounds: u64 = 0;
+    let mut replans: u64 = 0;
+    loop {
+        let progress = lane.atc.round(
+            lane.manager.graph_mut(),
+            &lane.sources,
+            &lane.governor,
+            &mut lane.stats,
+        );
+        if !progress {
+            break;
+        }
+        rounds += 1;
+        if !rounds.is_multiple_of(DRIFT_CHECK_INTERVAL) || replans >= MAX_REPLANS_PER_BATCH {
+            continue;
+        }
+        lane.adaptive.summary.drift_checks += 1;
+        lane.manager.observe_into(&mut lane.adaptive.observed);
+        let drifted = {
+            let warm_cell = lane.manager.warm_cell();
+            let warm = warm_cell.borrow();
+            qsys_opt::adaptive::detect_drift(&warm, &lane.adaptive.observed, drift).any()
+        };
+        if !drifted {
+            continue;
+        }
+        // Only members that have emitted nothing are safely re-plannable;
+        // a replan must also still be worth it (enough of the batch left).
+        let remaining: Vec<&UserQuery> = batch
+            .iter()
+            .map(|a| &a.uq)
+            .filter(|uq| lane.manager.replannable(uq.id))
+            .collect();
+        if remaining.is_empty()
+            || (remaining.len() as f64) < config.adaptive.min_remaining * batch.len() as f64
+        {
+            continue;
+        }
+        // Correct the warm store from what was observed. If nothing
+        // actually changed, the re-plan would re-derive the same plan —
+        // skip the surgery.
+        let corrected = {
+            let interner_cell = lane.manager.shared_interner();
+            let interner = interner_cell.borrow();
+            let warm_cell = lane.manager.warm_cell();
+            let mut warm = warm_cell.borrow_mut();
+            qsys_opt::adaptive::apply_observed(&mut warm, &lane.adaptive.observed, &interner)
+        };
+        lane.adaptive.summary.cards_corrected += corrected;
+        if corrected == 0 {
+            continue;
+        }
+        let replanned: Vec<&UserQuery> = remaining
+            .into_iter()
+            .filter(|uq| lane.manager.detach_for_replan(uq.id))
+            .collect();
+        if replanned.is_empty() {
+            continue;
+        }
+        let opt_before = lane.sources.clock().breakdown().optimize_us;
+        let (_, opt) = graft_batch(catalog, lane, &replanned, config, share, true);
+        lane.adaptive.summary.replan_us += lane
+            .sources
+            .clock()
+            .breakdown()
+            .optimize_us
+            .saturating_sub(opt_before);
+        opt_events.push(OptEvent {
+            batch_cqs: replanned.iter().map(|uq| uq.cqs.len()).sum(),
+            candidates: opt.candidates,
+            explored: opt.explored,
+            opt_us: opt.explored as u64 * 15,
+            warm_hits: opt.warm_hits,
+        });
+        lane.adaptive.summary.replans += 1;
+        replans += 1;
+    }
+    lane.adaptive.observed.add_rounds(rounds);
+    // Final tap: later batches' shard routing, live estimates, and
+    // snapshots should see end-of-batch truth even if no check fired.
+    lane.manager.observe_into(&mut lane.adaptive.observed);
+    // Fold the batch's full observations into the warm store now that
+    // every stream has settled — exhausted leaves are exact counts and
+    // their relation-level factors re-cost the whole candidate space.
+    // Unlike the mid-batch surgery this charges nothing: the next batch
+    // was going to optimize anyway, and a dropped plan memo cannot hurt
+    // a batch shape that has never been seen.
+    let corrected = {
+        let interner_cell = lane.manager.shared_interner();
+        let interner = interner_cell.borrow();
+        let warm_cell = lane.manager.warm_cell();
+        let mut warm = warm_cell.borrow_mut();
+        qsys_opt::adaptive::apply_observed(&mut warm, &lane.adaptive.observed, &interner)
+    };
+    lane.adaptive.summary.cards_corrected += corrected;
 }

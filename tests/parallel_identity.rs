@@ -51,6 +51,14 @@ fn chaos_active() -> bool {
     std::env::var_os("QSYS_FAULTS").is_some_and(|v| !v.is_empty())
 }
 
+/// True under the CI adaptive leg (`QSYS_ADAPT_DRIFT` set). Mid-batch
+/// re-plans change how many tuples a plan reads, so the absolute golden
+/// counts are skipped — but the 1-vs-N thread identity below still runs
+/// and now also pins that the adaptive loop is thread-count-invariant.
+fn adaptive_active() -> bool {
+    EngineConfig::default().adaptive.enabled()
+}
+
 /// Every reported quantity except host wall times must match.
 fn assert_identical(seq: &RunReport, par: &RunReport, seed: u64) {
     assert_eq!(seq.lanes, par.lanes, "seed {seed}: lane count");
@@ -104,7 +112,7 @@ fn atc_cl_threaded_lanes_are_bit_identical_to_sequential() {
         let w = workload(seed);
         let seq = run_workload(&w, &engine(1), None).unwrap();
         assert_eq!(seq.lanes, lanes, "seed {seed}: golden lane count");
-        if !chaos_active() {
+        if !chaos_active() && !adaptive_active() {
             assert_eq!(
                 seq.tuples_consumed, tuples,
                 "seed {seed}: golden tuples consumed"

@@ -52,6 +52,15 @@ fn chaos_active() -> bool {
     std::env::var_os("QSYS_FAULTS").is_some_and(|v| !v.is_empty())
 }
 
+/// True under the CI adaptive leg (`QSYS_ADAPT_DRIFT` set). Mid-batch
+/// re-plans change how many tuples a plan reads, so the absolute goldens
+/// are skipped — but every cross-drive equivalence below still runs: the
+/// three drive shapes seal identical batches, so they observe identical
+/// runtime statistics and re-plan identically.
+fn adaptive_active() -> bool {
+    EngineConfig::default().adaptive.enabled()
+}
+
 /// How the driver interleaves submission and execution.
 #[derive(Clone, Copy)]
 enum Drive {
@@ -139,7 +148,7 @@ fn interleaved_submission_is_bit_identical_to_scripted_runs() {
             let (all, fp_all) = run_session(&w, engine_cfg(lane_threads), Drive::SubmitAllThenRun);
             let (one, fp_one) = run_session(&w, engine_cfg(lane_threads), Drive::SubmitOneStepOne);
 
-            if !chaos_active() {
+            if !chaos_active() && !adaptive_active() {
                 assert_eq!(all.tuples_consumed, tuples, "{label}: golden tuples");
                 let total: usize = all.per_uq.iter().map(|u| u.results).sum();
                 assert_eq!(total, results, "{label}: golden result count");
@@ -249,7 +258,11 @@ fn atc_cl_step_clusters_once_a_window_fills() {
 #[test]
 fn arrival_window_seals_partial_batches() {
     let w = workload(48);
+    // Counts optimizer events as a proxy for sealed batches, so adaptive
+    // is pinned off even under the CI adaptive leg: mid-batch re-plans
+    // add legitimate extra optimizer events.
     let mut cfg = engine_cfg(1);
+    cfg.adaptive = qsys::opt::AdaptiveConfig::off();
     cfg.batch_size = 100; // count-sealing out of the picture
     cfg.arrival_window_us = Some(1_000_000); // 1 virtual second
     let mut engine = Engine::for_workload(&w, cfg);

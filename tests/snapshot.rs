@@ -54,8 +54,11 @@ fn engine_cfg(snapshot_dir: Option<PathBuf>) -> EngineConfig {
         sharing: SharingMode::AtcFull,
         lane_threads: 1,
         // Explicit, not inherited from the environment: these tests pin
-        // their own persistence roots and fault schedules.
+        // their own persistence roots and fault schedules, and adaptive
+        // re-planning retunes the warm store mid-run — which would make
+        // "restart == persistence-off baseline" a different (false) claim.
         faults: None,
+        adaptive: qsys::opt::AdaptiveConfig::off(),
         snapshot_dir,
         snapshot_every: 1,
         ..EngineConfig::default()
@@ -132,6 +135,8 @@ impl Primed {
     }
 
     /// The state this lane would persist, as the engine would frame it.
+    /// Carries a synthetic observed-cardinality entry so the corruption
+    /// matrix walks the adaptive section's bytes too.
     fn image(&self) -> SnapshotImage {
         SnapshotImage {
             engine_fingerprint: self.opt_config.warm_fingerprint(),
@@ -139,6 +144,13 @@ impl Primed {
             lanes: vec![LaneImage {
                 interner: self.manager.shared_interner().borrow().export_entries(),
                 warm: self.manager.warm_cell().borrow().export(),
+                observed: vec![(
+                    qsys::query::SigId(0),
+                    qsys::opt::ObservedCard {
+                        tuples: 9,
+                        exhausted: false,
+                    },
+                )],
             }],
         }
     }
@@ -270,6 +282,48 @@ fn engine_restart_replays_warm_and_stays_identical() {
         assert_eq!(a.cqs_executed, b.cqs_executed);
     }
     assert_eq!(restarted.tuples_consumed, baseline.tuples_consumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Format-version compatibility: a version-1 header (what a pre-adaptive
+/// build stamps) still rehydrates warm state bit-identically, while a
+/// future version is rejected whole.
+#[test]
+fn old_format_versions_load_and_future_ones_cold_start() {
+    let primed = Primed::new(41);
+    let warm = primed.optimize(&primed.manager, 0, true);
+    let cold_mgr = QsManager::new(usize::MAX);
+    let cold = primed.optimize(&cold_mgr, 0, false);
+    let dir = tmp_dir("versions");
+    write_snapshot(&dir, &primed.image(), None).expect("publish");
+    let clean = std::fs::read(dir.join("qsys.snapshot")).expect("read back");
+
+    // Header layout: MAGIC(8) + id(1) + len(4) + crc(4) + body; the
+    // format version is the first u32 of the header body. Restamp it and
+    // re-checksum so only the version differs.
+    let restamp = |version: u32| {
+        let mut bytes = clean.clone();
+        let len = u32::from_le_bytes(bytes[9..13].try_into().unwrap()) as usize;
+        bytes[17..21].copy_from_slice(&version.to_le_bytes());
+        let crc = qsys::snapshot::wire::crc32(&bytes[17..17 + len]);
+        bytes[13..17].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    };
+
+    std::fs::write(dir.join("qsys.snapshot"), restamp(1)).expect("plant v1");
+    let (decision, summary) = primed.probe_from_dir(&dir);
+    assert!(
+        summary.loaded && summary.reason.is_none(),
+        "v1 snapshot rejected: {summary:?}"
+    );
+    assert_eq!(decision, warm, "v1-stamped snapshot changed a decision");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("recreate");
+    std::fs::write(dir.join("qsys.snapshot"), restamp(99)).expect("plant v99");
+    let (decision, summary) = primed.probe_from_dir(&dir);
+    assert!(!summary.loaded, "future version must cold start");
+    assert_eq!(decision, cold, "rejected future version must not warm");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
