@@ -27,6 +27,11 @@
 //! drift-heavy catalog): mean/p99 response, drift checks, replans, and
 //! corrected cardinalities, gated on per-UQ answer-multiset identity with
 //! the static run (`--check` also requires ≥1 replan and an improvement).
+//! Verify:      `verify [--dir D]` — invariant audit: run the standard GUS
+//! seeds through the default ATC-CL arm at 1 and 4 lane threads plus one
+//! sharded, one chaos, and one adaptive arm, run the `qsys-verify` checker
+//! over every live engine, and round-trip each engine's snapshot through
+//! disk and re-verify the decoded image. Exits 1 on any violation.
 //! Sweeps:      `fetch-batch [--batches 1,8,32] [--limit N]` — response-time
 //! shift from stream fetch-ahead on the figure workload (the ROADMAP's
 //! "quantify what fetch_batch buys" item; recorded in `BENCH_4.json`).
@@ -435,6 +440,32 @@ fn main() {
                 }
             }
         }
+        "verify" => {
+            // Invariant audit: every arm runs clean through the
+            // whole-system verifier, live and after a snapshot round
+            // trip. `--dir D` roots the snapshot scratch space (default:
+            // a per-process directory under the system temp dir).
+            let dir = flag_value(&args, "--dir")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("qsys-verify-{}", std::process::id()))
+                });
+            std::fs::create_dir_all(&dir).expect("create verify scratch dir");
+            let audit = verify_audit(&seeds, scale, &dir);
+            print_verify(&audit);
+            if !audit.is_clean() {
+                eprintln!(
+                    "CHECK FAILED: {} invariant violation(s) — every arm must verify \
+                     clean, live and from its reloaded snapshot",
+                    audit.total_violations()
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "gate ok: {} arms verified clean (live engine state and reloaded snapshots)",
+                audit.arms.len()
+            );
+        }
         "table4" => print_table4(&table4(&seeds, scale)),
         "fig7" => print_fig7(&fig7_runs(&seeds, scale, None)),
         "fig8" => print_fig8(&fig7_runs(&seeds, scale, None)),
@@ -531,7 +562,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose: all bench chaos shard adaptive restart fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
+            eprintln!("choose: all bench chaos shard adaptive restart verify fetch-batch table4 fig7 fig8 fig9 fig10 fig11 fig12 ablation-atc ablation-recovery ablation-eviction ablation-probe-cache");
             std::process::exit(2);
         }
     }

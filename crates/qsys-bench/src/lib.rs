@@ -2327,3 +2327,167 @@ pub fn adaptive_json(sweep: &AdaptiveSweep) -> String {
         sweep.total_replans(),
     )
 }
+
+// ---------------------------------------------------------------------------
+// Invariant audit: the `reproduce verify` subcommand.
+// ---------------------------------------------------------------------------
+
+/// One audited engine run: an (arm × seed × lane-thread) combination, the
+/// verifier's findings over the live engine, and the findings over its
+/// reloaded on-disk snapshot.
+pub struct VerifyArm {
+    /// e.g. `"seed 41 / atc-cl / threads 4"`.
+    pub label: String,
+    /// Lanes the engine ended the run with.
+    pub lanes: usize,
+    /// Rendered violations from `Engine::verify` (empty = clean).
+    pub live: Vec<String>,
+    /// Rendered violations from the snapshot publish → reload → audit
+    /// round trip (empty = clean).
+    pub disk: Vec<String>,
+    /// Bytes the published snapshot occupied on disk.
+    pub snapshot_bytes: u64,
+}
+
+impl VerifyArm {
+    pub fn is_clean(&self) -> bool {
+        self.live.is_empty() && self.disk.is_empty()
+    }
+}
+
+/// The whole audit: every arm of `reproduce verify`.
+pub struct VerifyAudit {
+    pub arms: Vec<VerifyArm>,
+}
+
+impl VerifyAudit {
+    pub fn is_clean(&self) -> bool {
+        self.arms.iter().all(VerifyArm::is_clean)
+    }
+
+    pub fn total_violations(&self) -> usize {
+        self.arms.iter().map(|a| a.live.len() + a.disk.len()).sum()
+    }
+}
+
+/// Drive one engine over `w` under `cfg`, then audit it twice: the live
+/// structures via [`qsys::Engine::verify`], and the on-disk image via a
+/// snapshot publish → reload → verify round trip rooted at `dir`.
+fn audited_run(
+    label: String,
+    w: &Workload,
+    mut cfg: EngineConfig,
+    dir: &std::path::Path,
+) -> VerifyArm {
+    let snap_dir = dir.join(label.replace([' ', '/'], "_"));
+    let _ = std::fs::create_dir_all(&snap_dir);
+    // Publish only when asked: the audit wants exactly one image, written
+    // after the drain, not the auto-cadence mid-run partials.
+    cfg.snapshot_dir = Some(snap_dir);
+    cfg.snapshot_every = usize::MAX;
+    let mut engine = qsys::Engine::for_workload(w, cfg);
+    for q in &w.queries {
+        let mut session = engine.session(q.user);
+        if let Some(costs) = &q.edge_costs {
+            session = session.with_edge_costs(costs.clone());
+        }
+        let _ = session.submit(&q.keywords, q.arrival_us);
+    }
+    engine.run_until_idle();
+    let live: Vec<String> = engine
+        .verify()
+        .violations
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let (disk, snapshot_bytes) = match engine.snapshot() {
+        Ok(bytes) => {
+            let disk = match engine.audit_snapshot() {
+                Ok(report) => report.violations.iter().map(ToString::to_string).collect(),
+                Err(why) => vec![format!("snapshot reload failed: {why}")],
+            };
+            (disk, bytes)
+        }
+        Err(why) => (vec![format!("snapshot publish failed: {why}")], 0),
+    };
+    VerifyArm {
+        label,
+        lanes: engine.report().lane_summaries.len(),
+        live,
+        disk,
+        snapshot_bytes,
+    }
+}
+
+/// Run the invariant audit across the repo's standard arms: the default
+/// ATC-CL configuration on each seed at 1 and 4 lane threads, plus one
+/// sharded, one chaos (5% transient faults), and one adaptive arm — the
+/// configurations whose phase machinery (shard split, fault quarantine,
+/// mid-flight replans) exercises every invariant family the verifier
+/// checks. Snapshots round-trip through `dir`.
+pub fn verify_audit(seeds: &[u64], scale: Scale, dir: &std::path::Path) -> VerifyAudit {
+    let mut arms = Vec::new();
+    for &seed in seeds {
+        let w = gus_workload(seed, scale);
+        for threads in [1usize, 4] {
+            let mut cfg = gus_engine(SharingMode::AtcCl(ClusterConfig::default()), 5);
+            cfg.lane_threads = threads;
+            arms.push(audited_run(
+                format!("seed {seed} / atc-cl / threads {threads}"),
+                &w,
+                cfg,
+                dir,
+            ));
+        }
+        // Sharded arm: force clusters past the one-UQ-equivalent
+        // threshold so the shard-partition invariants actually fire.
+        let mut cfg = gus_engine(SharingMode::AtcCl(ClusterConfig::default()), 5);
+        let mut sharding = qsys::ShardConfig::at(1.0);
+        sharding.max_shards = 4;
+        cfg.sharding = sharding;
+        arms.push(audited_run(format!("seed {seed} / shard<=4"), &w, cfg, dir));
+        // Chaos arm: 5% transient faults — quarantine/degradation paths.
+        let mut cfg = gus_engine(SharingMode::AtcFull, 5);
+        cfg.faults = qsys::source::FaultSpec::parse(
+            &qsys_workload::faults::FaultPlan::new(1009)
+                .transient(0.05)
+                .build(),
+        )
+        .ok();
+        arms.push(audited_run(
+            format!("seed {seed} / chaos-5pct"),
+            &w,
+            cfg,
+            dir,
+        ));
+    }
+    // Adaptive arm: the drift-regime instance where replans genuinely
+    // fire, so post-replan verification runs on a re-grafted graph.
+    let w = adaptive_workload(ADAPTIVE_SEED);
+    let mut cfg = gus_engine(SharingMode::AtcFull, 5);
+    cfg.lane_threads = 1;
+    cfg.adaptive = qsys::opt::AdaptiveConfig::at(1.25);
+    arms.push(audited_run("adaptive drift>1.25x".into(), &w, cfg, dir));
+    VerifyAudit { arms }
+}
+
+/// Print the audit as a table.
+pub fn print_verify(audit: &VerifyAudit) {
+    println!("Invariant audit: live engine state and reloaded snapshots, per arm");
+    println!("{:>34}  lanes  snapshot  live  disk", "arm");
+    for arm in &audit.arms {
+        println!(
+            "{:>34}  {:>5}  {:>7}B  {:>4}  {:>4}",
+            arm.label,
+            arm.lanes,
+            arm.snapshot_bytes,
+            arm.live.len(),
+            arm.disk.len(),
+        );
+    }
+    for arm in &audit.arms {
+        for v in arm.live.iter().chain(&arm.disk) {
+            println!("  VIOLATION [{}] {v}", arm.label);
+        }
+    }
+}

@@ -137,7 +137,14 @@ impl AccessModuleArena {
         if id.is_detached() {
             return None;
         }
-        Some(self.slots[id.index()].as_ref().expect("live module slot"))
+        match self.slots.get(id.index()) {
+            Some(Some(cell)) => Some(cell),
+            _ => panic!(
+                "stale ModuleId m{} dereferenced after release — retain/release \
+                 lifecycle bug (qsys-verify flags these as RefcountSkew)",
+                id.0
+            ),
+        }
     }
 
     /// Number of live (allocated, unreleased) modules.
@@ -148,6 +155,26 @@ impl AccessModuleArena {
     /// Whether no modules are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The reference count on `id`'s slot: `None` for a detached or freed
+    /// id. Read-only audit access for `qsys-verify`'s residency check
+    /// (slot refs must equal graph residency plus external probe-cache
+    /// registrations) — execution code never needs to observe counts.
+    pub fn ref_count(&self, id: ModuleId) -> Option<u32> {
+        if id.is_detached() || self.slots.get(id.index())?.is_none() {
+            return None;
+        }
+        Some(self.refs[id.index()])
+    }
+
+    /// Ids of every live slot, ascending. Audit access for `qsys-verify`.
+    pub fn live_ids(&self) -> impl Iterator<Item = ModuleId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(idx, _)| ModuleId(idx as u32))
     }
 }
 

@@ -142,6 +142,7 @@ impl QueryPlanGraph {
     pub fn remove_node(&mut self, id: NodeId) {
         let node = self.nodes[id.index()]
             .take()
+            // lint:allow(panic-path): double-remove is graph corruption, not a recoverable miss
             .expect("removing a node twice");
         assert!(
             node.children.is_empty() && node.parents.is_empty(),
@@ -161,6 +162,7 @@ impl QueryPlanGraph {
 
     /// Immutable node access.
     pub fn node(&self, id: NodeId) -> &Node {
+        // lint:allow(panic-path): callers hold ids from this graph; a dead id is corruption — try_node is the fallible twin
         self.nodes[id.index()].as_ref().expect("live node")
     }
 
@@ -171,6 +173,7 @@ impl QueryPlanGraph {
 
     /// Mutable node access.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        // lint:allow(panic-path): same contract as node() — a dead id is corruption
         self.nodes[id.index()].as_mut().expect("live node")
     }
 
@@ -235,6 +238,13 @@ impl QueryPlanGraph {
     /// to a single user query.
     pub fn clear_sig_index(&mut self) {
         self.sig_index.clear();
+    }
+
+    /// Every reuse-index entry, in unspecified order. Read-only audit
+    /// access for `qsys-verify`: each entry must name a live node that
+    /// actually carries that signature.
+    pub fn sig_entries(&self) -> impl Iterator<Item = (SigId, NodeId)> + '_ {
+        self.sig_index.iter().map(|(&sig, &id)| (sig, id))
     }
 
     /// Ids of all rank-merge nodes.
@@ -315,6 +325,7 @@ impl QueryPlanGraph {
     ) -> StreamRead {
         let epoch = self.epoch;
         let tuple = {
+            // lint:allow(panic-path): the ATC drives only ids it was handed from this graph
             let node = self.nodes[id.index()].as_mut().expect("live node");
             match &mut node.kind {
                 NodeKind::Stream(leaf) => {
@@ -374,6 +385,7 @@ impl QueryPlanGraph {
                 // Split borrow: the node is mutated, the module arena is
                 // only read (module state is behind per-slot `RefCell`s).
                 let modules = &self.modules;
+                // lint:allow(panic-path): consumer edges are kept symmetric (verify_graph checks), so nid is live
                 let node = self.nodes[nid.index()].as_mut().expect("live node");
                 match &mut node.kind {
                     NodeKind::Split => vec![t],

@@ -285,6 +285,7 @@ impl MJoin {
             .filter_map(|p| self.oriented(p, covered, target))
             .collect();
         debug_assert!(!conds.is_empty());
+        // lint:allow(panic-path): join graphs are connected by construction (checked by the debug_assert above)
         let (probe_cond, extra_conds) = conds.split_first().expect("connected");
         let epoch_cap = self.inputs[target].epoch_cap;
 

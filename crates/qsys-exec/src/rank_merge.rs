@@ -297,6 +297,7 @@ impl RankMerge {
                     Some(t) => t < u_next,
                     None => true,
                 };
+                // lint:allow(panic-path): `top.is_none() ||` short-circuits before the unwrap
                 if blocked && (active_exhausted || top.is_none() || top.unwrap() < u_next) {
                     self.cqs[idx].active = true;
                     continue;

@@ -98,7 +98,9 @@ pub struct WarmPlan {
 
 /// Upper bound on retained plan memos; past it the memo is dropped
 /// wholesale (a cache reset, deterministic and decision-neutral).
-const MAX_PLANS: usize = 256;
+/// Public so external auditors (`qsys-verify`) can check exports against
+/// the same cap `from_export` enforces.
+pub const MAX_PLANS: usize = 256;
 
 /// The lane-persistent warm store. One per engine lane, owned by the QS
 /// manager alongside the shared interner whose ids key everything here.

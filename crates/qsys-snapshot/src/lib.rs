@@ -67,8 +67,9 @@ const SEC_OBSERVED: u8 = 0x16;
 const SEC_LANE_END: u8 = 0x1F;
 
 /// Sanity bound on the header's lane count (a corrupt count must not
-/// drive allocation).
-const MAX_LANES: u32 = 65_536;
+/// drive allocation). Public so `qsys-verify` audits images against the
+/// same ceiling the loader enforces.
+pub const MAX_LANES: u32 = 65_536;
 
 /// What snapshot recovery did, for the `RunReport`.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -371,9 +372,11 @@ impl<'a> Iterator for Sections<'a> {
         if !known {
             return None;
         }
+        // The 9-byte header fits (checked above); `.ok()?` keeps the
+        // slice-to-array conversions off the panic path regardless.
         let len =
-            u32::from_le_bytes(self.buf[self.pos + 1..self.pos + 5].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(self.buf[self.pos + 5..self.pos + 9].try_into().unwrap());
+            u32::from_le_bytes(self.buf[self.pos + 1..self.pos + 5].try_into().ok()?) as usize;
+        let crc = u32::from_le_bytes(self.buf[self.pos + 5..self.pos + 9].try_into().ok()?);
         let start = self.pos + 9;
         if start + len > self.buf.len() {
             return None;

@@ -173,20 +173,29 @@ impl<'a> Dec<'a> {
         Ok(out)
     }
 
+    /// Exactly `N` bytes as an array. `bytes(N)` already errors on a
+    /// short section, so the slice-to-array conversion is checked once
+    /// here instead of unwrapped at every scalar reader.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| format!("short read for {N}-byte scalar"))
+    }
+
     pub fn u8(&mut self) -> Result<u8, String> {
         Ok(self.bytes(1)?[0])
     }
 
     pub fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     pub fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     pub fn f64(&mut self) -> Result<f64, String> {

@@ -287,18 +287,12 @@ impl FaultSpec {
         Ok(out)
     }
 
-    /// Read and parse `QSYS_FAULTS`, if set. A malformed spec comes back
-    /// as `Err` with the offending clause — the engine's config layer
-    /// captures it and surfaces it through `EngineConfig::validate`, so a
-    /// bad chaos schedule fails the run with a diagnosable reason instead
-    /// of panicking inside a `Default` impl (and is never silently
-    /// ignored).
-    pub fn from_env() -> Result<Option<FaultSpec>, String> {
-        FaultSpec::from_env_value(std::env::var("QSYS_FAULTS").ok())
-    }
-
-    /// [`FaultSpec::from_env`] with the variable's value passed explicitly
-    /// (unset = `None`) — separable from process environment for tests.
+    /// Parse a `QSYS_FAULTS` schedule with the variable's value passed
+    /// explicitly (unset = `None`). The environment read itself lives in
+    /// `EngineConfig::default` — the one module allowed to touch process
+    /// environment (enforced by `qsys-lint`) — so a malformed spec
+    /// surfaces through `EngineConfig::validate_all` as a structured
+    /// error instead of panicking inside a `Default` impl.
     pub fn from_env_value(value: Option<String>) -> Result<Option<FaultSpec>, String> {
         match value {
             None => Ok(None),

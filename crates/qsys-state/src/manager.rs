@@ -128,6 +128,21 @@ impl QsManager {
         self.rank_merges.get(&uq).copied()
     }
 
+    /// Every registered `UqId → rank-merge` binding, ascending by query
+    /// id. Read-only audit access for `qsys-verify`: each binding must
+    /// name a live rank-merge node.
+    pub fn rank_merge_entries(&self) -> impl Iterator<Item = (UqId, NodeId)> + '_ {
+        self.rank_merges.iter().map(|(&uq, &id)| (uq, id))
+    }
+
+    /// Every shared probe-cache registration (`RelId → module slot`), in
+    /// unspecified order. Each entry holds one arena reference of its own
+    /// (released on [`QsManager::isolate`]); `qsys-verify` counts these
+    /// alongside graph residency when auditing slot refcounts.
+    pub fn probe_module_entries(&self) -> impl Iterator<Item = (RelId, ModuleId)> + '_ {
+        self.probe_modules.iter().map(|(&rel, &id)| (rel, id))
+    }
+
     /// A reuse oracle over the live graph for the optimizer.
     pub fn reuse_oracle(&self) -> GraphReuse<'_> {
         GraphReuse { manager: self }
@@ -313,6 +328,7 @@ impl QsManager {
                 }
                 Planned::Spec(first) => {
                     outcome.reused_nodes += 1;
+                    // lint:allow(panic-path): specs are grafted in topological order, so the merge target exists
                     node_map[*first].expect("merge target created earlier")
                 }
                 Planned::Create => {
@@ -344,6 +360,7 @@ impl QsManager {
                     id
                 }
             };
+            // lint:allow(panic-path): the optimizer marks every CQ root needed, so its node was created above
             let root = node_map[plan.root].expect("CQ roots are always needed");
             let streaming = self.streaming_inputs(root);
             let reg = CqRegistration {
@@ -403,6 +420,7 @@ impl QsManager {
         let mut mj_inputs = Vec::new();
         let mut producer_edges = Vec::new();
         for (slot, &spec_idx) in inputs.iter().enumerate() {
+            // lint:allow(panic-path): spec lists are topologically ordered, producers graft before consumers
             let producer = node_map[spec_idx].expect("join inputs precede their consumer");
             // Relation coverage comes from the *spec*, not the graph node:
             // unshared nodes carry no signature.

@@ -184,6 +184,7 @@ pub fn recover_state(
                 };
                 let (entries, rels) = {
                     let input = &mj.inputs()[replay_idx];
+                    // lint:allow(panic-path): `best` was selected from this m-join's live stored inputs just above
                     let module = modules.module(input.module).expect("chosen input is live");
                     let AccessModule::Stored(s) = &*module.borrow() else {
                         unreachable!()

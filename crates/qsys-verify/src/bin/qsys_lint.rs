@@ -1,0 +1,367 @@
+//! `qsys-lint`: the repo's self-contained source lint.
+//!
+//! The container this repo builds in is offline, so compiler-plugin
+//! linting (dylint, custom clippy lints) is not an option; this binary is
+//! a text/token scan over the workspace's Rust sources enforcing rules
+//! that `clippy -D warnings` cannot express because they are *repo
+//! policy*, not general Rust hygiene:
+//!
+//! 1. `env-read` — no `std::env::var*` outside `EngineConfig`
+//!    (`src/engine.rs`). Every knob must surface through
+//!    `EngineConfig::validate_all` as a structured `ConfigError`, never
+//!    get read ad hoc where a typo'd value silently disables a feature.
+//! 2. `send-cell` — no `Rc`/`Arc`-free `Rc` or `RefCell` introduced into
+//!    modules that carry a compile-time `assert_send` marker: those
+//!    modules promise their types migrate across lane worker threads.
+//!    (`RefCell` is `Send`, so the compile-time assert alone would not
+//!    catch a new one; the policy is that Send-asserted modules stay
+//!    free of interior mutability entirely.)
+//! 3. `panic-path` — no `.unwrap()` / `.expect(` in non-test code of the
+//!    engine/lane drive paths (the root crate and the exec/state/
+//!    snapshot crates). Failures there must be structured errors or
+//!    carry a `lint:allow(panic-path)` justification on the same line
+//!    explaining why the panic is unreachable or wanted.
+//! 4. `seqcst` — no `Ordering::SeqCst` without an ordering comment on
+//!    the same or the preceding line; sequential consistency is almost
+//!    never what the lane model needs and always worth a sentence.
+//! 5. `bench-clock` — no wall-clock/entropy nondeterminism
+//!    (`SystemTime::now`, `thread_rng`, `from_entropy`) in bench code;
+//!    the repro numbers must come from the virtual clock and seeded RNGs.
+//!
+//! Suppression: append `// lint:allow(<rule>): <why>` to the offending
+//! line, or put it on its own comment line immediately above (the
+//! attribute position). An allow without a rationale is itself a finding.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+struct Finding {
+    rule: &'static str,
+    file: PathBuf,
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Default to the workspace root: the binary runs from anywhere in
+            // the tree via `cargo run -p qsys-verify --bin qsys-lint`.
+            workspace_root()
+        });
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("qsys-lint: {} is not a workspace root", root.display());
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    collect_rs_files(&root.join("tests"), &mut files);
+    collect_rs_files(&root.join("benches"), &mut files);
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            // Vendored third-party shims are not ours to lint.
+            if matches!(name.as_str(), "criterion" | "proptest" | "rand") {
+                continue;
+            }
+            collect_rs_files(&entry.path(), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => lint_file(&root, file, &text, &mut findings),
+            Err(e) => {
+                eprintln!("qsys-lint: cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!("qsys-lint: {} files clean", files.len());
+        return;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "qsys-lint: {} finding(s) in {} files",
+        findings.len(),
+        files.len()
+    );
+    std::process::exit(1);
+}
+
+/// The workspace root, walking up from the current directory to the
+/// first `Cargo.toml` declaring `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Which rule families apply to a file, from its workspace-relative path.
+struct FileScope {
+    /// Under `src/` of the root crate or an engine-path crate (exec,
+    /// state, snapshot, opt, query, source, catalog, verify lib).
+    engine_path: bool,
+    /// Bench code: `benches/`, `crates/qsys-bench`, or `crates/qsys-workload`.
+    bench: bool,
+    /// Integration-test code: panics are the assertion vocabulary there.
+    test_file: bool,
+    /// `src/engine.rs` — the one legal home for environment reads.
+    engine_config: bool,
+    /// This lint's own source (its rule list would flag itself).
+    lint_self: bool,
+}
+
+fn scope_of(rel: &str) -> FileScope {
+    let test_file = rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.ends_with("_tests.rs")
+        || rel.ends_with("build.rs");
+    let bench = rel.starts_with("benches/")
+        || rel.starts_with("crates/qsys-bench/")
+        || rel.starts_with("crates/qsys-workload/");
+    let engine_path = !test_file
+        && !bench
+        && (rel.starts_with("src/")
+            || rel.starts_with("crates/qsys-exec/src/")
+            || rel.starts_with("crates/qsys-state/src/")
+            || rel.starts_with("crates/qsys-snapshot/src/"));
+    FileScope {
+        engine_path,
+        bench,
+        test_file,
+        engine_config: rel == "src/engine.rs",
+        lint_self: rel.ends_with("bin/qsys_lint.rs"),
+    }
+}
+
+fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let scope = scope_of(&rel);
+    if scope.lint_self {
+        return;
+    }
+
+    // `#[cfg(test)] mod …` extent: the repo convention keeps unit tests
+    // in one module at the end of each file, so the scan treats
+    // everything from the first test-module declaration onward as test
+    // code. (A mid-file test module would under-lint the remainder —
+    // acceptable: this lint never *blocks* test idioms, and the
+    // convention is itself enforced by review.)
+    let mut in_test_mod = false;
+    let mut pending_cfg_test = false;
+    let mut prev_line_comment = false;
+    let mut prev_raw = "";
+
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, &raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_strings(raw);
+        let code = line.split("//").next().unwrap_or("").trim_end();
+        let comment = raw.trim_start().starts_with("//") || raw.split("//").nth(1).is_some();
+
+        if raw.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test {
+            if code.trim_start().starts_with("mod ") || code.contains(" mod ") {
+                in_test_mod = true;
+            }
+            if !code.trim().is_empty() && !code.trim_start().starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+        let in_tests = in_test_mod || scope.test_file;
+
+        // An allow applies to its own line, or — when it is a standalone
+        // comment — to the line below it (attribute position).
+        let allowed = |rule: &str| {
+            let tag = format!("lint:allow({rule}):");
+            raw.contains(&tag)
+                || (prev_raw.trim_start().starts_with("//") && prev_raw.contains(&tag))
+        };
+        let bare_allow = raw.contains("lint:allow(")
+            && !raw.split("lint:allow(").nth(1).is_some_and(|t| {
+                t.split_once(')')
+                    .is_some_and(|(_, rest)| rest.trim_start().starts_with(':'))
+            });
+        if bare_allow {
+            findings.push(Finding {
+                rule: "allow-without-reason",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "lint:allow needs a rationale: `// lint:allow(rule): why`".into(),
+            });
+        }
+
+        // Rule 1: environment reads live in EngineConfig only.
+        if !scope.engine_config
+            && !in_tests
+            && (code.contains("env::var") || code.contains("env::vars"))
+            && !allowed("env-read")
+        {
+            findings.push(Finding {
+                rule: "env-read",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "environment read outside EngineConfig — route the knob through \
+                          src/engine.rs so validate_all() reports it"
+                    .into(),
+            });
+        }
+
+        // Rule 2: Send-asserted modules stay free of Rc/RefCell. The
+        // marker is the module declaring `assert_send::<...>()`.
+        if text.contains("assert_send::<")
+            && !in_tests
+            && (code.contains("Rc<") || code.contains("Rc::new") || code.contains("RefCell<"))
+            && !code.contains("RwLock")
+            && !allowed("send-cell")
+        {
+            findings.push(Finding {
+                rule: "send-cell",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "Rc/RefCell in a Send-asserted module — lanes migrate across worker \
+                          threads; use owned state or a lock type"
+                    .into(),
+            });
+        }
+
+        // Rule 3: engine drive paths do not panic ad hoc.
+        if scope.engine_path
+            && !in_tests
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !code.contains("unwrap_or")
+            && !allowed("panic-path")
+        {
+            findings.push(Finding {
+                rule: "panic-path",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "unwrap/expect on an engine drive path — return a structured error, \
+                          or justify with `lint:allow(panic-path): <why unreachable>`"
+                    .into(),
+            });
+        }
+
+        // Rule 4: SeqCst needs a sentence.
+        if code.contains("Ordering::SeqCst") && !comment && !prev_line_comment && !allowed("seqcst")
+        {
+            findings.push(Finding {
+                rule: "seqcst",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "SeqCst without an ordering comment — say why acquire/release is not \
+                          enough (or pick the weaker ordering)"
+                    .into(),
+            });
+        }
+
+        // Rule 5: bench numbers come from the virtual clock.
+        if scope.bench
+            && !in_tests
+            && (code.contains("SystemTime::now")
+                || code.contains("thread_rng")
+                || code.contains("from_entropy"))
+            && !allowed("bench-clock")
+        {
+            findings.push(Finding {
+                rule: "bench-clock",
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "wall-clock/entropy nondeterminism in bench code — use the SimClock \
+                          and seeded RNGs so runs reproduce"
+                    .into(),
+            });
+        }
+
+        prev_line_comment = raw.trim_start().starts_with("//");
+        prev_raw = raw;
+    }
+}
+
+/// Blank out string literals so tokens inside them do not trip rules
+/// (e.g. an error message mentioning `env::var`). Handles `"…"` with
+/// escapes well enough for a line scan; raw strings spanning lines are
+/// rare in this codebase and land in comments' favour (blanked lines
+/// produce no findings, never false ones).
+fn strip_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_str = false;
+    let mut escape = false;
+    let mut prev = '\0';
+    for c in line.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            out.push(if c == '"' { '"' } else { '_' });
+        } else {
+            if c == '"' && prev != '\'' {
+                in_str = true;
+            }
+            out.push(c);
+        }
+        prev = c;
+    }
+    out
+}

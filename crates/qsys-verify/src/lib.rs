@@ -1,0 +1,1021 @@
+//! Whole-system invariant verifier for the Q System reproduction.
+//!
+//! Nine layers of sharing machinery — the hash-consed signature DAG, the
+//! refcounted access-module arena, the plan graph the QS manager grafts
+//! into, the warm-store memo, the checksummed snapshot format — each
+//! maintain structural invariants that the answer-identity goldens only
+//! check *indirectly*: a golden catches that something broke, never what
+//! or where. This crate is the direct check: a pure, read-only pass over
+//! the system's own data structures that reports every violated invariant
+//! as a structured [`Violation`] with a breadcrumb path to the offending
+//! slot.
+//!
+//! Nothing here mutates anything, takes locks beyond the lane's own
+//! reader guards, or changes a decision: the verifier is a diagnostic
+//! layer the engine calls at phase boundaries (post-cluster, post-graft,
+//! post-replan, pre-snapshot-publish) when `debug_assertions` are on or
+//! `QSYS_VERIFY=1` is set, and that `reproduce verify` runs over whole
+//! workloads and on-disk snapshots.
+//!
+//! The companion `qsys-lint` binary (same crate) is the *source* half of
+//! the analysis: a self-contained text lint enforcing repo rules (no
+//! environment reads outside `EngineConfig`, no panics on engine drive
+//! paths, …) without network access or compiler plugins.
+
+use qsys_exec::access::ModuleId;
+use qsys_exec::{NodeKind, QueryPlanGraph};
+use qsys_opt::adaptive::{ObservedCard, ObservedStats};
+use qsys_opt::warm::{WarmExport, MAX_PLANS};
+use qsys_query::{CqSet, SigId, SigInterner, SubExprSig};
+use qsys_snapshot::{LaneImage, SnapshotImage, MAX_LANES};
+use qsys_state::QsManager;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The invariant class a [`Violation`] breaks. One class per seeded
+/// corruption in the mutation harness (`tests/verify_invariants.rs`), so
+/// a detector can assert it flagged *the planted defect* and not a
+/// coincidental neighbour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationClass {
+    /// A signature's child pair does not strictly decrease in atom count —
+    /// the well-founded measure that keeps the child DAG acyclic.
+    CycleEdge,
+    /// A signature is not in canonical form (atoms unsorted, joins
+    /// unoriented/unsorted) or appears twice in the arena.
+    MalformedSig,
+    /// An id references past the end of the arena or section it indexes.
+    IdOutOfRange,
+    /// `children_closure` disagrees with the arena's child pairs.
+    ClosureInconsistent,
+    /// A module slot's refcount differs from its graph residency plus
+    /// external probe-cache registrations.
+    RefcountSkew,
+    /// Plan-graph structure broken: asymmetric edges, dead endpoints,
+    /// duplicated or out-of-range m-join input indices.
+    GraphMalformed,
+    /// A registered rank-merge binding names a dead or non-rank-merge
+    /// node — the orphan-leaf bug class (results would feed nothing).
+    OrphanLeaf,
+    /// A freshly grafted rank-merge sits above a quarantined stream leaf,
+    /// which the reuse oracle promises never to hand out.
+    QuarantineLeak,
+    /// Two shard bitsets of one cluster overlap.
+    ShardOverlap,
+    /// Shard bitsets do not union back to their cluster's member set.
+    ShardGap,
+    /// A cluster split into more shards than the configured cap.
+    ShardOverflow,
+    /// Warm-store export ordering broken (facts/candidates not id-sorted,
+    /// canonical order not strictly deep-increasing).
+    WarmDisorder,
+    /// A memoized plan's sig set escapes its recorded closure snapshot.
+    WarmClosureStale,
+    /// A generation stamp exceeds the interner's current generation.
+    GenerationSkew,
+    /// Observed-stats export not strictly ascending by id.
+    ObservedDisorder,
+    /// Snapshot sections disagree: one section references ids another
+    /// section does not define.
+    SectionMismatch,
+}
+
+impl fmt::Display for ViolationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One violated invariant: the class, a breadcrumb path into the
+/// structure (`lane/warm/plan[3]/snapshot`), and what was found there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant class broke.
+    pub class: ViolationClass,
+    /// Breadcrumb path to the offending slot, outermost container first.
+    pub path: String,
+    /// What the verifier found there.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(class: ViolationClass, path: impl Into<String>, detail: impl Into<String>) -> Violation {
+        Violation {
+            class,
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.class, self.path, self.detail)
+    }
+}
+
+/// The result of one verification pass: every violation found, in
+/// discovery order (outer structures before the ones nested in them).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Everything found; empty means the structure is well-formed.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The distinct classes violated, in first-seen order.
+    pub fn classes(&self) -> Vec<ViolationClass> {
+        let mut seen = Vec::new();
+        for v in &self.violations {
+            if !seen.contains(&v.class) {
+                seen.push(v.class);
+            }
+        }
+        seen
+    }
+
+    /// Panic with the full report when it is not clean — the phase-hook
+    /// behaviour: a structural invariant broken mid-run means later
+    /// answers cannot be trusted, so fail loudly at the boundary that
+    /// broke it (the engine's lane poisoning turns the panic into a
+    /// per-lane failure, never a silent wrong answer).
+    pub fn assert_clean(&self, phase: &str) {
+        assert!(
+            self.is_clean(),
+            "invariant verification failed at {phase}:\n{self}"
+        );
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "verified: no violations");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Violation>> for VerifyReport {
+    fn from(violations: Vec<Violation>) -> VerifyReport {
+        VerifyReport { violations }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signature-interner invariants.
+// ---------------------------------------------------------------------------
+
+/// Check an exported interner arena: canonical signature form, uniqueness,
+/// in-range child pairs, and the strict atom-count decrease that keeps the
+/// derivation DAG acyclic (ids may point *forward* — first derivation
+/// wins, so a child adopted late can carry a larger id than its parent —
+/// which is exactly why the well-founded measure is atom count, not id
+/// order).
+pub fn verify_interner_entries(
+    entries: &[(SubExprSig, Option<(SigId, SigId)>)],
+    path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut seen: HashMap<&SubExprSig, usize> = HashMap::with_capacity(entries.len());
+    for (index, (sig, children)) in entries.iter().enumerate() {
+        let at = format!("{path}/sig[{index}]");
+        if !sig.atoms.is_sorted() {
+            out.push(Violation::new(
+                ViolationClass::MalformedSig,
+                &at,
+                format!("atoms not in canonical order: {sig:?}"),
+            ));
+        }
+        if !(sig.joins.iter().all(|j| j.0 <= j.2) && sig.joins.windows(2).all(|w| w[0] < w[1])) {
+            out.push(Violation::new(
+                ViolationClass::MalformedSig,
+                &at,
+                "joins not oriented left≤right and strictly sorted",
+            ));
+        }
+        if let Some(first) = seen.insert(sig, index) {
+            out.push(Violation::new(
+                ViolationClass::MalformedSig,
+                &at,
+                format!("duplicate of sig[{first}]: {sig:?}"),
+            ));
+        }
+        if let Some((a, b)) = children {
+            for child in [a, b] {
+                if child.index() >= entries.len() {
+                    out.push(Violation::new(
+                        ViolationClass::IdOutOfRange,
+                        &at,
+                        format!("child {child} out of range (arena len {})", entries.len()),
+                    ));
+                }
+            }
+            let parent_atoms = sig.atoms.len();
+            for child in [a, b] {
+                if let Some((child_sig, _)) = entries.get(child.index()) {
+                    if child_sig.atoms.len() >= parent_atoms {
+                        out.push(Violation::new(
+                            ViolationClass::CycleEdge,
+                            &at,
+                            format!(
+                                "child {child} has {} atoms, parent only {parent_atoms} — \
+                                 derivation is not strictly shrinking",
+                                child_sig.atoms.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How many ids get an individual `children_closure` consistency check;
+/// larger arenas are sampled (the full-arena closure is always checked)
+/// so the verifier stays linear at phase boundaries.
+const CLOSURE_FULL_CHECK_LIMIT: usize = 512;
+
+/// Check a live interner: the exported arena plus `children_closure`
+/// consistency against the arena's child pairs.
+pub fn verify_interner(interner: &SigInterner, path: &str) -> Vec<Violation> {
+    let entries = interner.export_entries();
+    let mut out = verify_interner_entries(&entries, path);
+    let n = entries.len();
+    if n == 0 {
+        return out;
+    }
+    // Closure over every id must enumerate the arena exactly once,
+    // ascending: anything else means the walk lost or duplicated ids.
+    let all = interner.children_closure((0..n as u32).map(SigId));
+    if all.len() != n || !all.iter().enumerate().all(|(i, id)| id.index() == i) {
+        out.push(Violation::new(
+            ViolationClass::ClosureInconsistent,
+            format!("{path}/closure"),
+            format!("closure of all {n} ids returned {} ids", all.len()),
+        ));
+    }
+    // Per-id closures: membership, order, and closure under `children`.
+    let stride = if n <= CLOSURE_FULL_CHECK_LIMIT { 1 } else { 97 };
+    for id in (0..n).step_by(stride).map(|i| SigId(i as u32)) {
+        let closure = interner.children_closure([id]);
+        let at = format!("{path}/closure[{id:?}]");
+        if closure.binary_search(&id).is_err() {
+            out.push(Violation::new(
+                ViolationClass::ClosureInconsistent,
+                &at,
+                "closure does not contain its own seed",
+            ));
+        }
+        if !closure.windows(2).all(|w| w[0] < w[1]) {
+            out.push(Violation::new(
+                ViolationClass::ClosureInconsistent,
+                &at,
+                "closure not strictly ascending",
+            ));
+        }
+        for &member in &closure {
+            if let Some((a, b)) = interner.children(member) {
+                for child in [a, b] {
+                    if closure.binary_search(&child).is_err() {
+                        out.push(Violation::new(
+                            ViolationClass::ClosureInconsistent,
+                            &at,
+                            format!("member {member:?} has child {child:?} outside the closure"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Warm-store invariants.
+// ---------------------------------------------------------------------------
+
+/// Check a warm-store export against the interner its ids index: id
+/// bounds, the export's sorted-order contracts, plan-memo closure
+/// snapshots, and generation monotonicity.
+///
+/// The closure check is deliberately *seed containment*, not
+/// closure-at-the-current-DAG: `intern_canonical` adopts the first
+/// derivation that reaches a signature, so an id's child pair can appear
+/// (and its closure grow) *after* a plan recorded its snapshot. Requiring
+/// today's closure to be inside yesterday's snapshot would therefore fire
+/// on legal late adoptions; what must always hold is that every sig the
+/// plan actually uses (candidates and assignment) was captured in the
+/// snapshot when it was recorded, that the snapshot is sorted and
+/// duplicate-free, and that no stamp postdates the arena.
+pub fn verify_warm_export(
+    export: &WarmExport,
+    interner: &SigInterner,
+    path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = interner.len();
+    let check_bound = |out: &mut Vec<Violation>, id: SigId, at: &str| {
+        if id.index() >= n {
+            out.push(Violation::new(
+                ViolationClass::IdOutOfRange,
+                at,
+                format!("{id:?} out of range (interner len {n})"),
+            ));
+        }
+    };
+    if !export.facts.windows(2).all(|w| w[0].0 < w[1].0) {
+        out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/facts"),
+            "facts not strictly ascending by sig id",
+        ));
+    }
+    for (id, _) in &export.facts {
+        check_bound(&mut out, *id, &format!("{path}/facts"));
+    }
+    if !export.expensive.windows(2).all(|w| w[0].0 < w[1].0) {
+        out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/expensive"),
+            "expensive marks not strictly ascending by sig id",
+        ));
+    }
+    for (id, _) in &export.expensive {
+        check_bound(&mut out, *id, &format!("{path}/expensive"));
+    }
+    if !export.cq_candidates.windows(2).all(|w| w[0].0 < w[1].0) {
+        out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/cq_candidates"),
+            "candidate memo keys not strictly ascending",
+        ));
+    }
+    for (whole, cands) in &export.cq_candidates {
+        check_bound(&mut out, *whole, &format!("{path}/cq_candidates"));
+        for c in cands.iter() {
+            check_bound(&mut out, *c, &format!("{path}/cq_candidates[{whole:?}]"));
+        }
+    }
+    // Canonical rank order: strictly increasing by *resolved signature*
+    // (deep order), which is what makes ranks stable across restarts.
+    for (i, id) in export.canon_order.iter().enumerate() {
+        check_bound(&mut out, *id, &format!("{path}/canon_order[{i}]"));
+    }
+    if export.canon_order.iter().all(|id| id.index() < n)
+        && !export
+            .canon_order
+            .windows(2)
+            .all(|w| interner.resolve(w[0]) < interner.resolve(w[1]))
+    {
+        out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/canon_order"),
+            "canonical order not strictly deep-increasing",
+        ));
+    }
+    if export.plans.len() > MAX_PLANS {
+        out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/plans"),
+            format!(
+                "{} plan memos exceed the cap of {MAX_PLANS}",
+                export.plans.len()
+            ),
+        ));
+    }
+    let generation = interner.generation();
+    for (pi, (shape, plan)) in export.plans.iter().enumerate() {
+        let at = format!("{path}/plan[{pi}]");
+        for id in shape.iter() {
+            check_bound(&mut out, *id, &at);
+        }
+        if plan.generation > generation {
+            out.push(Violation::new(
+                ViolationClass::GenerationSkew,
+                &at,
+                format!(
+                    "plan stamped generation {} but the interner is at {generation}",
+                    plan.generation
+                ),
+            ));
+        }
+        if !plan.snapshot.windows(2).all(|w| w[0].0 < w[1].0) {
+            out.push(Violation::new(
+                ViolationClass::WarmDisorder,
+                format!("{at}/snapshot"),
+                "closure snapshot not strictly ascending (sorted, duplicate-free)",
+            ));
+        }
+        for (id, _) in plan.snapshot.iter() {
+            check_bound(&mut out, *id, &format!("{at}/snapshot"));
+        }
+        // Every sig the plan actually uses must have been captured.
+        let captured = |id: SigId| plan.snapshot.binary_search_by_key(&id, |e| e.0).is_ok();
+        for id in plan.cand_sigs.iter() {
+            check_bound(&mut out, *id, &format!("{at}/cand_sigs"));
+            if !captured(*id) {
+                out.push(Violation::new(
+                    ViolationClass::WarmClosureStale,
+                    format!("{at}/cand_sigs"),
+                    format!("candidate {id:?} escapes the plan's closure snapshot"),
+                ));
+            }
+        }
+        for (id, _) in plan.assignment.iter() {
+            check_bound(&mut out, *id, &format!("{at}/assignment"));
+            if !captured(*id) {
+                out.push(Violation::new(
+                    ViolationClass::WarmClosureStale,
+                    format!("{at}/assignment"),
+                    format!("assigned input {id:?} escapes the plan's closure snapshot"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Observed-stats invariants.
+// ---------------------------------------------------------------------------
+
+/// Check an observed-cardinality export: strictly ascending by id (the
+/// export order snapshots and drift detection binary-search on) and in
+/// bounds for the interner the ids belong to.
+pub fn verify_observed(
+    entries: &[(SigId, ObservedCard)],
+    interner_len: usize,
+    path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+        out.push(Violation::new(
+            ViolationClass::ObservedDisorder,
+            path,
+            "observed cards not strictly ascending by sig id",
+        ));
+    }
+    for (id, _) in entries {
+        if id.index() >= interner_len {
+            out.push(Violation::new(
+                ViolationClass::IdOutOfRange,
+                path,
+                format!("{id:?} out of range (interner len {interner_len})"),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shard-partition invariants.
+// ---------------------------------------------------------------------------
+
+/// Check a cluster's shard split: shards must be non-empty, pairwise
+/// disjoint, union back to exactly the cluster's member set, and respect
+/// the configured cap — the partition contract `shard_cluster_affine`
+/// promises (anything else would duplicate or drop user queries).
+pub fn verify_shards(
+    members: &CqSet,
+    shards: &[CqSet],
+    max_shards: usize,
+    path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if shards.len() > max_shards {
+        out.push(Violation::new(
+            ViolationClass::ShardOverflow,
+            path,
+            format!("{} shards exceed the cap of {max_shards}", shards.len()),
+        ));
+    }
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.is_empty() {
+            out.push(Violation::new(
+                ViolationClass::ShardGap,
+                format!("{path}/shard[{i}]"),
+                "empty shard",
+            ));
+        }
+        for (j, other) in shards.iter().enumerate().skip(i + 1) {
+            if shard.intersects(other) {
+                out.push(Violation::new(
+                    ViolationClass::ShardOverlap,
+                    format!("{path}/shard[{i}]"),
+                    format!("overlaps shard[{j}] — a query would run twice"),
+                ));
+            }
+        }
+    }
+    let mut union = CqSet::default();
+    for shard in shards {
+        union.union_with(shard);
+    }
+    if &union != members {
+        let missing = members
+            .len()
+            .saturating_sub(union.intersection_len(members));
+        out.push(Violation::new(
+            ViolationClass::ShardGap,
+            path,
+            format!(
+                "shard union has {} members, cluster has {} ({missing} unassigned)",
+                union.len(),
+                members.len()
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Plan-graph invariants.
+// ---------------------------------------------------------------------------
+
+/// Check plan-graph well-formedness: edge symmetry between producers and
+/// consumers, live endpoints, m-join input-index sanity, a truthful reuse
+/// index, and — the arena contract — every live module slot's refcount
+/// equal to its graph residency (m-join inputs naming it) plus the
+/// caller-supplied external registrations (the QS manager's shared
+/// probe-cache table holds one reference per entry).
+pub fn verify_graph(
+    graph: &QueryPlanGraph,
+    external_module_refs: &[ModuleId],
+    path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut residency: HashMap<ModuleId, u32> = HashMap::new();
+    for id in graph.node_ids() {
+        let node = graph.node(id);
+        let at = format!("{path}/node[{id}]");
+        // Consumer edges point at live nodes that acknowledge us.
+        for (consumer, input_idx) in &node.children {
+            match graph.try_node(*consumer) {
+                None => out.push(Violation::new(
+                    ViolationClass::GraphMalformed,
+                    &at,
+                    format!("consumer edge to dead node {consumer}"),
+                )),
+                Some(c) => {
+                    if !c.parents.contains(&id) {
+                        out.push(Violation::new(
+                            ViolationClass::GraphMalformed,
+                            &at,
+                            format!("consumer {consumer} does not list {id} as producer"),
+                        ));
+                    }
+                    if let NodeKind::MJoin(mj) = &c.kind {
+                        if *input_idx >= mj.inputs().len() {
+                            out.push(Violation::new(
+                                ViolationClass::GraphMalformed,
+                                &at,
+                                format!(
+                                    "edge into {consumer} input {input_idx}, but the m-join \
+                                     has only {} inputs",
+                                    mj.inputs().len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Producer edges point at live nodes that acknowledge us.
+        for producer in &node.parents {
+            match graph.try_node(*producer) {
+                None => out.push(Violation::new(
+                    ViolationClass::GraphMalformed,
+                    &at,
+                    format!("producer edge to dead node {producer}"),
+                )),
+                Some(p) => {
+                    if !p.children.iter().any(|(c, _)| *c == id) {
+                        out.push(Violation::new(
+                            ViolationClass::GraphMalformed,
+                            &at,
+                            format!("producer {producer} does not list {id} as consumer"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Module residency: every m-join input names a live slot.
+        if let NodeKind::MJoin(mj) = &node.kind {
+            for (i, input) in mj.inputs().iter().enumerate() {
+                if input.module.is_detached() {
+                    continue;
+                }
+                if graph.modules().ref_count(input.module).is_none() {
+                    out.push(Violation::new(
+                        ViolationClass::RefcountSkew,
+                        format!("{at}/input[{i}]"),
+                        format!("names freed module slot {:?}", input.module),
+                    ));
+                } else {
+                    *residency.entry(input.module).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for id in external_module_refs {
+        if graph.modules().ref_count(*id).is_none() {
+            out.push(Violation::new(
+                ViolationClass::RefcountSkew,
+                format!("{path}/probe_modules"),
+                format!("external registration names freed module slot {id:?}"),
+            ));
+        } else {
+            *residency.entry(*id).or_insert(0) += 1;
+        }
+    }
+    for slot in graph.modules().live_ids() {
+        let refs = graph.modules().ref_count(slot).unwrap_or(0);
+        let resident = residency.get(&slot).copied().unwrap_or(0);
+        if refs != resident {
+            out.push(Violation::new(
+                ViolationClass::RefcountSkew,
+                format!("{path}/module[{slot:?}]"),
+                format!("slot holds {refs} refs but {resident} are accounted for"),
+            ));
+        }
+    }
+    // The reuse index must be truthful: live target carrying that sig.
+    for (sig, node_id) in graph.sig_entries() {
+        match graph.try_node(node_id) {
+            None => out.push(Violation::new(
+                ViolationClass::GraphMalformed,
+                format!("{path}/sig_index[{sig:?}]"),
+                format!("points at dead node {node_id}"),
+            )),
+            Some(node) if node.sig != Some(sig) => out.push(Violation::new(
+                ViolationClass::GraphMalformed,
+                format!("{path}/sig_index[{sig:?}]"),
+                format!("points at {node_id}, which carries {:?}", node.sig),
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Check the QS manager around its graph: rank-merge bindings must name
+/// live rank-merge nodes (the orphan-leaf bug class: a binding to a node
+/// that feeds nothing silently loses a query's results), sig ids on live
+/// nodes must be in interner range, and module refcounts must balance
+/// including the manager's own probe-cache registrations.
+pub fn verify_manager(manager: &QsManager, path: &str) -> Vec<Violation> {
+    let external: Vec<ModuleId> = manager.probe_module_entries().map(|(_, m)| m).collect();
+    let mut out = verify_graph(manager.graph(), &external, path);
+    let interner_cell = manager.shared_interner();
+    let interner = interner_cell.borrow();
+    for id in manager.graph().node_ids() {
+        if let Some(sig) = manager.graph().node(id).sig {
+            if sig.index() >= interner.len() {
+                out.push(Violation::new(
+                    ViolationClass::IdOutOfRange,
+                    format!("{path}/node[{id}]"),
+                    format!(
+                        "carries {sig:?}, past the interner's {} entries",
+                        interner.len()
+                    ),
+                ));
+            }
+        }
+    }
+    for (uq, node_id) in manager.rank_merge_entries() {
+        let at = format!("{path}/rank_merges[{uq}]");
+        match manager.graph().try_node(node_id) {
+            None => out.push(Violation::new(
+                ViolationClass::OrphanLeaf,
+                &at,
+                format!("bound to dead node {node_id}"),
+            )),
+            Some(node) if !matches!(node.kind, NodeKind::RankMerge(_)) => {
+                out.push(Violation::new(
+                    ViolationClass::OrphanLeaf,
+                    &at,
+                    format!(
+                        "bound to {node_id}, a {} — results would feed nothing",
+                        node.kind.label()
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Check that no *freshly grafted* query sits above a quarantined stream
+/// leaf. Valid only at graft boundaries — before execution has had a
+/// chance to quarantine anything under the new queries — where it proves
+/// the reuse oracle kept its promise to never advertise quarantined
+/// state. Mid-execution the same condition is legal (a query drains
+/// *around* a leaf that failed under it), so this is a separate pass the
+/// post-graft hook adds on top of [`verify_manager`].
+pub fn verify_no_quarantined_grafts(manager: &QsManager, path: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (uq, node_id) in manager.rank_merge_entries() {
+        if manager.graph().try_node(node_id).is_some()
+            && manager.graph().subtree_quarantined(node_id)
+        {
+            out.push(Violation::new(
+                ViolationClass::QuarantineLeak,
+                format!("{path}/rank_merges[{uq}]"),
+                "freshly grafted query is fed by a quarantined stream leaf",
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lane and snapshot entry points.
+// ---------------------------------------------------------------------------
+
+/// Verify one execution lane end to end: interner DAG, warm store, the
+/// lane's observed stats, and the plan graph with module-refcount
+/// accounting. Pure and read-only (borrows the lane's interner and warm
+/// cells for reading; never mutates).
+pub fn verify_lane(manager: &QsManager, observed: &ObservedStats) -> VerifyReport {
+    let mut out = Vec::new();
+    let interner_cell = manager.shared_interner();
+    let interner = interner_cell.borrow();
+    out.extend(verify_interner(&interner, "lane/interner"));
+    let warm_cell = manager.warm_cell();
+    let warm = warm_cell.borrow();
+    out.extend(verify_warm_export(&warm.export(), &interner, "lane/warm"));
+    out.extend(verify_observed(
+        &observed.export(),
+        interner.len(),
+        "lane/observed",
+    ));
+    drop(warm);
+    drop(interner);
+    out.extend(verify_manager(manager, "lane/graph"));
+    VerifyReport { violations: out }
+}
+
+/// Verify a snapshot image's semantic validity beyond what the wire CRCs
+/// cover: per-lane interner canonical form, warm/observed section
+/// cross-references into the interner section, ordering contracts, and
+/// the loader's lane ceiling. Works on the in-memory image — run it
+/// before publishing (the pre-publish hook) or after decoding.
+///
+/// Version note: a v1 image simply has no observed section (`observed`
+/// empty), so the same checks cover both wire versions — there is no
+/// v1-specific invariant beyond "absent, not partial".
+pub fn verify_snapshot(image: &SnapshotImage) -> VerifyReport {
+    let mut out = Vec::new();
+    if image.engine_fingerprint.is_empty() {
+        out.push(Violation::new(
+            ViolationClass::SectionMismatch,
+            "snapshot/header",
+            "empty engine fingerprint — nothing could ever rehydrate from this",
+        ));
+    }
+    if image.lanes.len() > MAX_LANES as usize {
+        out.push(Violation::new(
+            ViolationClass::SectionMismatch,
+            "snapshot/header",
+            format!(
+                "{} lanes exceed the loader ceiling of {MAX_LANES}",
+                image.lanes.len()
+            ),
+        ));
+    }
+    for (li, lane) in image.lanes.iter().enumerate() {
+        out.extend(verify_lane_image(lane, &format!("snapshot/lane[{li}]")));
+    }
+    VerifyReport { violations: out }
+}
+
+/// Verify one lane's snapshot sections against each other. Cross-section
+/// references (warm → interner, observed → interner) are reported as
+/// [`ViolationClass::SectionMismatch`]: on the wire each section CRCs
+/// clean in isolation, so a dangling id is precisely a *cross*-section
+/// corruption.
+pub fn verify_lane_image(lane: &LaneImage, path: &str) -> Vec<Violation> {
+    let mut out = verify_interner_entries(&lane.interner, &format!("{path}/interner"));
+    let n = lane.interner.len();
+    let remap = |violations: Vec<Violation>| {
+        violations.into_iter().map(|v| match v.class {
+            // An id dangling across sections is a cross-reference break.
+            ViolationClass::IdOutOfRange => Violation {
+                class: ViolationClass::SectionMismatch,
+                ..v
+            },
+            _ => v,
+        })
+    };
+    // The warm section's ordering/closure contracts need resolved sigs;
+    // rebuilding an interner would re-run the structural validation we
+    // just did (and fail on the corruptions we want to *report*), so the
+    // image path checks bounds and orderings directly.
+    let warm = &lane.warm;
+    let mut warm_out = Vec::new();
+    let check = |out: &mut Vec<Violation>, id: SigId, at: &str| {
+        if id.index() >= n {
+            out.push(Violation::new(
+                ViolationClass::IdOutOfRange,
+                at,
+                format!("{id:?} out of range (interner section has {n} entries)"),
+            ));
+        }
+    };
+    for (id, _) in &warm.facts {
+        check(&mut warm_out, *id, &format!("{path}/warm/facts"));
+    }
+    if !warm.facts.windows(2).all(|w| w[0].0 < w[1].0) {
+        warm_out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/warm/facts"),
+            "facts not strictly ascending by sig id",
+        ));
+    }
+    for (id, _) in &warm.expensive {
+        check(&mut warm_out, *id, &format!("{path}/warm/expensive"));
+    }
+    for (whole, cands) in &warm.cq_candidates {
+        check(&mut warm_out, *whole, &format!("{path}/warm/cq_candidates"));
+        for c in cands.iter() {
+            check(&mut warm_out, *c, &format!("{path}/warm/cq_candidates"));
+        }
+    }
+    for (i, id) in warm.canon_order.iter().enumerate() {
+        check(&mut warm_out, *id, &format!("{path}/warm/canon_order[{i}]"));
+    }
+    if warm.canon_order.iter().all(|id| id.index() < n)
+        && !warm
+            .canon_order
+            .windows(2)
+            .all(|w| lane.interner[w[0].index()].0 < lane.interner[w[1].index()].0)
+    {
+        warm_out.push(Violation::new(
+            ViolationClass::WarmDisorder,
+            format!("{path}/warm/canon_order"),
+            "canonical order not strictly deep-increasing",
+        ));
+    }
+    for (pi, (shape, plan)) in warm.plans.iter().enumerate() {
+        let at = format!("{path}/warm/plan[{pi}]");
+        for id in shape.iter() {
+            check(&mut warm_out, *id, &at);
+        }
+        if plan.generation > n as u64 {
+            warm_out.push(Violation::new(
+                ViolationClass::GenerationSkew,
+                &at,
+                format!(
+                    "plan stamped generation {} but the interner section has {n} entries",
+                    plan.generation
+                ),
+            ));
+        }
+        if !plan.snapshot.windows(2).all(|w| w[0].0 < w[1].0) {
+            warm_out.push(Violation::new(
+                ViolationClass::WarmDisorder,
+                format!("{at}/snapshot"),
+                "closure snapshot not strictly ascending",
+            ));
+        }
+        for (id, _) in plan.snapshot.iter() {
+            check(&mut warm_out, *id, &format!("{at}/snapshot"));
+        }
+        let captured = |id: SigId| plan.snapshot.binary_search_by_key(&id, |e| e.0).is_ok();
+        for id in plan.cand_sigs.iter() {
+            check(&mut warm_out, *id, &format!("{at}/cand_sigs"));
+            if !captured(*id) {
+                warm_out.push(Violation::new(
+                    ViolationClass::WarmClosureStale,
+                    format!("{at}/cand_sigs"),
+                    format!("candidate {id:?} escapes the plan's closure snapshot"),
+                ));
+            }
+        }
+        for (id, _) in plan.assignment.iter() {
+            check(&mut warm_out, *id, &format!("{at}/assignment"));
+            if !captured(*id) {
+                warm_out.push(Violation::new(
+                    ViolationClass::WarmClosureStale,
+                    format!("{at}/assignment"),
+                    format!("assigned input {id:?} escapes the plan's closure snapshot"),
+                ));
+            }
+        }
+    }
+    out.extend(remap(warm_out));
+    out.extend(remap(verify_observed(
+        &lane.observed,
+        n,
+        &format!("{path}/observed"),
+    )));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsys_types::RelId;
+
+    fn sig(rels: &[u32]) -> SubExprSig {
+        SubExprSig::new(
+            rels.iter().map(|&r| (RelId::new(r), None)).collect(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn clean_entries_verify_clean() {
+        let entries = vec![
+            (sig(&[0]), None),
+            (sig(&[1]), None),
+            (sig(&[0, 1]), Some((SigId(0), SigId(1)))),
+        ];
+        assert!(verify_interner_entries(&entries, "t").is_empty());
+    }
+
+    #[test]
+    fn cycle_edge_is_flagged_as_cycle() {
+        // Child with as many atoms as its parent: the well-founded
+        // measure breaks, which is how a cycle would smuggle itself in.
+        let entries = vec![
+            (sig(&[0]), None),
+            (sig(&[1]), None),
+            (sig(&[0, 1]), Some((SigId(2), SigId(0)))),
+        ];
+        let v = verify_interner_entries(&entries, "t");
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::CycleEdge),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_child_is_flagged() {
+        let entries = vec![
+            (sig(&[0]), None),
+            (sig(&[0, 1]), Some((SigId(0), SigId(9)))),
+        ];
+        let v = verify_interner_entries(&entries, "t");
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::IdOutOfRange),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn shard_partition_contract() {
+        use qsys_query::CqIdx;
+        let members = CqSet::from_indices([CqIdx(0), CqIdx(1), CqIdx(2)]);
+        let a = CqSet::from_indices([CqIdx(0)]);
+        let b = CqSet::from_indices([CqIdx(1), CqIdx(2)]);
+        assert!(verify_shards(&members, &[a.clone(), b.clone()], 4, "t").is_empty());
+        // Overlap.
+        let b_overlap = CqSet::from_indices([CqIdx(0), CqIdx(1), CqIdx(2)]);
+        let v = verify_shards(&members, &[a.clone(), b_overlap], 4, "t");
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::ShardOverlap),
+            "{v:?}"
+        );
+        // Gap.
+        let v = verify_shards(&members, std::slice::from_ref(&a), 4, "t");
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::ShardGap),
+            "{v:?}"
+        );
+        // Overflow.
+        let v = verify_shards(&members, &[a, b], 1, "t");
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::ShardOverflow),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let report = VerifyReport {
+            violations: vec![Violation::new(
+                ViolationClass::CycleEdge,
+                "lane/interner/sig[3]",
+                "child not smaller",
+            )],
+        };
+        let text = report.to_string();
+        assert!(text.contains("CycleEdge"));
+        assert!(text.contains("lane/interner/sig[3]"));
+        assert!(!report.is_clean());
+        assert_eq!(report.classes(), vec![ViolationClass::CycleEdge]);
+    }
+}

@@ -18,7 +18,7 @@ use qsys_opt::{HeuristicConfig, OptStats, Optimizer, OptimizerConfig};
 use qsys_query::{CandidateConfig, ScoreFn, UserQuery};
 use qsys_source::{FaultInjector, FaultSpec, Sources, TableProvider};
 use qsys_state::{EvictionPolicy, QsManager};
-use qsys_types::{CostProfile, QsysResult, Score, SimClock, Tuple, UqId, UserId};
+use qsys_types::{CostProfile, QsysError, QsysResult, Score, SimClock, Tuple, UqId, UserId};
 
 /// Which sharing configuration to run (Section 7.1's four systems).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -148,6 +148,18 @@ pub struct EngineConfig {
     /// Defaults to 1 — every batch boundary — overridable via
     /// `QSYS_SNAPSHOT_EVERY`. Must be ≥ 1.
     pub snapshot_every: usize,
+    /// Run the `qsys-verify` invariant verifier at every phase boundary
+    /// (post-cluster, post-graft, post-replan, pre-snapshot-publish).
+    /// Always on in debug builds (`debug_assertions`); this knob —
+    /// `QSYS_VERIFY=1` — turns it on for release builds too. A violation
+    /// panics the offending lane with the full structured report: a
+    /// broken sharing invariant means later answers cannot be trusted,
+    /// so the engine fails loudly at the boundary that broke it.
+    pub verify: bool,
+    /// Print the shard plan (`SHARD cluster … shard …` lines to stderr)
+    /// whenever an oversized cluster splits. `QSYS_SHARD_DEBUG` (any
+    /// value) enables it; purely diagnostic, never changes routing.
+    pub shard_debug: bool,
     /// Environment parse failures captured by `Default` (a malformed
     /// `QSYS_FAULTS` or `QSYS_SNAPSHOT_EVERY`). `Default` must stay
     /// infallible, so instead of panicking mid-construction the errors are
@@ -288,16 +300,29 @@ pub(crate) fn parse_shard_max(value: Option<String>) -> Result<usize, String> {
     }
 }
 
+/// Parse a `QSYS_VERIFY` value: unset, empty, or `0` leave phase-boundary
+/// verification to the `debug_assertions` default; anything else turns it
+/// on. Never an error — there is no way to misspell "on" dangerously.
+pub(crate) fn parse_verify(value: Option<String>) -> bool {
+    value.is_some_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         let mut env_errors = Vec::new();
-        let faults = FaultSpec::from_env().unwrap_or_else(|e| {
-            env_errors.push(ConfigError {
-                field: "faults",
-                message: e,
+        // The environment reads for every engine knob live here, and only
+        // here (enforced by `qsys-lint`'s `env-read` rule): `Default`
+        // captures the raw values, the `parse_*` helpers keep the parsing
+        // testable without process-global state, and `validate_all`
+        // surfaces whatever was malformed.
+        let faults =
+            FaultSpec::from_env_value(std::env::var("QSYS_FAULTS").ok()).unwrap_or_else(|e| {
+                env_errors.push(ConfigError {
+                    field: "faults",
+                    message: e,
+                });
+                None
             });
-            None
-        });
         let snapshot_every = parse_snapshot_every(std::env::var("QSYS_SNAPSHOT_EVERY").ok())
             .unwrap_or_else(|e| {
                 env_errors.push(ConfigError {
@@ -372,6 +397,8 @@ impl Default for EngineConfig {
                 min_remaining: adapt_min_remaining,
             },
             snapshot_every,
+            verify: parse_verify(std::env::var("QSYS_VERIFY").ok()),
+            shard_debug: std::env::var_os("QSYS_SHARD_DEBUG").is_some(),
             env_errors,
         }
     }
@@ -382,59 +409,78 @@ impl EngineConfig {
     /// structured [`ConfigError`]: environment parse failures captured at
     /// `Default` time (a malformed `QSYS_FAULTS` schedule no longer
     /// panics — it lands here) and basic invariants of the numeric knobs.
+    /// The full aggregated list is [`EngineConfig::validate_all`].
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if let Some(err) = self.env_errors.first() {
-            return Err(err.clone());
+        match self.validate_all().into_iter().next() {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
-        let invariant = |ok: bool, field: &'static str, message: String| {
-            if ok {
-                Ok(())
-            } else {
-                Err(ConfigError { field, message })
+    }
+
+    /// Every problem with this configuration, aggregated: environment
+    /// parse failures first (in capture order), then field-invariant
+    /// violations in declaration order. Empty means the config is sound.
+    /// Unlike [`EngineConfig::validate`] this does not stop at the first
+    /// error, so an operator fixing a broken deployment sees the whole
+    /// list at once instead of one knob per restart.
+    pub fn validate_all(&self) -> Vec<ConfigError> {
+        let mut errors = self.env_errors.clone();
+        let mut invariant = |ok: bool, field: &'static str, message: &str| {
+            if !ok {
+                errors.push(ConfigError {
+                    field,
+                    message: message.into(),
+                });
             }
         };
-        invariant(self.k >= 1, "k", "top-k must be ≥ 1".into())?;
+        invariant(self.k >= 1, "k", "top-k must be ≥ 1");
         invariant(
             self.batch_size >= 1,
             "batch_size",
-            "batches hold at least one query".into(),
-        )?;
+            "batches hold at least one query",
+        );
         invariant(
             self.lane_threads >= 1,
             "lane_threads",
-            "at least one lane thread".into(),
-        )?;
+            "at least one lane thread",
+        );
         invariant(
             self.snapshot_every >= 1,
             "snapshot_every",
-            "snapshot cadence must be ≥ 1 batch".into(),
-        )?;
+            "snapshot cadence must be ≥ 1 batch",
+        );
         if let Some(t) = self.sharding.threshold {
             invariant(
                 t.is_finite() && t >= 1.0,
                 "sharding.threshold",
-                "shard threshold must be a finite work estimate ≥ 1 UQ-equivalent".into(),
-            )?;
+                "shard threshold must be a finite work estimate ≥ 1 UQ-equivalent",
+            );
         }
         invariant(
             self.sharding.max_shards >= 1,
             "sharding.max_shards",
-            "a cluster splits into at least one shard".into(),
-        )?;
+            "a cluster splits into at least one shard",
+        );
         if let Some(d) = self.adaptive.drift {
             invariant(
                 d.is_finite() && d > 1.0,
                 "adaptive.drift",
-                "drift ratio must be finite and > 1".into(),
-            )?;
+                "drift ratio must be finite and > 1",
+            );
         }
         invariant(
             self.adaptive.min_remaining.is_finite()
                 && (0.0..=1.0).contains(&self.adaptive.min_remaining),
             "adaptive.min_remaining",
-            "remaining-work fraction must be in [0, 1]".into(),
-        )?;
-        Ok(())
+            "remaining-work fraction must be in [0, 1]",
+        );
+        errors
+    }
+
+    /// Whether phase-boundary invariant verification is active: always in
+    /// debug builds, or per the `verify` knob (`QSYS_VERIFY=1`).
+    pub(crate) fn verify_phases(&self) -> bool {
+        cfg!(debug_assertions) || self.verify
     }
 
     /// The optimizer-configuration fingerprint warm state computed under
@@ -601,9 +647,11 @@ impl QSystem {
     pub fn search(&mut self, keywords: &str, user: UserId) -> QsysResult<SearchResult> {
         let ticket = self.engine.session(user).submit_now(keywords)?;
         self.engine.run_until_idle();
-        let report = ticket
-            .report()
-            .expect("a drained single-lane engine has executed every admitted query");
+        let report = ticket.report().ok_or_else(|| {
+            QsysError::Internal(
+                "drained single-lane engine left an admitted query unexecuted".into(),
+            )
+        })?;
         let results = ticket.take_results().unwrap_or_default();
         Ok(SearchResult {
             uq: ticket.id(),
@@ -860,6 +908,64 @@ mod tests {
         assert_eq!(err.field, "snapshot_every");
         config.snapshot_every = 1;
         config.validate().expect("clean config validates");
+    }
+
+    #[test]
+    fn validate_all_aggregates_every_failure() {
+        let mut config = EngineConfig {
+            env_errors: vec![ConfigError {
+                field: "faults",
+                message: "QSYS_FAULTS: bad clause".into(),
+            }],
+            ..EngineConfig::default()
+        };
+        config.k = 0;
+        config.batch_size = 0;
+        config.snapshot_every = 0;
+        let errors = config.validate_all();
+        let fields: Vec<&str> = errors.iter().map(|e| e.field).collect();
+        // Every failure reported at once, env capture first, then the
+        // invariants in declaration order — and validate() stays the
+        // first-error view of the same list.
+        assert_eq!(fields, ["faults", "k", "batch_size", "snapshot_every"]);
+        assert_eq!(
+            config.validate().expect_err("same first error").field,
+            "faults"
+        );
+        config.env_errors.clear();
+        config.k = 1;
+        config.batch_size = 1;
+        config.snapshot_every = 1;
+        assert!(
+            config.validate_all().is_empty(),
+            "clean config aggregates to nothing"
+        );
+    }
+
+    #[test]
+    fn parse_verify_reads_like_a_feature_flag() {
+        // Any non-empty value other than "0" opts in.
+        assert!(parse_verify(Some("1".into())));
+        assert!(parse_verify(Some("true".into())));
+        assert!(parse_verify(Some(" 1 ".into())));
+        // Unset, empty, and the explicit zero stay off.
+        assert!(!parse_verify(None));
+        assert!(!parse_verify(Some(String::new())));
+        assert!(!parse_verify(Some("  ".into())));
+        assert!(!parse_verify(Some("0".into())));
+    }
+
+    #[test]
+    fn verify_phases_follows_build_and_flag() {
+        let mut config = EngineConfig {
+            env_errors: Vec::new(),
+            ..EngineConfig::default()
+        };
+        config.verify = true;
+        assert!(config.verify_phases(), "explicit opt-in always verifies");
+        config.verify = false;
+        // Without the flag, phase hooks track the build profile.
+        assert_eq!(config.verify_phases(), cfg!(debug_assertions));
     }
 
     #[test]

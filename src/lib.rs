@@ -66,6 +66,7 @@
 //! | operators, plan graph, ATC | `qsys-exec` |
 //! | multi-query optimizer (arena-indexed BestPlan, AND-OR memo, clustering) | `qsys-opt` |
 //! | state manager (graft/recover/evict, policy via `EngineConfig::eviction`) | `qsys-state` |
+//! | invariant verifier + repo lint (see [`Engine::verify`]) | `qsys-verify` |
 //! | workload generators | `qsys-workload` |
 //!
 //! Two dense-index layers keep the optimizer's hot path allocation-free:
@@ -117,6 +118,7 @@ pub mod prelude {
     pub use qsys_opt::shard::ShardConfig;
     pub use qsys_snapshot::SnapshotSummary;
     pub use qsys_types::{Score, Tuple, UqId, UserId};
+    pub use qsys_verify::{VerifyReport, Violation, ViolationClass};
 }
 
 // Re-export the subsystem crates under one roof.
@@ -128,3 +130,4 @@ pub use qsys_snapshot as snapshot;
 pub use qsys_source as source;
 pub use qsys_state as state;
 pub use qsys_types as types;
+pub use qsys_verify as verify;

@@ -19,7 +19,7 @@ use crate::session::{Engine, QueryTicket};
 use qsys_exec::FaultStats;
 use qsys_opt::AdaptiveSummary;
 use qsys_query::{CandidateGenerator, UserQuery};
-use qsys_types::{QsysResult, RelId, TimeBreakdown, UqId, UserId};
+use qsys_types::{QsysError, QsysResult, RelId, TimeBreakdown, UqId, UserId};
 use qsys_workload::Workload;
 
 /// How one user query's execution ended. Every outcome other than
@@ -329,14 +329,22 @@ pub fn run_workload(
         // queries consume ids too); resolve the arrival through that
         // invariant and fail loudly if it ever drifts — a silent arrival
         // of 0 would re-shape batches under a configured arrival window.
-        let script = workload
-            .queries
-            .get(uq.id.index())
-            .expect("UqId indexes the workload script");
-        assert_eq!(
-            script.keywords, uq.keywords,
-            "UqId/script alignment drifted in generate_user_queries"
-        );
+        let script = workload.queries.get(uq.id.index()).ok_or_else(|| {
+            QsysError::Internal(format!(
+                "UqId {} does not index the workload script ({} entries)",
+                uq.id.index(),
+                workload.queries.len()
+            ))
+        })?;
+        if script.keywords != uq.keywords {
+            return Err(QsysError::Internal(format!(
+                "UqId/script alignment drifted in generate_user_queries: \
+                 script '{}' vs generated '{}' at id {}",
+                script.keywords,
+                uq.keywords,
+                uq.id.index()
+            )));
+        }
         engine.admit(uq, script.arrival_us);
     }
     engine.run_until_idle();

@@ -55,6 +55,7 @@ use qsys_snapshot::{
 use qsys_source::{SnapFaults, TableProvider};
 use qsys_state::EvictionStats;
 use qsys_types::{QsysResult, RelId, Score, Tuple, UqId, UserId};
+use qsys_verify::VerifyReport;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -499,6 +500,7 @@ impl Engine {
         &self
             .lanes
             .first()
+            // lint:allow(panic-path): documented panic (see `# Panics` above) — the fallible path is Engine::report
             .expect("no lanes yet: an ATC-CL engine creates them at the first flush")
             .lane
             .sources
@@ -715,6 +717,7 @@ impl Engine {
                     })
                     .collect();
                 let weights = normalize_weights(&raw);
+                // lint:allow(panic-path): shard_routing() returned true, which requires a threshold
                 let threshold = self.config.sharding.threshold.expect("sharding enabled");
                 let max_shards = self.config.sharding.max_shards;
                 // Interaction term for the packer: clustered UQs share
@@ -733,30 +736,43 @@ impl Engine {
                     let jaccard = if union > 0.0 { inter / union } else { 0.0 };
                     jaccard * (weights[a.index()] + weights[b.index()])
                 };
+                let verify_on = self.config.verify_phases();
                 let planned: Vec<Vec<Vec<(UqId, f64)>>> = clusters
                     .iter()
-                    .map(|cluster| {
+                    .enumerate()
+                    .map(|(cluster_idx, cluster)| {
                         let members = CqSet::from_indices(cluster.iter().map(|uq| {
+                            // lint:allow(panic-path): clusters partition exactly the ids in `refs`, whose keys built uq_ids
                             CqIdx(uq_ids.binary_search(uq).expect("clustered UQ") as u16)
                         }));
-                        shard_cluster_affine(
+                        let shards = shard_cluster_affine(
                             &members,
                             &weights,
                             Some(&pairwise),
                             threshold,
                             max_shards,
-                        )
-                        .iter()
-                        .map(|shard| {
-                            shard
-                                .iter()
-                                .map(|i| (uq_ids[i.index()], raw[i.index()]))
-                                .collect()
-                        })
-                        .collect()
+                        );
+                        if verify_on {
+                            VerifyReport::from(qsys_verify::verify_shards(
+                                &members,
+                                &shards,
+                                max_shards,
+                                &format!("cluster[{cluster_idx}]/shards"),
+                            ))
+                            .assert_clean("post-cluster shard split");
+                        }
+                        shards
+                            .iter()
+                            .map(|shard| {
+                                shard
+                                    .iter()
+                                    .map(|i| (uq_ids[i.index()], raw[i.index()]))
+                                    .collect()
+                            })
+                            .collect()
                     })
                     .collect();
-                let debug = std::env::var_os("QSYS_SHARD_DEBUG").is_some();
+                let debug = self.config.shard_debug;
                 for shards in planned {
                     let cid = self.next_cluster;
                     self.next_cluster += 1;
@@ -784,6 +800,12 @@ impl Engine {
                     self.lanes[lane].routed_cost += cost;
                 }
                 self.enqueue(lane, admitted);
+            }
+            if self.config.verify_phases() {
+                for (idx, slot) in self.lanes.iter().enumerate() {
+                    qsys_verify::verify_lane(&slot.lane.manager, &slot.lane.adaptive.observed)
+                        .assert_clean(&format!("post-cluster (lane {idx})"));
+                }
             }
         }
     }
@@ -876,6 +898,12 @@ impl Engine {
             return Err("engine has no snapshot_dir configured".into());
         };
         let image = self.snapshot_image();
+        if self.config.verify_phases() {
+            // Pre-publish boundary: never persist an image that could not
+            // rehydrate — a corrupt snapshot outlives the process that
+            // wrote it.
+            qsys_verify::verify_snapshot(&image).assert_clean("pre-snapshot-publish");
+        }
         match write_snapshot(&dir, &image, snap_faults(&self.config)) {
             Ok(bytes) => {
                 self.snapshot.writes += 1;
@@ -892,6 +920,80 @@ impl Engine {
     /// [`Engine::report`]).
     pub fn snapshot_summary(&self) -> &SnapshotSummary {
         &self.snapshot
+    }
+
+    /// Reload this engine's own published snapshot from
+    /// [`EngineConfig::snapshot_dir`] and run the verifier over every
+    /// decoded lane — the on-disk half of the `reproduce verify` audit.
+    /// The load path already drops sections that fail CRC or structural
+    /// validation; this checks the *semantic* invariants of what survived
+    /// (child closure, warm-plan containment, observed monotonicity).
+    /// `Err` means nothing could be audited (no dir, or nothing loaded).
+    pub fn audit_snapshot(&self) -> Result<VerifyReport, String> {
+        let Some(dir) = &self.config.snapshot_dir else {
+            return Err("engine has no snapshot_dir configured".into());
+        };
+        let (lanes, summary) = qsys_snapshot::load_snapshot(
+            dir,
+            &self.config.warm_fingerprint(),
+            &self.catalog,
+            snap_faults(&self.config),
+        );
+        if !summary.loaded {
+            return Err(format!(
+                "no snapshot loaded from {} ({})",
+                dir.display(),
+                summary
+                    .reason
+                    .as_deref()
+                    .unwrap_or("no file or empty image")
+            ));
+        }
+        let mut violations = Vec::new();
+        for (idx, lane) in lanes.iter().enumerate() {
+            let Some(lane) = lane else {
+                // A lane the loader rejected wholesale is a recovery
+                // event, not an invariant violation — `summary.reason`
+                // carries it.
+                continue;
+            };
+            let path = format!("disk[{idx}]");
+            violations.extend(qsys_verify::verify_interner(
+                &lane.interner,
+                &format!("{path}/interner"),
+            ));
+            violations.extend(qsys_verify::verify_warm_export(
+                &lane.warm.export(),
+                &lane.interner,
+                &format!("{path}/warm"),
+            ));
+            violations.extend(qsys_verify::verify_observed(
+                &lane.observed.export(),
+                lane.interner.len(),
+                &format!("{path}/observed"),
+            ));
+        }
+        Ok(VerifyReport::from(violations))
+    }
+
+    /// Run the full invariant verifier over every lane plus the snapshot
+    /// image the engine would publish right now, regardless of
+    /// [`EngineConfig::verify`]. This is the audit entry point used by
+    /// `reproduce verify` and the mutation tests; the phase hooks use the
+    /// same checks but panic via [`VerifyReport::assert_clean`] instead of
+    /// returning.
+    pub fn verify(&self) -> VerifyReport {
+        let mut violations = Vec::new();
+        for (idx, slot) in self.lanes.iter().enumerate() {
+            let report = qsys_verify::verify_lane(&slot.lane.manager, &slot.lane.adaptive.observed);
+            violations.extend(report.violations.into_iter().map(|mut v| {
+                // verify_lane paths start "lane/…" — pin which lane.
+                v.path = v.path.replacen("lane", &format!("lane[{idx}]"), 1);
+                v
+            }));
+        }
+        violations.extend(qsys_verify::verify_snapshot(&self.snapshot_image()).violations);
+        VerifyReport::from(violations)
     }
 
     /// Run sealed batches: one per lane (`drain = false`) or every queued
@@ -978,6 +1080,7 @@ impl Engine {
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
+                        // lint:allow(panic-path): the atomic cursor hands each queue index to exactly one worker
                         .expect("each job is taken once");
                     ran.fetch_add(run_slot(idx, slot), Ordering::Relaxed);
                 });
@@ -1356,6 +1459,20 @@ fn run_batch(
         }
     }
 
+    if config.verify_phases() {
+        // Post-graft boundary: the freshly grafted plan graph must satisfy
+        // every structural invariant, and — before execution starts — no
+        // rank-merge may be bound into a quarantined subtree (execution
+        // later drains *around* quarantined leaves, so this second check
+        // is only valid here, not after replans).
+        qsys_verify::verify_lane(&lane.manager, &lane.adaptive.observed).assert_clean("post-graft");
+        VerifyReport::from(qsys_verify::verify_no_quarantined_grafts(
+            &lane.manager,
+            "lane/graph",
+        ))
+        .assert_clean("post-graft");
+    }
+
     // The adaptive loop needs the warm store (corrections live there) and
     // cross-query sharing semantics (a re-graft must merge back onto the
     // live leaves); ATC-CQ shares nothing and ATC-UQ isolates its
@@ -1387,6 +1504,7 @@ fn run_batch(
                 .iter()
                 .find(|(_, _, ids)| ids.contains(&id))
                 .map(|(o, s, _)| (o, *s))
+                // lint:allow(panic-path): the graft loop above pushes an entry covering every batch member
                 .expect("every batch member was grafted");
             // Result payloads are cloned only when a ticket can read them
             // (the scripted driver opts out: it reports counts, and the
@@ -1405,6 +1523,7 @@ fn run_batch(
                     })
                     .unwrap_or_default()
             });
+            // lint:allow(panic-path): stats.submit ran for this id at the top of run_batch
             let stats = lane.stats.uq(id).expect("submitted above");
             // Outcome, worst first: finishing past a deadline trumps
             // degradation (the results are retained either way), and any
@@ -1492,6 +1611,7 @@ fn adaptive_drive(
     let drift = config
         .adaptive
         .drift
+        // lint:allow(panic-path): the adaptive_on gate requires adaptive.enabled(), which needs a drift threshold
         .expect("adaptive drive requires a threshold");
     lane.governor.begin_batch();
     let mut rounds: u64 = 0;
@@ -1555,6 +1675,13 @@ fn adaptive_drive(
         }
         let opt_before = lane.sources.clock().breakdown().optimize_us;
         let (_, opt) = graft_batch(catalog, lane, &replanned, config, share, true);
+        if config.verify_phases() {
+            // Post-replan boundary: structural invariants only. The
+            // quarantine check is deliberately absent — mid-execution the
+            // legal degradation path drains around quarantined leaves.
+            qsys_verify::verify_lane(&lane.manager, &lane.adaptive.observed)
+                .assert_clean("post-replan");
+        }
         lane.adaptive.summary.replan_us += lane
             .sources
             .clock()

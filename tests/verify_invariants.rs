@@ -1,0 +1,316 @@
+//! Mutation tests for the `qsys-verify` whole-system checker.
+//!
+//! Two halves:
+//!
+//! 1. **Seeded corruption, one per invariant family** — build a structure
+//!    that verifies clean, apply exactly one class of damage (a cycle
+//!    edge, a refcount skew, an overlapping shard split, a stale warm
+//!    closure, a cross-section snapshot dangler), and require that the
+//!    verifier reports *that* class and nothing else. A verifier that
+//!    misses the damage is useless; one that mislabels it sends whoever
+//!    reads the report to the wrong subsystem.
+//! 2. **Clean passes** — the standard GUS seeds driven through every
+//!    arm whose machinery the phase hooks guard (parallel lanes, shard
+//!    splits, fault quarantine, mid-flight replans) must produce zero
+//!    violations from [`Engine::verify`]. (These runs also execute the
+//!    phase-boundary hooks themselves: tests build with
+//!    `debug_assertions`, so every post-cluster / post-graft /
+//!    post-replan / pre-publish check fires along the way.)
+
+use proptest::prelude::*;
+use qsys::prelude::*;
+use qsys::verify as qv;
+use qsys_exec::access::{AccessModule, StoredModule};
+use qsys_exec::graph::QueryPlanGraph;
+use qsys_exec::mjoin::{MJoin, MJoinInput};
+use qsys_opt::adaptive::ObservedCard;
+use qsys_opt::warm::{WarmExport, WarmPlan};
+use qsys_opt::OptStats;
+use qsys_query::{CqIdx, CqSet, SigId, SigInterner, SubExprSig};
+use qsys_snapshot::{LaneImage, SnapshotImage};
+use qsys_types::RelId;
+use qsys_workload::gus::{self, GusConfig};
+
+/// A leaf signature over the given relations (sorted, no joins).
+fn sig(rels: &[u32]) -> SubExprSig {
+    SubExprSig {
+        atoms: rels.iter().map(|&r| (RelId::new(r), None)).collect(),
+        joins: Vec::new(),
+    }
+}
+
+/// A clean interner arena: `n` leaves, then a left-deep chain of joins
+/// (entry `n + k` covers leaves `0..=k+1`, children = previous internal
+/// node and leaf `k + 1`).
+fn chain_entries(n: usize) -> Vec<(SubExprSig, Option<(SigId, SigId)>)> {
+    let mut entries: Vec<(SubExprSig, Option<(SigId, SigId)>)> =
+        (0..n as u32).map(|r| (sig(&[r]), None)).collect();
+    for k in 0..n.saturating_sub(1) {
+        let rels: Vec<u32> = (0..=(k as u32 + 1)).collect();
+        let left = if k == 0 { 0 } else { n + k - 1 };
+        entries.push((sig(&rels), Some((SigId(left as u32), SigId(k as u32 + 1)))));
+    }
+    entries
+}
+
+fn classes(violations: &[qv::Violation]) -> Vec<ViolationClass> {
+    violations.iter().map(|v| v.class).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Corruption class 1: a child edge pointing at a node with at least
+    /// as many atoms as its parent — the well-founded measure behind the
+    /// DAG's acyclicity — is reported as `CycleEdge`, whichever internal
+    /// node it lands on.
+    #[test]
+    fn cycle_edge_is_caught(n in 3usize..10, victim in 0usize..7) {
+        let mut entries = chain_entries(n);
+        prop_assert!(qv::verify_interner_entries(&entries, "t").is_empty());
+        let internal = n + (victim % (n - 1));
+        // Point the node's first child at itself: equal atom count, the
+        // cheapest cycle there is.
+        entries[internal].1 = Some((SigId(internal as u32), SigId(0)));
+        let violations = qv::verify_interner_entries(&entries, "t");
+        prop_assert!(!violations.is_empty());
+        for class in classes(&violations) {
+            prop_assert_eq!(class, ViolationClass::CycleEdge);
+        }
+    }
+
+    /// Corruption class 2: an arena refcount that disagrees with how many
+    /// live plan-graph slots (plus external probe refs) actually name the
+    /// module is reported as `RefcountSkew`.
+    #[test]
+    fn refcount_skew_is_caught(extra in 1u32..4) {
+        let mut graph = QueryPlanGraph::new();
+        let module = graph
+            .modules_mut()
+            .alloc(AccessModule::Stored(StoredModule::new([])));
+        let mj = MJoin::new(
+            vec![MJoinInput {
+                rels: vec![RelId::new(0)],
+                module,
+                epoch_cap: None,
+                store_arrivals: true,
+                selection: None,
+            }],
+            Vec::new(),
+            graph.modules(),
+        );
+        graph.add_mjoin(mj, None);
+        prop_assert!(qv::verify_graph(&graph, &[], "t").is_empty());
+        for _ in 0..extra {
+            graph.modules_mut().retain(module); // ref without a holder
+        }
+        let violations = qv::verify_graph(&graph, &[], "t");
+        prop_assert!(!violations.is_empty());
+        for class in classes(&violations) {
+            prop_assert_eq!(class, ViolationClass::RefcountSkew);
+        }
+    }
+
+    /// Corruption class 3: two shards of one cluster claiming the same
+    /// member is reported as `ShardOverlap` (and only that — the union
+    /// still covers the cluster, so no gap is invented).
+    #[test]
+    fn shard_overlap_is_caught(m in 4usize..32, dup in 0usize..31) {
+        let members = CqSet::from_indices((0..m).map(|i| CqIdx(i as u16)));
+        let split = m / 2;
+        let mut a = CqSet::from_indices((0..split).map(|i| CqIdx(i as u16)));
+        let b = CqSet::from_indices((split..m).map(|i| CqIdx(i as u16)));
+        prop_assert!(qv::verify_shards(&members, &[a.clone(), b.clone()], 8, "t").is_empty());
+        // Duplicate one of b's members into a.
+        a.insert(CqIdx((split + dup % (m - split)) as u16));
+        let violations = qv::verify_shards(&members, &[a, b], 8, "t");
+        prop_assert!(!violations.is_empty());
+        for class in classes(&violations) {
+            prop_assert_eq!(class, ViolationClass::ShardOverlap);
+        }
+    }
+
+    /// Corruption class 4: a recorded warm plan referencing a signature
+    /// its own residency snapshot never captured (the seed-containment
+    /// contract that makes replay validation meaningful) is reported as
+    /// `WarmClosureStale`.
+    #[test]
+    fn stale_warm_closure_is_caught(missing in 0u32..3) {
+        let interner = SigInterner::from_entries(chain_entries(3)).expect("clean arena");
+        let captured: Vec<(SigId, u64)> = (0..interner.len() as u32)
+            .filter(|&id| id != missing)
+            .map(|id| (SigId(id), 0))
+            .collect();
+        let plan = WarmPlan {
+            cand_sigs: vec![SigId(missing)].into_boxed_slice(),
+            assignment: Vec::new().into_boxed_slice(),
+            stats: OptStats::default(),
+            snapshot: captured.into_boxed_slice(),
+            generation: interner.generation(),
+        };
+        let export = WarmExport {
+            fingerprint: None,
+            facts: Vec::new(),
+            expensive: Vec::new(),
+            cq_candidates: Vec::new(),
+            canon_order: Vec::new(),
+            plans: vec![(vec![SigId(0)].into_boxed_slice(), plan)],
+        };
+        let violations = qv::verify_warm_export(&export, &interner, "t");
+        prop_assert!(!violations.is_empty());
+        for class in classes(&violations) {
+            prop_assert_eq!(class, ViolationClass::WarmClosureStale);
+        }
+    }
+
+    /// Corruption class 5: a snapshot section referencing a signature id
+    /// beyond its own lane's interner section is a cross-section break,
+    /// reported as `SectionMismatch` (not a generic out-of-range id).
+    #[test]
+    fn cross_section_dangler_is_caught(beyond in 0u32..100) {
+        let entries = chain_entries(3);
+        let dangler = SigId(entries.len() as u32 + beyond);
+        let lane = LaneImage {
+            interner: entries,
+            warm: WarmExport {
+                fingerprint: None,
+                facts: Vec::new(),
+                expensive: Vec::new(),
+                cq_candidates: Vec::new(),
+                canon_order: vec![dangler],
+                plans: Vec::new(),
+            },
+            observed: vec![(dangler, ObservedCard { tuples: 1, exhausted: false })],
+        };
+        let image = SnapshotImage {
+            engine_fingerprint: "test".into(),
+            catalog_fingerprint: 1,
+            lanes: vec![lane],
+        };
+        let report = qv::verify_snapshot(&image);
+        prop_assert!(!report.is_clean());
+        for class in classes(&report.violations) {
+            prop_assert_eq!(class, ViolationClass::SectionMismatch);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clean passes: the standard arms verify with zero violations.
+// ---------------------------------------------------------------------------
+
+/// A trimmed GUS instance: full schema, small cardinalities — enough to
+/// exercise clustering, sharding, quarantine, and replans without the
+/// release-scale run times (the full-scale audit is `reproduce verify`).
+fn small_gus(seed: u64) -> qsys_workload::Workload {
+    let mut cfg = GusConfig::small(seed);
+    cfg.min_rows = 60;
+    cfg.max_rows = 160;
+    cfg.user_queries = 10;
+    gus::generate(&cfg)
+}
+
+fn drive(workload: &qsys_workload::Workload, config: EngineConfig) -> Engine {
+    let mut engine = Engine::for_workload(workload, config);
+    for q in &workload.queries {
+        let mut session = engine.session(q.user);
+        if let Some(costs) = &q.edge_costs {
+            session = session.with_edge_costs(costs.clone());
+        }
+        let _ = session.submit(&q.keywords, q.arrival_us);
+    }
+    engine.run_until_idle();
+    engine
+}
+
+fn base_config(mode: SharingMode) -> EngineConfig {
+    EngineConfig {
+        k: 20,
+        batch_size: 5,
+        sharing: mode,
+        sharding: ShardConfig::off(),
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn gus_seeds_verify_clean_across_lane_threads() {
+    for seed in [41, 48, 55] {
+        let w = small_gus(seed);
+        for threads in [1usize, 4] {
+            let mut cfg = base_config(SharingMode::AtcCl(Default::default()));
+            cfg.lane_threads = threads;
+            let engine = drive(&w, cfg);
+            let report = engine.verify();
+            assert!(
+                report.is_clean(),
+                "seed {seed} threads {threads}:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_verifies_clean() {
+    for seed in [41, 48, 55] {
+        let w = small_gus(seed);
+        let mut cfg = base_config(SharingMode::AtcCl(Default::default()));
+        let mut sharding = ShardConfig::at(1.0);
+        sharding.max_shards = 4;
+        cfg.sharding = sharding;
+        let engine = drive(&w, cfg);
+        let report = engine.verify();
+        assert!(report.is_clean(), "seed {seed} sharded:\n{report}");
+    }
+}
+
+#[test]
+fn chaos_run_verifies_clean() {
+    for seed in [41, 48, 55] {
+        let w = small_gus(seed);
+        let mut cfg = base_config(SharingMode::AtcFull);
+        cfg.faults = qsys::source::FaultSpec::parse(
+            &qsys_workload::faults::FaultPlan::new(1009)
+                .transient(0.05)
+                .build(),
+        )
+        .ok();
+        let engine = drive(&w, cfg);
+        let report = engine.verify();
+        assert!(report.is_clean(), "seed {seed} chaos:\n{report}");
+    }
+}
+
+#[test]
+fn adaptive_run_verifies_clean() {
+    // The drift-regime instance: catalog priors skewed so mid-flight
+    // replans genuinely fire, covering the post-replan hook with a
+    // re-grafted graph.
+    let mut cfg = GusConfig::small(81);
+    cfg.min_rows = 100;
+    cfg.max_rows = 240;
+    cfg.user_queries = 15;
+    cfg.stats_error = 0.25;
+    let w = gus::generate(&cfg);
+    let mut config = base_config(SharingMode::AtcFull);
+    config.lane_threads = 1;
+    config.adaptive = qsys::opt::AdaptiveConfig::at(1.25);
+    let engine = drive(&w, config);
+    let report = engine.verify();
+    assert!(report.is_clean(), "adaptive:\n{report}");
+}
+
+#[test]
+fn snapshot_round_trip_audits_clean() {
+    let w = small_gus(41);
+    let dir = std::env::temp_dir().join(format!("qsys-verify-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut cfg = base_config(SharingMode::AtcCl(Default::default()));
+    cfg.snapshot_dir = Some(dir.clone());
+    cfg.snapshot_every = usize::MAX;
+    let mut engine = drive(&w, cfg);
+    engine.snapshot().expect("publish");
+    let report = engine.audit_snapshot().expect("reload");
+    assert!(report.is_clean(), "on-disk audit:\n{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
